@@ -1,0 +1,126 @@
+// Ablations of AutoMap's design choices (DESIGN.md):
+//   1. CCD rotation count (the paper settles on 5; §5: more rotations add
+//      search time without gains, fewer collapse CCD into CD);
+//   2. co-location constraints on/off (the CCD-vs-CD gap, §4.2);
+//   3. evaluation repeat count (the paper averages 7 runs per candidate
+//      because noisy single runs misrank candidates);
+//   4. task/collection orderings (by runtime / by size, §4.1) vs reversed.
+
+#include <iostream>
+
+#include "src/apps/circuit.hpp"
+#include "src/apps/htr.hpp"
+#include "src/apps/pennant.hpp"
+#include "src/automap/automap.hpp"
+#include "src/machine/machine.hpp"
+#include "src/mappers/custom_mappers.hpp"
+#include "src/runtime/mapper.hpp"
+#include "src/search/evaluator.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/format.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+using namespace automap;
+
+void ablate_rotations(const Simulator& sim) {
+  std::cout << "\n-- ablation: CCD rotations (paper default: 5) --\n";
+  Table table({"rotations", "best exec", "search time", "suggested"});
+  for (const int rotations : {1, 2, 3, 5, 8}) {
+    const SearchResult r = automap_optimize(
+        sim, SearchAlgorithm::kCcd,
+        {.rotations = rotations, .repeats = 7, .seed = 42});
+    table.add_row({std::to_string(rotations), format_seconds(r.best_seconds),
+                   format_seconds(r.stats.search_time_s),
+                   std::to_string(r.stats.suggested)});
+  }
+  table.print(std::cout);
+}
+
+void ablate_constraints(const Simulator& sim) {
+  std::cout << "\n-- ablation: co-location constraints (CCD vs CD) --\n";
+  Table table({"algorithm", "best exec", "evaluated"});
+  const SearchResult ccd = automap_optimize(
+      sim, SearchAlgorithm::kCcd, {.rotations = 5, .repeats = 7, .seed = 42});
+  const SearchResult cd = automap_optimize(
+      sim, SearchAlgorithm::kCd, {.repeats = 7, .seed = 42});
+  table.add_row({"CCD (constraints on)", format_seconds(ccd.best_seconds),
+                 std::to_string(ccd.stats.evaluated)});
+  table.add_row({"CD (constraints off)", format_seconds(cd.best_seconds),
+                 std::to_string(cd.stats.evaluated)});
+  table.print(std::cout);
+}
+
+void ablate_repeats(const Simulator& sim) {
+  std::cout << "\n-- ablation: evaluation repeats vs selection quality "
+               "(paper default: 7) --\n";
+  // For each repeat count, run the search with several seeds and report
+  // the spread of the final result: fewer repeats -> noisier candidate
+  // ranking -> more variable outcomes.
+  Table table({"repeats", "mean best", "stddev across seeds"});
+  for (const int repeats : {1, 3, 7, 15}) {
+    OnlineStats stats;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const SearchResult r = automap_optimize(
+          sim, SearchAlgorithm::kCcd,
+          {.rotations = 3, .repeats = repeats, .seed = seed});
+      stats.add(r.best_seconds);
+    }
+    table.add_row({std::to_string(repeats), format_seconds(stats.mean()),
+                   format_seconds(stats.stddev())});
+  }
+  table.print(std::cout);
+}
+
+void ablate_distribution_search() {
+  // Extension ablation: adding the blocked-vs-round-robin distribution
+  // dimension to CCD's search (the paper's future work) on multi-node
+  // Circuit, where its absence is why the custom mapper sometimes wins.
+  std::cout << "\n-- ablation: distribution-strategy search (Circuit, 4 "
+               "nodes) --\n";
+  const MachineModel machine = make_shepard(4);
+  Table table({"input", "custom (blocked)", "CCD", "CCD+dist"});
+  for (const int step : {2, 4, 6}) {
+    const BenchmarkApp app = make_circuit(circuit_config_for(4, step));
+    Simulator sim(machine, app.graph, app.sim);
+    DefaultMapper dm;
+    const double def =
+        measure_mapping(sim, dm.map_all(app.graph, machine), 31, 1);
+    const auto custom = make_custom_mapper("circuit");
+    const double custom_s =
+        measure_mapping(sim, custom->map_all(app.graph, machine), 31, 1);
+    const SearchResult plain = automap_optimize(
+        sim, SearchAlgorithm::kCcd, {.rotations = 5, .repeats = 7,
+                                     .seed = 42});
+    const SearchResult extended = automap_optimize(
+        sim, SearchAlgorithm::kCcd,
+        {.rotations = 5, .repeats = 7, .seed = 42,
+         .search_distribution_strategies = true});
+    table.add_row(
+        {app.input, format_fixed(def / custom_s, 2),
+         format_fixed(def / measure_mapping(sim, plain.best, 31, 2), 2),
+         format_fixed(def / measure_mapping(sim, extended.best, 31, 2), 2)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Design-choice ablations (Pennant 320x180 / HTR "
+               "16x16y18z, Shepard 1 node) ===\n";
+  const MachineModel machine = make_shepard(1);
+
+  const BenchmarkApp pennant = make_pennant(pennant_config_for(1, 1));
+  Simulator pennant_sim(machine, pennant.graph, pennant.sim);
+  ablate_rotations(pennant_sim);
+  ablate_constraints(pennant_sim);
+
+  const BenchmarkApp htr = make_htr(htr_config_for(1, 1));
+  Simulator htr_sim(machine, htr.graph, htr.sim);
+  ablate_repeats(htr_sim);
+
+  ablate_distribution_search();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Figure 6a: Circuit speedups of the custom mapper and
+// AutoMap-CCD over Legion's default mapper, weak-scaled over 1/2/4/8 nodes.
+//
+// Expected shape (paper): large AM-CCD gains at the smallest inputs (2.41x
+// at n50w200 on 1 node) converging to ~1.0 at the largest; the custom
+// mapper ~1.0 at small inputs, below 1.0 at large single-node inputs, and
+// slightly ahead of AM-CCD in the multi-node mid-range thanks to its
+// blocked decomposition (a dimension AutoMap does not search).
+
+#include "bench/fig6_common.hpp"
+#include "src/apps/circuit.hpp"
+
+int main() {
+  automap::bench::run_fig6(
+      "Figure 6a: Circuit", 8, [](int nodes, int step) {
+        return automap::make_circuit(automap::circuit_config_for(nodes, step));
+      });
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Reproduces Figure 6d: HTR (multi-physics solver) speedups of the custom
+// mapper and AutoMap-CCD over the default mapper.
+//
+// Expected shape (paper): 1.44x/1.5x at the two smallest inputs on one node
+// (CPU placements + Zero-Copy for shared collections), approaching 1.0 at
+// scale where the GPU-heavy chemistry dominates and the default's
+// all-GPU/Frame-Buffer strategy is already optimal.
+
+#include "bench/fig6_common.hpp"
+#include "src/apps/htr.hpp"
+
+int main() {
+  automap::bench::run_fig6("Figure 6d: HTR", 5, [](int nodes, int step) {
+    return automap::make_htr(automap::htr_config_for(nodes, step));
+  });
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Figure 6c: Pennant speedups of the custom mapper and
+// AutoMap-CCD over the default mapper.
+//
+// Expected shape (paper): the largest AM-CCD gains at small inputs come
+// from mixed mappings with most of the 31 tasks on the CPU and a few
+// collection arguments in Zero-Copy; as the input grows AutoMap shifts
+// tasks to the GPU and data to Frame-Buffer, converging to ~1.0.
+
+#include "bench/fig6_common.hpp"
+#include "src/apps/pennant.hpp"
+
+int main() {
+  automap::bench::run_fig6(
+      "Figure 6c: Pennant", 7, [](int nodes, int step) {
+        return automap::make_pennant(automap::pennant_config_for(nodes, step));
+      });
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Machine-sensitivity study (paper §1 and §7: "fast mappings are sensitive
+// to the machine … porting to a new machine may necessitate re-tuning").
+//
+// For each application, tune on three machines (Shepard: 1 P100 behind
+// PCIe; Lassen: 4 V100s behind NVLink; a GPU-less CPU cluster) and report
+// (a) AutoMap's speedup over the default on each machine and (b) the
+// penalty for executing a mapping tuned on machine A on machine B —
+// the cross-porting matrix. Mappings that are invalid on the target
+// (e.g. GPU placements on the CPU cluster) are marked "n/a".
+
+#include <cmath>
+#include <iostream>
+
+#include "src/apps/registry.hpp"
+#include "src/automap/automap.hpp"
+#include "src/machine/machine.hpp"
+#include "src/runtime/mapper.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/format.hpp"
+#include "src/support/table.hpp"
+
+int main() {
+  using namespace automap;
+  std::cout << "=== Machine sensitivity: tuned mappings do not port ===\n";
+
+  const MachineModel machines[] = {make_shepard(1), make_lassen(1),
+                                   make_cpu_cluster(1)};
+  constexpr int kNumMachines = 3;
+
+  for (const std::string& name : {std::string("htr"),
+                                  std::string("pennant")}) {
+    const BenchmarkApp app = make_app_by_name(name, 1, 1);
+
+    Mapping tuned[kNumMachines] = {Mapping(app.graph), Mapping(app.graph),
+                                   Mapping(app.graph)};
+    double native[kNumMachines];
+
+    Table tune_table({"machine", "default", "AutoMap", "speedup"});
+    for (int m = 0; m < kNumMachines; ++m) {
+      Simulator sim(machines[m], app.graph, app.sim);
+      DefaultMapper dm;
+      const double def = measure_mapping(
+          sim, dm.map_all(app.graph, machines[m]), 31, 1);
+      const SearchResult res = automap_optimize(
+          sim, SearchAlgorithm::kCcd,
+          {.rotations = 5, .repeats = 7, .seed = 42});
+      tuned[m] = res.best;
+      native[m] = measure_mapping(sim, res.best, 31, 2);
+      tune_table.add_row({machines[m].name(), format_seconds(def),
+                          format_seconds(native[m]),
+                          format_speedup(def / native[m])});
+    }
+    std::cout << "\n-- " << app.name << " " << app.input << " --\n";
+    tune_table.print(std::cout);
+
+    Table port({"tuned on \\ run on", machines[0].name(), machines[1].name(),
+                machines[2].name()});
+    for (int src = 0; src < kNumMachines; ++src) {
+      std::vector<std::string> row = {tuned[src].valid(app.graph,
+                                                       machines[src])
+                                          ? machines[src].name()
+                                          : machines[src].name() + "?"};
+      for (int dst = 0; dst < kNumMachines; ++dst) {
+        if (!tuned[src].valid(app.graph, machines[dst])) {
+          row.push_back("n/a");
+          continue;
+        }
+        Simulator sim(machines[dst], app.graph, app.sim);
+        const double ported = measure_mapping(sim, tuned[src], 31, 3);
+        // Slowdown relative to the mapping tuned natively on dst.
+        row.push_back(std::isfinite(ported)
+                          ? format_fixed(ported / native[dst], 2) + "x"
+                          : "oom");
+      }
+      port.add_row(std::move(row));
+    }
+    std::cout << "\ncross-porting penalty (columns: executed on; 1.00x = "
+                 "as good as native tuning):\n";
+    port.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Component micro-benchmarks (google-benchmark): the building blocks whose
+// cost determines how many candidate mappings an offline search can afford
+// to try — simulator runs, dependence analysis, overlap-graph construction,
+// co-location fixed points and mapping hashing.
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/circuit.hpp"
+#include "src/apps/htr.hpp"
+#include "src/apps/pennant.hpp"
+#include "src/apps/stencil.hpp"
+#include "src/machine/machine.hpp"
+#include "src/runtime/mapper.hpp"
+#include "src/search/coordinate_descent.hpp"
+#include "src/search/search.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace {
+using namespace automap;
+
+const BenchmarkApp& pennant_app() {
+  static const BenchmarkApp app = make_pennant(pennant_config_for(1, 1));
+  return app;
+}
+const MachineModel& shepard1() {
+  static const MachineModel m = make_shepard(1);
+  return m;
+}
+
+void BM_SimulatorRunCircuit(benchmark::State& state) {
+  const BenchmarkApp app = make_circuit(circuit_config_for(1, 3));
+  Simulator sim(shepard1(), app.graph, app.sim);
+  DefaultMapper dm;
+  const Mapping m = dm.map_all(app.graph, shepard1());
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(m, ++seed));
+  }
+}
+BENCHMARK(BM_SimulatorRunCircuit);
+
+void BM_SimulatorRunPennant(benchmark::State& state) {
+  Simulator sim(shepard1(), pennant_app().graph, pennant_app().sim);
+  DefaultMapper dm;
+  const Mapping m = dm.map_all(pennant_app().graph, shepard1());
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(m, ++seed));
+  }
+}
+BENCHMARK(BM_SimulatorRunPennant);
+
+void BM_SimulatorRunHtr(benchmark::State& state) {
+  const BenchmarkApp app = make_htr(htr_config_for(1, 1));
+  Simulator sim(shepard1(), app.graph, app.sim);
+  DefaultMapper dm;
+  const Mapping m = dm.map_all(app.graph, shepard1());
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(m, ++seed));
+  }
+}
+BENCHMARK(BM_SimulatorRunHtr);
+
+void BM_DependenceAnalysisPennant(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_pennant(pennant_config_for(1, 1)));
+  }
+}
+BENCHMARK(BM_DependenceAnalysisPennant);
+
+void BM_OverlapGraphBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pennant_app().graph.build_overlap_graph());
+  }
+}
+BENCHMARK(BM_OverlapGraphBuild);
+
+void BM_OverlapMapBuild(benchmark::State& state) {
+  const auto edges = pennant_app().graph.build_overlap_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detail::build_overlap_map(pennant_app().graph, edges));
+  }
+}
+BENCHMARK(BM_OverlapMapBuild);
+
+void BM_ColocationFixedPoint(benchmark::State& state) {
+  const TaskGraph& g = pennant_app().graph;
+  std::vector<OverlapEdge> edges = g.build_overlap_graph();
+  for (const Collection& c : g.collections())
+    edges.push_back({c.id, c.id, g.collection_bytes(c.id)});
+  const auto overlap = detail::build_overlap_map(g, edges);
+  const Mapping f = search_starting_point(g, shepard1());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detail::colocation_constraints(
+        f, TaskId(0), 0, ProcKind::kGpu, MemKind::kZeroCopy, overlap, g,
+        shepard1()));
+  }
+}
+BENCHMARK(BM_ColocationFixedPoint);
+
+void BM_MappingHash(benchmark::State& state) {
+  const Mapping m = search_starting_point(pennant_app().graph, shepard1());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.hash());
+  }
+}
+BENCHMARK(BM_MappingHash);
+
+void BM_MappingSerializeRoundTrip(benchmark::State& state) {
+  const Mapping m = search_starting_point(pennant_app().graph, shepard1());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mapping::parse(m.serialize(),
+                                            pennant_app().graph));
+  }
+}
+BENCHMARK(BM_MappingSerializeRoundTrip);
+
+void BM_StencilGraphGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_stencil(stencil_config_for(4, 5)));
+  }
+}
+BENCHMARK(BM_StencilGraphGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Reproduces the Figure 5 table: for each benchmark application, the task
+// count, collection-argument count, search-space size and CCD search time.
+//
+// Paper values: Circuit 3/15/~2^18/1-2h, Stencil 2/12/~2^14/1-2h,
+// Pennant 31/97/~2^128/1-4h, HTR 28/72/~2^100/4-7h, Maestro 13/30/~2^43/1-2h.
+// The search-space column uses the paper's §3.2 estimate (P^T * M^C with
+// two processor kinds and two addressable memories per kind) and
+// reproduces the exponents exactly.
+
+#include <iostream>
+
+#include "src/apps/circuit.hpp"
+#include "src/apps/htr.hpp"
+#include "src/apps/maestro.hpp"
+#include "src/apps/pennant.hpp"
+#include "src/apps/stencil.hpp"
+#include "src/automap/automap.hpp"
+#include "src/machine/machine.hpp"
+#include "src/search/search.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/format.hpp"
+#include "src/support/table.hpp"
+
+int main() {
+  using namespace automap;
+  std::cout << "=== Figure 5: benchmark applications ===\n\n";
+
+  const MachineModel machine = make_shepard(1);
+  Table table({"application", "tasks", "collection args",
+               "search space", "CCD search time (simulated)"});
+
+  struct Case {
+    BenchmarkApp app;
+    std::vector<TaskId> searched;  // empty = all
+  };
+  std::vector<Case> cases;
+  cases.push_back({make_circuit(circuit_config_for(1, 4)), {}});
+  cases.push_back({make_stencil(stencil_config_for(1, 4)), {}});
+  cases.push_back({make_pennant(pennant_config_for(1, 1)), {}});
+  cases.push_back({make_htr(htr_config_for(1, 1)), {}});
+  {
+    MaestroConfig mc;
+    mc.num_lf_samples = 16;
+    BenchmarkApp maestro = make_maestro(mc);
+    const auto lf = maestro_lf_tasks(maestro);
+    cases.push_back({std::move(maestro), lf});
+  }
+
+  for (const Case& c : cases) {
+    const TaskGraph& g = c.app.graph;
+    std::size_t tasks = g.num_tasks();
+    std::size_t args = g.num_collection_args();
+    if (!c.searched.empty()) {
+      // Maestro's search space covers only the LF tasks (Fig. 5).
+      tasks = c.searched.size();
+      args = 0;
+      for (const TaskId t : c.searched) args += g.task(t).args.size();
+    }
+
+    double bits = search_space_log2(g, machine);
+    if (!c.searched.empty()) {
+      // Subtract the pinned HF tasks' contribution: one processor bit plus
+      // one memory bit per argument (the same P = M = 2 estimate).
+      for (const GroupTask& t : g.tasks()) {
+        bool searched = false;
+        for (const TaskId s : c.searched)
+          if (s == t.id) searched = true;
+        if (searched) continue;
+        bits -= 1.0 + static_cast<double>(t.args.size());
+      }
+    }
+
+    Simulator sim(machine, g, c.app.sim);
+    SearchOptions options{.rotations = 5, .repeats = 7, .seed = 42};
+    if (!c.searched.empty()) {
+      // Maestro: only the LF tasks are searched (§3.3 subset search).
+      for (const GroupTask& t : g.tasks()) {
+        bool searched = false;
+        for (const TaskId s : c.searched)
+          if (s == t.id) searched = true;
+        if (!searched) options.frozen_tasks.push_back(t.id);
+      }
+    }
+    const SearchResult ccd =
+        automap_optimize(sim, SearchAlgorithm::kCcd, options);
+
+    table.add_row({c.app.name, std::to_string(tasks), std::to_string(args),
+                   "~2^" + std::to_string(static_cast<int>(bits)),
+                   format_seconds(ccd.stats.search_time_s)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,82 @@
+#pragma once
+
+// Shared driver for the Figure 6 benches: for each node count and each
+// weak-scaled input, measure the default mapper, the hand-written custom
+// mapper and the AutoMap-CCD result, and print speedups over the default —
+// the exact series the paper plots.
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/automap/automap.hpp"
+#include "src/machine/machine.hpp"
+#include "src/mappers/custom_mappers.hpp"
+#include "src/runtime/mapper.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/format.hpp"
+#include "src/support/table.hpp"
+
+namespace automap::bench {
+
+struct Fig6Row {
+  int nodes;
+  std::string input;
+  double default_s;
+  double custom_speedup;
+  double automap_speedup;
+};
+
+/// Runs the full sweep. `make_app(nodes, step)` builds the weak-scaled
+/// input; `num_steps` is the length of each per-node-count series.
+inline void run_fig6(
+    const std::string& title, int num_steps,
+    const std::function<BenchmarkApp(int nodes, int step)>& make_app) {
+  std::cout << "=== " << title
+            << " — speedup over DefaultMapper (Shepard) ===\n";
+  const int kNodeCounts[] = {1, 2, 4, 8};
+  // Reporting protocol (§5): candidate evaluations average 7 runs; final
+  // numbers average 31 runs of the winning mapping.
+  constexpr int kReportRepeats = 31;
+
+  for (const int nodes : kNodeCounts) {
+    const MachineModel machine = make_shepard(nodes);
+    Table table({"input", "default", "custom", "AM-CCD", "search evals"});
+    for (int step = 0; step < num_steps; ++step) {
+      const BenchmarkApp app = make_app(nodes, step);
+      Simulator sim(machine, app.graph, app.sim);
+
+      DefaultMapper default_mapper;
+      const double default_s = measure_mapping(
+          sim, default_mapper.map_all(app.graph, machine), kReportRepeats, 1);
+
+      const auto custom = make_custom_mapper(app.name);
+      const double custom_s = measure_mapping(
+          sim, custom->map_all(app.graph, machine), kReportRepeats, 1);
+
+      const SearchResult result = automap_optimize(
+          sim, SearchAlgorithm::kCcd,
+          {.rotations = 5, .repeats = 7,
+           .seed = 42 + static_cast<std::uint64_t>(step)});
+      const double automap_s =
+          measure_mapping(sim, result.best, kReportRepeats, 2);
+
+      table.add_row({app.input, format_seconds(default_s),
+                     format_fixed(default_s / custom_s, 2),
+                     format_fixed(default_s / automap_s, 2),
+                     std::to_string(result.stats.evaluated)});
+    }
+    std::cout << "\n-- " << nodes << " node(s) --\n";
+    table.print(std::cout);
+    // Machine-readable series for plotting (AUTOMAP_CSV=1).
+    if (const char* csv = std::getenv("AUTOMAP_CSV");
+        csv != nullptr && csv[0] == '1') {
+      table.print_csv(std::cout);
+    }
+  }
+  std::cout << "\n";
+}
+
+}  // namespace automap::bench

@@ -1,0 +1,12 @@
+# One bench binary per paper table/figure plus micro-benchmarks and
+# ablations. Included from the top-level CMakeLists so build/bench/ holds
+# nothing but the executables.
+file(GLOB BENCH_SOURCES CONFIGURE_DEPENDS ${CMAKE_CURRENT_SOURCE_DIR}/bench/*.cpp)
+
+foreach(bench_src ${BENCH_SOURCES})
+  get_filename_component(bench_name ${bench_src} NAME_WE)
+  add_executable(${bench_name} ${bench_src})
+  target_link_libraries(${bench_name} PRIVATE automap benchmark::benchmark)
+  set_target_properties(${bench_name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

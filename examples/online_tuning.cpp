@@ -1,0 +1,60 @@
+// Inspector-executor (online) tuning — the §6 extension.
+//
+// Long production runs cannot afford a separate offline search, but they
+// can afford to *become* the search: the first stretch of iterations
+// doubles as the inspector that measures candidate mappings, and the rest
+// of the run executes under the best mapping found. This example shows the
+// break-even: short runs should stick with the default mapper, long runs
+// amortize the search many times over.
+//
+// Usage: online_tuning [app] [step]   (default circuit 0)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/apps/registry.hpp"
+#include "src/automap/automap.hpp"
+#include "src/machine/machine.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/format.hpp"
+#include "src/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace automap;
+  const std::string name = argc > 1 ? argv[1] : "circuit";
+  const int step = argc > 2 ? std::atoi(argv[2]) : 0;
+
+  const BenchmarkApp app = make_app_by_name(name, 1, step);
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, app.graph, {.iterations = 10, .noise_sigma = 0.05});
+
+  std::cout << "online tuning of " << app.name << " " << app.input
+            << " (evaluation window: 10 iterations per candidate run)\n\n";
+
+  Table table({"production run (iters)", "default mapper", "online AutoMap",
+               "speedup", "search share"});
+  for (const long total : {100000L, 400000L, 2000000L, 10000000L}) {
+    OnlineOptions options;
+    options.total_iterations = total;
+    options.search = {.rotations = 3, .repeats = 3, .seed = 42};
+    try {
+      const OnlineResult r = automap_online(sim, options);
+      table.add_row(
+          {std::to_string(total), format_seconds(r.default_seconds),
+           format_seconds(r.online_seconds), format_speedup(r.speedup()),
+           format_fixed(100.0 * static_cast<double>(r.search_iterations) /
+                            static_cast<double>(total),
+                        1) +
+               "%"});
+    } catch (const Error&) {
+      table.add_row({std::to_string(total), "-", "-",
+                     "run too short to tune", "-"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nThe search consumes a fixed number of iterations, so its\n"
+               "share shrinks as the production run grows — the discovered\n"
+               "mapping's advantage compounds over every remaining "
+               "iteration.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#pragma once
+
+// Common shape of the five benchmark applications (paper Fig. 5).
+//
+// Each generator builds a mini-Legion Program with the published task and
+// collection-argument counts and a realistic dependence/overlap structure,
+// then lowers it to the TaskGraph the simulator executes. Input sizes follow
+// the weak-scaled series of Fig. 6.
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/taskgraph/task_graph.hpp"
+
+namespace automap {
+
+struct BenchmarkApp {
+  /// "circuit", "stencil", "pennant", "htr", "maestro".
+  std::string name;
+  /// Input label as the paper prints it, e.g. "n800w3200" or "2000x2000".
+  std::string input;
+  /// Node count the graph was generated for (weak scaling: per-node work is
+  /// roughly constant along each Fig. 6 series).
+  int num_nodes = 1;
+  TaskGraph graph;
+  /// Simulation parameters (main-loop iterations, noise).
+  SimOptions sim;
+};
+
+}  // namespace automap

@@ -1,0 +1,156 @@
+#include "src/apps/circuit.hpp"
+
+#include <cmath>
+
+#include "src/runtime/program.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+
+namespace {
+/// Pieces per node: a modest over-decomposition, as the Legion circuit app
+/// uses (enough pieces to spread over nodes, few enough that a single GPU's
+/// per-point launch overhead stays visible at small inputs).
+constexpr int kPiecesPerNode = 4;
+
+// Per-element cost profile (reference processors; the machine's speed
+// factor rescales). The wire-current solve iterates a dense per-wire
+// update, so it is compute-heavy and strongly GPU-favoured; charge
+// distribution and voltage update are light, memory-bound sweeps.
+constexpr double kCncCpuPerWire = 1.5e-6;
+constexpr double kCncGpuPerWire = 15e-9;
+constexpr double kDcCpuPerWire = 0.30e-6;
+constexpr double kDcGpuPerWire = 4e-9;
+constexpr double kUvCpuPerNode = 0.30e-6;
+constexpr double kUvGpuPerNode = 4e-9;
+
+constexpr std::uint64_t kNodeStateBytes = 64;  // voltage, charge, caps, ...
+constexpr std::uint64_t kWireStateBytes = 128;  // currents, RLC attributes
+constexpr std::uint64_t kMetaBytes = 16;        // piece assignment entries
+}  // namespace
+
+CircuitConfig circuit_config_for(int num_nodes, int step) {
+  AM_REQUIRE(num_nodes >= 1, "need at least one node");
+  AM_REQUIRE(step >= 0 && step < 8, "the Fig. 6a series has 8 inputs");
+  // Fig. 6a base series on one node; each node-count doubling shifts the
+  // window up one doubling (weak scaling).
+  static constexpr long kBaseNodes[8] = {50,   100,  200,   400,
+                                         800,  1600, 6400, 12800};
+  CircuitConfig c;
+  c.num_nodes = num_nodes;
+  c.total_nodes = kBaseNodes[step] * num_nodes;
+  c.total_wires = 4 * c.total_nodes;
+  const int pieces = kPiecesPerNode * num_nodes;
+  c.nodes_per_piece = static_cast<int>(
+      (c.total_nodes + pieces - 1) / pieces);
+  c.wires_per_piece = static_cast<int>(
+      (c.total_wires + pieces - 1) / pieces);
+  return c;
+}
+
+std::string circuit_input_label(const CircuitConfig& config) {
+  return "n" + std::to_string(config.total_nodes) + "w" +
+         std::to_string(config.total_wires);
+}
+
+BenchmarkApp make_circuit(const CircuitConfig& config) {
+  AM_REQUIRE(config.total_nodes > 0 && config.total_wires > 0,
+             "circuit sizes must be positive");
+  const int pieces = kPiecesPerNode * config.num_nodes;
+
+  Program p;
+
+  // Node region, split into private / shared / ghost views. Ghost nodes
+  // *are* (a subset of) other pieces' shared nodes, so the ghost and shared
+  // collections overlap — the co-location structure CCD exploits.
+  const long n = config.total_nodes;
+  const long shared_lo = (3 * n) / 4;   // last quarter of nodes is shared
+  const long ghost_lo = shared_lo + n / 20;  // ghosts: most of the shared set
+  const RegionId nodes =
+      p.add_region("nodes", Rect::line(0, n - 1), kNodeStateBytes);
+  const CollectionId priv =
+      p.add_collection(nodes, "node_state_private",
+                       Rect::line(0, shared_lo - 1));
+  const CollectionId shared =
+      p.add_collection(nodes, "node_state_shared",
+                       Rect::line(shared_lo, n - 1));
+  const CollectionId ghost =
+      p.add_collection(nodes, "node_state_ghost",
+                       Rect::line(ghost_lo, n - 1));
+  // Attribute fields live in their own regions: they are distinct fields of
+  // the node/wire structures, not aliases of the state, so they must not
+  // alias the state collections in the dependence analysis.
+  const RegionId node_attr_region =
+      p.add_region("node_attrs", Rect::line(0, n - 1), 32);
+  const CollectionId node_attrs =
+      p.add_collection(node_attr_region, "node_attrs", Rect::line(0, n - 1));
+
+  const RegionId wires =
+      p.add_region("wires", Rect::line(0, config.total_wires - 1),
+                   kWireStateBytes);
+  const CollectionId wire_state =
+      p.add_collection(wires, "wire_state",
+                       Rect::line(0, config.total_wires - 1));
+  const RegionId wire_attr_region = p.add_region(
+      "wire_attrs", Rect::line(0, config.total_wires - 1), 48);
+  const CollectionId wire_attrs =
+      p.add_collection(wire_attr_region, "wire_attrs",
+                       Rect::line(0, config.total_wires - 1));
+
+  const RegionId meta =
+      p.add_region("meta", Rect::line(0, pieces - 1), kMetaBytes);
+  const CollectionId piece_meta =
+      p.add_collection(meta, "piece_meta", Rect::line(0, pieces - 1));
+
+  const double wpp = static_cast<double>(config.wires_per_piece);
+  const double npp = static_cast<double>(config.nodes_per_piece);
+
+  // calc_new_currents: iterative wire solve. Reads the voltages at both
+  // endpoints of every wire (private, shared and ghost views), updates wire
+  // currents. 6 collection arguments.
+  p.launch("calc_new_currents", pieces,
+           {.cpu_seconds_per_point = kCncCpuPerWire * wpp,
+            .gpu_seconds_per_point = kCncGpuPerWire * wpp},
+           {{wire_state, Privilege::kReadWrite, 1.0},
+            {wire_attrs, Privilege::kReadOnly, 0.5},
+            {priv, Privilege::kReadOnly, 0.5},
+            {shared, Privilege::kReadOnly, 1.0},
+            {ghost, Privilege::kReadOnly, 1.0},
+            {piece_meta, Privilege::kReadOnly, 1.0}});
+
+  // distribute_charge: scatter wire currents into node charges, reducing
+  // into private, shared and ghost nodes. 5 collection arguments.
+  p.launch("distribute_charge", pieces,
+           {.cpu_seconds_per_point = kDcCpuPerWire * wpp,
+            .gpu_seconds_per_point = kDcGpuPerWire * wpp},
+           {{wire_state, Privilege::kReadOnly, 0.5},
+            {priv, Privilege::kReduce, 0.5},
+            {shared, Privilege::kReduce, 1.0},
+            {ghost, Privilege::kReduce, 1.0},
+            {piece_meta, Privilege::kReadOnly, 1.0}});
+
+  // update_voltages: pointwise RC update of node voltages from charges.
+  // 4 collection arguments.
+  p.launch("update_voltages", pieces,
+           {.cpu_seconds_per_point = kUvCpuPerNode * npp,
+            .gpu_seconds_per_point = kUvGpuPerNode * npp},
+           {{priv, Privilege::kReadWrite, 1.0},
+            {shared, Privilege::kReadWrite, 1.0},
+            {node_attrs, Privilege::kReadOnly, 0.5},
+            {piece_meta, Privilege::kReadOnly, 1.0}});
+
+  BenchmarkApp app;
+  app.name = "circuit";
+  app.input = circuit_input_label(config);
+  app.num_nodes = config.num_nodes;
+  app.graph = p.lower();
+  app.sim = {.iterations = config.iterations,
+             .noise_sigma = config.noise_sigma};
+
+  AM_CHECK(app.graph.num_tasks() == 3, "circuit has 3 tasks (Fig. 5)");
+  AM_CHECK(app.graph.num_collection_args() == 15,
+           "circuit has 15 collection arguments (Fig. 5)");
+  return app;
+}
+
+}  // namespace automap

@@ -1,0 +1,44 @@
+#pragma once
+
+// Circuit: distributed electrical circuit simulation (Bauer et al., SC'12) —
+// the original Legion demonstration application. The circuit is a graph of
+// nodes and wires partitioned into pieces; per-piece node sets split into
+// *private* (only this piece), *shared* (read by neighbors) and *ghost*
+// (neighbors' shared nodes), so the shared and ghost collections overlap —
+// the structure CCD's co-location constraints act on.
+//
+// Three group tasks per time step (Fig. 5: 3 tasks, 15 collection args):
+//   calc_new_currents (CNC) — iterative wire-current solve, compute heavy;
+//   distribute_charge (DC)  — scatter/reduce charge into nodes;
+//   update_voltages   (UV)  — pointwise voltage update.
+
+#include "src/apps/app.hpp"
+
+namespace automap {
+
+struct CircuitConfig {
+  /// Circuit nodes and wires per *piece* (the paper's input labels are the
+  /// totals: label n50w200 with default pieces on 1 node = 50/200 per piece).
+  int nodes_per_piece = 2;
+  int wires_per_piece = 8;
+  /// Total circuit nodes / wires (defines the input label and data sizes).
+  long total_nodes = 50;
+  long total_wires = 200;
+  int num_nodes = 1;
+  int iterations = 10;
+  double noise_sigma = 0.05;
+};
+
+/// Builds the weak-scaled input series of Fig. 6a: on `num_nodes` nodes the
+/// series starts at 50*2^(log2(num_nodes)) nodes... concretely the paper
+/// runs {n50w200 ... n12800w51200} on 1 node and shifts the window upward
+/// per node count. `step` indexes into that per-node-count series.
+[[nodiscard]] CircuitConfig circuit_config_for(int num_nodes, int step);
+
+/// Input label in the paper's format, e.g. "n800w3200".
+[[nodiscard]] std::string circuit_input_label(const CircuitConfig& config);
+
+/// Builds the application task graph.
+[[nodiscard]] BenchmarkApp make_circuit(const CircuitConfig& config);
+
+}  // namespace automap

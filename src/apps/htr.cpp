@@ -1,0 +1,230 @@
+#include "src/apps/htr.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "src/runtime/program.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+
+namespace {
+constexpr int kPiecesPerNode = 4;
+
+// Per-cell costs on a reference core / a whole GPU. Finite-rate chemistry
+// is the compute-dense phase (dozens of species, stiff source terms) and is
+// strongly GPU-favoured; flux sweeps are memory bound.
+constexpr double kFluxCpu = 0.20e-6, kFluxGpu = 2.0e-9;
+constexpr double kChemCpu = 1.0e-6, kChemGpu = 8.0e-9;
+constexpr double kViscCpu = 0.15e-6, kViscGpu = 1.5e-9;
+constexpr double kFilterCpu = 0.10e-6, kFilterGpu = 1.0e-9;
+constexpr double kLightCpu = 0.03e-6, kLightGpu = 0.4e-9;
+constexpr double kBcCpu = 0.05e-6, kBcGpu = 0.6e-9;  // per face cell
+}  // namespace
+
+HtrConfig htr_config_for(int num_nodes, int step) {
+  AM_REQUIRE(num_nodes >= 1, "need at least one node");
+  AM_REQUIRE(step >= 0 && step < 5, "the Fig. 6d series has 5 inputs");
+  HtrConfig c;
+  c.num_nodes = num_nodes;
+  c.cells_x = 8L << step;
+  c.cells_y = (8L << step) * num_nodes;
+  c.cells_z = 9L << step;
+  return c;
+}
+
+std::string htr_input_label(const HtrConfig& config) {
+  return std::to_string(config.cells_x) + "x" + std::to_string(config.cells_y) +
+         "y" + std::to_string(config.cells_z) + "z";
+}
+
+BenchmarkApp make_htr(const HtrConfig& config) {
+  const long cx = config.cells_x, cy = config.cells_y, cz = config.cells_z;
+  AM_REQUIRE(cx >= 4 && cy >= 4 && cz >= 4, "HTR grid too small");
+  const int pieces = kPiecesPerNode * config.num_nodes;
+  const double cells = static_cast<double>(cx) * cy * cz;
+  const double per_piece = cells / pieces;
+
+  Program p;
+
+  auto field = [&](const char* name, std::uint64_t elem_bytes) {
+    const RegionId r = p.add_region(std::string(name) + "_region",
+                                    Rect::box(0, cx - 1, 0, cy - 1, 0, cz - 1),
+                                    elem_bytes);
+    return p.add_collection(r, name, Rect::box(0, cx - 1, 0, cy - 1,
+                                               0, cz - 1));
+  };
+
+  // Conserved and primitive state (5 flow variables + species mass
+  // fractions, ~12 doubles per cell).
+  const CollectionId cons = field("conserved", 96);
+  const CollectionId cons_old = field("conserved_old", 96);
+  const CollectionId rhs = field("rhs", 96);
+  const CollectionId rates = field("chem_rates", 64);
+  const CollectionId flux_x = field("flux_x", 96);
+  const CollectionId flux_y = field("flux_y", 96);
+  const CollectionId flux_z = field("flux_z", 96);
+  const CollectionId vflux_x = field("visc_flux_x", 96);
+  const CollectionId vflux_y = field("visc_flux_y", 96);
+  const CollectionId vflux_z = field("visc_flux_z", 96);
+  const CollectionId mu = field("viscosity", 8);
+  const CollectionId kappa = field("conductivity", 8);
+  const CollectionId sensor = field("shock_sensor", 8);
+  const CollectionId metrics = field("grid_metrics", 24);
+
+  // Primitive field region with six face-halo views: the halos overlap the
+  // interior-adjacent boundary slabs of `prim`, so boundary-condition tasks
+  // reading a neighbour's halo depend on compute_prim through the overlap.
+  const RegionId prim_region = p.add_region(
+      "primitive_region", Rect::box(0, cx - 1, 0, cy - 1, 0, cz - 1), 96);
+  const CollectionId prim = p.add_collection(
+      prim_region, "primitive", Rect::box(0, cx - 1, 0, cy - 1, 0, cz - 1));
+  const long hx = std::max<long>(1, cx / 16);
+  const long hy = std::max<long>(1, cy / 16);
+  const long hz = std::max<long>(1, cz / 16);
+  const std::array<CollectionId, 6> halos = {
+      p.add_collection(prim_region, "halo_xlo",
+                       Rect::box(0, hx - 1, 0, cy - 1, 0, cz - 1)),
+      p.add_collection(prim_region, "halo_xhi",
+                       Rect::box(cx - hx, cx - 1, 0, cy - 1, 0, cz - 1)),
+      p.add_collection(prim_region, "halo_ylo",
+                       Rect::box(0, cx - 1, 0, hy - 1, 0, cz - 1)),
+      p.add_collection(prim_region, "halo_yhi",
+                       Rect::box(0, cx - 1, cy - hy, cy - 1, 0, cz - 1)),
+      p.add_collection(prim_region, "halo_zlo",
+                       Rect::box(0, cx - 1, 0, cy - 1, 0, hz - 1)),
+      p.add_collection(prim_region, "halo_zhi",
+                       Rect::box(0, cx - 1, 0, cy - 1, cz - hz, cz - 1)),
+  };
+
+  // Small auxiliary data.
+  const RegionId misc_region = p.add_region("misc", Rect::line(0, 1023), 8);
+  const CollectionId dt = p.add_collection(misc_region, "dt",
+                                           Rect::line(0, 63));
+  const CollectionId stats = p.add_collection(misc_region, "stats",
+                                              Rect::line(64, 511));
+  const CollectionId filt_coef = p.add_collection(misc_region, "filter_coef",
+                                                  Rect::line(512, 575));
+  const CollectionId source = p.add_collection(misc_region, "injection_src",
+                                               Rect::line(576, 1023));
+
+  TaskCost flux_cost{kFluxCpu * per_piece, kFluxGpu * per_piece};
+  TaskCost chem_cost{kChemCpu * per_piece, kChemGpu * per_piece};
+  TaskCost visc_cost{kViscCpu * per_piece, kViscGpu * per_piece};
+  TaskCost filter_cost{kFilterCpu * per_piece, kFilterGpu * per_piece};
+  TaskCost light_cost{kLightCpu * per_piece, kLightGpu * per_piece};
+
+  // --- convective fluxes (4 args each) -----------------------------------
+  const struct {
+    const char* name;
+    CollectionId out;
+  } conv[3] = {{"flux_div_x", flux_x}, {"flux_div_y", flux_y},
+               {"flux_div_z", flux_z}};
+  for (const auto& dir : conv) {
+    p.launch(dir.name, pieces, flux_cost,
+             {{cons, Privilege::kReadOnly, 1.0},
+              {prim, Privilege::kReadOnly, 1.0},
+              {metrics, Privilege::kReadOnly, 0.5},
+              {dir.out, Privilege::kWriteOnly, 1.0}});
+  }
+  p.launch("update_rhs_convective", pieces, light_cost,
+           {{flux_x, Privilege::kReadOnly, 1.0},
+            {flux_y, Privilege::kReadOnly, 1.0},
+            {flux_z, Privilege::kReadOnly, 1.0},
+            {rhs, Privilege::kWriteOnly, 1.0}});
+
+  // --- chemistry (compute dense) ------------------------------------------
+  p.launch("chemistry_source", pieces, chem_cost,
+           {{prim, Privilege::kReadOnly, 1.0},
+            {rates, Privilege::kWriteOnly, 1.0}});
+  p.launch("update_rhs_chemistry", pieces, light_cost,
+           {{rates, Privilege::kReadOnly, 1.0},
+            {rhs, Privilege::kReadWrite, 1.0}});
+
+  // --- boundary conditions on the six face halos (2 args each) ------------
+  const double face_cells[6] = {
+      static_cast<double>(hx) * cy * cz, static_cast<double>(hx) * cy * cz,
+      static_cast<double>(cx) * hy * cz, static_cast<double>(cx) * hy * cz,
+      static_cast<double>(cx) * cy * hz, static_cast<double>(cx) * cy * hz};
+  const char* bc_names[6] = {"bc_xlo", "bc_xhi", "bc_ylo",
+                             "bc_yhi", "bc_zlo", "bc_zhi"};
+  for (int f = 0; f < 6; ++f) {
+    const double fc = face_cells[f] / pieces;
+    p.launch(bc_names[f], pieces, {kBcCpu * fc, kBcGpu * fc},
+             {{prim, Privilege::kReadWrite, 0.1},
+              {halos[static_cast<std::size_t>(f)], Privilege::kReadOnly,
+               1.0}});
+  }
+
+  // --- transport & viscous fluxes -----------------------------------------
+  p.launch("transport_properties", pieces, light_cost,
+           {{prim, Privilege::kReadOnly, 1.0},
+            {mu, Privilege::kWriteOnly, 1.0},
+            {kappa, Privilege::kWriteOnly, 1.0}});
+  const struct {
+    const char* name;
+    CollectionId out;
+  } visc[3] = {{"viscous_flux_x", vflux_x}, {"viscous_flux_y", vflux_y},
+               {"viscous_flux_z", vflux_z}};
+  for (const auto& dir : visc) {
+    p.launch(dir.name, pieces, visc_cost,
+             {{prim, Privilege::kReadOnly, 1.0},
+              {mu, Privilege::kReadOnly, 1.0},
+              {dir.out, Privilege::kWriteOnly, 1.0}});
+  }
+  p.launch("update_rhs_viscous", pieces, light_cost,
+           {{vflux_x, Privilege::kReadOnly, 1.0},
+            {vflux_y, Privilege::kReadOnly, 1.0},
+            {vflux_z, Privilege::kReadOnly, 1.0},
+            {rhs, Privilege::kReadWrite, 1.0}});
+
+  // --- shock capturing & filters ------------------------------------------
+  p.launch("shock_sensor", pieces, light_cost,
+           {{prim, Privilege::kReadOnly, 1.0},
+            {sensor, Privilege::kWriteOnly, 1.0}});
+  for (const char* name : {"filter_x", "filter_y", "filter_z"}) {
+    p.launch(name, pieces, filter_cost,
+             {{cons, Privilege::kReadWrite, 1.0},
+              {filt_coef, Privilege::kReadOnly, 1.0}});
+  }
+  p.launch("sponge_layer", pieces, light_cost,
+           {{prim, Privilege::kReadWrite, 0.2}});
+  p.launch("injection", pieces, light_cost,
+           {{cons, Privilege::kReadWrite, 0.1},
+            {source, Privilege::kReadOnly, 1.0}});
+
+  // --- time integration -----------------------------------------------------
+  p.launch("rk_substep", pieces, light_cost,
+           {{cons, Privilege::kReadWrite, 1.0},
+            {rhs, Privilege::kReadOnly, 1.0},
+            {cons_old, Privilege::kReadOnly, 1.0},
+            {dt, Privilege::kReadOnly, 1.0}});
+  p.launch("rk_final", pieces, light_cost,
+           {{cons, Privilege::kReadWrite, 1.0},
+            {cons_old, Privilege::kReadWrite, 1.0}});
+  p.launch("compute_primitives", pieces, light_cost,
+           {{cons, Privilege::kReadOnly, 1.0},
+            {prim, Privilege::kWriteOnly, 1.0}});
+  p.launch("calc_dt", pieces, light_cost,
+           {{prim, Privilege::kReadOnly, 1.0},
+            {mu, Privilege::kReadOnly, 1.0},
+            {dt, Privilege::kWriteOnly, 1.0}});
+  p.launch("average_statistics", pieces, light_cost,
+           {{prim, Privilege::kReadOnly, 0.5},
+            {stats, Privilege::kReduce, 1.0}});
+
+  BenchmarkApp app;
+  app.name = "htr";
+  app.input = htr_input_label(config);
+  app.num_nodes = config.num_nodes;
+  app.graph = p.lower();
+  app.sim = {.iterations = config.iterations,
+             .noise_sigma = config.noise_sigma};
+
+  AM_CHECK(app.graph.num_tasks() == 28, "HTR has 28 tasks (Fig. 5)");
+  AM_CHECK(app.graph.num_collection_args() == 72,
+           "HTR has 72 collection arguments (Fig. 5)");
+  return app;
+}
+
+}  // namespace automap

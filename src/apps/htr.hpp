@@ -1,0 +1,38 @@
+#pragma once
+
+// HTR: the Hypersonic Task-based Research solver (Di Renzo, Fu, Urzay 2020)
+// — an exascale-oriented multi-physics (reacting compressible Navier-Stokes)
+// code and the paper's flagship production application (Fig. 5: 28 tasks, 72
+// collection arguments; Figs. 2 and 3 visualize its mappings).
+//
+// The cycle below follows HTR's structure: per-direction convective fluxes
+// over a 3D structured grid, finite-rate chemistry (very compute-dense,
+// strongly GPU-favoured), transport properties and per-direction viscous
+// fluxes, boundary-condition tasks on six face halos (which overlap the
+// primitive-variable field — CCD's co-location structure), shock sensors and
+// filters, and Runge-Kutta time integration.
+
+#include "src/apps/app.hpp"
+
+namespace automap {
+
+struct HtrConfig {
+  /// Grid cells per dimension (the paper's labels, e.g. 64x64y72z).
+  long cells_x = 8;
+  long cells_y = 8;
+  long cells_z = 9;
+  int num_nodes = 1;
+  int iterations = 10;
+  double noise_sigma = 0.05;
+};
+
+/// Fig. 6d weak-scaled series (step 0..4): all dimensions double per step;
+/// y doubles per node-count doubling (8x8y9z -> 8x16y9z on 2 nodes).
+[[nodiscard]] HtrConfig htr_config_for(int num_nodes, int step);
+
+/// "8x8y9z"-style label.
+[[nodiscard]] std::string htr_input_label(const HtrConfig& config);
+
+[[nodiscard]] BenchmarkApp make_htr(const HtrConfig& config);
+
+}  // namespace automap

@@ -1,0 +1,167 @@
+#include "src/apps/maestro.hpp"
+
+#include "src/runtime/program.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+
+namespace {
+// Per-cell LF solver costs (reference core / whole GPU) — an explicit
+// finite-difference compressible Navier-Stokes step. The scalar CPU path
+// of the multi-species solver is slow per core (as in HTR's chemistry), so
+// a large ensemble can outgrow the CPU pool's shadow behind the HF sample —
+// that is what creates the Fig. 7 crossover between the two strategies.
+constexpr double kFluxCpu = 0.80e-6, kFluxGpu = 2.0e-9;
+constexpr double kLightCpu = 0.30e-6, kLightGpu = 0.5e-9;
+// HF solver per-cell costs; the HF sample is large enough that its GPU
+// time dominates an iteration.
+constexpr double kHfCpu = 1.0e-6, kHfGpu = 8.0e-9;
+}  // namespace
+
+std::string maestro_input_label(const MaestroConfig& config) {
+  return "lf" + std::to_string(config.num_lf_samples) + "@" +
+         std::to_string(config.lf_resolution) + "^3";
+}
+
+BenchmarkApp make_maestro(const MaestroConfig& config) {
+  AM_REQUIRE(config.num_lf_samples >= 0, "negative LF sample count");
+  AM_REQUIRE(config.lf_resolution >= 4, "LF resolution too small");
+  AM_REQUIRE(config.hf_resolution >= 8, "HF resolution too small");
+
+  Program p;
+
+  // --- high-fidelity sample: fills the Frame-Buffer of each node ----------
+  // One point per node, weak-scaled; state + flux at 640 B/cell reach
+  // ~14 GiB per node at the default 224^3 resolution.
+  const long hf = config.hf_resolution;
+  const long hf_cells_per_node = hf * hf * hf;
+  const long hf_cells = hf_cells_per_node * config.num_nodes;
+  const RegionId hf_region =
+      p.add_region("hf_region", Rect::line(0, 2 * hf_cells - 1), 640);
+  const CollectionId hf_state =
+      p.add_collection(hf_region, "hf_state", Rect::line(0, hf_cells - 1));
+  const CollectionId hf_flux = p.add_collection(
+      hf_region, "hf_flux", Rect::line(hf_cells, 2 * hf_cells - 1));
+  const RegionId hf_misc = p.add_region("hf_misc", Rect::line(0, 1023), 8);
+  const CollectionId hf_stats =
+      p.add_collection(hf_misc, "hf_stats", Rect::line(0, 1023));
+
+  const double hf_pp = static_cast<double>(hf_cells_per_node);
+  p.launch("hf_solve", config.num_nodes,
+           {.cpu_seconds_per_point = kHfCpu * hf_pp,
+            .gpu_seconds_per_point = kHfGpu * hf_pp},
+           {{hf_state, Privilege::kReadWrite, 1.0},
+            {hf_flux, Privilege::kReadWrite, 1.0}});
+  p.launch("hf_statistics", config.num_nodes,
+           {.cpu_seconds_per_point = kLightCpu * hf_pp * 0.05,
+            .gpu_seconds_per_point = kLightGpu * hf_pp * 0.05},
+           {{hf_state, Privilege::kReadOnly, 0.2},
+            {hf_stats, Privilege::kReduce, 1.0}});
+
+  // --- low-fidelity ensemble ----------------------------------------------
+  // Group tasks with one point per LF sample; each sample is an independent
+  // small volume, stacked into shared ensemble collections.
+  const int samples = std::max(config.num_lf_samples, 0);
+  if (samples > 0) {
+    const long res = config.lf_resolution;
+    const long cells = res * res * res;
+    const long total = cells * samples;
+
+    auto lf_field = [&](const char* name, std::uint64_t elem_bytes) {
+      const RegionId r = p.add_region(std::string(name) + "_region",
+                                      Rect::line(0, total - 1), elem_bytes);
+      return p.add_collection(r, name, Rect::line(0, total - 1));
+    };
+    const CollectionId cons = lf_field("lf_conserved", 96);
+    const CollectionId cons_old = lf_field("lf_conserved_old", 96);
+    const CollectionId prim = lf_field("lf_primitive", 96);
+    const CollectionId rhs = lf_field("lf_rhs", 96);
+    const CollectionId mu = lf_field("lf_viscosity", 8);
+    const RegionId lf_misc = p.add_region("lf_misc", Rect::line(0, 4095), 8);
+    const CollectionId dt = p.add_collection(lf_misc, "lf_dt",
+                                             Rect::line(0, 255));
+    const CollectionId stats = p.add_collection(lf_misc, "lf_stats",
+                                                Rect::line(256, 2047));
+    const CollectionId sample_buf = p.add_collection(
+        lf_misc, "lf_sample_buf", Rect::line(2048, 4031));
+    const CollectionId qoi =
+        p.add_collection(lf_misc, "lf_qoi", Rect::line(4032, 4095));
+
+    const double pp = static_cast<double>(cells);
+    const TaskCost flux{kFluxCpu * pp, kFluxGpu * pp};
+    const TaskCost light{kLightCpu * pp, kLightGpu * pp};
+
+    // The 13 LF tasks of Fig. 5, 30 collection arguments in total.
+    for (const char* dir : {"lf_flux_x", "lf_flux_y", "lf_flux_z"}) {
+      p.launch(dir, samples, flux,
+               {{cons, Privilege::kReadOnly, 1.0},
+                {prim, Privilege::kReadOnly, 1.0},
+                {rhs, Privilege::kReduce, 1.0}});
+    }
+    p.launch("lf_viscous", samples, flux,
+             {{prim, Privilege::kReadOnly, 1.0},
+              {mu, Privilege::kReadOnly, 1.0},
+              {rhs, Privilege::kReduce, 1.0}});
+    p.launch("lf_transport", samples, light,
+             {{prim, Privilege::kReadOnly, 1.0},
+              {mu, Privilege::kWriteOnly, 1.0}});
+    p.launch("lf_boundary", samples, light,
+             {{prim, Privilege::kReadWrite, 0.2}});
+    p.launch("lf_rk_substep", samples, light,
+             {{cons, Privilege::kReadWrite, 1.0},
+              {rhs, Privilege::kReadOnly, 1.0},
+              {cons_old, Privilege::kReadOnly, 1.0}});
+    p.launch("lf_rk_final", samples, light,
+             {{cons, Privilege::kReadWrite, 1.0},
+              {cons_old, Privilege::kReadWrite, 1.0}});
+    p.launch("lf_primitives", samples, light,
+             {{cons, Privilege::kReadOnly, 1.0},
+              {prim, Privilege::kWriteOnly, 1.0}});
+    p.launch("lf_dt", samples, light,
+             {{prim, Privilege::kReadOnly, 0.5},
+              {dt, Privilege::kWriteOnly, 1.0}});
+    p.launch("lf_statistics", samples, light,
+             {{prim, Privilege::kReadOnly, 0.5},
+              {stats, Privilege::kReduce, 1.0}});
+    p.launch("lf_sample_update", samples, light,
+             {{cons, Privilege::kReadOnly, 0.2},
+              {sample_buf, Privilege::kWriteOnly, 1.0}});
+    p.launch("lf_reduce_qoi", samples, light,
+             {{sample_buf, Privilege::kReadOnly, 1.0},
+              {qoi, Privilege::kReduce, 1.0}});
+  }
+
+  BenchmarkApp app;
+  app.name = "maestro";
+  app.input = maestro_input_label(config);
+  app.num_nodes = config.num_nodes;
+  app.graph = p.lower();
+  app.sim = {.iterations = config.iterations,
+             .noise_sigma = config.noise_sigma};
+
+  if (samples > 0) {
+    AM_CHECK(maestro_lf_tasks(app).size() == 13,
+             "maestro has 13 LF tasks (Fig. 5)");
+    std::size_t lf_args = 0;
+    for (const TaskId t : maestro_lf_tasks(app))
+      lf_args += app.graph.task(t).args.size();
+    AM_CHECK(lf_args == 30, "maestro has 30 LF collection args (Fig. 5)");
+  }
+  return app;
+}
+
+std::vector<TaskId> maestro_hf_tasks(const BenchmarkApp& app) {
+  std::vector<TaskId> out;
+  for (const GroupTask& t : app.graph.tasks())
+    if (t.name.rfind("hf_", 0) == 0) out.push_back(t.id);
+  return out;
+}
+
+std::vector<TaskId> maestro_lf_tasks(const BenchmarkApp& app) {
+  std::vector<TaskId> out;
+  for (const GroupTask& t : app.graph.tasks())
+    if (t.name.rfind("lf_", 0) == 0) out.push_back(t.id);
+  return out;
+}
+
+}  // namespace automap

@@ -1,0 +1,41 @@
+#pragma once
+
+// Maestro: multi-fidelity ensemble CFD (Fig. 5: 13 tasks — the low-fidelity
+// solver phases — and 30 collection args; §5.1). One expensive high-fidelity
+// (HF) sample is pinned to the GPUs with its collections filling the
+// Frame-Buffer, while an ensemble of cheap low-fidelity (LF) samples runs
+// alongside. The mapping question is where to put the LF work — CPUs +
+// System, GPUs + Zero-Copy, or a mix — such that the HF simulation is
+// disturbed as little as possible (Fig. 7 reports HF slowdown vs running
+// the HF alone).
+
+#include "src/apps/app.hpp"
+
+namespace automap {
+
+struct MaestroConfig {
+  /// Low-fidelity samples in the ensemble (0 = HF alone baseline).
+  int num_lf_samples = 16;
+  /// LF resolution per dimension (the paper sweeps 16 and 32, i.e. 16^3 and
+  /// 32^3 volumes).
+  int lf_resolution = 16;
+  /// HF resolution per dimension; sized so the HF collections nearly fill
+  /// the Frame-Buffer of one GPU per node.
+  int hf_resolution = 224;
+  int num_nodes = 1;
+  int iterations = 10;
+  double noise_sigma = 0.05;
+};
+
+/// "lf16@16^3"-style label.
+[[nodiscard]] std::string maestro_input_label(const MaestroConfig& config);
+
+[[nodiscard]] BenchmarkApp make_maestro(const MaestroConfig& config);
+
+/// Ids of the HF tasks inside the generated graph (the Fig. 7 strategies
+/// pin these to GPU + FrameBuffer and only vary the LF mapping).
+[[nodiscard]] std::vector<TaskId> maestro_hf_tasks(const BenchmarkApp& app);
+/// Ids of the LF tasks (everything the paper's search actually optimizes).
+[[nodiscard]] std::vector<TaskId> maestro_lf_tasks(const BenchmarkApp& app);
+
+}  // namespace automap

@@ -1,0 +1,391 @@
+#include "src/apps/pennant.hpp"
+
+#include <array>
+#include <map>
+
+#include "src/runtime/program.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+
+namespace {
+constexpr int kPiecesPerNode = 4;
+constexpr std::uint64_t kElem = 8;
+
+/// Cost classes, per zone on a reference core / a whole GPU. "Heavy" tasks
+/// (QCS, force evaluation) dominate; "light" ones are pointwise sweeps;
+/// "scalar" tasks (dt reductions) are nearly free and overhead-bound.
+enum class CostClass { kHeavy, kMedium, kLight, kScalar };
+
+struct ClassCost {
+  double cpu;
+  double gpu;
+};
+
+ClassCost class_cost(CostClass c) {
+  // Pennant is memory bound (unstructured gathers/scatters, ~1 byte/flop),
+  // so compute costs are low and most of a task's time comes from the
+  // simulator's bandwidth model — which is why demoting collections to
+  // Zero-Copy is so expensive for GPU mappings (Fig. 8).
+  switch (c) {
+    case CostClass::kHeavy:
+      return {0.050e-6, 1.00e-9};
+    case CostClass::kMedium:
+      return {0.025e-6, 0.50e-9};
+    case CostClass::kLight:
+      return {0.012e-6, 0.25e-9};
+    case CostClass::kScalar:
+      return {2e-6, 2e-6};  // per *piece*, not per zone
+  }
+  AM_UNREACHABLE("bad CostClass");
+}
+
+/// Collection identifiers used by the task table.
+enum Col : int {
+  // zone fields
+  kZRho, kZEnergy, kZPressure, kZVol, kZVol0, kZArea, kZMass, kZWrate,
+  kZUc, kZDvel, kZEtot,
+  // point fields (force accumulation splits into private/master/ghost)
+  kPX, kPX0, kPXhalf, kPU, kPU0, kPAccel, kPMass, kPFPrv, kPFMst, kPFGst,
+  // side fields
+  kSArea, kSVol, kSSurfp, kSMass, kSForce, kSLen, kSQdiv, kSQcn,
+  // misc
+  kMeshTopo, kDt, kDtHydro, kOutBuf,
+  kNumCols,
+};
+
+struct ArgSpec {
+  Col col;
+  Privilege priv;
+  double fraction;
+};
+
+struct TaskSpec {
+  const char* name;
+  CostClass cost;
+  std::vector<ArgSpec> args;
+};
+
+/// The 31-task PENNANT cycle. Argument totals sum to 97 (checked below).
+std::vector<TaskSpec> task_table() {
+  const double kF = 1.0;   // full sweep
+  const double kH = 0.5;   // partial sweep
+  return {
+      {"adv_pos_half", CostClass::kLight,
+       {{kPX0, Privilege::kReadOnly, kF},
+        {kPU0, Privilege::kReadOnly, kF},
+        {kPXhalf, Privilege::kWriteOnly, kF}}},
+      {"calc_ctrs_half", CostClass::kMedium,
+       {{kPXhalf, Privilege::kReadOnly, kF},
+        {kMeshTopo, Privilege::kReadOnly, kH},
+        {kSArea, Privilege::kWriteOnly, kF}}},
+      {"calc_vols_half", CostClass::kMedium,
+       {{kPXhalf, Privilege::kReadOnly, kF},
+        {kZVol, Privilege::kWriteOnly, kF},
+        {kSVol, Privilege::kWriteOnly, kF}}},
+      {"calc_surf_vecs", CostClass::kLight,
+       {{kSArea, Privilege::kReadOnly, kF},
+        {kSSurfp, Privilege::kWriteOnly, kF}}},
+      {"calc_edge_len", CostClass::kLight,
+       {{kPXhalf, Privilege::kReadOnly, kF},
+        {kSArea, Privilege::kReadOnly, kH},
+        {kSLen, Privilege::kWriteOnly, kF}}},
+      {"calc_char_len", CostClass::kLight,
+       {{kSLen, Privilege::kReadOnly, kF},
+        {kZArea, Privilege::kWriteOnly, kF}}},
+      {"calc_rho_half", CostClass::kLight,
+       {{kZMass, Privilege::kReadOnly, kF},
+        {kZVol, Privilege::kReadOnly, kF},
+        {kZRho, Privilege::kWriteOnly, kF}}},
+      {"calc_crnr_mass", CostClass::kMedium,
+       {{kZRho, Privilege::kReadOnly, kF},
+        {kZArea, Privilege::kReadOnly, kF},
+        {kSMass, Privilege::kWriteOnly, kF},
+        {kPFMst, Privilege::kReduce, kH}}},
+      {"calc_state_half", CostClass::kHeavy,
+       {{kZPressure, Privilege::kReadWrite, kF},
+        {kZEnergy, Privilege::kReadOnly, kF},
+        {kZRho, Privilege::kReadOnly, kF},
+        {kDt, Privilege::kReadOnly, kF},
+        {kZWrate, Privilege::kWriteOnly, kF}}},
+      {"calc_force_pgas", CostClass::kMedium,
+       {{kZPressure, Privilege::kReadOnly, kF},
+        {kSSurfp, Privilege::kReadOnly, kF},
+        {kSForce, Privilege::kWriteOnly, kF}}},
+      {"calc_force_tts", CostClass::kMedium,
+       {{kZArea, Privilege::kReadOnly, kF},
+        {kZRho, Privilege::kReadOnly, kF},
+        {kSForce, Privilege::kReadWrite, kF}}},
+      {"qcs_zone_center_velocity", CostClass::kMedium,
+       {{kPU, Privilege::kReadOnly, kF},
+        {kMeshTopo, Privilege::kReadOnly, kH},
+        {kZUc, Privilege::kWriteOnly, kF}}},
+      {"qcs_corner_divergence", CostClass::kHeavy,
+       {{kPU, Privilege::kReadOnly, kF},
+        {kPXhalf, Privilege::kReadOnly, kF},
+        {kZUc, Privilege::kReadOnly, kF},
+        {kSQdiv, Privilege::kWriteOnly, kF}}},
+      {"qcs_qcn_force", CostClass::kHeavy,
+       {{kSQdiv, Privilege::kReadOnly, kF},
+        {kZRho, Privilege::kReadOnly, kF},
+        {kSQcn, Privilege::kWriteOnly, kF}}},
+      {"qcs_force", CostClass::kMedium,
+       {{kSQcn, Privilege::kReadOnly, kF},
+        {kSForce, Privilege::kReadWrite, kF}}},
+      {"qcs_vel_diff", CostClass::kMedium,
+       {{kPU, Privilege::kReadOnly, kF},
+        {kPXhalf, Privilege::kReadOnly, kH},
+        {kZDvel, Privilege::kWriteOnly, kF}}},
+      {"sum_crnr_force", CostClass::kMedium,
+       {{kSForce, Privilege::kReadOnly, kF},
+        {kPFPrv, Privilege::kReduce, kF},
+        {kPFMst, Privilege::kReduce, kF},
+        {kPFGst, Privilege::kReduce, kF}}},
+      {"apply_fixed_bc", CostClass::kLight,
+       {{kPFMst, Privilege::kReadWrite, kH},
+        {kPU0, Privilege::kReadWrite, kH}}},
+      {"calc_accel", CostClass::kLight,
+       {{kPFPrv, Privilege::kReadOnly, kF},
+        {kPFMst, Privilege::kReadOnly, kF},
+        {kPMass, Privilege::kReadOnly, kF},
+        {kPAccel, Privilege::kWriteOnly, kF}}},
+      {"adv_pos_full", CostClass::kLight,
+       {{kPX0, Privilege::kReadOnly, kF},
+        {kPU0, Privilege::kReadOnly, kF},
+        {kPAccel, Privilege::kReadOnly, kF},
+        {kPX, Privilege::kWriteOnly, kF},
+        {kPU, Privilege::kWriteOnly, kF}}},
+      {"calc_ctrs_full", CostClass::kMedium,
+       {{kPX, Privilege::kReadOnly, kF},
+        {kMeshTopo, Privilege::kReadOnly, kH},
+        {kSArea, Privilege::kReadWrite, kF}}},
+      {"calc_vols_full", CostClass::kMedium,
+       {{kPX, Privilege::kReadOnly, kF},
+        {kZVol, Privilege::kReadWrite, kF},
+        {kSVol, Privilege::kReadWrite, kF}}},
+      {"calc_work", CostClass::kHeavy,
+       {{kSForce, Privilege::kReadOnly, kF},
+        {kPU0, Privilege::kReadOnly, kF},
+        {kPU, Privilege::kReadOnly, kF},
+        {kPXhalf, Privilege::kReadOnly, kF},
+        {kZEnergy, Privilege::kReadWrite, kF}}},
+      {"calc_work_rate", CostClass::kLight,
+       {{kZVol, Privilege::kReadOnly, kF},
+        {kZPressure, Privilege::kReadOnly, kF},
+        {kZWrate, Privilege::kReadWrite, kF},
+        {kDt, Privilege::kReadOnly, kF}}},
+      {"calc_energy", CostClass::kLight,
+       {{kZEnergy, Privilege::kReadOnly, kF},
+        {kZMass, Privilege::kReadOnly, kF},
+        {kZEtot, Privilege::kWriteOnly, kF}}},
+      {"calc_rho_full", CostClass::kLight,
+       {{kZMass, Privilege::kReadOnly, kF},
+        {kZVol, Privilege::kReadOnly, kF},
+        {kZRho, Privilege::kReadWrite, kF}}},
+      {"calc_dt_courant", CostClass::kMedium,
+       {{kZDvel, Privilege::kReadOnly, kF},
+        {kZArea, Privilege::kReadOnly, kF},
+        {kDtHydro, Privilege::kWriteOnly, kF}}},
+      {"calc_dt_volume", CostClass::kLight,
+       {{kZVol, Privilege::kReadOnly, kF},
+        {kZVol0, Privilege::kReadWrite, kF},
+        {kDtHydro, Privilege::kReadWrite, kF}}},
+      {"calc_dt_hydro", CostClass::kScalar,
+       {{kDtHydro, Privilege::kReadOnly, kF},
+        {kDt, Privilege::kReadWrite, kF}}},
+      {"global_sum_dt", CostClass::kScalar,
+       {{kDt, Privilege::kReadWrite, kF}}},
+      {"write_output", CostClass::kLight,
+       {{kPX, Privilege::kReadOnly, kH},
+        {kZRho, Privilege::kReadOnly, kH},
+        {kOutBuf, Privilege::kWriteOnly, kF}}},
+  };
+}
+}  // namespace
+
+PennantConfig pennant_config_for(int num_nodes, int step) {
+  AM_REQUIRE(num_nodes >= 1, "need at least one node");
+  AM_REQUIRE(step >= 0 && step < 7, "the Fig. 6c series has 7 inputs");
+  PennantConfig c;
+  c.num_nodes = num_nodes;
+  c.zones_x = 320;
+  c.zones_y = 90L * (1L << step) * num_nodes;
+  return c;
+}
+
+std::string pennant_input_label(const PennantConfig& config) {
+  return std::to_string(config.zones_x) + "x" +
+         std::to_string(config.zones_y);
+}
+
+namespace {
+
+/// Builds the Program; factored out so the footprint estimator can share
+/// geometry constants with the graph builder.
+struct Geometry {
+  long nz;  // zones
+  long np;  // points (~zones for a quad mesh)
+  long ns;  // sides (4 per zone)
+};
+
+Geometry geometry(const PennantConfig& c) {
+  const long nz = c.zones_x * c.zones_y;
+  return {.nz = nz, .np = nz, .ns = 4 * nz};
+}
+
+/// Length (elements) of one collection given the geometry.
+long col_elems(Col col, const Geometry& g) {
+  switch (col) {
+    case kZRho: case kZEnergy: case kZPressure: case kZVol: case kZVol0:
+    case kZArea: case kZMass: case kZWrate: case kZUc: case kZDvel:
+    case kZEtot:
+      return g.nz;
+    case kPX: case kPX0: case kPXhalf: case kPU: case kPU0: case kPAccel:
+    case kPMass:
+      return 2 * g.np;  // 2-D vectors
+    case kPFPrv:
+      return (3 * 2 * g.np) / 4;
+    case kPFMst: case kPFGst:
+      return (2 * g.np) / 4;
+    case kSArea: case kSVol: case kSSurfp: case kSMass: case kSForce:
+    case kSLen: case kSQdiv: case kSQcn:
+      return 2 * g.ns;  // 2-D vectors per side
+    case kMeshTopo:
+      return g.ns;  // connectivity
+    case kDt: case kDtHydro:
+      return 64;  // per-piece scalars
+    case kOutBuf:
+      return g.nz / 8;
+    case kNumCols:
+      break;
+  }
+  AM_UNREACHABLE("bad Col");
+}
+
+}  // namespace
+
+std::uint64_t pennant_total_bytes(const PennantConfig& config) {
+  const Geometry g = geometry(config);
+  std::uint64_t total = 0;
+  for (int c = 0; c < kNumCols; ++c)
+    total += static_cast<std::uint64_t>(col_elems(static_cast<Col>(c), g)) *
+             kElem;
+  return total;
+}
+
+long pennant_max_fb_zones_y(std::uint64_t fb_capacity_bytes, int num_nodes,
+                            int gpus_per_node) {
+  // Footprint is linear in zones_y; solve by scaling from a reference.
+  PennantConfig ref;
+  ref.zones_x = 320;
+  ref.zones_y = 1024;
+  const double ref_bytes = static_cast<double>(pennant_total_bytes(ref));
+  const double budget = static_cast<double>(fb_capacity_bytes) *
+                        static_cast<double>(num_nodes) *
+                        static_cast<double>(gpus_per_node);
+  return static_cast<long>(static_cast<double>(ref.zones_y) * budget /
+                           ref_bytes);
+}
+
+BenchmarkApp make_pennant(const PennantConfig& config) {
+  const Geometry g = geometry(config);
+  const int pieces = kPiecesPerNode * config.num_nodes;
+
+  Program p;
+
+  // One region per mesh entity class; fields live in disjoint slices so
+  // that different fields never falsely alias, while the master and ghost
+  // force sets genuinely overlap (ghosts are neighbours' masters).
+  long zone_extent = 0, point_extent = 0, side_extent = 0, misc_extent = 0;
+  std::array<long, kNumCols> offset{};
+  auto region_of = [&](Col c) -> int {
+    if (c <= kZEtot) return 0;
+    if (c <= kPFGst) return 1;
+    if (c <= kSQcn) return 2;
+    return 3;
+  };
+  for (int c = 0; c < kNumCols; ++c) {
+    long* extent = nullptr;
+    switch (region_of(static_cast<Col>(c))) {
+      case 0: extent = &zone_extent; break;
+      case 1: extent = &point_extent; break;
+      case 2: extent = &side_extent; break;
+      default: extent = &misc_extent; break;
+    }
+    offset[c] = *extent;
+    *extent += col_elems(static_cast<Col>(c), g);
+  }
+  // Overlap: the ghost force set covers the tail 80 % of the master set
+  // (most master points are some neighbour's ghost).
+  const long mst_len = col_elems(kPFMst, g);
+  offset[kPFGst] = offset[kPFMst] + mst_len / 5;
+  point_extent = std::max(point_extent,
+                          offset[kPFGst] + col_elems(kPFGst, g));
+
+  const RegionId zones = p.add_region("zones", Rect::line(0, zone_extent - 1),
+                                      kElem);
+  const RegionId points =
+      p.add_region("points", Rect::line(0, point_extent - 1), kElem);
+  const RegionId sides =
+      p.add_region("sides", Rect::line(0, side_extent - 1), kElem);
+  const RegionId misc =
+      p.add_region("misc", Rect::line(0, misc_extent - 1), kElem);
+
+  static constexpr const char* kColNames[kNumCols] = {
+      "z_rho", "z_energy", "z_pressure", "z_vol", "z_vol0", "z_area",
+      "z_mass", "z_wrate", "z_uc", "z_dvel", "z_etot",
+      "p_x", "p_x0", "p_xhalf", "p_u", "p_u0", "p_accel", "p_mass",
+      "p_f_private", "p_f_master", "p_f_ghost",
+      "s_area", "s_vol", "s_surfp", "s_mass", "s_force", "s_len", "s_qdiv",
+      "s_qcn", "mesh_topo", "dt", "dt_hydro", "out_buf"};
+
+  std::array<CollectionId, kNumCols> cols{};
+  for (int c = 0; c < kNumCols; ++c) {
+    const RegionId region =
+        region_of(static_cast<Col>(c)) == 0   ? zones
+        : region_of(static_cast<Col>(c)) == 1 ? points
+        : region_of(static_cast<Col>(c)) == 2 ? sides
+                                              : misc;
+    cols[c] = p.add_collection(
+        region, kColNames[c],
+        Rect::line(offset[c], offset[c] + col_elems(static_cast<Col>(c), g) -
+                                  1));
+  }
+
+  const double zones_per_piece =
+      static_cast<double>(g.nz) / static_cast<double>(pieces);
+
+  for (const TaskSpec& spec : task_table()) {
+    const ClassCost cc = class_cost(spec.cost);
+    double cpu, gpu;
+    if (spec.cost == CostClass::kScalar) {
+      cpu = cc.cpu;
+      gpu = cc.gpu;
+    } else {
+      cpu = cc.cpu * zones_per_piece;
+      gpu = cc.gpu * zones_per_piece;
+    }
+    std::vector<CollectionUse> args;
+    args.reserve(spec.args.size());
+    for (const ArgSpec& a : spec.args)
+      args.push_back({cols[a.col], a.priv, a.fraction});
+    p.launch(spec.name, pieces,
+             {.cpu_seconds_per_point = cpu, .gpu_seconds_per_point = gpu},
+             std::move(args));
+  }
+
+  BenchmarkApp app;
+  app.name = "pennant";
+  app.input = pennant_input_label(config);
+  app.num_nodes = config.num_nodes;
+  app.graph = p.lower();
+  app.sim = {.iterations = config.iterations,
+             .noise_sigma = config.noise_sigma};
+
+  AM_CHECK(app.graph.num_tasks() == 31, "pennant has 31 tasks (Fig. 5)");
+  AM_CHECK(app.graph.num_collection_args() == 97,
+           "pennant has 97 collection arguments (Fig. 5)");
+  return app;
+}
+
+}  // namespace automap

@@ -1,0 +1,49 @@
+#pragma once
+
+// Pennant: Lagrangian staggered-grid hydrodynamics on an unstructured mesh
+// (Ferenbaugh 2014), the most complex benchmark in the suite (Fig. 5: 31
+// tasks, 97 collection arguments). The mesh has zones, points and sides
+// (zone corners); per-piece point sets split into private / master / ghost,
+// where ghost points are other pieces' master points, so the master and
+// ghost force-accumulation collections overlap (the halo structure CCD's
+// co-location constraints act on).
+//
+// The task table below follows PENNANT's cycle structure: half-step
+// position advance, geometry (centers/volumes/characteristic lengths),
+// state and force evaluation (pressure, TTS, QCS artificial viscosity),
+// corner-force reduction and ghost exchange, acceleration, full-step
+// advance, work/energy updates and the dt reductions.
+
+#include "src/apps/app.hpp"
+
+namespace automap {
+
+struct PennantConfig {
+  /// Mesh extent: the paper's labels are zones_x x zones_y (e.g. 320x90).
+  long zones_x = 320;
+  long zones_y = 90;
+  int num_nodes = 1;
+  int iterations = 10;
+  double noise_sigma = 0.05;
+};
+
+/// Fig. 6c weak-scaled series (step 0..6): zones_y doubles per step and per
+/// node-count doubling; zones_x stays 320.
+[[nodiscard]] PennantConfig pennant_config_for(int num_nodes, int step);
+
+/// "320x90"-style label.
+[[nodiscard]] std::string pennant_input_label(const PennantConfig& config);
+
+[[nodiscard]] BenchmarkApp make_pennant(const PennantConfig& config);
+
+/// Total bytes of all Pennant collections for a config — used by the
+/// memory-constrained experiment (Fig. 8) to size inputs relative to the
+/// Frame-Buffer capacity.
+[[nodiscard]] std::uint64_t pennant_total_bytes(const PennantConfig& config);
+
+/// Largest zones_y (for zones_x = 320) whose per-GPU footprint still fits
+/// in `fb_capacity_bytes` on `num_nodes` nodes with `gpus_per_node` GPUs.
+[[nodiscard]] long pennant_max_fb_zones_y(std::uint64_t fb_capacity_bytes,
+                                          int num_nodes, int gpus_per_node);
+
+}  // namespace automap

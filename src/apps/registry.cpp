@@ -1,0 +1,51 @@
+#include "src/apps/registry.hpp"
+
+#include "src/apps/circuit.hpp"
+#include "src/apps/htr.hpp"
+#include "src/apps/maestro.hpp"
+#include "src/apps/pennant.hpp"
+#include "src/apps/stencil.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+
+const std::vector<std::string>& app_names() {
+  static const std::vector<std::string> kNames = {
+      "circuit", "stencil", "pennant", "htr", "maestro"};
+  return kNames;
+}
+
+bool is_app_name(const std::string& name) {
+  for (const std::string& n : app_names())
+    if (n == name) return true;
+  return false;
+}
+
+int app_num_steps(const std::string& name) {
+  if (name == "circuit") return 8;
+  if (name == "stencil") return 11;
+  if (name == "pennant") return 7;
+  if (name == "htr") return 5;
+  if (name == "maestro") return 4;  // 8, 16, 32, 64 LF samples
+  AM_REQUIRE(false, "unknown application: " + name);
+  AM_UNREACHABLE("");
+}
+
+BenchmarkApp make_app_by_name(const std::string& name, int num_nodes,
+                              int step) {
+  AM_REQUIRE(step >= 0 && step < app_num_steps(name),
+             "step out of range for " + name);
+  if (name == "circuit")
+    return make_circuit(circuit_config_for(num_nodes, step));
+  if (name == "stencil")
+    return make_stencil(stencil_config_for(num_nodes, step));
+  if (name == "pennant")
+    return make_pennant(pennant_config_for(num_nodes, step));
+  if (name == "htr") return make_htr(htr_config_for(num_nodes, step));
+  MaestroConfig c;
+  c.num_lf_samples = 8 << step;
+  c.num_nodes = num_nodes;
+  return make_maestro(c);
+}
+
+}  // namespace automap

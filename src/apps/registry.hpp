@@ -1,0 +1,30 @@
+#pragma once
+
+// Name-based registry over the five benchmark applications, so tools,
+// tests and benches can construct any app from strings ("pennant", nodes,
+// weak-scaling step) without repeating the factory dispatch.
+
+#include <string>
+#include <vector>
+
+#include "src/apps/app.hpp"
+
+namespace automap {
+
+/// Names of all registered applications, in Fig. 5 order.
+[[nodiscard]] const std::vector<std::string>& app_names();
+
+/// True when `name` identifies a registered application.
+[[nodiscard]] bool is_app_name(const std::string& name);
+
+/// Number of weak-scaling steps in the app's Fig. 6 input series
+/// (Maestro has no weak-scaled series; its "steps" select the LF sample
+/// count: 8 << step).
+[[nodiscard]] int app_num_steps(const std::string& name);
+
+/// Builds an application by name at a node count and series step. Throws
+/// Error for unknown names or out-of-range steps.
+[[nodiscard]] BenchmarkApp make_app_by_name(const std::string& name,
+                                            int num_nodes, int step);
+
+}  // namespace automap

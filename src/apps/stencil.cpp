@@ -1,0 +1,134 @@
+#include "src/apps/stencil.hpp"
+
+#include "src/runtime/program.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+
+namespace {
+// The PRK stencil tiles finer than the other apps so CPU pools can engage
+// more cores.
+constexpr int kPiecesPerNode = 8;
+constexpr int kRadius = 2;              // star stencil radius
+constexpr std::uint64_t kElem = 8;      // double
+
+// The stencil is ~18 flops/element, fully vectorizable and memory bound;
+// increment is 1 flop/element. Costs per element on a reference core / a
+// whole GPU.
+constexpr double kStencilCpuPerElem = 0.9e-9;
+constexpr double kStencilGpuPerElem = 0.02e-9;
+constexpr double kIncrementCpuPerElem = 0.4e-9;
+constexpr double kIncrementGpuPerElem = 0.008e-9;
+}  // namespace
+
+StencilConfig stencil_config_for(int num_nodes, int step) {
+  AM_REQUIRE(num_nodes >= 1, "need at least one node");
+  AM_REQUIRE(step >= 0 && step < 11, "the Fig. 6b series has 11 inputs");
+  StencilConfig c;
+  c.num_nodes = num_nodes;
+  const long base = 500 * (step + 1);
+  c.grid_x = base;
+  c.grid_y = base;
+  // Weak scaling: each node-count doubling doubles one dimension,
+  // alternating x, y (500x500 -> 1000x500 -> 1000x1000 -> 2000x1000).
+  int doublings = 0;
+  for (int n = num_nodes; n > 1; n /= 2) ++doublings;
+  for (int d = 0; d < doublings; ++d) {
+    if (d % 2 == 0) {
+      c.grid_x *= 2;
+    } else {
+      c.grid_y *= 2;
+    }
+  }
+  return c;
+}
+
+std::string stencil_input_label(const StencilConfig& config) {
+  return std::to_string(config.grid_x) + "x" + std::to_string(config.grid_y);
+}
+
+BenchmarkApp make_stencil(const StencilConfig& config) {
+  AM_REQUIRE(config.grid_x > 4 * kRadius && config.grid_y > 4 * kRadius,
+             "grid too small for the stencil radius");
+  const int pieces = kPiecesPerNode * config.num_nodes;
+  const long x = config.grid_x;
+  const long y = config.grid_y;
+  const double elems = static_cast<double>(x) * static_cast<double>(y);
+
+  Program p;
+
+  // `in` region: interior plus boundary strips written by increment and
+  // halo strips read by stencil. A halo strip is a neighbour's boundary
+  // strip, so the two overlap by kRadius columns/rows.
+  const RegionId in_region =
+      p.add_region("in", Rect::plane(0, x - 1, 0, y - 1), kElem);
+  const CollectionId in_all =
+      p.add_collection(in_region, "in", Rect::plane(0, x - 1, 0, y - 1));
+  const CollectionId bnd_xm = p.add_collection(
+      in_region, "boundary_xm", Rect::plane(0, kRadius - 1, 0, y - 1));
+  const CollectionId bnd_xp = p.add_collection(
+      in_region, "boundary_xp", Rect::plane(x - kRadius, x - 1, 0, y - 1));
+  const CollectionId bnd_ym = p.add_collection(
+      in_region, "boundary_ym", Rect::plane(0, x - 1, 0, kRadius - 1));
+  const CollectionId bnd_yp = p.add_collection(
+      in_region, "boundary_yp", Rect::plane(0, x - 1, y - kRadius, y - 1));
+  const CollectionId halo_xm = p.add_collection(
+      in_region, "halo_xm", Rect::plane(0, 2 * kRadius - 1, 0, y - 1));
+  const CollectionId halo_xp = p.add_collection(
+      in_region, "halo_xp", Rect::plane(x - 2 * kRadius, x - 1, 0, y - 1));
+  const CollectionId halo_ym = p.add_collection(
+      in_region, "halo_ym", Rect::plane(0, x - 1, 0, 2 * kRadius - 1));
+  const CollectionId halo_yp = p.add_collection(
+      in_region, "halo_yp", Rect::plane(0, x - 1, y - 2 * kRadius, y - 1));
+
+  const RegionId out_region =
+      p.add_region("out", Rect::plane(0, x - 1, 0, y - 1), kElem);
+  const CollectionId out_all =
+      p.add_collection(out_region, "out", Rect::plane(0, x - 1, 0, y - 1));
+
+  const RegionId weights_region =
+      p.add_region("weights", Rect::line(0, 31), kElem);
+  const CollectionId weights =
+      p.add_collection(weights_region, "weights", Rect::line(0, 31));
+
+  const double per_piece = elems / static_cast<double>(pieces);
+
+  // stencil: 7 collection arguments.
+  p.launch("stencil", pieces,
+           {.cpu_seconds_per_point = kStencilCpuPerElem * per_piece,
+            .gpu_seconds_per_point = kStencilGpuPerElem * per_piece},
+           {{out_all, Privilege::kWriteOnly, 1.0},
+            {in_all, Privilege::kReadOnly, 1.0},
+            {halo_xm, Privilege::kReadOnly, 1.0},
+            {halo_xp, Privilege::kReadOnly, 1.0},
+            {halo_ym, Privilege::kReadOnly, 1.0},
+            {halo_yp, Privilege::kReadOnly, 1.0},
+            {weights, Privilege::kReadOnly, 1.0}});
+
+  // increment: 5 collection arguments. Writes the boundary strips that the
+  // neighbours' stencil reads as halos next iteration (loop-carried
+  // cross-collection dependences through the overlaps).
+  p.launch("increment", pieces,
+           {.cpu_seconds_per_point = kIncrementCpuPerElem * per_piece,
+            .gpu_seconds_per_point = kIncrementGpuPerElem * per_piece},
+           {{in_all, Privilege::kReadWrite, 1.0},
+            {bnd_xm, Privilege::kWriteOnly, 1.0},
+            {bnd_xp, Privilege::kWriteOnly, 1.0},
+            {bnd_ym, Privilege::kWriteOnly, 1.0},
+            {bnd_yp, Privilege::kWriteOnly, 1.0}});
+
+  BenchmarkApp app;
+  app.name = "stencil";
+  app.input = stencil_input_label(config);
+  app.num_nodes = config.num_nodes;
+  app.graph = p.lower();
+  app.sim = {.iterations = config.iterations,
+             .noise_sigma = config.noise_sigma};
+
+  AM_CHECK(app.graph.num_tasks() == 2, "stencil has 2 tasks (Fig. 5)");
+  AM_CHECK(app.graph.num_collection_args() == 12,
+           "stencil has 12 collection arguments (Fig. 5)");
+  return app;
+}
+
+}  // namespace automap

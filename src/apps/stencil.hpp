@@ -1,0 +1,39 @@
+#pragma once
+
+// Stencil: 2D structured 9-point star stencil from the Parallel Research
+// Kernels (Fig. 5: 2 tasks, 12 collection args). Per time step:
+//
+//   stencil(out, in, halos, weights) — applies the star to the interior,
+//     reading four halo strips owned by neighboring blocks;
+//   increment(in, boundaries)        — bumps the input array, rewriting the
+//     boundary strips the neighbors read as halos next iteration.
+//
+// The boundary and halo strips of the `in` region overlap — the halo
+// exchange — giving CCD its co-location structure, and making the
+// System-vs-ZeroCopy placement distinction matter for CPU mappings
+// (Zero-Copy is one allocation, System is one per socket; §5).
+
+#include "src/apps/app.hpp"
+
+namespace automap {
+
+struct StencilConfig {
+  /// Grid extent (the paper's labels, e.g. 2000x2000).
+  long grid_x = 500;
+  long grid_y = 500;
+  int num_nodes = 1;
+  int iterations = 10;
+  double noise_sigma = 0.05;
+};
+
+/// Fig. 6b weak-scaled series: step 0..10 selects the grid size; node-count
+/// doublings double x then y alternately (500x500 -> 1000x500 -> 1000x1000
+/// -> 2000x1000).
+[[nodiscard]] StencilConfig stencil_config_for(int num_nodes, int step);
+
+/// "2000x2000"-style label.
+[[nodiscard]] std::string stencil_input_label(const StencilConfig& config);
+
+[[nodiscard]] BenchmarkApp make_stencil(const StencilConfig& config);
+
+}  // namespace automap

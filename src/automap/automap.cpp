@@ -1,0 +1,79 @@
+#include "src/automap/automap.hpp"
+
+#include "src/runtime/mapper.hpp"
+#include "src/search/coordinate_descent.hpp"
+#include "src/search/ensemble_tuner.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+
+std::string to_string(SearchAlgorithm algorithm) {
+  switch (algorithm) {
+    case SearchAlgorithm::kCcd:
+      return "AM-CCD";
+    case SearchAlgorithm::kCd:
+      return "AM-CD";
+    case SearchAlgorithm::kEnsembleTuner:
+      return "AM-OT";
+  }
+  AM_UNREACHABLE("bad SearchAlgorithm");
+}
+
+SearchResult automap_optimize(const Simulator& sim, SearchAlgorithm algorithm,
+                              const SearchOptions& options) {
+  switch (algorithm) {
+    case SearchAlgorithm::kCcd:
+      return run_ccd(sim, options);
+    case SearchAlgorithm::kCd:
+      return run_cd(sim, options);
+    case SearchAlgorithm::kEnsembleTuner:
+      return run_ensemble_tuner(sim, options);
+  }
+  AM_UNREACHABLE("bad SearchAlgorithm");
+}
+
+double measure_mapping(const Simulator& sim, const Mapping& mapping,
+                       int repeats, std::uint64_t seed) {
+  return sim.mean_total_seconds(mapping, seed, repeats);
+}
+
+OnlineResult automap_online(const Simulator& sim,
+                            const OnlineOptions& options) {
+  AM_REQUIRE(options.total_iterations > 0, "need a positive run length");
+  const long window = sim.options().iterations;
+
+  const SearchResult search =
+      automap_optimize(sim, options.algorithm, options.search);
+
+  OnlineResult result;
+  result.best = search.best;
+
+  // Iterations consumed by the inspector: every evaluated candidate ran
+  // `repeats` windows, and the finalist protocol re-ran the top-k.
+  result.search_iterations =
+      static_cast<long>(search.stats.evaluated) * options.search.repeats *
+          window +
+      static_cast<long>(options.search.top_k) *
+          options.search.final_repeats * window;
+  AM_REQUIRE(result.search_iterations < options.total_iterations,
+             "production run too short to amortize the online search; "
+             "needs more than " +
+                 std::to_string(result.search_iterations) + " iterations");
+
+  const long remainder = options.total_iterations - result.search_iterations;
+  const double best_per_iter =
+      search.best_seconds / static_cast<double>(window);
+  result.online_seconds =
+      search.stats.search_time_s + best_per_iter * remainder;
+
+  // Baseline: the default mapper for the whole run.
+  DefaultMapper dm;
+  const double default_window =
+      measure_mapping(sim, dm.map_all(sim.graph(), sim.machine()),
+                      options.search.repeats, options.search.seed + 1);
+  result.default_seconds = default_window / window *
+                           static_cast<double>(options.total_iterations);
+  return result;
+}
+
+}  // namespace automap

@@ -1,0 +1,56 @@
+#pragma once
+
+// Processor and memory *kinds* — the alphabet of the mapping search space.
+//
+// Following the paper (§2), a machine is a graph of processors and memories;
+// AutoMap's factorization (§3.2) searches only over kinds and leaves the
+// selection of concrete instances to deterministic runtime logic, so kinds
+// are the currency of the whole search layer.
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace automap {
+
+enum class ProcKind : std::uint8_t {
+  kCpu = 0,
+  kGpu = 1,
+};
+inline constexpr std::size_t kNumProcKinds = 2;
+inline constexpr std::array<ProcKind, kNumProcKinds> kAllProcKinds = {
+    ProcKind::kCpu, ProcKind::kGpu};
+
+enum class MemKind : std::uint8_t {
+  /// CPU-addressable RAM; one allocation per socket on multi-socket nodes.
+  kSystem = 0,
+  /// Pinned host memory addressable by all CPUs and GPUs of a node.
+  kZeroCopy = 1,
+  /// GPU-local high-bandwidth memory; one per GPU, smallest capacity.
+  kFrameBuffer = 2,
+};
+inline constexpr std::size_t kNumMemKinds = 3;
+inline constexpr std::array<MemKind, kNumMemKinds> kAllMemKinds = {
+    MemKind::kSystem, MemKind::kZeroCopy, MemKind::kFrameBuffer};
+
+[[nodiscard]] constexpr std::size_t index_of(ProcKind k) {
+  return static_cast<std::size_t>(k);
+}
+[[nodiscard]] constexpr std::size_t index_of(MemKind k) {
+  return static_cast<std::size_t>(k);
+}
+
+[[nodiscard]] std::string_view to_string(ProcKind k);
+[[nodiscard]] std::string_view to_string(MemKind k);
+
+std::ostream& operator<<(std::ostream& os, ProcKind k);
+std::ostream& operator<<(std::ostream& os, MemKind k);
+
+/// Parses "CPU"/"GPU" (case-insensitive). Throws Error on unknown names.
+[[nodiscard]] ProcKind parse_proc_kind(std::string_view name);
+/// Parses "System"/"ZeroCopy"/"FrameBuffer" plus common aliases
+/// ("SYSMEM", "ZC", "FB"). Throws Error on unknown names.
+[[nodiscard]] MemKind parse_mem_kind(std::string_view name);
+
+}  // namespace automap

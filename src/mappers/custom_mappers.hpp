@@ -1,0 +1,23 @@
+#pragma once
+
+// Hand-written custom mappers for the five benchmark applications (§5
+// "Baselines"): the application-specific strategies a domain expert would
+// implement after days of experimentation. They follow the pattern the
+// paper describes — mostly the default GPU + Frame-Buffer placement, but
+// with large or shared collections demoted to Zero-Copy and, where it pays,
+// a blocked group-task decomposition that keeps neighbour exchanges local
+// (the dimension AutoMap's runtime logic does not search, §5 "Results").
+
+#include <memory>
+
+#include "src/apps/app.hpp"
+#include "src/runtime/mapper.hpp"
+
+namespace automap {
+
+/// Returns the custom mapper for a benchmark application. Throws Error for
+/// app names without a custom mapper.
+[[nodiscard]] std::unique_ptr<Mapper> make_custom_mapper(
+    const std::string& app_name);
+
+}  // namespace automap

@@ -1,0 +1,213 @@
+#include "src/mapping/mapping.hpp"
+
+#include <sstream>
+
+#include "src/support/error.hpp"
+#include "src/support/rng.hpp"
+
+namespace automap {
+
+Mapping::Mapping(const TaskGraph& graph) {
+  tasks_.reserve(graph.num_tasks());
+  for (const auto& t : graph.tasks()) {
+    TaskMapping tm;
+    tm.arg_memories.assign(t.args.size(), {MemKind::kFrameBuffer});
+    tasks_.push_back(std::move(tm));
+  }
+}
+
+TaskMapping& Mapping::at(TaskId id) {
+  AM_REQUIRE(id.index() < tasks_.size(), "task id out of range");
+  return tasks_[id.index()];
+}
+
+const TaskMapping& Mapping::at(TaskId id) const {
+  AM_REQUIRE(id.index() < tasks_.size(), "task id out of range");
+  return tasks_[id.index()];
+}
+
+MemKind Mapping::primary_memory(TaskId id, std::size_t arg) const {
+  const TaskMapping& tm = at(id);
+  AM_REQUIRE(arg < tm.arg_memories.size(), "argument index out of range");
+  AM_REQUIRE(!tm.arg_memories[arg].empty(), "empty memory priority list");
+  return tm.arg_memories[arg].front();
+}
+
+void Mapping::set_primary_memory(TaskId id, std::size_t arg, MemKind kind) {
+  TaskMapping& tm = at(id);
+  AM_REQUIRE(arg < tm.arg_memories.size(), "argument index out of range");
+  if (tm.arg_memories[arg].empty()) {
+    tm.arg_memories[arg] = {kind};
+  } else {
+    tm.arg_memories[arg].front() = kind;
+  }
+}
+
+std::vector<std::string> Mapping::violations(
+    const TaskGraph& graph, const MachineModel& machine) const {
+  std::vector<std::string> out;
+  AM_REQUIRE(tasks_.size() == graph.num_tasks(),
+             "mapping shape does not match graph");
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const GroupTask& task = graph.task(TaskId(i));
+    const TaskMapping& tm = tasks_[i];
+    if (tm.arg_memories.size() != task.args.size()) {
+      out.push_back("task " + task.name + ": argument count mismatch");
+      continue;
+    }
+    if (!machine.has_proc_kind(tm.proc)) {
+      out.push_back("task " + task.name + ": machine lacks " +
+                    std::string(to_string(tm.proc)));
+      continue;
+    }
+    if (tm.proc == ProcKind::kGpu && !task.cost.has_gpu_variant()) {
+      out.push_back("task " + task.name + ": no GPU variant");
+    }
+    for (std::size_t a = 0; a < tm.arg_memories.size(); ++a) {
+      if (tm.arg_memories[a].empty()) {
+        out.push_back("task " + task.name + " arg " + std::to_string(a) +
+                      ": empty memory priority list");
+        continue;
+      }
+      for (const MemKind m : tm.arg_memories[a]) {
+        if (!machine.addressable(tm.proc, m)) {
+          out.push_back("task " + task.name + " arg " + std::to_string(a) +
+                        ": " + std::string(to_string(m)) +
+                        " not addressable from " +
+                        std::string(to_string(tm.proc)));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool Mapping::valid(const TaskGraph& graph, const MachineModel& machine) const {
+  return violations(graph, machine).empty();
+}
+
+std::uint64_t Mapping::hash() const {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  auto absorb = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  for (const auto& tm : tasks_) {
+    absorb(tm.distribute ? 1 : 2);
+    absorb((tm.distribute && tm.blocked) ? 3 : 4);
+    absorb(static_cast<std::uint64_t>(index_of(tm.proc)) + 10);
+    for (const auto& mems : tm.arg_memories) {
+      absorb(0xabcdULL);
+      for (const MemKind m : mems)
+        absorb(static_cast<std::uint64_t>(index_of(m)) + 100);
+    }
+  }
+  return h;
+}
+
+std::string Mapping::serialize() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskMapping& tm = tasks_[i];
+    os << "task " << i << " "
+       << (tm.distribute ? (tm.blocked ? "blocked" : "dist") : "leader") << " "
+       << to_string(tm.proc);
+    for (const auto& mems : tm.arg_memories) {
+      os << " ";
+      for (std::size_t m = 0; m < mems.size(); ++m) {
+        if (m > 0) os << ",";
+        os << to_string(mems[m]);
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Mapping Mapping::parse(const std::string& text, const TaskGraph& graph) {
+  Mapping mapping(graph);
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string keyword, dist, proc;
+    std::size_t index = 0;
+    ls >> keyword >> index >> dist >> proc;
+    AM_REQUIRE(keyword == "task" && !ls.fail(), "malformed mapping line: " +
+                                                    line);
+    AM_REQUIRE(index < graph.num_tasks(), "task index out of range");
+    TaskMapping& tm = mapping.at(TaskId(index));
+    AM_REQUIRE(dist == "dist" || dist == "leader" || dist == "blocked",
+               "bad distribution flag: " + dist);
+    tm.distribute = (dist != "leader");
+    tm.blocked = (dist == "blocked");
+    tm.proc = parse_proc_kind(proc);
+    const std::size_t num_args = graph.task(TaskId(index)).args.size();
+    for (std::size_t a = 0; a < num_args; ++a) {
+      std::string mems;
+      ls >> mems;
+      AM_REQUIRE(!ls.fail(), "mapping line has too few arguments: " + line);
+      MemPriority priority;
+      std::istringstream ms(mems);
+      std::string one;
+      while (std::getline(ms, one, ',')) priority.push_back(parse_mem_kind(one));
+      AM_REQUIRE(!priority.empty(), "empty memory list in: " + line);
+      tm.arg_memories[a] = std::move(priority);
+    }
+    ++lines;
+  }
+  AM_REQUIRE(lines == graph.num_tasks(),
+             "mapping text does not cover every task");
+  return mapping;
+}
+
+std::string Mapping::describe(const TaskGraph& graph) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const GroupTask& task = graph.task(TaskId(i));
+    const TaskMapping& tm = tasks_[i];
+    os << task.name << ": " << (tm.distribute ? "distributed" : "leader-only")
+       << " on " << to_string(tm.proc) << "\n";
+    for (std::size_t a = 0; a < tm.arg_memories.size(); ++a) {
+      os << "  " << graph.collection(task.args[a].collection).name << " -> ";
+      for (std::size_t m = 0; m < tm.arg_memories[a].size(); ++m) {
+        if (m > 0) os << " | ";
+        os << to_string(tm.arg_memories[a][m]);
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::vector<std::string> Mapping::diff(const Mapping& other,
+                                       const TaskGraph& graph) const {
+  AM_REQUIRE(tasks_.size() == other.tasks_.size(),
+             "diff requires equal-shaped mappings");
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const GroupTask& task = graph.task(TaskId(i));
+    const TaskMapping& a = tasks_[i];
+    const TaskMapping& b = other.tasks_[i];
+    if (a.distribute != b.distribute) {
+      out.push_back(task.name + ": distribution " +
+                    (a.distribute ? "dist" : "leader") + " -> " +
+                    (b.distribute ? "dist" : "leader"));
+    }
+    if (a.proc != b.proc) {
+      out.push_back(task.name + ": proc " + std::string(to_string(a.proc)) +
+                    " -> " + std::string(to_string(b.proc)));
+    }
+    const std::size_t args =
+        std::min(a.arg_memories.size(), b.arg_memories.size());
+    for (std::size_t arg = 0; arg < args; ++arg) {
+      if (a.arg_memories[arg] != b.arg_memories[arg]) {
+        out.push_back(task.name + "/" +
+                      graph.collection(task.args[arg].collection).name +
+                      ": memory changed");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace automap

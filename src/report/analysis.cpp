@@ -1,0 +1,179 @@
+#include "src/report/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/support/error.hpp"
+#include "src/support/format.hpp"
+
+namespace automap {
+
+namespace {
+
+/// Longest compute-weighted path over the same-iteration subgraph.
+/// Weights come from the report's measured per-iteration compute times.
+void find_critical_path(const TaskGraph& graph,
+                        const std::vector<double>& compute,
+                        std::vector<TaskId>& path, double& length) {
+  const auto topo = graph.topological_order();
+  std::vector<double> dist(graph.num_tasks(), 0.0);
+  std::vector<TaskId> pred(graph.num_tasks());
+
+  for (const TaskId t : topo) {
+    dist[t.index()] += compute[t.index()];
+    for (const DependenceEdge* e : graph.outgoing(t)) {
+      if (e->cross_iteration) continue;
+      if (dist[t.index()] > dist[e->consumer.index()]) {
+        dist[e->consumer.index()] = dist[t.index()];
+        pred[e->consumer.index()] = t;
+      }
+    }
+  }
+
+  TaskId tail;
+  length = -1.0;
+  for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
+    if (dist[i] > length) {
+      length = dist[i];
+      tail = TaskId(i);
+    }
+  }
+  path.clear();
+  for (TaskId t = tail; t.valid(); t = pred[t.index()]) {
+    path.push_back(t);
+    if (!pred[t.index()].valid()) break;
+  }
+  std::reverse(path.begin(), path.end());
+}
+
+}  // namespace
+
+RunAnalysis analyze_run(const TaskGraph& graph,
+                        const ExecutionReport& report) {
+  AM_REQUIRE(report.ok, "cannot analyze a failed run");
+  AM_REQUIRE(report.tasks.size() == graph.num_tasks(),
+             "report does not match graph");
+
+  RunAnalysis a;
+  a.total_seconds = report.total_seconds;
+  a.iterations = report.iterations;
+  a.intra_node_copy_bytes = report.intra_node_copy_bytes;
+  a.inter_node_copy_bytes = report.inter_node_copy_bytes;
+  a.energy_joules = report.energy_joules;
+
+  std::vector<double> compute(graph.num_tasks(), 0.0);
+  for (const TaskReport& tr : report.tasks) {
+    compute[tr.task.index()] = tr.compute_seconds;
+    a.compute_seconds_by_kind[index_of(tr.proc)] += tr.compute_seconds;
+    a.copy_wait_seconds += tr.copy_wait_seconds;
+    a.hottest_tasks.push_back({tr.task, tr.compute_seconds});
+    if (tr.copy_wait_seconds > 0.0)
+      a.most_blocked_tasks.push_back({tr.task, tr.copy_wait_seconds});
+  }
+  std::stable_sort(a.hottest_tasks.begin(), a.hottest_tasks.end(),
+                   [](const TaskShare& x, const TaskShare& y) {
+                     return x.seconds > y.seconds;
+                   });
+  std::stable_sort(a.most_blocked_tasks.begin(), a.most_blocked_tasks.end(),
+                   [](const TaskShare& x, const TaskShare& y) {
+                     return x.seconds > y.seconds;
+                   });
+
+  find_critical_path(graph, compute, a.critical_path,
+                     a.critical_path_seconds);
+  return a;
+}
+
+std::string render_analysis(const TaskGraph& graph,
+                            const RunAnalysis& a) {
+  std::ostringstream os;
+  os << "total " << format_seconds(a.total_seconds) << " over "
+     << a.iterations << " iterations ("
+     << format_seconds(a.total_seconds / std::max(1, a.iterations))
+     << "/iter)\n";
+  os << "pool busy/iter: CPU "
+     << format_seconds(a.compute_seconds_by_kind[index_of(ProcKind::kCpu)])
+     << ", GPU "
+     << format_seconds(a.compute_seconds_by_kind[index_of(ProcKind::kGpu)])
+     << "\n";
+  os << "copies/iter: intra-node " << format_bytes(a.intra_node_copy_bytes)
+     << ", inter-node " << format_bytes(a.inter_node_copy_bytes)
+     << "; copy wait " << format_seconds(a.copy_wait_seconds) << "/iter\n";
+  os << "energy: " << format_fixed(a.energy_joules, 1) << " J\n";
+
+  os << "hottest tasks (compute/iter):\n";
+  const std::size_t top =
+      std::min<std::size_t>(5, a.hottest_tasks.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    os << "  " << graph.task(a.hottest_tasks[i].task).name << ": "
+       << format_seconds(a.hottest_tasks[i].seconds) << "\n";
+  }
+  if (!a.most_blocked_tasks.empty()) {
+    os << "most copy-blocked tasks (wait/iter):\n";
+    const std::size_t blocked =
+        std::min<std::size_t>(3, a.most_blocked_tasks.size());
+    for (std::size_t i = 0; i < blocked; ++i) {
+      os << "  " << graph.task(a.most_blocked_tasks[i].task).name << ": "
+         << format_seconds(a.most_blocked_tasks[i].seconds) << "\n";
+    }
+  }
+  os << "critical path (" << format_seconds(a.critical_path_seconds)
+     << "/iter):";
+  for (const TaskId t : a.critical_path) os << " " << graph.task(t).name;
+  os << "\n";
+  return os.str();
+}
+
+std::string compare_runs(const TaskGraph& graph,
+                         const ExecutionReport& baseline,
+                         const ExecutionReport& improved) {
+  AM_REQUIRE(baseline.ok && improved.ok, "cannot compare failed runs");
+  AM_REQUIRE(baseline.tasks.size() == improved.tasks.size() &&
+                 baseline.tasks.size() == graph.num_tasks(),
+             "reports do not match the graph");
+
+  std::ostringstream os;
+  os << "total: " << format_seconds(baseline.total_seconds) << " -> "
+     << format_seconds(improved.total_seconds) << " ("
+     << format_speedup(baseline.total_seconds / improved.total_seconds)
+     << ")\n";
+
+  struct Delta {
+    TaskId task;
+    double seconds;
+  };
+  std::vector<Delta> deltas;
+  for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
+    const double d = (baseline.tasks[i].compute_seconds +
+                      baseline.tasks[i].copy_wait_seconds) -
+                     (improved.tasks[i].compute_seconds +
+                      improved.tasks[i].copy_wait_seconds);
+    deltas.push_back({TaskId(i), d});
+  }
+  std::stable_sort(deltas.begin(), deltas.end(),
+                   [](const Delta& x, const Delta& y) {
+                     return std::abs(x.seconds) > std::abs(y.seconds);
+                   });
+  os << "largest per-task changes (compute+wait per iter, + = faster):\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, deltas.size()); ++i) {
+    if (deltas[i].seconds == 0.0) break;
+    os << "  " << graph.task(deltas[i].task).name << ": "
+       << (deltas[i].seconds > 0 ? "+" : "-")
+       << format_seconds(std::abs(deltas[i].seconds)) << "\n";
+  }
+
+  auto copy_line = [&](const char* label, std::uint64_t before,
+                       std::uint64_t after) {
+    if (before == after) return;
+    os << "  " << label << " copies/iter: " << format_bytes(before) << " -> "
+       << format_bytes(after) << "\n";
+  };
+  copy_line("intra-node", baseline.intra_node_copy_bytes,
+            improved.intra_node_copy_bytes);
+  copy_line("inter-node", baseline.inter_node_copy_bytes,
+            improved.inter_node_copy_bytes);
+  return os.str();
+}
+
+}  // namespace automap

@@ -1,0 +1,26 @@
+#pragma once
+
+// Custom-mapper code generation.
+//
+// The paper notes that AutoMap "helps users discover efficient mapping
+// strategies to tune their custom mappers" (§5 "Results"). This generator
+// turns a discovered mapping into a compilable C++ mapper source file — a
+// Mapper subclass with the decisions hard-coded per task name — so the
+// tuned strategy can be reviewed, edited and shipped like any hand-written
+// mapper.
+
+#include <string>
+
+#include "src/mapping/mapping.hpp"
+#include "src/taskgraph/task_graph.hpp"
+
+namespace automap {
+
+/// Emits a self-contained C++ source defining `class <class_name> :
+/// public Mapper` that replays `mapping` by task name (with a
+/// DefaultMapper-style fallback for unknown tasks).
+[[nodiscard]] std::string generate_mapper_source(
+    const TaskGraph& graph, const Mapping& mapping,
+    const std::string& class_name);
+
+}  // namespace automap

@@ -1,0 +1,171 @@
+#include "src/report/visualize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/support/error.hpp"
+#include "src/support/format.hpp"
+
+namespace automap {
+
+namespace {
+
+char memory_letter(MemKind k) {
+  switch (k) {
+    case MemKind::kSystem:
+      return 'S';
+    case MemKind::kZeroCopy:
+      return 'Z';
+    case MemKind::kFrameBuffer:
+      return 'F';
+  }
+  AM_UNREACHABLE("bad MemKind");
+}
+
+const char* memory_color(MemKind k) {
+  // The paper's Fig. 3 palette: red = Zero-Copy, black = Frame-Buffer,
+  // yellow = System.
+  switch (k) {
+    case MemKind::kSystem:
+      return "gold";
+    case MemKind::kZeroCopy:
+      return "indianred1";
+    case MemKind::kFrameBuffer:
+      return "gray20";
+  }
+  AM_UNREACHABLE("bad MemKind");
+}
+
+/// Escapes a string for a DOT label.
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\' || c == '{' || c == '}' || c == '|' ||
+        c == '<' || c == '>')
+      out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_mapping(const TaskGraph& graph, const Mapping& mapping) {
+  std::uint64_t largest = 1;
+  for (const Collection& c : graph.collections())
+    largest = std::max(largest, graph.collection_bytes(c.id));
+
+  std::ostringstream os;
+  os << "legend: [S]=System [Z]=ZeroCopy [F]=FrameBuffer; bar = collection "
+        "size relative to the largest ("
+     << format_bytes(largest) << ")\n\n";
+
+  constexpr int kBarWidth = 24;
+  for (const GroupTask& task : graph.tasks()) {
+    const TaskMapping& tm = mapping.at(task.id);
+    os << task.name << "  [" << to_string(tm.proc) << "]"
+       << (tm.distribute ? (tm.blocked ? " blocked" : " distributed")
+                         : " leader-only")
+       << " x" << task.num_points << "\n";
+    for (std::size_t a = 0; a < task.args.size(); ++a) {
+      const Collection& col = graph.collection(task.args[a].collection);
+      const std::uint64_t bytes = graph.collection_bytes(col.id);
+      const int fill = std::max(
+          1, static_cast<int>(static_cast<double>(bytes) /
+                              static_cast<double>(largest) * kBarWidth));
+      const MemKind mem = mapping.primary_memory(task.id, a);
+      os << "  [" << memory_letter(mem) << "] " << col.name << " ("
+         << to_string(task.args[a].privilege) << ", " << format_bytes(bytes)
+         << ")\n      |" << std::string(static_cast<std::size_t>(fill), '#')
+         << std::string(static_cast<std::size_t>(kBarWidth - fill), '.')
+         << "|\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_mapping_dot(const TaskGraph& graph,
+                               const Mapping& mapping) {
+  std::ostringstream os;
+  os << "digraph mapping {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontname=\"monospace\"];\n";
+
+  for (const GroupTask& task : graph.tasks()) {
+    const TaskMapping& tm = mapping.at(task.id);
+    const bool gpu = tm.proc == ProcKind::kGpu;
+    os << "  t" << task.id.value() << " [shape=record, style=filled, "
+       << "fillcolor=" << (gpu ? "palegreen" : "lightskyblue")
+       << ", label=\"{" << dot_escape(task.name) << " ["
+       << to_string(tm.proc) << "]";
+    for (std::size_t a = 0; a < task.args.size(); ++a) {
+      const Collection& col = graph.collection(task.args[a].collection);
+      os << "|<a" << a << "> " << dot_escape(col.name) << " : "
+         << memory_letter(mapping.primary_memory(task.id, a));
+    }
+    os << "}\"];\n";
+  }
+
+  // Collection legend nodes per memory kind actually used.
+  for (const MemKind k : kAllMemKinds) {
+    bool used = false;
+    for (const GroupTask& task : graph.tasks())
+      for (std::size_t a = 0; a < task.args.size(); ++a)
+        if (mapping.primary_memory(task.id, a) == k) used = true;
+    if (!used) continue;
+    os << "  legend_" << memory_letter(k) << " [shape=box, style=filled, "
+       << "fillcolor=" << memory_color(k) << ", label=\"" << to_string(k)
+       << "\"];\n";
+  }
+
+  for (const DependenceEdge& e : graph.edges()) {
+    if (!e.carries_data) continue;
+    os << "  t" << e.producer.value() << " -> t" << e.consumer.value()
+       << " [label=\"" << format_bytes(e.bytes) << "\""
+       << (e.cross_iteration ? ", style=dashed" : "") << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string render_chrome_trace(const ExecutionReport& report) {
+  AM_REQUIRE(report.ok, "cannot render a trace of a failed run");
+  // Stable row ids per resource.
+  std::map<std::string, int> rows;
+  for (const TraceEvent& e : report.trace)
+    rows.emplace(e.resource, static_cast<int>(rows.size()) + 1);
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [resource, tid] : rows) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json_escape(resource) << "\"}}";
+  }
+  for (const TraceEvent& e : report.trace) {
+    os << ",{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"X\","
+       << "\"pid\":1,\"tid\":" << rows.at(e.resource) << ","
+       << "\"ts\":" << e.start_s * 1e6 << ","
+       << "\"dur\":" << e.duration_s * 1e6 << ","
+       << "\"args\":{\"iteration\":" << e.iteration << ",\"kind\":\""
+       << (e.kind == TraceEvent::Kind::kTask ? "task" : "copy") << "\"}}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace automap

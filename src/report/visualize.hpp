@@ -1,0 +1,36 @@
+#pragma once
+
+// Mapping and execution visualization.
+//
+// The paper presents discovered mappings as figures (Figs. 2 and 3): each
+// task tagged with its processor kind and each collection argument colored
+// by memory kind, with a bar showing the collection's size relative to the
+// application's largest. These helpers render the same information as
+// monospace text and as Graphviz DOT, and export run timelines in the
+// Chrome tracing (about://tracing / Perfetto) JSON format.
+
+#include <string>
+
+#include "src/mapping/mapping.hpp"
+#include "src/sim/report.hpp"
+#include "src/taskgraph/task_graph.hpp"
+
+namespace automap {
+
+/// Fig. 3-style text rendering: one block per task with processor kind,
+/// per-argument memory kind letters (S/Z/F) and relative-size bars.
+[[nodiscard]] std::string render_mapping(const TaskGraph& graph,
+                                         const Mapping& mapping);
+
+/// Graphviz DOT of the dependence graph under a mapping: task nodes shaped
+/// by processor kind, collection argument records colored by memory kind,
+/// data edges weighted by transferred bytes (cross-iteration edges dashed).
+[[nodiscard]] std::string render_mapping_dot(const TaskGraph& graph,
+                                             const Mapping& mapping);
+
+/// Chrome tracing JSON ("traceEvents" array of complete events) of an
+/// execution report recorded with SimOptions::record_trace. Resources
+/// become rows (tid); durations are exported in microseconds.
+[[nodiscard]] std::string render_chrome_trace(const ExecutionReport& report);
+
+}  // namespace automap

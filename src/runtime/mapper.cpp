@@ -1,0 +1,43 @@
+#include "src/runtime/mapper.hpp"
+
+#include "src/support/error.hpp"
+
+namespace automap {
+
+Mapping Mapper::map_all(const TaskGraph& graph, const MachineModel& machine) {
+  Mapping mapping(graph);
+  for (const GroupTask& task : graph.tasks())
+    mapping.at(task.id) = map_task(task, graph, machine);
+  const auto violations = mapping.violations(graph, machine);
+  AM_CHECK(violations.empty(),
+           "mapper " + name() + " produced an invalid mapping: " +
+               (violations.empty() ? "" : violations.front()));
+  return mapping;
+}
+
+TaskMapping DefaultMapper::map_task(const GroupTask& task,
+                                    const TaskGraph& graph,
+                                    const MachineModel& machine) {
+  (void)graph;
+  TaskMapping tm;
+  tm.distribute = true;
+  const bool gpu =
+      task.cost.has_gpu_variant() && machine.has_proc_kind(ProcKind::kGpu);
+  tm.proc = gpu ? ProcKind::kGpu : ProcKind::kCpu;
+  const MemKind mem = machine.best_memory_for(tm.proc);
+  tm.arg_memories.assign(task.args.size(), {mem});
+  return tm;
+}
+
+FixedMapper::FixedMapper(std::string name, Mapping mapping)
+    : name_(std::move(name)), mapping_(std::move(mapping)) {}
+
+TaskMapping FixedMapper::map_task(const GroupTask& task,
+                                  const TaskGraph& graph,
+                                  const MachineModel& machine) {
+  (void)graph;
+  (void)machine;
+  return mapping_.at(task.id);
+}
+
+}  // namespace automap

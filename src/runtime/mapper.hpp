@@ -1,0 +1,64 @@
+#pragma once
+
+// Mapper interface, mirroring Legion's dynamic mapping API (§3).
+//
+// A Mapper decides, per group task, the distribution flag, processor kind
+// and per-argument memory kinds. The runtime (here: the simulator harness)
+// queries the mapper for every task; AutoMap's own "mapper" component is a
+// FixedMapper replaying whichever candidate mapping the driver wants
+// evaluated next.
+
+#include <memory>
+#include <string>
+
+#include "src/machine/machine.hpp"
+#include "src/mapping/mapping.hpp"
+#include "src/taskgraph/task_graph.hpp"
+
+namespace automap {
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Kind-level mapping decision for one group task.
+  [[nodiscard]] virtual TaskMapping map_task(const GroupTask& task,
+                                             const TaskGraph& graph,
+                                             const MachineModel& machine) = 0;
+
+  /// Maps every task of a graph (the paper's offline usage).
+  [[nodiscard]] Mapping map_all(const TaskGraph& graph,
+                                const MachineModel& machine);
+};
+
+/// Legion's default mapper heuristics (§5 "Baselines"): distribute group
+/// tasks, place every task on a GPU when it has a GPU variant, and place
+/// each collection in the highest-bandwidth memory addressable from the
+/// chosen processor (Frame-Buffer for GPU tasks).
+class DefaultMapper final : public Mapper {
+ public:
+  [[nodiscard]] std::string name() const override { return "DefaultMapper"; }
+  [[nodiscard]] TaskMapping map_task(const GroupTask& task,
+                                     const TaskGraph& graph,
+                                     const MachineModel& machine) override;
+};
+
+/// Replays a pre-computed full mapping (AutoMap's mapper component: the
+/// driver hands it the next candidate to evaluate).
+class FixedMapper final : public Mapper {
+ public:
+  FixedMapper(std::string name, Mapping mapping);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] TaskMapping map_task(const GroupTask& task,
+                                     const TaskGraph& graph,
+                                     const MachineModel& machine) override;
+
+ private:
+  std::string name_;
+  Mapping mapping_;
+};
+
+}  // namespace automap

@@ -1,0 +1,69 @@
+#pragma once
+
+// Partitioning helpers for writing applications against the mini-Legion
+// Program API. Most task-based codes follow the same pattern: block a
+// region into per-piece sub-collections plus halo views of the neighbors'
+// boundary data (the overlap structure that drives both the dependence
+// analysis and CCD's co-location constraints). These builders construct
+// that structure mechanically.
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/program.hpp"
+
+namespace automap {
+
+/// A 1-D block partition with two-sided halos. For piece i:
+///  * blocks[i] is the owned sub-range;
+///  * halo_lo[i] / halo_hi[i] are read-views of width `halo_width`
+///    extending into the neighbouring pieces (absent, i.e. invalid id, at
+///    the domain boundary).
+struct BlockPartition1D {
+  std::vector<CollectionId> blocks;
+  std::vector<CollectionId> halo_lo;
+  std::vector<CollectionId> halo_hi;
+
+  [[nodiscard]] int num_pieces() const {
+    return static_cast<int>(blocks.size());
+  }
+
+  /// Collection uses for piece i under the given privileges: the block
+  /// plus its existing halos (halo privilege is ReadOnly).
+  [[nodiscard]] std::vector<CollectionUse> piece_uses(
+      int piece, Privilege block_privilege,
+      double access_fraction = 1.0) const;
+};
+
+/// Partitions [lo, hi] of `region` into `pieces` blocks named
+/// "<prefix>_block<i>" with halos "<prefix>_halo_lo/hi<i>". Requires the
+/// range to hold at least `pieces` elements and halo_width smaller than
+/// the smallest block.
+[[nodiscard]] BlockPartition1D make_block_partition_1d(
+    Program& program, RegionId region, std::int64_t lo, std::int64_t hi,
+    int pieces, std::int64_t halo_width, const std::string& prefix);
+
+/// A 2-D block partition with four-sided halos, indexed piece-major
+/// (py * pieces_x + px). Halos are full-edge strips extending into the
+/// neighbouring blocks; absent at domain boundaries.
+struct BlockPartition2D {
+  int pieces_x = 0;
+  int pieces_y = 0;
+  std::vector<CollectionId> blocks;
+  std::vector<CollectionId> halo_xm, halo_xp, halo_ym, halo_yp;
+
+  [[nodiscard]] int num_pieces() const { return pieces_x * pieces_y; }
+  [[nodiscard]] std::size_t index(int px, int py) const {
+    return static_cast<std::size_t>(py) * static_cast<std::size_t>(pieces_x) +
+           static_cast<std::size_t>(px);
+  }
+};
+
+/// Tiles the rectangle [lo_x, hi_x] x [lo_y, hi_y] of `region` into
+/// pieces_x x pieces_y blocks with `halo_width`-wide edge halos.
+[[nodiscard]] BlockPartition2D make_block_partition_2d(
+    Program& program, RegionId region, std::int64_t lo_x, std::int64_t hi_x,
+    std::int64_t lo_y, std::int64_t hi_y, int pieces_x, int pieces_y,
+    std::int64_t halo_width, const std::string& prefix);
+
+}  // namespace automap

@@ -1,0 +1,121 @@
+#include "src/runtime/program.hpp"
+
+#include <optional>
+
+#include "src/support/error.hpp"
+
+namespace automap {
+
+RegionId Program::add_region(std::string name, Rect bounds,
+                             std::uint64_t bytes_per_element) {
+  return shell_.add_region(std::move(name), bounds, bytes_per_element);
+}
+
+CollectionId Program::add_collection(RegionId region, std::string name,
+                                     Rect rect) {
+  return shell_.add_collection(region, std::move(name), rect);
+}
+
+TaskId Program::launch(std::string name, int num_points, TaskCost cost,
+                       std::vector<CollectionUse> args, bool in_main_loop) {
+  const TaskId id =
+      shell_.add_task(std::move(name), num_points, cost, std::move(args));
+  launches_.push_back({.task = id, .in_main_loop = in_main_loop});
+  return id;
+}
+
+TaskGraph Program::lower() const {
+  TaskGraph graph = shell_;  // copies regions/collections/tasks, no edges
+
+  const std::size_t n = launches_.size();
+
+  // Finds, for the consumer at launch position `pos` reading collection
+  // `c`, the nearest preceding writer of each collection overlapping `c`.
+  // Searches straight-line first (same iteration); for main-loop consumers
+  // it then wraps around the loop body (cross-iteration).
+  struct Writer {
+    TaskId task;
+    CollectionId collection;
+    std::uint64_t overlap = 0;
+    bool cross_iteration = false;
+  };
+
+  auto writes_overlapping =
+      [&](std::size_t launch_pos, CollectionId c,
+          bool cross) -> std::vector<Writer> {
+    std::vector<Writer> out;
+    const GroupTask& t = graph.task(launches_[launch_pos].task);
+    for (const CollectionUse& use : t.args) {
+      if (!writes(use.privilege)) continue;
+      const std::uint64_t ov = graph.overlap_bytes(use.collection, c);
+      if (ov == 0) continue;
+      out.push_back({t.id, use.collection, ov, cross});
+    }
+    return out;
+  };
+
+  // For each consumer argument, the set of source collections already
+  // satisfied (a nearer writer of the same data shadows farther ones).
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const Launch& launch = launches_[pos];
+    const GroupTask& task = graph.task(launch.task);
+
+    for (const CollectionUse& use : task.args) {
+      auto connect = [&](Privilege needed_privilege) {
+        const bool want_reads = needed_privilege == Privilege::kReadOnly;
+        std::vector<bool> satisfied(graph.num_collections(), false);
+
+        auto visit = [&](std::size_t producer_pos, bool cross) {
+          for (const Writer& w :
+               writes_overlapping(producer_pos, use.collection, cross)) {
+            if (satisfied[w.collection.index()]) continue;
+            satisfied[w.collection.index()] = true;
+            DependenceEdge e;
+            e.producer = w.task;
+            e.consumer = task.id;
+            e.producer_collection = w.collection;
+            e.consumer_collection = use.collection;
+            e.bytes = w.overlap;
+            e.cross_iteration = cross;
+            // RAW edges move data; WAR/WAW only order execution.
+            e.carries_data = want_reads;
+            // Heuristic (documented in DESIGN.md): an edge between two
+            // *different* collections is boundary data (halo/ghost
+            // exchange) that crosses node blocks; flow through the *same*
+            // collection stays within a block.
+            e.internode_fraction =
+                (w.collection == use.collection) ? 0.0 : 1.0;
+            graph.add_dependence(e);
+          }
+        };
+
+        // Straight-line: nearest preceding writers in program order.
+        for (std::size_t back = 1; back <= pos; ++back)
+          visit(pos - back, /*cross=*/false);
+
+        // Loop-carried: wrap around the main-loop body.
+        if (launch.in_main_loop) {
+          for (std::size_t wrapped = n; wrapped > pos; --wrapped) {
+            const std::size_t producer_pos = wrapped - 1;
+            if (!launches_[producer_pos].in_main_loop) continue;
+            visit(producer_pos, /*cross=*/true);
+          }
+        }
+      };
+
+      if (reads(use.privilege)) connect(Privilege::kReadOnly);
+      // A writer must also wait for the previous writer of the same data
+      // (WAW). WAR edges against previous readers are subsumed in this
+      // model because readers and writers of the same collection already
+      // serialize through the RAW chain; modeling them would only add
+      // duplicate ordering edges.
+      if (writes(use.privilege) && !reads(use.privilege))
+        connect(Privilege::kWriteOnly);
+    }
+  }
+
+  graph.validate();
+  return graph;
+}
+
+}  // namespace automap

@@ -1,0 +1,323 @@
+#include "src/search/coordinate_descent.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/error.hpp"
+
+namespace automap {
+namespace detail {
+
+OverlapMap build_overlap_map(const TaskGraph& graph,
+                             const std::vector<OverlapEdge>& edges,
+                             const std::vector<bool>* frozen) {
+  // arg_refs[collection] -> all (task, arg) uses of that collection.
+  std::vector<std::vector<ArgRef>> uses(graph.num_collections());
+  for (const GroupTask& task : graph.tasks()) {
+    if (frozen != nullptr && (*frozen)[task.id.index()]) continue;
+    for (std::size_t a = 0; a < task.args.size(); ++a)
+      uses[task.args[a].collection.index()].push_back({task.id, a});
+  }
+
+  // Adjacency over collections from the active edges (a == b encodes the
+  // same-collection coupling across tasks).
+  std::vector<std::vector<CollectionId>> adj(graph.num_collections());
+  for (const OverlapEdge& e : edges) {
+    if (e.a == e.b) {
+      adj[e.a.index()].push_back(e.a);
+    } else {
+      adj[e.a.index()].push_back(e.b);
+      adj[e.b.index()].push_back(e.a);
+    }
+  }
+
+  OverlapMap map(graph.num_tasks());
+  for (const GroupTask& task : graph.tasks()) {
+    map[task.id.index()].resize(task.args.size());
+    for (std::size_t a = 0; a < task.args.size(); ++a) {
+      const ArgRef self{task.id, a};
+      const CollectionId c = task.args[a].collection;
+      std::set<ArgRef> related;
+      for (const CollectionId other : adj[c.index()]) {
+        for (const ArgRef& ref : uses[other.index()]) {
+          if (ref == self) continue;
+          related.insert(ref);
+        }
+      }
+      map[task.id.index()][a].assign(related.begin(), related.end());
+    }
+  }
+  return map;
+}
+
+Mapping colocation_constraints(const Mapping& f, TaskId t, std::size_t arg,
+                               ProcKind k, MemKind r,
+                               const OverlapMap& overlap,
+                               const TaskGraph& graph,
+                               const MachineModel& machine) {
+  Mapping fp = f;
+  std::set<TaskId> t_check;
+  std::set<ArgRef> c_check;
+
+  // Map every argument co-located with (t, arg) to r (Algorithm 2 ll. 4-6).
+  t_check.insert(t);
+  for (const ArgRef& ref : overlap[t.index()][arg]) {
+    fp.set_primary_memory(ref.task, ref.arg, r);
+    t_check.insert(ref.task);
+  }
+
+  // Fixed point (ll. 7-26). The loop terminates because in the limit every
+  // task lands on k and every collection on a k-addressable kind; the guard
+  // below only protects against implementation bugs.
+  int guard = static_cast<int>(graph.num_collection_args()) * 8 + 64;
+  while (!t_check.empty() || !c_check.empty()) {
+    AM_CHECK(--guard > 0, "co-location fixed point failed to converge");
+
+    while (!t_check.empty()) {
+      const TaskId ti = *t_check.begin();
+      t_check.erase(t_check.begin());
+      const GroupTask& task_i = graph.task(ti);
+      // First pass: does any argument violate constraint 1 under the
+      // task's current processor? If so, pull the task to k…
+      bool violated = false;
+      for (std::size_t ai = 0; ai < task_i.args.size(); ++ai) {
+        if (!machine.addressable(fp.at(ti).proc, fp.primary_memory(ti, ai)))
+          violated = true;
+      }
+      if (violated && ti != t) fp.at(ti).proc = k;
+      // …then re-check every argument under the (possibly new) processor,
+      // so a processor switch cannot orphan arguments scanned earlier.
+      for (std::size_t ai = 0; ai < task_i.args.size(); ++ai) {
+        if (!machine.addressable(fp.at(ti).proc, fp.primary_memory(ti, ai)))
+          c_check.insert({ti, ai});
+      }
+    }
+
+    while (!c_check.empty()) {
+      const ArgRef ref = *c_check.begin();
+      c_check.erase(c_check.begin());
+
+      // Arguments co-located with the primary decision must stay on r
+      // (Algorithm 2 ll. 17-18). A propagation from a different co-location
+      // class may have overwritten them meanwhile, so re-assert r — and
+      // pull the task to k when its current processor cannot address r.
+      const auto& related = overlap[ref.task.index()][ref.arg];
+      const bool tied_to_primary =
+          (ref.task == t && ref.arg == arg) ||
+          std::find(related.begin(), related.end(), ArgRef{t, arg}) !=
+              related.end();
+      if (tied_to_primary) {
+        fp.set_primary_memory(ref.task, ref.arg, r);
+        if (!machine.addressable(fp.at(ref.task).proc, r)) {
+          if (ref.task != t) fp.at(ref.task).proc = k;
+          t_check.insert(ref.task);
+        }
+        continue;
+      }
+
+      const MemKind m = machine.best_memory_for(fp.at(ref.task).proc);
+      fp.set_primary_memory(ref.task, ref.arg, m);
+      for (const ArgRef& other : related) {
+        if (fp.primary_memory(other.task, other.arg) == m) continue;
+        fp.set_primary_memory(other.task, other.arg, m);
+        if (!machine.addressable(fp.at(other.task).proc, m))
+          t_check.insert(other.task);
+        c_check.erase(other);
+      }
+    }
+  }
+  return fp;
+}
+
+std::vector<TaskId> tasks_by_runtime(const Simulator& sim, const Mapping& f,
+                                     std::uint64_t seed) {
+  const TaskGraph& graph = sim.graph();
+  std::vector<double> runtime(graph.num_tasks(), 0.0);
+  const ExecutionReport report = sim.run(f, seed);
+  if (report.ok) {
+    for (const TaskReport& tr : report.tasks)
+      runtime[tr.task.index()] = tr.compute_seconds;
+  } else {
+    // Fall back to the static CPU cost estimate when profiling fails.
+    for (const GroupTask& task : graph.tasks())
+      runtime[task.id.index()] =
+          task.cost.cpu_seconds_per_point * task.num_points;
+  }
+  std::vector<TaskId> order;
+  order.reserve(graph.num_tasks());
+  for (const GroupTask& task : graph.tasks()) order.push_back(task.id);
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    return runtime[a.index()] > runtime[b.index()];
+  });
+  return order;
+}
+
+namespace {
+
+/// Collection-argument indices of a task, largest collection first
+/// (Algorithm 1 line 14).
+std::vector<std::size_t> args_by_size(const TaskGraph& graph,
+                                      const GroupTask& task) {
+  std::vector<std::size_t> order(task.args.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return graph.collection_bytes(task.args[a].collection) >
+                            graph.collection_bytes(task.args[b].collection);
+                   });
+  return order;
+}
+
+/// TestMapping (Algorithm 1 ll. 20-24): evaluate, keep if strictly better.
+void test_mapping(Evaluator& eval, const Mapping& candidate, Mapping& f,
+                  double& p) {
+  const double pt = eval.evaluate(candidate);
+  if (pt < p) {
+    f = candidate;
+    p = pt;
+  }
+}
+
+/// OptimizeTask (Algorithm 1 ll. 10-19).
+void optimize_task(TaskId t, Mapping& f, double& p, Evaluator& eval,
+                   const Simulator& sim, const OverlapMap* overlap,
+                   bool search_distribution_strategies) {
+  const TaskGraph& graph = sim.graph();
+  const MachineModel& machine = sim.machine();
+  const GroupTask& task = graph.task(t);
+
+  // Distribution setting. The paper searches only distributed-vs-leader;
+  // the extension also proposes a blocked decomposition.
+  struct DistOption {
+    bool distribute;
+    bool blocked;
+  };
+  std::vector<DistOption> dist_options = {{true, false}, {false, false}};
+  if (search_distribution_strategies)
+    dist_options.insert(dist_options.begin() + 1, {true, true});
+  for (const DistOption d : dist_options) {
+    if (eval.budget_exhausted()) return;
+    Mapping candidate = f;
+    candidate.at(t).distribute = d.distribute;
+    candidate.at(t).blocked = d.blocked;
+    test_mapping(eval, candidate, f, p);
+  }
+
+  // Processor kind x per-collection memory kind.
+  for (const ProcKind k : machine.proc_kinds()) {
+    if (k == ProcKind::kGpu && !task.cost.has_gpu_variant()) continue;
+    for (const std::size_t a : args_by_size(graph, task)) {
+      for (const MemKind r : machine.memories_addressable_by(k)) {
+        if (eval.budget_exhausted()) return;
+        Mapping candidate = f;
+        candidate.at(t).proc = k;
+        candidate.set_primary_memory(t, a, r);
+        if (overlap != nullptr) {
+          candidate = detail::colocation_constraints(candidate, t, a, k, r,
+                                                     *overlap, graph, machine);
+        } else {
+          // Plain CD: repair the task's other arguments so the processor
+          // switch yields an executable mapping (the runtime's fallback).
+          for (std::size_t other = 0; other < task.args.size(); ++other) {
+            if (other == a) continue;
+            if (!machine.addressable(k,
+                                     candidate.primary_memory(t, other)))
+              candidate.set_primary_memory(t, other,
+                                           machine.best_memory_for(k));
+          }
+        }
+        test_mapping(eval, candidate, f, p);
+      }
+    }
+  }
+}
+
+SearchResult run_coordinate_descent(const Simulator& sim,
+                                    const SearchOptions& options,
+                                    bool constrained,
+                                    const Mapping* start = nullptr) {
+  Evaluator eval(sim, options);
+  const TaskGraph& graph = sim.graph();
+  const MachineModel& machine = sim.machine();
+
+  Mapping f = start != nullptr ? *start
+                               : search_starting_point(graph, machine);
+  double p = eval.evaluate(f);
+
+  // The overlap graph C, including same-collection coupling edges (a == b)
+  // for collections used by more than one task.
+  std::vector<OverlapEdge> edges;
+  if (constrained) {
+    edges = graph.build_overlap_graph();
+    std::vector<int> users(graph.num_collections(), 0);
+    for (const GroupTask& task : graph.tasks())
+      for (const CollectionUse& use : task.args)
+        ++users[use.collection.index()];
+    for (const Collection& c : graph.collections())
+      if (users[c.id.index()] > 1)
+        edges.push_back({c.id, c.id, graph.collection_bytes(c.id)});
+    // Prune lightest-first: sort descending and trim the tail.
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const OverlapEdge& a, const OverlapEdge& b) {
+                       return a.weight_bytes > b.weight_bytes;
+                     });
+  }
+  const std::size_t original_edges = edges.size();
+
+  std::vector<bool> frozen(graph.num_tasks(), false);
+  for (const TaskId t : options.frozen_tasks) {
+    AM_REQUIRE(t.index() < graph.num_tasks(), "frozen task id out of range");
+    frozen[t.index()] = true;
+  }
+
+  const int rotations = constrained ? options.rotations : 1;
+  Rng profile_rng(mix64(options.seed) ^ 0x1b873593ULL);
+
+  for (int rotation = 0; rotation < rotations; ++rotation) {
+    if (eval.budget_exhausted()) break;
+
+    const detail::OverlapMap overlap =
+        detail::build_overlap_map(graph, edges, &frozen);
+    const std::vector<TaskId> order =
+        detail::tasks_by_runtime(sim, f, profile_rng.next());
+
+    for (const TaskId t : order) {
+      if (eval.budget_exhausted()) break;
+      if (frozen[t.index()]) continue;  // §3.3 subset search
+      optimize_task(t, f, p, eval, sim, constrained ? &overlap : nullptr,
+                    options.search_distribution_strategies);
+    }
+
+    // Relax the data-movement constraint: drop 1/(N-1) of the lightest
+    // edges per rotation so the final rotation runs unconstrained.
+    if (constrained && rotations > 1) {
+      const std::size_t drop =
+          (original_edges + static_cast<std::size_t>(rotations) - 2) /
+          static_cast<std::size_t>(rotations - 1);
+      const std::size_t keep =
+          edges.size() > drop ? edges.size() - drop : 0;
+      edges.resize(keep);
+    }
+  }
+
+  return eval.finalize(constrained ? "AM-CCD" : "AM-CD");
+}
+
+}  // namespace
+}  // namespace detail
+
+SearchResult run_cd(const Simulator& sim, const SearchOptions& options) {
+  return detail::run_coordinate_descent(sim, options, /*constrained=*/false);
+}
+
+SearchResult run_ccd(const Simulator& sim, const SearchOptions& options) {
+  return detail::run_coordinate_descent(sim, options, /*constrained=*/true);
+}
+
+SearchResult run_ccd_from(const Simulator& sim, const SearchOptions& options,
+                          const Mapping& start) {
+  return detail::run_coordinate_descent(sim, options, /*constrained=*/true,
+                                        &start);
+}
+
+}  // namespace automap

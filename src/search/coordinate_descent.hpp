@@ -1,0 +1,78 @@
+#pragma once
+
+// Coordinate-wise descent (CD, §4.1) and constrained coordinate-wise
+// descent (CCD, §4.2; Algorithms 1 and 2 of the paper).
+//
+// Both optimize one mapping decision at a time — distribution flag, then
+// processor kind, then the memory kind of each collection argument — over
+// tasks ordered by measured runtime and collections ordered by size. CCD
+// additionally runs N rotations of full CD under *co-location constraints*:
+// whenever it moves a collection argument to a memory kind, every
+// overlapping collection (and every other use of the same collection) moves
+// with it, and tasks whose arguments became unaddressable are pulled to the
+// new processor kind, iterating to a fixed point (Algorithm 2). After each
+// rotation a fraction of the lightest overlap edges is pruned, so the final
+// rotation is plain CD. The constraints let CCD make the coordinated
+// multi-collection moves that strictly-improving local search cannot (§4.2).
+
+#include "src/search/evaluator.hpp"
+#include "src/search/search.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace automap {
+
+/// Plain coordinate-wise descent (Algorithm 1 without line 17).
+[[nodiscard]] SearchResult run_cd(const Simulator& sim,
+                                  const SearchOptions& options);
+
+/// Constrained coordinate-wise descent (Algorithm 1 + Algorithm 2).
+[[nodiscard]] SearchResult run_ccd(const Simulator& sim,
+                                   const SearchOptions& options);
+
+/// CCD from an explicit starting mapping instead of the §4.1 default
+/// (building block for multi-start variants).
+[[nodiscard]] SearchResult run_ccd_from(const Simulator& sim,
+                                        const SearchOptions& options,
+                                        const Mapping& start);
+
+namespace detail {
+
+/// A collection argument of a task: the unit the co-location map indexes.
+struct ArgRef {
+  TaskId task;
+  std::size_t arg = 0;
+
+  bool operator==(const ArgRef&) const = default;
+  auto operator<=>(const ArgRef&) const = default;
+};
+
+/// The co-location map O (Algorithm 1 line 5): for every collection
+/// argument, the arguments it must move together with under the current
+/// (partially pruned) overlap graph — other uses of the same collection and
+/// uses of overlapping collections.
+using OverlapMap = std::vector<std::vector<std::vector<ArgRef>>>;
+
+/// Builds O from the still-active overlap edges. `edges` uses collection
+/// ids; same-collection coupling is expressed as an edge with a == b.
+/// Arguments of tasks marked in `frozen` (§3.3 subset search) are excluded
+/// from every co-location class — they never co-move.
+[[nodiscard]] OverlapMap build_overlap_map(
+    const TaskGraph& graph, const std::vector<OverlapEdge>& edges,
+    const std::vector<bool>* frozen = nullptr);
+
+/// Algorithm 2: returns f' = f with (t, arg) mapped to (k, r) and the
+/// co-location constraints re-established by fixed-point iteration.
+[[nodiscard]] Mapping colocation_constraints(
+    const Mapping& f, TaskId t, std::size_t arg, ProcKind k, MemKind r,
+    const OverlapMap& overlap, const TaskGraph& graph,
+    const MachineModel& machine);
+
+/// Tasks ordered by decreasing measured runtime under mapping `f`
+/// (Algorithm 1 line 6); ties and failed profiling runs fall back to the
+/// static cost estimate.
+[[nodiscard]] std::vector<TaskId> tasks_by_runtime(const Simulator& sim,
+                                                   const Mapping& f,
+                                                   std::uint64_t seed);
+
+}  // namespace detail
+}  // namespace automap

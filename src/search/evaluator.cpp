@@ -1,0 +1,199 @@
+#include "src/search/evaluator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "src/support/error.hpp"
+
+namespace automap {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Evaluator::Evaluator(const Simulator& sim, const SearchOptions& options)
+    : sim_(sim),
+      options_(options),
+      rng_(mix64(options.seed) ^ 0x5bf03635f0a5a1edULL),
+      best_seconds_(kInf) {
+  AM_REQUIRE(options_.repeats > 0, "repeats must be positive");
+  AM_REQUIRE(options_.rotations > 0, "rotations must be positive");
+  AM_REQUIRE(options_.top_k > 0, "top_k must be positive");
+  if (!options_.profiles_seed.empty())
+    import_profiles(options_.profiles_seed);
+}
+
+std::string Evaluator::export_profiles() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "profiles " << profiles_.size() << "\n";
+  for (const auto& [hash, entry] : profiles_) {
+    os << "entry " << entry.mean_seconds << "\n"
+       << entry.mapping.serialize();
+  }
+  return os.str();
+}
+
+void Evaluator::import_profiles(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  AM_REQUIRE(std::getline(is, line) && line.rfind("profiles ", 0) == 0,
+             "malformed profiles database header");
+  const TaskGraph& graph = sim_.graph();
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    AM_REQUIRE(line.rfind("entry ", 0) == 0,
+               "expected an 'entry' line in the profiles database");
+    const double mean = std::stod(line.substr(6));
+    std::string mapping_text;
+    for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
+      std::string task_line;
+      AM_REQUIRE(std::getline(is, task_line),
+                 "truncated mapping in the profiles database");
+      mapping_text += task_line + "\n";
+    }
+    Mapping mapping = Mapping::parse(mapping_text, graph);
+    const std::uint64_t key = mapping.hash();
+    if (mean < kInf) {
+      const auto pos = std::lower_bound(
+          top_.begin(), top_.end(), mean,
+          [](const Entry& e, double v) { return e.mean_seconds < v; });
+      top_.insert(pos, Entry{mapping, mean});
+      if (top_.size() > static_cast<std::size_t>(options_.top_k))
+        top_.pop_back();
+      best_seconds_ = std::min(best_seconds_, mean);
+    }
+    profiles_.insert_or_assign(key, Entry{std::move(mapping), mean});
+  }
+}
+
+Mapping Evaluator::with_fallbacks(const Mapping& mapping) const {
+  if (!options_.memory_fallbacks) return mapping;
+  Mapping out = mapping;
+  const MachineModel& machine = sim_.machine();
+  for (const GroupTask& task : sim_.graph().tasks()) {
+    TaskMapping& tm = out.at(task.id);
+    // Addressable kinds from this task's processor, best bandwidth first.
+    std::vector<MemKind> order = machine.memories_addressable_by(tm.proc);
+    std::sort(order.begin(), order.end(), [&](MemKind a, MemKind b) {
+      return machine.affinity(tm.proc, a).bandwidth_bytes_per_s >
+             machine.affinity(tm.proc, b).bandwidth_bytes_per_s;
+    });
+    for (auto& priority : tm.arg_memories) {
+      if (priority.empty()) continue;
+      const MemKind primary = priority.front();
+      priority.assign(1, primary);
+      for (const MemKind k : order)
+        if (k != primary) priority.push_back(k);
+    }
+  }
+  return out;
+}
+
+double Evaluator::evaluate(const Mapping& mapping) {
+  ++stats_.suggested;
+
+  const std::uint64_t key = mapping.hash();
+  if (auto it = profiles_.find(key);
+      it != profiles_.end() && it->second.mapping == mapping) {
+    return it->second.mean_seconds;  // profiles-database hit: free
+  }
+
+  const Mapping candidate = with_fallbacks(mapping);
+  if (!candidate.valid(sim_.graph(), sim_.machine())) {
+    ++stats_.invalid;
+    profiles_.insert_or_assign(key, Entry{mapping, kInf});
+    return kInf;
+  }
+
+  // Execute `repeats` runs; each costs its own simulated duration
+  // (whatever the ranking objective, the search pays wall time).
+  double sum = 0.0;
+  bool failed = false;
+  for (int r = 0; r < options_.repeats; ++r) {
+    const ExecutionReport report = sim_.run(candidate, rng_.next());
+    if (!report.ok) {
+      // An OOM surfaces on the first run; it still costs some time to
+      // observe (the runtime aborts during instance allocation).
+      ++stats_.oom;
+      failed = true;
+      break;
+    }
+    sum += options_.objective == Objective::kEnergy ? report.energy_joules
+                                                    : report.total_seconds;
+    stats_.search_time_s += report.total_seconds;
+    stats_.evaluation_time_s += report.total_seconds;
+  }
+  ++stats_.evaluated;
+
+  const double mean = failed ? kInf : sum / options_.repeats;
+  profiles_.insert_or_assign(key, Entry{mapping, mean});
+
+  if (mean < best_seconds_) {
+    best_seconds_ = mean;
+    trajectory_.push_back({stats_.search_time_s, mean});
+  }
+  if (mean < kInf) {
+    // Maintain the top-k list for the finalist protocol.
+    const auto pos = std::lower_bound(
+        top_.begin(), top_.end(), mean,
+        [](const Entry& e, double v) { return e.mean_seconds < v; });
+    top_.insert(pos, Entry{mapping, mean});
+    if (top_.size() > static_cast<std::size_t>(options_.top_k))
+      top_.pop_back();
+  }
+  return mean;
+}
+
+void Evaluator::charge_overhead(double seconds) {
+  AM_REQUIRE(seconds >= 0.0, "negative overhead");
+  stats_.search_time_s += seconds;
+}
+
+bool Evaluator::budget_exhausted() const {
+  return stats_.search_time_s >= options_.time_budget_s;
+}
+
+const Mapping& Evaluator::best() const {
+  AM_REQUIRE(!top_.empty(), "no successful evaluation yet");
+  return top_.front().mapping;
+}
+
+SearchResult Evaluator::finalize(std::string algorithm_name) {
+  SearchResult result;
+  result.algorithm = std::move(algorithm_name);
+
+  double best_final = kInf;
+  for (const Entry& entry : top_) {
+    const Mapping candidate = with_fallbacks(entry.mapping);
+    double sum = 0.0;
+    int ok_runs = 0;
+    for (int r = 0; r < options_.final_repeats; ++r) {
+      const ExecutionReport report = sim_.run(candidate, rng_.next());
+      if (!report.ok) break;
+      sum += options_.objective == Objective::kEnergy
+                 ? report.energy_joules
+                 : report.total_seconds;
+      stats_.search_time_s += report.total_seconds;
+      stats_.evaluation_time_s += report.total_seconds;
+      ++ok_runs;
+    }
+    if (ok_runs == options_.final_repeats) {
+      const double mean = sum / ok_runs;
+      if (mean < best_final) {
+        best_final = mean;
+        result.best = entry.mapping;
+      }
+    }
+  }
+  AM_CHECK(best_final < kInf,
+           "finalist protocol found no executable mapping");
+  result.best_seconds = best_final;
+  result.stats = stats_;
+  result.trajectory = trajectory_;
+  result.profiles_db = export_profiles();
+  return result;
+}
+
+}  // namespace automap

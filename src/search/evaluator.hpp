@@ -1,0 +1,84 @@
+#pragma once
+
+// Candidate-mapping evaluator with a profiles database.
+//
+// This is AutoMap's driver-side measurement machinery (§3, Figure 4): every
+// candidate is executed `repeats` times and the mean is recorded; results
+// are cached in the profiles database so re-suggested mappings cost nothing
+// (the gap between "suggested" and "evaluated" counts in §5.3). Search time
+// is accounted in *simulated* seconds — the sum of the candidate runs'
+// execution times plus any per-suggestion algorithm overhead — so that the
+// Fig. 9 time axis reflects what a real deployment would pay.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mapping/mapping.hpp"
+#include "src/search/search.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace automap {
+
+class Evaluator {
+ public:
+  Evaluator(const Simulator& sim, const SearchOptions& options);
+
+  /// Proposes a mapping for evaluation. Returns its mean execution time in
+  /// seconds; infinity when the mapping is invalid (constraint 1) or runs
+  /// out of memory. Cached mappings return instantly without re-execution.
+  double evaluate(const Mapping& mapping);
+
+  /// Charges algorithm-side overhead (e.g. the ensemble tuner's proposal
+  /// machinery) to the search clock without touching evaluation counters.
+  void charge_overhead(double seconds);
+
+  /// True once the simulated search clock passed the configured budget.
+  [[nodiscard]] bool budget_exhausted() const;
+
+  /// Best mapping so far and its (search-time) mean.
+  [[nodiscard]] const Mapping& best() const;
+  [[nodiscard]] double best_seconds() const { return best_seconds_; }
+  [[nodiscard]] bool has_best() const { return !top_.empty(); }
+
+  /// The finalist protocol (§5): re-runs the top-k mappings
+  /// `final_repeats` times each and returns the fastest, charging the
+  /// reruns to the search clock.
+  [[nodiscard]] SearchResult finalize(std::string algorithm_name);
+
+  [[nodiscard]] const SearchStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<TrajectoryPoint>& trajectory() const {
+    return trajectory_;
+  }
+
+  /// If memory_fallbacks is on, returns a copy of `mapping` whose argument
+  /// priority lists are extended with the remaining addressable memory
+  /// kinds in decreasing bandwidth order (§3.1). Otherwise returns the
+  /// mapping unchanged.
+  [[nodiscard]] Mapping with_fallbacks(const Mapping& mapping) const;
+
+  /// Serializes the profiles database (every measured mapping with its
+  /// mean) for reuse via SearchOptions::profiles_seed.
+  [[nodiscard]] std::string export_profiles() const;
+  /// Seeds the database from a previous export. Entries must match the
+  /// simulator's graph shape; throws Error on malformed text. Imported
+  /// entries do not count as suggested/evaluated.
+  void import_profiles(const std::string& text);
+
+ private:
+  struct Entry {
+    Mapping mapping;
+    double mean_seconds;
+  };
+
+  const Simulator& sim_;
+  SearchOptions options_;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, Entry> profiles_;
+  std::vector<Entry> top_;  // sorted ascending by mean, at most top_k
+  double best_seconds_;
+  SearchStats stats_;
+  std::vector<TrajectoryPoint> trajectory_;
+};
+
+}  // namespace automap

@@ -1,0 +1,58 @@
+#pragma once
+
+// Additional pluggable search algorithms (§3: "the search algorithms are
+// pluggable components that can be replaced"):
+//
+//  * random search — the classic autotuning floor: uniform valid mappings;
+//  * simulated annealing — accepts cost-increasing moves with decaying
+//    probability, the standard answer to the local-minimum problem that
+//    §4.2 argues CCD solves with coordinated moves instead;
+//  * a HEFT-style static list scheduler — representative of the
+//    heterogeneous-scheduling line of work the paper contrasts with (§6):
+//    it assigns each task to the processor kind minimizing its *static*
+//    cost estimate and derives the data placement from the processor
+//    choice (one memory per processor), i.e. it never explores the
+//    task/data trade-off that motivates AutoMap.
+
+#include "src/search/evaluator.hpp"
+#include "src/search/search.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace automap {
+
+/// Uniform random sampling of *valid* mappings under a time budget.
+[[nodiscard]] SearchResult run_random_search(const Simulator& sim,
+                                             const SearchOptions& options);
+
+struct AnnealingConfig {
+  /// Initial acceptance temperature as a fraction of the starting cost.
+  double initial_temperature = 0.2;
+  /// Multiplicative cooling per proposal.
+  double cooling = 0.995;
+  /// Mutations per proposal.
+  int mutations = 2;
+};
+
+/// Simulated annealing over the valid-mapping space.
+[[nodiscard]] SearchResult run_simulated_annealing(
+    const Simulator& sim, const SearchOptions& options,
+    const AnnealingConfig& config = {});
+
+/// HEFT-style static mapping: no search at all. Each task goes to the
+/// processor kind with the lower static execution estimate (compute +
+/// memory traffic from the kind's best memory), its collections to that
+/// kind's highest-bandwidth memory. Returned as a degenerate SearchResult
+/// so it can be compared alongside the search algorithms.
+[[nodiscard]] SearchResult run_heft_static(const Simulator& sim,
+                                           const SearchOptions& options);
+
+/// Multi-start CCD (an "improved algorithm" in the direction the paper's
+/// §7 leaves open): runs CCD from the standard §4.1 starting point plus
+/// `extra_starts` random valid starting points, sharing one profiles
+/// database and one finalist pool. Costs proportionally more search time;
+/// can escape starting-point bias on rugged instances.
+[[nodiscard]] SearchResult run_ccd_multistart(const Simulator& sim,
+                                              const SearchOptions& options,
+                                              int extra_starts = 2);
+
+}  // namespace automap

@@ -1,0 +1,41 @@
+#include "src/search/search.hpp"
+
+#include <cmath>
+
+namespace automap {
+
+Mapping search_starting_point(const TaskGraph& graph,
+                              const MachineModel& machine) {
+  Mapping m(graph);
+  for (const GroupTask& task : graph.tasks()) {
+    TaskMapping& tm = m.at(task.id);
+    tm.distribute = true;
+    const bool gpu =
+        task.cost.has_gpu_variant() && machine.has_proc_kind(ProcKind::kGpu);
+    tm.proc = gpu ? ProcKind::kGpu : ProcKind::kCpu;
+    tm.arg_memories.assign(task.args.size(),
+                           {machine.best_memory_for(tm.proc)});
+  }
+  return m;
+}
+
+double search_space_log2(const TaskGraph& graph, const MachineModel& machine) {
+  // The paper's §3.2 estimate P^T * M^C under its simplifying assumption
+  // (every task can run on every processor kind, M memories addressable
+  // per kind — M = 2 on the machines considered). This reproduces Fig. 5's
+  // exponents exactly: 2^(T + C) with two processor kinds.
+  const double proc_kinds = static_cast<double>(machine.proc_kinds().size());
+
+  // M: the smallest per-processor-kind addressable-memory count (>= 2 on
+  // all machines the paper considers).
+  double mems = static_cast<double>(machine.mem_kinds().size());
+  for (const ProcKind k : machine.proc_kinds()) {
+    mems = std::min(
+        mems, static_cast<double>(machine.memories_addressable_by(k).size()));
+  }
+
+  return static_cast<double>(graph.num_tasks()) * std::log2(proc_kinds) +
+         static_cast<double>(graph.num_collection_args()) * std::log2(mems);
+}
+
+}  // namespace automap

@@ -1,0 +1,122 @@
+#pragma once
+
+// Common search-layer types: options, statistics, results, and the starting
+// point shared by the coordinate-descent algorithms (§4.1).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+#include "src/mapping/mapping.hpp"
+#include "src/taskgraph/task_graph.hpp"
+
+namespace automap {
+
+/// What the search minimizes (§3.3: execution time by default, but AutoMap
+/// is suitable for other metrics such as power/energy).
+enum class Objective {
+  kExecutionTime,
+  kEnergy,
+};
+
+struct SearchOptions {
+  /// CCD rotations (paper: 5; more cost time without gains, fewer reduce
+  /// CCD to CD, §5).
+  int rotations = 5;
+  /// Runs averaged per candidate evaluation (paper: 7).
+  int repeats = 7;
+  /// Simulated wall-clock budget for the search; infinity = run to
+  /// completion (CCD/CD terminate on their own; the ensemble tuner needs a
+  /// budget).
+  double time_budget_s = std::numeric_limits<double>::infinity();
+  /// Seed for evaluation noise and randomized techniques.
+  std::uint64_t seed = 0;
+  /// Finalist protocol (§5): the top_k best mappings are re-run
+  /// final_repeats times and the fastest mean wins.
+  int top_k = 5;
+  int final_repeats = 31;
+  /// §3.1 generalization: append lower-bandwidth fallback memories to every
+  /// argument's priority list so over-capacity choices demote instead of
+  /// failing — used by the memory-constrained experiments (Fig. 8).
+  bool memory_fallbacks = false;
+  /// Metric to minimize. Search *time* accounting always uses execution
+  /// time (that is what a real offline search pays), whichever objective
+  /// ranks the candidates.
+  Objective objective = Objective::kExecutionTime;
+  /// Extension beyond the paper (its stated future work): also search the
+  /// point-to-node distribution strategy (blocked vs round-robin) of each
+  /// group task — the dimension whose absence lets Circuit's custom mapper
+  /// win on some inputs (§5 "Results").
+  bool search_distribution_strategies = false;
+  /// §3.3: the search space may cover "all or a subset of tasks". Tasks
+  /// listed here keep their starting-point mapping and are never touched
+  /// by any algorithm — how Maestro pins its high-fidelity sample to the
+  /// GPUs while only the low-fidelity ensemble is tuned (§5.1).
+  std::vector<TaskId> frozen_tasks;
+  /// Serialized profiles database from a previous search (Figure 4's
+  /// persistent measurement store): candidates already measured return
+  /// their cached means without re-execution, so an interrupted or
+  /// incremental search resumes cheaply. Produced by
+  /// SearchResult::profiles_db.
+  std::string profiles_seed;
+
+  [[nodiscard]] bool is_frozen(TaskId task) const {
+    for (const TaskId t : frozen_tasks)
+      if (t == task) return true;
+    return false;
+  }
+};
+
+/// One point of the Fig. 9 search-progress curves.
+struct TrajectoryPoint {
+  double search_time_s = 0.0;
+  double best_exec_s = 0.0;
+};
+
+struct SearchStats {
+  /// Mappings proposed by the algorithm (§5.3: CCD 1941, CD 389, OT 157k).
+  std::size_t suggested = 0;
+  /// Distinct mappings actually executed (§5.3: 460 / 226 / 273).
+  std::size_t evaluated = 0;
+  /// Proposals rejected without execution: constraint-1 violations.
+  std::size_t invalid = 0;
+  /// Executions that failed with an out-of-memory error.
+  std::size_t oom = 0;
+  /// Total simulated search time and the share spent executing candidates
+  /// (§5.3: 99 % for CCD/CD, 13-45 % for OpenTuner).
+  double search_time_s = 0.0;
+  double evaluation_time_s = 0.0;
+
+  [[nodiscard]] double evaluation_fraction() const {
+    return search_time_s > 0.0 ? evaluation_time_s / search_time_s : 0.0;
+  }
+};
+
+struct SearchResult {
+  std::string algorithm;
+  Mapping best;
+  /// Mean objective value (seconds, or joules under Objective::kEnergy) of
+  /// the winning mapping under the finalist protocol.
+  double best_seconds = std::numeric_limits<double>::infinity();
+  SearchStats stats;
+  std::vector<TrajectoryPoint> trajectory;
+  /// Serialized profiles database accumulated by this search; feed it back
+  /// via SearchOptions::profiles_seed to resume or refine.
+  std::string profiles_db;
+};
+
+/// The §4.1 starting point: group tasks distributed across all nodes, every
+/// task with a GPU variant on the GPU, collections in the chosen
+/// processor's highest-bandwidth memory (Frame-Buffer for GPU tasks).
+[[nodiscard]] Mapping search_starting_point(const TaskGraph& graph,
+                                            const MachineModel& machine);
+
+/// Size of the kind-level search space, log2 (the Fig. 5 "Search Space
+/// Size" column): distribution x processor kinds per task, memory kinds
+/// per collection argument.
+[[nodiscard]] double search_space_log2(const TaskGraph& graph,
+                                       const MachineModel& machine);
+
+}  // namespace automap

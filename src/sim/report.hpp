@@ -1,0 +1,86 @@
+#pragma once
+
+// Execution reports produced by the simulator — the "performance profiles"
+// AutoMap's dynamic analysis consumes (paper §3, Figure 4).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/machine/kinds.hpp"
+#include "src/support/id.hpp"
+
+namespace automap {
+
+/// Per-group-task measurements for one run.
+struct TaskReport {
+  TaskId task;
+  /// Processor kind the task executed on.
+  ProcKind proc = ProcKind::kCpu;
+  /// Busy time of the task's processor pool per iteration (seconds).
+  double compute_seconds = 0.0;
+  /// Time spent waiting on incoming copies per iteration (seconds).
+  double copy_wait_seconds = 0.0;
+};
+
+/// Memory-kind footprint actually allocated by a run.
+struct MemoryFootprint {
+  MemKind kind = MemKind::kSystem;
+  /// Peak bytes resident in the fullest single allocation of this kind.
+  std::uint64_t peak_instance_bytes = 0;
+  /// Capacity of one allocation of this kind.
+  std::uint64_t capacity_bytes = 0;
+};
+
+/// One scheduled activity of a run, for timeline visualization. Only
+/// recorded when SimOptions::record_trace is set.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kTask, kCopy };
+  Kind kind = Kind::kTask;
+  /// Task name, or "src->dst" channel description for copies.
+  std::string name;
+  /// "GPU"/"CPU" pool or channel resource label.
+  std::string resource;
+  int iteration = 0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+/// Result of simulating one execution of the application under a mapping.
+struct ExecutionReport {
+  /// True when every collection argument found a memory with capacity; when
+  /// false the run failed with an out-of-memory error and the timing fields
+  /// are meaningless (the driver skips such mappings, §5.2).
+  bool ok = false;
+  std::string failure;
+
+  /// End-to-end wall time of the simulated run (seconds).
+  double total_seconds = 0.0;
+  /// Main-loop iterations executed.
+  int iterations = 0;
+  /// total_seconds / iterations — the per-iteration metric of Figure 9.
+  [[nodiscard]] double seconds_per_iteration() const {
+    return iterations > 0 ? total_seconds / iterations : total_seconds;
+  }
+
+  /// Bytes moved by inferred copies, per iteration.
+  std::uint64_t intra_node_copy_bytes = 0;
+  std::uint64_t inter_node_copy_bytes = 0;
+
+  /// Estimated processor energy of the whole run (busy time x per-instance
+  /// power, plus a fixed per-byte cost for copies) — the alternative
+  /// objective of §3.3.
+  double energy_joules = 0.0;
+
+  std::vector<TaskReport> tasks;
+  std::vector<MemoryFootprint> footprints;
+
+  /// Count of collection arguments that were demoted to a lower-priority
+  /// memory kind because the first choice was full (§3.1 priority lists).
+  int demoted_args = 0;
+
+  /// Timeline events; empty unless SimOptions::record_trace.
+  std::vector<TraceEvent> trace;
+};
+
+}  // namespace automap

@@ -1,0 +1,456 @@
+#include "src/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/support/error.hpp"
+#include "src/support/format.hpp"
+
+namespace automap {
+
+namespace {
+
+/// ceil(a / b) for positive integers.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Index of the (first) argument of `task` that carries `collection`.
+std::size_t arg_index_of(const GroupTask& task, CollectionId collection) {
+  for (std::size_t i = 0; i < task.args.size(); ++i)
+    if (task.args[i].collection == collection) return i;
+  AM_UNREACHABLE("dependence edge references a collection the task lacks");
+}
+
+}  // namespace
+
+Simulator::Simulator(const MachineModel& machine, const TaskGraph& graph,
+                     SimOptions options)
+    : machine_(machine), graph_(graph), options_(options) {
+  AM_REQUIRE(options_.iterations > 0, "iterations must be positive");
+  AM_REQUIRE(options_.noise_sigma >= 0.0, "noise sigma must be >= 0");
+  machine_.validate();
+  graph_.validate();
+  topo_order_ = graph_.topological_order();
+  incoming_.resize(graph_.num_tasks());
+  for (const DependenceEdge& e : graph_.edges())
+    incoming_[e.consumer.index()].push_back(e);
+}
+
+Simulator::Resolution Simulator::resolve_memories(
+    const Mapping& mapping) const {
+  Resolution res;
+  res.args.resize(graph_.num_tasks());
+
+  const int num_nodes = machine_.num_nodes();
+
+  // Per (node, mem kind): bytes committed to the *fullest single instance*
+  // of that kind. We charge each collection instance divided over the
+  // allocations that hold it (sockets for System, GPUs for FrameBuffer).
+  std::vector<std::array<std::uint64_t, kNumMemKinds>> used(
+      static_cast<std::size_t>(num_nodes), {0, 0, 0});
+
+  // A collection instantiated once per (collection, kind, distributed) is
+  // shared by all tasks that agree on those coordinates.
+  std::set<std::tuple<std::uint32_t, std::size_t, bool>> instantiated;
+
+  for (const GroupTask& task : graph_.tasks()) {
+    const TaskMapping& tm = mapping.at(task.id);
+    AM_REQUIRE(tm.arg_memories.size() == task.args.size(),
+               "mapping shape mismatch for task " + task.name);
+    auto& resolved = res.args[task.id.index()];
+    resolved.resize(task.args.size());
+
+    const bool distributed = tm.distribute && num_nodes > 1;
+    const int nodes_used = distributed ? num_nodes : 1;
+    const std::int64_t points_per_node =
+        ceil_div(task.num_points, nodes_used);
+
+    for (std::size_t a = 0; a < task.args.size(); ++a) {
+      const CollectionId cid = task.args[a].collection;
+      const std::uint64_t total_bytes = graph_.collection_bytes(cid);
+      const std::uint64_t node_share =
+          total_bytes / static_cast<std::uint64_t>(nodes_used);
+
+      bool placed = false;
+      for (std::size_t pri = 0; pri < tm.arg_memories[a].size(); ++pri) {
+        const MemKind kind = tm.arg_memories[a][pri];
+        if (!machine_.addressable(tm.proc, kind)) continue;
+
+        const auto key = std::make_tuple(cid.value(), index_of(kind),
+                                         distributed);
+        if (instantiated.contains(key)) {
+          // Already resident in this kind with the same layout; reuse it.
+          resolved[a] = {.memory = kind, .demoted = pri > 0};
+          if (pri > 0) ++res.demoted_args;
+          placed = true;
+          break;
+        }
+
+        // Bytes charged to the fullest allocation of this kind on a node:
+        // a distributed collection interleaves across the kind's per-node
+        // allocations it can use.
+        const int allocs = machine_.mems_per_node(kind);
+        const int spread = static_cast<int>(std::max<std::int64_t>(
+            1, std::min<std::int64_t>(allocs, points_per_node)));
+        const std::uint64_t instance_share =
+            node_share / static_cast<std::uint64_t>(spread);
+        const std::uint64_t capacity = machine_.mem_capacity(kind);
+
+        bool fits = true;
+        for (int n = 0; n < nodes_used; ++n) {
+          if (used[static_cast<std::size_t>(n)][index_of(kind)] +
+                  instance_share >
+              capacity) {
+            fits = false;
+            break;
+          }
+        }
+        if (!fits) continue;
+
+        for (int n = 0; n < nodes_used; ++n)
+          used[static_cast<std::size_t>(n)][index_of(kind)] += instance_share;
+        instantiated.insert(key);
+        resolved[a] = {.memory = kind, .demoted = pri > 0};
+        if (pri > 0) ++res.demoted_args;
+        placed = true;
+        break;
+      }
+
+      if (!placed) {
+        std::ostringstream os;
+        os << "out of memory: no memory kind in the priority list of task "
+           << task.name << " argument "
+           << graph_.collection(cid).name << " ("
+           << format_bytes(total_bytes) << ") has capacity left";
+        res.failure = os.str();
+        return res;
+      }
+    }
+  }
+
+  for (const MemKind kind : machine_.mem_kinds()) {
+    std::uint64_t peak = 0;
+    for (const auto& node_used : used)
+      peak = std::max(peak, node_used[index_of(kind)]);
+    res.footprints.push_back({.kind = kind,
+                              .peak_instance_bytes = peak,
+                              .capacity_bytes = machine_.mem_capacity(kind)});
+  }
+  res.ok = true;
+  return res;
+}
+
+double Simulator::task_duration(const GroupTask& task, const TaskMapping& tm,
+                                const std::vector<ResolvedArg>& args) const {
+  const ProcGroup& pg = machine_.proc_group(tm.proc);
+  const int num_nodes = machine_.num_nodes();
+  const bool distributed = tm.distribute && num_nodes > 1;
+  const int nodes_used = distributed ? num_nodes : 1;
+
+  const std::int64_t points_per_node = ceil_div(task.num_points, nodes_used);
+  const std::int64_t waves = ceil_div(points_per_node, pg.count_per_node);
+
+  const double compute_per_point =
+      (tm.proc == ProcKind::kGpu ? task.cost.gpu_seconds_per_point
+                                 : task.cost.cpu_seconds_per_point) /
+      pg.speed;
+  AM_CHECK(compute_per_point >= 0.0, "task mapped to missing variant");
+
+  // Launch overhead and compute serialize in waves over the pool.
+  const double compute_time =
+      static_cast<double>(waves) *
+      (pg.launch_overhead_s + compute_per_point);
+
+  // Memory access is pool-level: all points on a node stream their bytes
+  // through the shared affinity bandwidth (per-allocation for FrameBuffer,
+  // engaging as many GPUs as the group occupies).
+  double mem_time = 0.0;
+  for (std::size_t a = 0; a < task.args.size(); ++a) {
+    const CollectionUse& use = task.args[a];
+    const MemKind mem = args[a].memory;
+    const Affinity aff = machine_.affinity(tm.proc, mem);
+    const double node_bytes =
+        static_cast<double>(graph_.collection_bytes(use.collection)) *
+        use.access_fraction / static_cast<double>(nodes_used);
+
+    // Allocations engaged in parallel: GPUs for FrameBuffer, one shared
+    // aggregate otherwise (System's two sockets are already folded into
+    // the affinity figure).
+    double engaged = 1.0;
+    if (mem == MemKind::kFrameBuffer) {
+      engaged = static_cast<double>(std::min<std::int64_t>(
+          std::min(pg.count_per_node,
+                   machine_.mems_per_node(MemKind::kFrameBuffer)),
+          points_per_node));
+    }
+    const double bw = aff.bandwidth_bytes_per_s * engaged;
+
+    double seconds = aff.latency_s * static_cast<double>(waves);
+    if (tm.proc == ProcKind::kCpu && mem == MemKind::kSystem &&
+        machine_.mems_per_node(MemKind::kSystem) > 1) {
+      // NUMA: with per-socket System allocations, roughly half of a CPU
+      // pool's accesses cross to the far socket's allocation through the
+      // cross-socket link (Legion keeps one instance per socket and
+      // transfers between them). Zero-Copy is a single allocation visible
+      // to all processors and avoids this — the effect the paper calls out
+      // for Stencil (§5).
+      const double cross_bw =
+          std::min(bw, 2.0 * machine_.cross_socket_channel()
+                                 .bandwidth_bytes_per_s);
+      seconds += 0.5 * node_bytes / bw + 0.5 * node_bytes / cross_bw;
+    } else {
+      seconds += node_bytes / bw;
+    }
+    mem_time += seconds;
+  }
+
+  // Mapping-independent per-launch runtime cost (dependence analysis,
+  // mapper queries, instance binding on the reserved runtime cores).
+  return machine_.runtime_overhead() + compute_time + mem_time;
+}
+
+ExecutionReport Simulator::run(const Mapping& mapping,
+                               std::uint64_t seed) const {
+  ExecutionReport report;
+  report.iterations = options_.iterations;
+
+  {
+    const auto violations = mapping.violations(graph_, machine_);
+    if (!violations.empty()) {
+      report.failure = "invalid mapping: " + violations.front();
+      return report;
+    }
+  }
+
+  const Resolution res = resolve_memories(mapping);
+  if (!res.ok) {
+    report.failure = res.failure;
+    return report;
+  }
+  report.footprints = res.footprints;
+  report.demoted_args = res.demoted_args;
+
+  Rng rng(mix64(seed) ^ mapping.hash());
+  const int num_nodes = machine_.num_nodes();
+  const auto& topo = topo_order_;
+
+  // Resource state, carried across iterations.
+  // Processor pools: busy-until per (proc kind, node).
+  std::vector<std::array<double, kNumProcKinds>> pool_busy(
+      static_cast<std::size_t>(num_nodes), {0.0, 0.0});
+  // Copy channels: busy-until per (src kind, dst kind, inter-node).
+  std::map<std::tuple<std::size_t, std::size_t, bool>, double> channel_busy;
+
+  std::vector<double> finish_prev(graph_.num_tasks(), 0.0);
+  std::vector<double> finish_cur(graph_.num_tasks(), 0.0);
+
+  report.tasks.resize(graph_.num_tasks());
+  for (std::size_t i = 0; i < graph_.num_tasks(); ++i)
+    report.tasks[i].task = TaskId(i);
+
+  const double copy_noise_sigma = options_.noise_sigma * 0.5;
+  double makespan = 0.0;
+
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    for (const TaskId tid : topo) {
+      const GroupTask& task = graph_.task(tid);
+      const TaskMapping& tm = mapping.at(tid);
+      const auto& resolved = res.args[tid.index()];
+
+      // 1. Data arrival: producers' finish plus any inferred copies.
+      double ready = 0.0;
+      for (const DependenceEdge& edge : incoming_[tid.index()]) {
+        const DependenceEdge* e = &edge;
+        double produced_at;
+        if (e->cross_iteration) {
+          if (iter == 0) continue;  // initial data is in place
+          produced_at = finish_prev[e->producer.index()];
+        } else {
+          produced_at = finish_cur[e->producer.index()];
+        }
+
+        if (!e->carries_data) {
+          // Pure ordering dependence (WAR/WAW): serializes, moves nothing.
+          ready = std::max(ready, produced_at);
+          continue;
+        }
+
+        const GroupTask& prod_task = graph_.task(e->producer);
+        const TaskMapping& ptm = mapping.at(e->producer);
+        const MemKind src =
+            res.args[e->producer.index()]
+                    [arg_index_of(prod_task, e->producer_collection)]
+                        .memory;
+        const MemKind dst =
+            resolved[arg_index_of(task, e->consumer_collection)].memory;
+
+        const bool p_dist = ptm.distribute && num_nodes > 1;
+        const bool c_dist = tm.distribute && num_nodes > 1;
+        const double bytes = static_cast<double>(e->bytes);
+        // Cross-collection (halo/ghost) flow moves between *instances* even
+        // when both live in the same memory kind — per-socket System
+        // allocations and per-GPU Frame-Buffers require a staging copy.
+        // Zero-Copy is a single node-wide allocation, so it alone is exempt:
+        // this is the System-vs-ZeroCopy distinction the paper calls out
+        // for Stencil (§5).
+        const bool cross_collection =
+            e->producer_collection != e->consumer_collection;
+        const bool intra_copy_needed =
+            src != dst || (cross_collection && src != MemKind::kZeroCopy);
+        // Round-robin point placement scatters neighboring points across
+        // nodes, inflating the boundary traffic a blocked decomposition
+        // would keep local (the custom-mapper advantage on Circuit, §5).
+        const double internode_fraction =
+            (ptm.blocked && tm.blocked)
+                ? e->internode_fraction
+                : std::min(1.0, e->internode_fraction * 1.6);
+
+        // Copy legs: (bytes to move, effective per-node parallelism,
+        // inter-node?). Legs queue on their channel in sequence.
+        struct Leg {
+          double bytes = 0.0;
+          double parallelism = 1.0;
+          bool inter = false;
+        };
+        std::vector<Leg> legs;
+        if (p_dist && c_dist) {
+          const double inter_bytes = bytes * internode_fraction;
+          if (inter_bytes > 0.0)
+            legs.push_back({inter_bytes, double(num_nodes), true});
+          if (intra_copy_needed) {
+            const double intra = bytes - inter_bytes;
+            if (intra > 0.0)
+              legs.push_back({intra, double(num_nodes), false});
+          }
+        } else if (p_dist != c_dist) {
+          // Gather to / scatter from the leader node: (N-1)/N of the data
+          // crosses the network serially into one endpoint.
+          const double inter_bytes =
+              bytes * static_cast<double>(num_nodes - 1) /
+              static_cast<double>(num_nodes);
+          if (inter_bytes > 0.0) legs.push_back({inter_bytes, 1.0, true});
+          if (intra_copy_needed)
+            legs.push_back(
+                {bytes / static_cast<double>(num_nodes), 1.0, false});
+        } else {
+          // Both on the leader node (or a single-node machine).
+          if (intra_copy_needed) legs.push_back({bytes, 1.0, false});
+        }
+
+        double arrival = produced_at;
+        for (const Leg& leg : legs) {
+          const Channel ch = machine_.channel(src, dst, leg.inter);
+          double elapsed =
+              ch.latency_s +
+              leg.bytes / leg.parallelism / ch.bandwidth_bytes_per_s;
+          if (copy_noise_sigma > 0.0)
+            elapsed *= rng.lognormal_factor(copy_noise_sigma);
+          auto& busy = channel_busy[{index_of(src), index_of(dst), leg.inter}];
+          const double start = std::max(arrival, busy);
+          busy = start + elapsed;
+          arrival = busy;
+          if (options_.record_trace) {
+            report.trace.push_back(
+                {.kind = TraceEvent::Kind::kCopy,
+                 .name = std::string(to_string(src)) + "->" +
+                         std::string(to_string(dst)) + " for " + task.name,
+                 .resource = std::string(leg.inter ? "network " : "channel ") +
+                             std::string(to_string(src)) + "-" +
+                             std::string(to_string(dst)),
+                 .iteration = iter,
+                 .start_s = start,
+                 .duration_s = elapsed});
+          }
+          if (leg.inter) {
+            report.inter_node_copy_bytes +=
+                static_cast<std::uint64_t>(leg.bytes);
+            report.energy_joules += leg.bytes * 0.5e-9;  // NIC + switches
+          } else {
+            report.intra_node_copy_bytes +=
+                static_cast<std::uint64_t>(leg.bytes);
+            report.energy_joules += leg.bytes * 20e-12;  // DMA engines
+          }
+        }
+        ready = std::max(ready, arrival);
+      }
+
+      // 2. Processor pool availability on every node the task occupies.
+      const bool distributed = tm.distribute && num_nodes > 1;
+      const int nodes_used = distributed ? num_nodes : 1;
+      double pool_free = 0.0;
+      for (int n = 0; n < nodes_used; ++n)
+        pool_free = std::max(
+            pool_free,
+            pool_busy[static_cast<std::size_t>(n)][index_of(tm.proc)]);
+
+      const double start = std::max(ready, pool_free);
+      double duration = task_duration(task, tm, resolved);
+      if (options_.noise_sigma > 0.0)
+        duration *= rng.lognormal_factor(options_.noise_sigma);
+      const double finish = start + duration;
+
+      for (int n = 0; n < nodes_used; ++n)
+        pool_busy[static_cast<std::size_t>(n)][index_of(tm.proc)] = finish;
+      finish_cur[tid.index()] = finish;
+      makespan = std::max(makespan, finish);
+
+      // Energy: busy instances x busy time (per-instance power), across
+      // the nodes the group occupies.
+      const ProcGroup& pg = machine_.proc_group(tm.proc);
+      const std::int64_t points_per_node =
+          (task.num_points + nodes_used - 1) / nodes_used;
+      const double busy_instances = static_cast<double>(
+          std::min<std::int64_t>(points_per_node, pg.count_per_node));
+      report.energy_joules +=
+          duration * pg.watts_busy * busy_instances * nodes_used;
+      if (options_.record_trace) {
+        report.trace.push_back({.kind = TraceEvent::Kind::kTask,
+                                .name = task.name,
+                                .resource = std::string(to_string(tm.proc)) +
+                                            " pool",
+                                .iteration = iter,
+                                .start_s = start,
+                                .duration_s = duration});
+      }
+
+      TaskReport& tr = report.tasks[tid.index()];
+      tr.proc = tm.proc;
+      tr.compute_seconds += duration;
+      tr.copy_wait_seconds += std::max(0.0, ready - pool_free);
+    }
+    std::swap(finish_prev, finish_cur);
+  }
+
+  // Per-iteration averages for the task reports.
+  for (auto& tr : report.tasks) {
+    tr.compute_seconds /= options_.iterations;
+    tr.copy_wait_seconds /= options_.iterations;
+  }
+  report.intra_node_copy_bytes /=
+      static_cast<std::uint64_t>(options_.iterations);
+  report.inter_node_copy_bytes /=
+      static_cast<std::uint64_t>(options_.iterations);
+
+  report.ok = true;
+  report.total_seconds = makespan;
+  return report;
+}
+
+double Simulator::mean_total_seconds(const Mapping& mapping,
+                                     std::uint64_t seed, int repeats) const {
+  AM_REQUIRE(repeats > 0, "repeats must be positive");
+  double sum = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const ExecutionReport rep = run(mapping, mix64(seed + 1000003ULL * r));
+    if (!rep.ok) return std::numeric_limits<double>::infinity();
+    sum += rep.total_seconds;
+  }
+  return sum / repeats;
+}
+
+}  // namespace automap

@@ -1,0 +1,102 @@
+#pragma once
+
+// Distributed-machine execution simulator.
+//
+// This is the substrate that replaces the paper's physical clusters: given a
+// machine model, a task graph and a mapping, it simulates a run and returns
+// a (noisy) execution time, exactly the black-box signal AutoMap's dynamic
+// search consumes. The model charges:
+//
+//   * compute: per-point work on the chosen processor kind, executed in
+//     waves over the node's processor pool (a 1-GPU node serializes group
+//     points; a 48-core CPU pool runs 48 at a time);
+//   * launch overhead: fixed per point per kind — the term that makes small
+//     weak-scaled inputs favour CPU mappings, as in the paper's Fig. 6;
+//   * memory access: bytes touched per point over the processor->memory
+//     affinity bandwidth (Frame-Buffer fast, Zero-Copy slow across PCIe);
+//     System memory additionally pays a NUMA penalty for the half of a CPU
+//     pool on the far socket (the paper's Stencil System-vs-ZeroCopy
+//     observation, §5);
+//   * data movement: copies inferred from producer/consumer memory-kind and
+//     distribution mismatches, with per-channel serialization, intra-node
+//     vs inter-node bandwidths, and gather/scatter for leader-only groups;
+//   * capacity: an allocation pass walks each argument's memory priority
+//     list and fails the run (OOM) when nothing fits (§3.1, §5.2);
+//   * noise: multiplicative log-normal run-to-run variation, so the driver
+//     must average repeated runs like the real system does.
+
+#include <cstdint>
+
+#include "src/machine/machine.hpp"
+#include "src/mapping/mapping.hpp"
+#include "src/sim/report.hpp"
+#include "src/support/rng.hpp"
+#include "src/taskgraph/task_graph.hpp"
+
+namespace automap {
+
+struct SimOptions {
+  /// Main-loop iterations to simulate.
+  int iterations = 10;
+  /// Log-normal sigma of per-task execution noise; 0 disables noise.
+  double noise_sigma = 0.05;
+  /// Record per-task/per-copy timeline events in the report (costs memory;
+  /// off during search, on for visualization).
+  bool record_trace = false;
+};
+
+class Simulator {
+ public:
+  /// The graph and machine must outlive the simulator.
+  Simulator(const MachineModel& machine, const TaskGraph& graph,
+            SimOptions options = {});
+
+  /// Simulates one run. `seed` individualizes the noise; runs with equal
+  /// seeds and mappings are bit-identical.
+  [[nodiscard]] ExecutionReport run(const Mapping& mapping,
+                                    std::uint64_t seed) const;
+
+  /// Convenience: runs `repeats` times with derived seeds and returns the
+  /// mean total time, or infinity if any run fails (OOM).
+  [[nodiscard]] double mean_total_seconds(const Mapping& mapping,
+                                          std::uint64_t seed,
+                                          int repeats) const;
+
+  [[nodiscard]] const MachineModel& machine() const { return machine_; }
+  [[nodiscard]] const TaskGraph& graph() const { return graph_; }
+  [[nodiscard]] const SimOptions& options() const { return options_; }
+
+ private:
+  struct ResolvedArg {
+    MemKind memory = MemKind::kSystem;
+    bool demoted = false;
+  };
+  struct Resolution {
+    bool ok = false;
+    std::string failure;
+    // Indexed [task][arg].
+    std::vector<std::vector<ResolvedArg>> args;
+    std::vector<MemoryFootprint> footprints;
+    int demoted_args = 0;
+  };
+
+  /// Allocation pass: picks a concrete memory kind per argument from its
+  /// priority list under per-instance capacity accounting.
+  [[nodiscard]] Resolution resolve_memories(const Mapping& mapping) const;
+
+  /// Wave-execution time of one group task on its pool (excluding waits).
+  [[nodiscard]] double task_duration(const GroupTask& task,
+                                     const TaskMapping& tm,
+                                     const std::vector<ResolvedArg>& args)
+      const;
+
+  const MachineModel& machine_;
+  const TaskGraph& graph_;
+  SimOptions options_;
+  // Hot-path caches: the search evaluates thousands of mappings against the
+  // same graph, so per-run recomputation would dominate.
+  std::vector<TaskId> topo_order_;
+  std::vector<std::vector<DependenceEdge>> incoming_;
+};
+
+}  // namespace automap

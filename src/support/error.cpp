@@ -1,0 +1,16 @@
+#include "src/support/error.hpp"
+
+#include <sstream>
+
+namespace automap::detail {
+
+void fail(std::string_view kind, std::string_view cond, std::string_view file,
+          int line, std::string_view msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << kind << " failed";
+  if (!cond.empty()) os << ": " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace automap::detail

@@ -1,0 +1,51 @@
+#pragma once
+
+// Error handling primitives used across the library.
+//
+// Programming errors (violated preconditions, internal invariants) throw
+// automap::Error via the AM_CHECK / AM_REQUIRE macros; recoverable conditions
+// (an unmappable candidate, an out-of-memory mapping) are reported through
+// return values, never exceptions.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace automap {
+
+/// Exception thrown on violated invariants and preconditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(std::string_view kind, std::string_view cond,
+                       std::string_view file, int line, std::string_view msg);
+}  // namespace detail
+
+/// Internal invariant check. Active in all build types: the library is a
+/// research artifact where silent corruption is worse than the (negligible)
+/// branch cost.
+#define AM_CHECK(cond, ...)                                        \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::automap::detail::fail("invariant", #cond, __FILE__,        \
+                              __LINE__, ::std::string{__VA_ARGS__}); \
+    }                                                              \
+  } while (false)
+
+/// Precondition check on public API entry points.
+#define AM_REQUIRE(cond, ...)                                      \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::automap::detail::fail("precondition", #cond, __FILE__,     \
+                              __LINE__, ::std::string{__VA_ARGS__}); \
+    }                                                              \
+  } while (false)
+
+/// Marks unreachable control flow.
+#define AM_UNREACHABLE(msg)                                                  \
+  ::automap::detail::fail("unreachable", "", __FILE__, __LINE__, (msg))
+
+}  // namespace automap

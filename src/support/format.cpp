@@ -1,0 +1,51 @@
+#include "src/support/format.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace automap {
+
+std::string format_bytes(std::uint64_t bytes) {
+  constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB", "GiB",
+                                                 "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_speedup(double ratio) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+  return buf;
+}
+
+}  // namespace automap

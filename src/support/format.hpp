@@ -1,0 +1,22 @@
+#pragma once
+
+// Human-readable formatting helpers for reports and benches.
+
+#include <cstdint>
+#include <string>
+
+namespace automap {
+
+/// "16.0 GiB", "512.0 MiB", "1.2 KiB", "17 B".
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// "1.234 s", "12.3 ms", "456 us".
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// Fixed-precision decimal, e.g. format_fixed(1.5, 2) == "1.50".
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+/// "1.23x" speedup notation.
+[[nodiscard]] std::string format_speedup(double ratio);
+
+}  // namespace automap

@@ -1,0 +1,72 @@
+#pragma once
+
+// Strongly-typed integer identifiers.
+//
+// Machine/task-graph entities are referenced by dense indices into owner
+// containers. Wrapping the index in a tag-parameterized type prevents mixing
+// a TaskId with a CollectionId at compile time.
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace automap {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr Id() = default;
+  /// Accepts any integral index; stored narrowed to 32 bits.
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  constexpr explicit Id(Int value)
+      : value_(static_cast<underlying_type>(value)) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+struct TaskTag {};
+struct CollectionTag {};
+struct RegionTag {};
+struct ProcTag {};
+struct MemTag {};
+struct NodeTag {};
+
+using TaskId = Id<TaskTag>;
+using CollectionId = Id<CollectionTag>;
+using RegionId = Id<RegionTag>;
+using ProcId = Id<ProcTag>;
+using MemId = Id<MemTag>;
+using NodeId = Id<NodeTag>;
+
+}  // namespace automap
+
+namespace std {
+template <typename Tag>
+struct hash<automap::Id<Tag>> {
+  size_t operator()(automap::Id<Tag> id) const noexcept {
+    return std::hash<typename automap::Id<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

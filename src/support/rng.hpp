@@ -1,0 +1,68 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the library (execution-time noise, randomized
+// search techniques) flows through Rng so that every experiment is exactly
+// reproducible from a seed. The generator is xoshiro256**, seeded via
+// SplitMix64, following the reference implementations by Blackman & Vigna.
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace automap {
+
+/// SplitMix64 step; used for seeding and for cheap hash mixing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mixes a value through one SplitMix64 round (stateless convenience).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t value);
+
+/// xoshiro256** PRNG with distribution helpers. Satisfies the
+/// UniformRandomBitGenerator requirements so it can drive <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t uniform_index(std::uint64_t bound);
+
+  /// Standard normal via Box–Muller (cached second sample).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal multiplicative factor with median 1 and shape sigma:
+  /// exp(sigma * N(0,1)). Models run-to-run execution-time variation.
+  double lognormal_factor(double sigma);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator (for parallel replicas).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace automap

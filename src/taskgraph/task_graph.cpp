@@ -1,0 +1,208 @@
+#include "src/taskgraph/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "src/support/error.hpp"
+#include "src/support/format.hpp"
+
+namespace automap {
+
+const char* to_string(Privilege p) {
+  switch (p) {
+    case Privilege::kReadOnly:
+      return "RO";
+    case Privilege::kWriteOnly:
+      return "WO";
+    case Privilege::kReadWrite:
+      return "RW";
+    case Privilege::kReduce:
+      return "RD";
+  }
+  AM_UNREACHABLE("bad Privilege");
+}
+
+RegionId TaskGraph::add_region(std::string name, Rect bounds,
+                               std::uint64_t bytes_per_element) {
+  AM_REQUIRE(!bounds.empty(), "region bounds must be non-empty");
+  AM_REQUIRE(bytes_per_element > 0, "bytes_per_element must be positive");
+  const RegionId id(regions_.size());
+  regions_.push_back(
+      {.id = id, .name = std::move(name), .bounds = bounds,
+       .bytes_per_element = bytes_per_element});
+  return id;
+}
+
+CollectionId TaskGraph::add_collection(RegionId region, std::string name,
+                                       Rect rect) {
+  AM_REQUIRE(region.index() < regions_.size(), "unknown region");
+  AM_REQUIRE(!rect.empty(), "collection rectangle must be non-empty");
+  AM_REQUIRE(regions_[region.index()].bounds.contains(rect),
+             "collection must lie inside its region: " + name);
+  const CollectionId id(collections_.size());
+  collections_.push_back(
+      {.id = id, .region = region, .name = std::move(name), .rect = rect});
+  return id;
+}
+
+TaskId TaskGraph::add_task(std::string name, int num_points, TaskCost cost,
+                           std::vector<CollectionUse> args) {
+  AM_REQUIRE(num_points > 0, "group task needs at least one point");
+  AM_REQUIRE(cost.cpu_seconds_per_point > 0.0,
+             "every task needs a CPU variant with positive cost");
+  for (const auto& use : args) {
+    AM_REQUIRE(use.collection.index() < collections_.size(),
+               "task argument references unknown collection");
+    AM_REQUIRE(use.access_fraction > 0.0 && use.access_fraction <= 1.0,
+               "access_fraction must be in (0, 1]");
+  }
+  const TaskId id(tasks_.size());
+  tasks_.push_back({.id = id,
+                    .name = std::move(name),
+                    .num_points = num_points,
+                    .cost = cost,
+                    .args = std::move(args)});
+  return id;
+}
+
+void TaskGraph::append_task_arg(TaskId task, CollectionUse use) {
+  AM_REQUIRE(task.index() < tasks_.size(), "unknown task");
+  AM_REQUIRE(use.collection.index() < collections_.size(),
+             "task argument references unknown collection");
+  AM_REQUIRE(use.access_fraction > 0.0 && use.access_fraction <= 1.0,
+             "access_fraction must be in (0, 1]");
+  tasks_[task.index()].args.push_back(use);
+}
+
+void TaskGraph::add_dependence(DependenceEdge edge) {
+  AM_REQUIRE(edge.producer.index() < tasks_.size(), "unknown producer");
+  AM_REQUIRE(edge.consumer.index() < tasks_.size(), "unknown consumer");
+  AM_REQUIRE(edge.producer_collection.index() < collections_.size(),
+             "unknown producer collection");
+  AM_REQUIRE(edge.consumer_collection.index() < collections_.size(),
+             "unknown consumer collection");
+  AM_REQUIRE(edge.internode_fraction >= 0.0 && edge.internode_fraction <= 1.0,
+             "internode_fraction must be in [0, 1]");
+  edges_.push_back(edge);
+}
+
+std::size_t TaskGraph::num_collection_args() const {
+  std::size_t n = 0;
+  for (const auto& t : tasks_) n += t.args.size();
+  return n;
+}
+
+const Region& TaskGraph::region(RegionId id) const {
+  AM_REQUIRE(id.index() < regions_.size(), "unknown region");
+  return regions_[id.index()];
+}
+
+const Collection& TaskGraph::collection(CollectionId id) const {
+  AM_REQUIRE(id.index() < collections_.size(), "unknown collection");
+  return collections_[id.index()];
+}
+
+const GroupTask& TaskGraph::task(TaskId id) const {
+  AM_REQUIRE(id.index() < tasks_.size(), "unknown task");
+  return tasks_[id.index()];
+}
+
+std::uint64_t TaskGraph::collection_bytes(CollectionId id) const {
+  const Collection& c = collection(id);
+  return c.volume() * region(c.region).bytes_per_element;
+}
+
+std::vector<const DependenceEdge*> TaskGraph::incoming(TaskId id) const {
+  std::vector<const DependenceEdge*> out;
+  for (const auto& e : edges_)
+    if (e.consumer == id) out.push_back(&e);
+  return out;
+}
+
+std::vector<const DependenceEdge*> TaskGraph::outgoing(TaskId id) const {
+  std::vector<const DependenceEdge*> out;
+  for (const auto& e : edges_)
+    if (e.producer == id) out.push_back(&e);
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  std::vector<std::size_t> in_degree(tasks_.size(), 0);
+  for (const auto& e : edges_)
+    if (!e.cross_iteration) ++in_degree[e.consumer.index()];
+
+  std::queue<std::size_t> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (in_degree[i] == 0) ready.push(i);
+
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop();
+    order.push_back(TaskId(i));
+    for (const auto& e : edges_) {
+      if (e.cross_iteration || e.producer.index() != i) continue;
+      if (--in_degree[e.consumer.index()] == 0)
+        ready.push(e.consumer.index());
+    }
+  }
+  AM_CHECK(order.size() == tasks_.size(),
+           "same-iteration dependence graph has a cycle");
+  return order;
+}
+
+void TaskGraph::validate() const {
+  for (const auto& e : edges_) {
+    AM_CHECK(!e.carries_data || e.bytes > 0,
+             "data-carrying dependence edge with zero bytes");
+  }
+  (void)topological_order();  // throws on cycles
+}
+
+std::vector<OverlapEdge> TaskGraph::build_overlap_graph() const {
+  std::vector<OverlapEdge> out;
+  for (std::size_t i = 0; i < collections_.size(); ++i) {
+    for (std::size_t j = i + 1; j < collections_.size(); ++j) {
+      const std::uint64_t w =
+          overlap_bytes(CollectionId(i), CollectionId(j));
+      if (w > 0)
+        out.push_back({CollectionId(i), CollectionId(j), w});
+    }
+  }
+  return out;
+}
+
+std::uint64_t TaskGraph::overlap_bytes(CollectionId a, CollectionId b) const {
+  const Collection& ca = collection(a);
+  const Collection& cb = collection(b);
+  if (ca.region != cb.region) return 0;
+  const Rect inter = ca.rect.intersect(cb.rect);
+  return inter.volume() * region(ca.region).bytes_per_element;
+}
+
+std::string TaskGraph::describe() const {
+  std::ostringstream os;
+  os << "task graph: " << tasks_.size() << " group tasks, "
+     << collections_.size() << " collections, " << num_collection_args()
+     << " collection args, " << edges_.size() << " dependences\n";
+  for (const auto& t : tasks_) {
+    os << "  task " << t.id << " " << t.name << " x" << t.num_points << " (";
+    for (std::size_t i = 0; i < t.args.size(); ++i) {
+      if (i > 0) os << ", ";
+      const auto& use = t.args[i];
+      os << collection(use.collection).name << ":"
+         << to_string(use.privilege);
+    }
+    os << ")\n";
+  }
+  for (const auto& c : collections_) {
+    os << "  collection " << c.id << " " << c.name << " "
+       << format_bytes(collection_bytes(c.id))
+       << " region=" << region(c.region).name << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace automap

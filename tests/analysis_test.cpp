@@ -1,0 +1,136 @@
+// Tests for the post-run analysis: per-kind breakdowns, hottest-task
+// rankings, critical path and run comparison.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/circuit.hpp"
+#include "src/apps/htr.hpp"
+#include "src/machine/machine.hpp"
+#include "src/report/analysis.hpp"
+#include "src/runtime/mapper.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+namespace {
+
+class AnalysisFixture : public ::testing::Test {
+ protected:
+  AnalysisFixture()
+      : app(make_htr(htr_config_for(1, 1))), machine(make_shepard(1)),
+        sim(machine, app.graph, {.iterations = 3, .noise_sigma = 0.0}) {
+    DefaultMapper dm;
+    report = sim.run(dm.map_all(app.graph, machine), 1);
+  }
+
+  BenchmarkApp app;
+  MachineModel machine;
+  Simulator sim;
+  ExecutionReport report;
+};
+
+TEST_F(AnalysisFixture, BasicsAreConsistent) {
+  ASSERT_TRUE(report.ok);
+  const RunAnalysis a = analyze_run(app.graph, report);
+  EXPECT_DOUBLE_EQ(a.total_seconds, report.total_seconds);
+  EXPECT_EQ(a.iterations, 3);
+  EXPECT_EQ(a.hottest_tasks.size(), app.graph.num_tasks());
+  // Ranking is descending.
+  for (std::size_t i = 1; i < a.hottest_tasks.size(); ++i)
+    EXPECT_GE(a.hottest_tasks[i - 1].seconds, a.hottest_tasks[i].seconds);
+  // HTR under the default mapping is dominated by chemistry.
+  EXPECT_EQ(app.graph.task(a.hottest_tasks.front().task).name,
+            "chemistry_source");
+}
+
+TEST_F(AnalysisFixture, CriticalPathIsAChainAndBoundsIteration) {
+  const RunAnalysis a = analyze_run(app.graph, report);
+  ASSERT_FALSE(a.critical_path.empty());
+  EXPECT_GT(a.critical_path_seconds, 0.0);
+  // The critical path cannot exceed the measured iteration time (waits and
+  // pool contention only add to it).
+  EXPECT_LE(a.critical_path_seconds,
+            report.total_seconds / report.iterations * 1.001);
+  // Consecutive path entries are connected by same-iteration edges.
+  for (std::size_t i = 1; i < a.critical_path.size(); ++i) {
+    bool connected = false;
+    for (const DependenceEdge& e : app.graph.edges()) {
+      if (!e.cross_iteration && e.producer == a.critical_path[i - 1] &&
+          e.consumer == a.critical_path[i])
+        connected = true;
+    }
+    EXPECT_TRUE(connected) << "path hop " << i;
+  }
+}
+
+TEST_F(AnalysisFixture, PerKindBreakdownTracksTheMapping) {
+  const RunAnalysis all_gpu = analyze_run(app.graph, report);
+  // Default mapping: everything on the GPU.
+  EXPECT_GT(all_gpu.compute_seconds_by_kind[index_of(ProcKind::kGpu)], 0.0);
+  EXPECT_EQ(all_gpu.compute_seconds_by_kind[index_of(ProcKind::kCpu)], 0.0);
+
+  Mapping cpu(app.graph);
+  for (const GroupTask& t : app.graph.tasks()) {
+    cpu.at(t.id).proc = ProcKind::kCpu;
+    cpu.at(t.id).arg_memories.assign(t.args.size(), {MemKind::kSystem});
+  }
+  const ExecutionReport cpu_report = sim.run(cpu, 1);
+  ASSERT_TRUE(cpu_report.ok);
+  const RunAnalysis all_cpu = analyze_run(app.graph, cpu_report);
+  EXPECT_EQ(all_cpu.compute_seconds_by_kind[index_of(ProcKind::kGpu)], 0.0);
+  EXPECT_GT(all_cpu.compute_seconds_by_kind[index_of(ProcKind::kCpu)], 0.0);
+}
+
+TEST_F(AnalysisFixture, RenderMentionsKeyQuantities) {
+  const RunAnalysis a = analyze_run(app.graph, report);
+  const std::string text = render_analysis(app.graph, a);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  EXPECT_NE(text.find("hottest tasks"), std::string::npos);
+  EXPECT_NE(text.find("chemistry_source"), std::string::npos);
+  EXPECT_NE(text.find("energy"), std::string::npos);
+}
+
+TEST_F(AnalysisFixture, CompareRunsShowsImprovementDirection) {
+  // Compare the default against a deliberately worse mapping (everything
+  // leader-only is not available on 1 node; use all-ZeroCopy instead).
+  Mapping slow(app.graph);
+  for (const GroupTask& t : app.graph.tasks()) {
+    slow.at(t.id).proc =
+        t.cost.has_gpu_variant() ? ProcKind::kGpu : ProcKind::kCpu;
+    slow.at(t.id).arg_memories.assign(t.args.size(), {MemKind::kZeroCopy});
+  }
+  const ExecutionReport slow_report = sim.run(slow, 1);
+  ASSERT_TRUE(slow_report.ok);
+  ASSERT_GT(slow_report.total_seconds, report.total_seconds);
+
+  const std::string text = compare_runs(app.graph, slow_report, report);
+  EXPECT_NE(text.find("->"), std::string::npos);
+  EXPECT_NE(text.find("largest per-task changes"), std::string::npos);
+  // The speedup factor is > 1 and rendered.
+  EXPECT_NE(text.find("x)"), std::string::npos);
+}
+
+TEST_F(AnalysisFixture, FailedRunsAreRejected) {
+  ExecutionReport failed;
+  failed.ok = false;
+  EXPECT_THROW((void)analyze_run(app.graph, failed), Error);
+  EXPECT_THROW((void)compare_runs(app.graph, failed, report), Error);
+}
+
+TEST(Analysis, CopyWaitAppearsUnderMixedMappings) {
+  const BenchmarkApp app = make_circuit(circuit_config_for(1, 4));
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, app.graph, {.iterations = 3, .noise_sigma = 0.0});
+  Mapping mixed(app.graph);
+  mixed.at(TaskId(1)).proc = ProcKind::kCpu;
+  mixed.at(TaskId(1)).arg_memories.assign(
+      app.graph.task(TaskId(1)).args.size(), {MemKind::kSystem});
+  const ExecutionReport report = sim.run(mixed, 1);
+  ASSERT_TRUE(report.ok);
+  const RunAnalysis a = analyze_run(app.graph, report);
+  EXPECT_GT(a.copy_wait_seconds, 0.0);
+  EXPECT_FALSE(a.most_blocked_tasks.empty());
+}
+
+}  // namespace
+}  // namespace automap

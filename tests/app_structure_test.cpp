@@ -1,0 +1,243 @@
+// Deeper structural tests of the application generators: the phase
+// pipelines, dependence patterns and cost profiles that make each app
+// behave like its namesake under the search.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/apps/circuit.hpp"
+#include "src/apps/htr.hpp"
+#include "src/apps/maestro.hpp"
+#include "src/apps/pennant.hpp"
+#include "src/apps/registry.hpp"
+#include "src/apps/stencil.hpp"
+
+namespace automap {
+namespace {
+
+const GroupTask* find_task(const TaskGraph& g, const std::string& name) {
+  for (const GroupTask& t : g.tasks())
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+bool has_edge(const TaskGraph& g, const std::string& producer,
+              const std::string& consumer, bool cross_iteration) {
+  const GroupTask* p = find_task(g, producer);
+  const GroupTask* c = find_task(g, consumer);
+  if (p == nullptr || c == nullptr) return false;
+  for (const DependenceEdge& e : g.edges()) {
+    if (e.producer == p->id && e.consumer == c->id &&
+        e.cross_iteration == cross_iteration)
+      return true;
+  }
+  return false;
+}
+
+// --- Circuit -----------------------------------------------------------------
+
+TEST(CircuitStructure, PhasePipelineMatchesTheLegionApp) {
+  const TaskGraph g = make_circuit(circuit_config_for(1, 2)).graph;
+  // CNC -> DC -> UV within an iteration, UV/DC -> CNC across iterations.
+  EXPECT_TRUE(has_edge(g, "calc_new_currents", "distribute_charge", false));
+  EXPECT_TRUE(has_edge(g, "distribute_charge", "update_voltages", false));
+  EXPECT_TRUE(has_edge(g, "update_voltages", "calc_new_currents", true));
+}
+
+TEST(CircuitStructure, WireSolveIsTheDominantCost) {
+  const TaskGraph g = make_circuit(circuit_config_for(1, 3)).graph;
+  const GroupTask* cnc = find_task(g, "calc_new_currents");
+  ASSERT_NE(cnc, nullptr);
+  for (const GroupTask& t : g.tasks()) {
+    EXPECT_LE(t.cost.cpu_seconds_per_point, cnc->cost.cpu_seconds_per_point);
+  }
+  // Every circuit task has a GPU variant (the paper's default mapper puts
+  // all of them on GPUs).
+  for (const GroupTask& t : g.tasks())
+    EXPECT_TRUE(t.cost.has_gpu_variant()) << t.name;
+}
+
+TEST(CircuitStructure, WeakScalingGrowsPerPieceWork) {
+  const TaskGraph small = make_circuit(circuit_config_for(1, 0)).graph;
+  const TaskGraph large = make_circuit(circuit_config_for(1, 7)).graph;
+  EXPECT_GT(find_task(large, "calc_new_currents")->cost.cpu_seconds_per_point,
+            find_task(small, "calc_new_currents")->cost.cpu_seconds_per_point);
+  // Same number of pieces per node along the series.
+  EXPECT_EQ(find_task(large, "calc_new_currents")->num_points,
+            find_task(small, "calc_new_currents")->num_points);
+}
+
+// --- Stencil -----------------------------------------------------------------
+
+TEST(StencilStructure, HaloExchangeIsLoopCarried) {
+  const TaskGraph g = make_stencil(stencil_config_for(1, 2)).graph;
+  EXPECT_TRUE(has_edge(g, "increment", "stencil", true));
+  // PRK's phases only couple across iterations (stencil writes `out`,
+  // which increment never reads): no same-iteration data edge exists.
+  EXPECT_FALSE(has_edge(g, "stencil", "increment", false));
+  EXPECT_FALSE(has_edge(g, "increment", "stencil", false));
+  // The cross-iteration halo edges carry only strip-sized data.
+  const std::uint64_t grid_bytes =
+      g.collection_bytes(find_task(g, "stencil")->args[1].collection);
+  for (const DependenceEdge& e : g.edges()) {
+    if (!e.carries_data) continue;
+    if (e.producer_collection != e.consumer_collection) {
+      EXPECT_LT(e.bytes, grid_bytes / 10) << "halo edges must be thin";
+    }
+  }
+}
+
+TEST(StencilStructure, StencilIsMemoryBoundOnGpu) {
+  const TaskGraph g = make_stencil(stencil_config_for(1, 5)).graph;
+  const GroupTask* st = find_task(g, "stencil");
+  ASSERT_NE(st, nullptr);
+  // Bytes per point dwarf GPU flop time: bandwidth model dominates.
+  std::uint64_t bytes = 0;
+  for (const CollectionUse& use : st->args)
+    bytes += g.collection_bytes(use.collection);
+  const double gpu_bw_time =
+      static_cast<double>(bytes) / st->num_points / 540e9;
+  EXPECT_GT(gpu_bw_time, st->cost.gpu_seconds_per_point);
+}
+
+// --- Pennant -----------------------------------------------------------------
+
+TEST(PennantStructure, QcsChainIsOrdered) {
+  const TaskGraph g = make_pennant(pennant_config_for(1, 1)).graph;
+  EXPECT_TRUE(has_edge(g, "qcs_zone_center_velocity",
+                       "qcs_corner_divergence", false));
+  EXPECT_TRUE(has_edge(g, "qcs_corner_divergence", "qcs_qcn_force", false));
+  EXPECT_TRUE(has_edge(g, "qcs_qcn_force", "qcs_force", false));
+  EXPECT_TRUE(has_edge(g, "sum_crnr_force", "calc_accel", false));
+  EXPECT_TRUE(has_edge(g, "calc_accel", "adv_pos_full", false));
+}
+
+TEST(PennantStructure, DtReductionFeedsBackAcrossIterations) {
+  const TaskGraph g = make_pennant(pennant_config_for(1, 1)).graph;
+  // The dt computed at the end of a cycle gates the next cycle's state
+  // evaluation.
+  EXPECT_TRUE(has_edge(g, "calc_dt_hydro", "calc_state_at_half", true) ||
+              has_edge(g, "global_sum_dt", "calc_state_at_half", true) ||
+              has_edge(g, "calc_dt_hydro", "calc_state_half", true) ||
+              has_edge(g, "global_sum_dt", "calc_state_half", true));
+}
+
+TEST(PennantStructure, GhostForceSetIsSharedAcrossPhases) {
+  const TaskGraph g = make_pennant(pennant_config_for(1, 1)).graph;
+  // p_f_master is used by several tasks (reduce + read + bc), making its
+  // placement a coordinated decision — CCD's sweet spot.
+  int users = 0;
+  for (const GroupTask& t : g.tasks())
+    for (const CollectionUse& use : t.args)
+      if (g.collection(use.collection).name == "p_f_master") ++users;
+  EXPECT_GE(users, 3);
+}
+
+TEST(PennantStructure, SideFieldsDominateTheFootprint) {
+  const PennantConfig config = pennant_config_for(1, 2);
+  const TaskGraph g = make_pennant(config).graph;
+  std::uint64_t side_bytes = 0;
+  std::uint64_t total = 0;
+  for (const Collection& c : g.collections()) {
+    total += g.collection_bytes(c.id);
+    if (c.name.rfind("s_", 0) == 0) side_bytes += g.collection_bytes(c.id);
+  }
+  EXPECT_GT(side_bytes, total / 2);  // unstructured meshes live in sides
+  EXPECT_NEAR(static_cast<double>(total),
+              static_cast<double>(pennant_total_bytes(config)),
+              0.01 * static_cast<double>(total));
+}
+
+// --- HTR ----------------------------------------------------------------------
+
+TEST(HtrStructure, ChemistryIsComputeDenseAndGpuFavoured) {
+  const TaskGraph g = make_htr(htr_config_for(1, 2)).graph;
+  const GroupTask* chem = find_task(g, "chemistry_source");
+  ASSERT_NE(chem, nullptr);
+  for (const GroupTask& t : g.tasks())
+    EXPECT_LE(t.cost.gpu_seconds_per_point, chem->cost.gpu_seconds_per_point);
+  EXPECT_GT(chem->cost.cpu_seconds_per_point,
+            50 * chem->cost.gpu_seconds_per_point);
+}
+
+TEST(HtrStructure, RhsAccumulatesFromAllPhysics) {
+  const TaskGraph g = make_htr(htr_config_for(1, 1)).graph;
+  EXPECT_TRUE(has_edge(g, "flux_div_x", "update_rhs_convective", false));
+  EXPECT_TRUE(has_edge(g, "chemistry_source", "update_rhs_chemistry", false));
+  EXPECT_TRUE(has_edge(g, "viscous_flux_z", "update_rhs_viscous", false));
+  EXPECT_TRUE(has_edge(g, "update_rhs_viscous", "rk_substep", false) ||
+              has_edge(g, "update_rhs_chemistry", "rk_substep", false));
+  EXPECT_TRUE(has_edge(g, "rk_final", "compute_primitives", false));
+}
+
+TEST(HtrStructure, SixBoundaryTasksReadSixHalos) {
+  const TaskGraph g = make_htr(htr_config_for(1, 1)).graph;
+  std::set<std::string> halos_read;
+  for (const GroupTask& t : g.tasks()) {
+    if (t.name.rfind("bc_", 0) != 0) continue;
+    for (const CollectionUse& use : t.args) {
+      const std::string& col = g.collection(use.collection).name;
+      if (col.rfind("halo_", 0) == 0) halos_read.insert(col);
+    }
+  }
+  EXPECT_EQ(halos_read.size(), 6u);
+}
+
+// --- Maestro -------------------------------------------------------------------
+
+TEST(MaestroStructure, LfPipelineIsIndependentOfHf) {
+  MaestroConfig c;
+  c.num_lf_samples = 16;
+  const BenchmarkApp app = make_maestro(c);
+  // No dependence edges between HF and LF tasks: the ensembles only couple
+  // through resource contention, never through data.
+  const auto hf = maestro_hf_tasks(app);
+  const auto lf = maestro_lf_tasks(app);
+  for (const DependenceEdge& e : app.graph.edges()) {
+    const bool p_hf =
+        std::find(hf.begin(), hf.end(), e.producer) != hf.end();
+    const bool c_hf =
+        std::find(hf.begin(), hf.end(), e.consumer) != hf.end();
+    EXPECT_EQ(p_hf, c_hf) << "HF and LF must not exchange data";
+  }
+  (void)lf;
+}
+
+TEST(MaestroStructure, LfGroupSizeTracksSampleCount) {
+  for (const int samples : {8, 32}) {
+    MaestroConfig c;
+    c.num_lf_samples = samples;
+    const BenchmarkApp app = make_maestro(c);
+    for (const TaskId t : maestro_lf_tasks(app))
+      EXPECT_EQ(app.graph.task(t).num_points, samples);
+  }
+}
+
+// --- cross-app sanity ----------------------------------------------------------
+
+TEST(AppStructure, TaskNamesAreUniquePerApp) {
+  for (const std::string& name : app_names()) {
+    const TaskGraph g = make_app_by_name(name, 1, 1).graph;
+    std::set<std::string> names;
+    for (const GroupTask& t : g.tasks()) {
+      EXPECT_TRUE(names.insert(t.name).second)
+          << name << ": duplicate task " << t.name;
+    }
+  }
+}
+
+TEST(AppStructure, CollectionNamesAreUniquePerApp) {
+  for (const std::string& name : app_names()) {
+    const TaskGraph g = make_app_by_name(name, 1, 1).graph;
+    std::set<std::string> names;
+    for (const Collection& c : g.collections()) {
+      EXPECT_TRUE(names.insert(c.name).second)
+          << name << ": duplicate collection " << c.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace automap

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# End-to-end test of the automap_cli workflow (§3.3): export, describe,
+# search (with profiles persistence), evaluate, visualize, codegen.
+# Usage: cli_test.sh <path-to-automap_cli>
+set -euo pipefail
+
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" export-machine shepard 2 "$DIR/m.machine" > /dev/null
+"$CLI" export-app circuit 2 1 "$DIR/g.graph" > /dev/null
+test -s "$DIR/m.machine"
+test -s "$DIR/g.graph"
+
+"$CLI" describe "$DIR/m.machine" "$DIR/g.graph" | grep -q "task graph"
+
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      --profiles "$DIR/db.txt" -o "$DIR/best.mapping" | grep -q "AM-CCD"
+test -s "$DIR/best.mapping"
+test -s "$DIR/db.txt"
+
+# Resumed search must report a seeded database.
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      --profiles "$DIR/db.txt" | grep -q "seeded profiles database"
+
+# The alternative algorithms run through the same entry point.
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --algorithm heft \
+      --repeats 2 | grep -q "HEFT-static"
+
+"$CLI" evaluate "$DIR/m.machine" "$DIR/g.graph" "$DIR/best.mapping" \
+      --repeats 5 | grep -q "speedup"
+
+"$CLI" visualize "$DIR/m.machine" "$DIR/g.graph" "$DIR/best.mapping" \
+      --dot "$DIR/map.dot" --trace "$DIR/trace.json" | grep -q "legend"
+grep -q "digraph mapping" "$DIR/map.dot"
+grep -q "traceEvents" "$DIR/trace.json"
+
+"$CLI" codegen "$DIR/g.graph" "$DIR/best.mapping" TunedMapper \
+      "$DIR/mapper.cpp" > /dev/null
+grep -q "class TunedMapper final : public Mapper" "$DIR/mapper.cpp"
+
+"$CLI" validate "$DIR/m.machine" "$DIR/g.graph" "$DIR/best.mapping" \
+      | grep -q "valid and executable"
+
+# An invalid mapping (CPU task with Frame-Buffer arguments) must fail
+# validation with a nonzero exit. Circuit has 3 tasks with 6/5/4 args.
+cat > "$DIR/broken.mapping" <<'EOF'
+task 0 dist CPU FrameBuffer FrameBuffer FrameBuffer FrameBuffer FrameBuffer FrameBuffer
+task 1 dist GPU FrameBuffer FrameBuffer FrameBuffer FrameBuffer FrameBuffer
+task 2 dist GPU FrameBuffer FrameBuffer FrameBuffer FrameBuffer
+EOF
+if "$CLI" validate "$DIR/m.machine" "$DIR/g.graph" "$DIR/broken.mapping" \
+      > /dev/null 2>&1; then
+  echo "expected validation failure" >&2
+  exit 1
+fi
+
+# Unknown commands fail cleanly.
+if "$CLI" frobnicate > /dev/null 2>&1; then
+  echo "expected nonzero exit for unknown command" >&2
+  exit 1
+fi
+
+echo "cli_test OK"

@@ -1,0 +1,194 @@
+// Tests for the block-partition builder and the app registry.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/registry.hpp"
+#include "src/runtime/partition.hpp"
+#include "src/runtime/program.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+namespace {
+
+class PartitionFixture : public ::testing::Test {
+ protected:
+  Program p;
+  RegionId region = p.add_region("r", Rect::line(0, 999), 8);
+};
+
+TEST_F(PartitionFixture, BlocksTileTheRangeExactly) {
+  const auto part = make_block_partition_1d(p, region, 0, 999, 4, 2, "f");
+  ASSERT_EQ(part.num_pieces(), 4);
+  const TaskGraph g = p.lower();
+  std::int64_t expected_lo = 0;
+  std::uint64_t total = 0;
+  for (const CollectionId block : part.blocks) {
+    const Rect r = g.collection(block).rect;
+    EXPECT_EQ(r.lo[0], expected_lo);
+    expected_lo = r.hi[0] + 1;
+    total += r.volume();
+  }
+  EXPECT_EQ(expected_lo, 1000);
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST_F(PartitionFixture, HalosOverlapNeighbourBlocksOnly) {
+  const auto part = make_block_partition_1d(p, region, 0, 999, 4, 3, "f");
+  const TaskGraph g = p.lower();
+  for (int i = 0; i < part.num_pieces(); ++i) {
+    if (part.halo_lo[i].valid()) {
+      // A low halo overlaps exactly the previous block, by halo_width.
+      EXPECT_EQ(g.overlap_bytes(part.halo_lo[i], part.blocks[i - 1]),
+                3u * 8u);
+      EXPECT_EQ(g.overlap_bytes(part.halo_lo[i], part.blocks[i]), 0u);
+    }
+    if (part.halo_hi[i].valid()) {
+      EXPECT_EQ(g.overlap_bytes(part.halo_hi[i], part.blocks[i + 1]),
+                3u * 8u);
+      EXPECT_EQ(g.overlap_bytes(part.halo_hi[i], part.blocks[i]), 0u);
+    }
+  }
+}
+
+TEST_F(PartitionFixture, BoundaryPiecesLackOuterHalos) {
+  const auto part = make_block_partition_1d(p, region, 0, 999, 4, 2, "f");
+  EXPECT_FALSE(part.halo_lo.front().valid());
+  EXPECT_TRUE(part.halo_hi.front().valid());
+  EXPECT_TRUE(part.halo_lo.back().valid());
+  EXPECT_FALSE(part.halo_hi.back().valid());
+}
+
+TEST_F(PartitionFixture, ZeroHaloWidthProducesNoHalos) {
+  const auto part = make_block_partition_1d(p, region, 0, 999, 4, 0, "f");
+  for (int i = 0; i < part.num_pieces(); ++i) {
+    EXPECT_FALSE(part.halo_lo[i].valid());
+    EXPECT_FALSE(part.halo_hi[i].valid());
+  }
+}
+
+TEST_F(PartitionFixture, PieceUsesIncludeBlockAndExistingHalos) {
+  const auto part = make_block_partition_1d(p, region, 0, 999, 4, 2, "f");
+  const auto edge = part.piece_uses(0, Privilege::kReadWrite);
+  EXPECT_EQ(edge.size(), 2u);  // block + hi halo
+  EXPECT_EQ(edge[0].privilege, Privilege::kReadWrite);
+  EXPECT_EQ(edge[1].privilege, Privilege::kReadOnly);
+  const auto middle = part.piece_uses(1, Privilege::kWriteOnly, 0.5);
+  EXPECT_EQ(middle.size(), 3u);  // block + both halos
+  EXPECT_EQ(middle[0].access_fraction, 0.5);
+  EXPECT_THROW((void)part.piece_uses(9, Privilege::kReadOnly), Error);
+}
+
+TEST_F(PartitionFixture, UnevenSplitsCoverEverything) {
+  const auto part = make_block_partition_1d(p, region, 0, 999, 7, 1, "f");
+  const TaskGraph g = p.lower();
+  std::uint64_t total = 0;
+  for (const CollectionId block : part.blocks)
+    total += g.collection(block).rect.volume();
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST_F(PartitionFixture, RejectsDegenerateInputs) {
+  EXPECT_THROW(make_block_partition_1d(p, region, 0, 999, 0, 1, "f"), Error);
+  EXPECT_THROW(make_block_partition_1d(p, region, 10, 9, 1, 0, "f"), Error);
+  EXPECT_THROW(make_block_partition_1d(p, region, 0, 9, 20, 0, "f"), Error);
+  EXPECT_THROW(make_block_partition_1d(p, region, 0, 999, 4, -1, "f"),
+               Error);
+  // Halo wider than the smallest block.
+  EXPECT_THROW(make_block_partition_1d(p, region, 0, 999, 4, 300, "f"),
+               Error);
+}
+
+class Partition2DFixture : public ::testing::Test {
+ protected:
+  Program p;
+  RegionId region = p.add_region("r", Rect::plane(0, 99, 0, 79), 8);
+};
+
+TEST_F(Partition2DFixture, BlocksTileTheRectangle) {
+  const auto part = make_block_partition_2d(p, region, 0, 99, 0, 79,
+                                            4, 2, 2, "f");
+  EXPECT_EQ(part.num_pieces(), 8);
+  const TaskGraph g = p.lower();
+  std::uint64_t total = 0;
+  for (const CollectionId block : part.blocks)
+    total += g.collection(block).rect.volume();
+  EXPECT_EQ(total, 100u * 80u);
+  // Blocks are pairwise disjoint.
+  for (std::size_t i = 0; i < part.blocks.size(); ++i)
+    for (std::size_t j = i + 1; j < part.blocks.size(); ++j)
+      EXPECT_EQ(g.overlap_bytes(part.blocks[i], part.blocks[j]), 0u);
+}
+
+TEST_F(Partition2DFixture, HalosOverlapTheRightNeighbours) {
+  const auto part = make_block_partition_2d(p, region, 0, 99, 0, 79,
+                                            4, 2, 2, "f");
+  const TaskGraph g = p.lower();
+  // Interior piece (1, 1): all four halos exist and overlap neighbours.
+  const std::size_t i11 = part.index(1, 1);
+  ASSERT_TRUE(part.halo_xm[i11].valid());
+  ASSERT_TRUE(part.halo_xp[i11].valid());
+  ASSERT_TRUE(part.halo_ym[i11].valid());
+  EXPECT_FALSE(part.halo_yp[i11].valid());  // py = 1 is the top row
+  EXPECT_GT(g.overlap_bytes(part.halo_xm[i11],
+                            part.blocks[part.index(0, 1)]),
+            0u);
+  EXPECT_GT(g.overlap_bytes(part.halo_xp[i11],
+                            part.blocks[part.index(2, 1)]),
+            0u);
+  EXPECT_GT(g.overlap_bytes(part.halo_ym[i11],
+                            part.blocks[part.index(1, 0)]),
+            0u);
+  // No overlap with the piece's own block.
+  EXPECT_EQ(g.overlap_bytes(part.halo_xm[i11], part.blocks[i11]), 0u);
+}
+
+TEST_F(Partition2DFixture, CornersLackOutwardHalos) {
+  const auto part = make_block_partition_2d(p, region, 0, 99, 0, 79,
+                                            4, 2, 2, "f");
+  const std::size_t origin = part.index(0, 0);
+  EXPECT_FALSE(part.halo_xm[origin].valid());
+  EXPECT_FALSE(part.halo_ym[origin].valid());
+  EXPECT_TRUE(part.halo_xp[origin].valid());
+  EXPECT_TRUE(part.halo_yp[origin].valid());
+}
+
+TEST_F(Partition2DFixture, RejectsDegenerateInputs) {
+  EXPECT_THROW(
+      make_block_partition_2d(p, region, 0, 99, 0, 79, 0, 2, 1, "f"), Error);
+  EXPECT_THROW(
+      make_block_partition_2d(p, region, 10, 9, 0, 79, 2, 2, 1, "f"), Error);
+  EXPECT_THROW(
+      make_block_partition_2d(p, region, 0, 99, 0, 79, 4, 2, 50, "f"),
+      Error);
+}
+
+TEST(Registry, KnowsAllFiveApps) {
+  EXPECT_EQ(app_names().size(), 5u);
+  for (const std::string& name : app_names()) {
+    EXPECT_TRUE(is_app_name(name));
+    EXPECT_GT(app_num_steps(name), 0);
+    const BenchmarkApp app = make_app_by_name(name, 1, 0);
+    EXPECT_EQ(app.name, name);
+    EXPECT_NO_THROW(app.graph.validate());
+  }
+  EXPECT_FALSE(is_app_name("spark"));
+  EXPECT_THROW((void)app_num_steps("spark"), Error);
+  EXPECT_THROW((void)make_app_by_name("circuit", 1, 99), Error);
+}
+
+TEST(Registry, MaestroStepsSelectSampleCounts) {
+  const BenchmarkApp a = make_app_by_name("maestro", 1, 0);
+  const BenchmarkApp b = make_app_by_name("maestro", 1, 2);
+  // 8 vs 32 LF samples -> same task count, different group sizes.
+  EXPECT_EQ(a.graph.num_tasks(), b.graph.num_tasks());
+  int points_a = 0, points_b = 0;
+  for (const GroupTask& t : a.graph.tasks())
+    if (t.name.rfind("lf_", 0) == 0) points_a = t.num_points;
+  for (const GroupTask& t : b.graph.tasks())
+    if (t.name.rfind("lf_", 0) == 0) points_b = t.num_points;
+  EXPECT_EQ(points_a, 8);
+  EXPECT_EQ(points_b, 32);
+}
+
+}  // namespace
+}  // namespace automap

@@ -1,0 +1,213 @@
+// Unit tests for src/support: rng, stats, format, table, ids.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/support/error.hpp"
+#include "src/support/format.hpp"
+#include "src/support/id.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace automap {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, LognormalFactorHasMedianOne) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.lognormal_factor(0.1));
+  EXPECT_NEAR(percentile(xs, 50.0), 1.0, 0.01);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, LognormalSigmaZeroIsIdentity) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.lognormal_factor(0.0), 1.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Rng, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+  EXPECT_THROW(rng.lognormal_factor(-0.5), Error);
+}
+
+TEST(OnlineStats, MeanAndVarianceMatchClosedForm) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats all, left, right;
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 500 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.count(), all.count());
+}
+
+TEST(OnlineStats, Ci95ShrinksWithSamples) {
+  OnlineStats small, large;
+  Rng rng(29);
+  for (int i = 0; i < 10; ++i) small.add(rng.normal());
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  const SampleSummary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+  const std::vector<double> bad = {1.0, -1.0};
+  EXPECT_THROW((void)geometric_mean(bad), Error);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(17), "17 B");
+  EXPECT_EQ(format_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(format_bytes(16ull << 30), "16.0 GiB");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(format_seconds(0.0123), "12.30 ms");
+  EXPECT_EQ(format_seconds(45e-6), "45.0 us");
+}
+
+TEST(Format, FixedAndSpeedup) {
+  EXPECT_EQ(format_fixed(1.005, 2), "1.00");
+  EXPECT_EQ(format_speedup(2.414), "2.41x");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"app", "speedup"});
+  t.add_row({"circuit", "2.41x"});
+  t.add_row({"stencil", "1.85x"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| app     |"), std::string::npos);
+  EXPECT_NE(out.find("2.41x"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Id, StrongTyping) {
+  const TaskId t(3);
+  EXPECT_EQ(t.value(), 3u);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(TaskId().valid());
+  EXPECT_LT(TaskId(1), TaskId(2));
+}
+
+TEST(Id, HashIsUsable) {
+  std::hash<TaskId> h;
+  EXPECT_NE(h(TaskId(1)), h(TaskId(2)));
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+}  // namespace
+}  // namespace automap

@@ -1,0 +1,278 @@
+// automap — the offline mapping driver (paper §3.3).
+//
+// Implements the paper's workflow as a command-line tool: the application
+// is profiled once and exports its machine model and search space (task
+// graph) as text files; this driver then searches offline — invoking the
+// (simulated) application to evaluate candidates — and writes the best
+// mapping found, which the application's mapper replays in production runs.
+//
+// Commands:
+//   export-machine <shepard|lassen> <nodes> <out.machine>
+//   export-app <circuit|stencil|pennant|htr|maestro> <nodes> <step>
+//              <out.graph>
+//   describe <machine file> <graph file>
+//   search <machine file> <graph file> [options] [-o mapping.txt]
+//       --algorithm ccd|cd|ot     (default ccd)
+//       --rotations N             (default 5)
+//       --repeats N               (default 7)
+//       --budget SECONDS          (simulated; default unlimited)
+//       --seed N                  (default 42)
+//       --fallbacks               (enable §3.1 memory priority lists)
+//   evaluate <machine file> <graph file> <mapping file> [--repeats N]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/apps/registry.hpp"
+#include "src/automap/automap.hpp"
+#include "src/io/text_io.hpp"
+#include "src/report/codegen.hpp"
+#include "src/report/visualize.hpp"
+#include "src/search/extra_algorithms.hpp"
+#include "src/machine/machine.hpp"
+#include "src/runtime/mapper.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/error.hpp"
+#include "src/support/format.hpp"
+
+namespace {
+using namespace automap;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  automap_cli export-machine <shepard|lassen|cpu-cluster> "
+         "<nodes> <out>\n"
+         "  automap_cli export-app <app> <nodes> <step> <out>\n"
+         "  automap_cli describe <machine> <graph>\n"
+         "  automap_cli search <machine> <graph>\n"
+         "              [--algorithm ccd|cd|ot|random|anneal|heft|"
+         "multistart]\n"
+         "              [--rotations N] [--repeats N] [--budget S]\n"
+         "              [--seed N] [--fallbacks] [-o mapping.txt]\n"
+         "              [--profiles db.txt]\n"
+         "  automap_cli evaluate <machine> <graph> <mapping> [--repeats N]\n"
+         "  automap_cli visualize <machine> <graph> <mapping>\n"
+         "              [--dot out.dot] [--trace out.json]\n"
+         "  automap_cli codegen <graph> <mapping> <ClassName> <out.cpp>\n"
+         "  automap_cli validate <machine> <graph> <mapping>\n";
+  return 2;
+}
+
+int cmd_export_machine(const std::vector<std::string>& args) {
+  if (args.size() != 3) return usage();
+  const int nodes = std::stoi(args[1]);
+  const MachineModel machine = args[0] == "lassen"        ? make_lassen(nodes)
+                               : args[0] == "cpu-cluster" ? make_cpu_cluster(
+                                                                nodes)
+                                                          : make_shepard(nodes);
+  save_machine(args[2], machine);
+  std::cout << "wrote " << args[2] << "\n" << machine.describe();
+  return 0;
+}
+
+int cmd_export_app(const std::vector<std::string>& args) {
+  if (args.size() != 4) return usage();
+  const std::string& name = args[0];
+  AM_REQUIRE(is_app_name(name), "unknown application: " + name);
+  const int nodes = std::stoi(args[1]);
+  const int step = std::stoi(args[2]);
+  const BenchmarkApp app = make_app_by_name(name, nodes, step);
+  save_task_graph(args[3], app.graph);
+  std::cout << "wrote " << args[3] << " (" << app.name << " " << app.input
+            << ": " << app.graph.num_tasks() << " tasks, "
+            << app.graph.num_collection_args() << " collection args)\n";
+  return 0;
+}
+
+int cmd_describe(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const MachineModel machine = load_machine(args[0]);
+  const TaskGraph graph = load_task_graph(args[1]);
+  std::cout << machine.describe() << "\n" << graph.describe();
+  return 0;
+}
+
+int cmd_search(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const MachineModel machine = load_machine(args[0]);
+  const TaskGraph graph = load_task_graph(args[1]);
+
+  std::string algorithm_name = "ccd";
+  SearchOptions options{.seed = 42};
+  std::string out_path;
+  std::string profiles_path;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    auto value = [&]() -> const std::string& {
+      AM_REQUIRE(i + 1 < args.size(), args[i] + " needs a value");
+      return args[++i];
+    };
+    if (args[i] == "--algorithm") {
+      algorithm_name = value();
+    } else if (args[i] == "--rotations") {
+      options.rotations = std::stoi(value());
+    } else if (args[i] == "--repeats") {
+      options.repeats = std::stoi(value());
+    } else if (args[i] == "--budget") {
+      options.time_budget_s = std::stod(value());
+    } else if (args[i] == "--seed") {
+      options.seed = std::stoull(value());
+    } else if (args[i] == "--fallbacks") {
+      options.memory_fallbacks = true;
+    } else if (args[i] == "-o") {
+      out_path = value();
+    } else if (args[i] == "--profiles") {
+      profiles_path = value();
+    } else {
+      std::cerr << "unknown option: " << args[i] << "\n";
+      return usage();
+    }
+  }
+
+  if (!profiles_path.empty()) {
+    // Resume from a previous search's profiles database if present.
+    try {
+      options.profiles_seed = load_text(profiles_path);
+      std::cout << "seeded profiles database from " << profiles_path << "\n";
+    } catch (const Error&) {
+      // First run: the file does not exist yet.
+    }
+  }
+
+  Simulator sim(machine, graph, {});
+  const SearchResult result =
+      algorithm_name == "cd" ? automap_optimize(sim, SearchAlgorithm::kCd,
+                                                options)
+      : algorithm_name == "ot"
+          ? automap_optimize(sim, SearchAlgorithm::kEnsembleTuner, options)
+      : algorithm_name == "random" ? run_random_search(sim, options)
+      : algorithm_name == "anneal" ? run_simulated_annealing(sim, options)
+      : algorithm_name == "heft"   ? run_heft_static(sim, options)
+      : algorithm_name == "multistart"
+          ? run_ccd_multistart(sim, options)
+          : automap_optimize(sim, SearchAlgorithm::kCcd, options);
+  if (!profiles_path.empty()) save_text(profiles_path, result.profiles_db);
+  std::cout << result.algorithm << ": best mapping "
+            << format_seconds(result.best_seconds) << " after "
+            << result.stats.suggested << " suggested / "
+            << result.stats.evaluated << " evaluated mappings, simulated "
+            << format_seconds(result.stats.search_time_s) << " of search ("
+            << format_fixed(100 * result.stats.evaluation_fraction(), 0)
+            << "% evaluating)\n\n"
+            << result.best.describe(graph);
+  if (!out_path.empty()) {
+    save_text(out_path, result.best.serialize());
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_visualize(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const MachineModel machine = load_machine(args[0]);
+  const TaskGraph graph = load_task_graph(args[1]);
+  const Mapping mapping = Mapping::parse(load_text(args[2]), graph);
+
+  std::string dot_path, trace_path;
+  for (std::size_t i = 3; i + 1 < args.size(); ++i) {
+    if (args[i] == "--dot") dot_path = args[i + 1];
+    if (args[i] == "--trace") trace_path = args[i + 1];
+  }
+
+  std::cout << render_mapping(graph, mapping);
+  if (!dot_path.empty()) {
+    save_text(dot_path, render_mapping_dot(graph, mapping));
+    std::cout << "\nwrote " << dot_path << " (render with: dot -Tsvg)\n";
+  }
+  if (!trace_path.empty()) {
+    Simulator sim(machine, graph,
+                  {.iterations = 10, .noise_sigma = 0.0, .record_trace = true});
+    const ExecutionReport report = sim.run(mapping, 1);
+    AM_REQUIRE(report.ok, "mapping failed to execute: " + report.failure);
+    save_text(trace_path, render_chrome_trace(report));
+    std::cout << "wrote " << trace_path
+              << " (open in a Chrome-tracing / Perfetto viewer)\n";
+  }
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  if (args.size() != 3) return usage();
+  const MachineModel machine = load_machine(args[0]);
+  const TaskGraph graph = load_task_graph(args[1]);
+  const Mapping mapping = Mapping::parse(load_text(args[2]), graph);
+
+  const auto violations = mapping.violations(graph, machine);
+  for (const auto& v : violations) std::cout << "constraint: " << v << "\n";
+  if (!violations.empty()) return 1;
+
+  // Capacity dry run: detect out-of-memory without timing anything.
+  Simulator sim(machine, graph, {.iterations = 1, .noise_sigma = 0.0});
+  const ExecutionReport report = sim.run(mapping, 1);
+  if (!report.ok) {
+    std::cout << "capacity: " << report.failure << "\n";
+    return 1;
+  }
+  std::cout << "mapping is valid and executable; peak footprints:\n";
+  for (const auto& fp : report.footprints) {
+    std::cout << "  " << to_string(fp.kind) << ": "
+              << format_bytes(fp.peak_instance_bytes) << " / "
+              << format_bytes(fp.capacity_bytes) << " per allocation\n";
+  }
+  return 0;
+}
+
+int cmd_codegen(const std::vector<std::string>& args) {
+  if (args.size() != 4) return usage();
+  const TaskGraph graph = load_task_graph(args[0]);
+  const Mapping mapping = Mapping::parse(load_text(args[1]), graph);
+  save_text(args[3], generate_mapper_source(graph, mapping, args[2]));
+  std::cout << "wrote " << args[3] << " (class " << args[2] << ")\n";
+  return 0;
+}
+
+int cmd_evaluate(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const MachineModel machine = load_machine(args[0]);
+  const TaskGraph graph = load_task_graph(args[1]);
+  const Mapping mapping = Mapping::parse(load_text(args[2]), graph);
+  int repeats = 31;
+  for (std::size_t i = 3; i + 1 < args.size(); ++i)
+    if (args[i] == "--repeats") repeats = std::stoi(args[i + 1]);
+
+  Simulator sim(machine, graph, {});
+  const double mean = measure_mapping(sim, mapping, repeats, 1);
+  std::cout << "mean over " << repeats
+            << " runs: " << format_seconds(mean) << "\n";
+
+  DefaultMapper dm;
+  const double def =
+      measure_mapping(sim, dm.map_all(graph, machine), repeats, 1);
+  std::cout << "default mapper: " << format_seconds(def) << " ("
+            << format_speedup(def / mean) << " speedup)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "export-machine") return cmd_export_machine(args);
+    if (command == "export-app") return cmd_export_app(args);
+    if (command == "describe") return cmd_describe(args);
+    if (command == "search") return cmd_search(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "visualize") return cmd_visualize(args);
+    if (command == "codegen") return cmd_codegen(args);
+    if (command == "validate") return cmd_validate(args);
+    return usage();
+  } catch (const automap::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,34 @@
+# Gnuplot script for the Figure 6 speedup series.
+#
+# Generate the data, then plot:
+#   AUTOMAP_CSV=1 build/bench/bench_fig6_pennant > pennant.txt
+#   grep -A100 '^input,' pennant.txt | head -8 > pennant.csv   # pick a node count
+#   gnuplot -e "datafile='pennant.csv'; app='Pennant'" tools/plot_fig6.gp
+#
+# Produces fig6.svg with the custom-mapper and AM-CCD speedup bars over the
+# default mapper, in the paper's style.
+
+if (!exists("datafile")) datafile = "fig6.csv"
+if (!exists("app")) app = "application"
+
+set terminal svg size 720,420 font "monospace,11"
+set output "fig6.svg"
+
+set datafile separator ","
+set style data histograms
+set style histogram clustered gap 1.5
+set style fill solid 0.85 border -1
+set boxwidth 0.9
+
+set title sprintf("%s: speedup over DefaultMapper", app)
+set ylabel "speedup"
+set yrange [0.7:*]
+set xtics rotate by -35 scale 0
+set key top right
+set grid ytics
+
+# Reference line at parity with the default mapper.
+set arrow from graph 0, first 1.0 to graph 1, first 1.0 nohead dt 2 lc "gray40"
+
+plot datafile using 3:xtic(1) title "Custom Mapper" lc rgb "#808080", \
+     ''       using 4         title "AM-CCD"        lc rgb "#2a6fbb"

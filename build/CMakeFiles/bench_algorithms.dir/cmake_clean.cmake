@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algorithms.dir/bench/bench_algorithms.cpp.o"
+  "CMakeFiles/bench_algorithms.dir/bench/bench_algorithms.cpp.o.d"
+  "bench/bench_algorithms"
+  "bench/bench_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mappings.dir/bench/bench_fig3_mappings.cpp.o"
+  "CMakeFiles/bench_fig3_mappings.dir/bench/bench_fig3_mappings.cpp.o.d"
+  "bench/bench_fig3_mappings"
+  "bench/bench_fig3_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_circuit.dir/bench/bench_fig6_circuit.cpp.o"
+  "CMakeFiles/bench_fig6_circuit.dir/bench/bench_fig6_circuit.cpp.o.d"
+  "bench/bench_fig6_circuit"
+  "bench/bench_fig6_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

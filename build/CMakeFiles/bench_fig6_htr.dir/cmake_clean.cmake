@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_htr.dir/bench/bench_fig6_htr.cpp.o"
+  "CMakeFiles/bench_fig6_htr.dir/bench/bench_fig6_htr.cpp.o.d"
+  "bench/bench_fig6_htr"
+  "bench/bench_fig6_htr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_htr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pennant.dir/bench/bench_fig6_pennant.cpp.o"
+  "CMakeFiles/bench_fig6_pennant.dir/bench/bench_fig6_pennant.cpp.o.d"
+  "bench/bench_fig6_pennant"
+  "bench/bench_fig6_pennant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pennant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

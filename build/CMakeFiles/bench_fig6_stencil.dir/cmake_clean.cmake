@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_stencil.dir/bench/bench_fig6_stencil.cpp.o"
+  "CMakeFiles/bench_fig6_stencil.dir/bench/bench_fig6_stencil.cpp.o.d"
+  "bench/bench_fig6_stencil"
+  "bench/bench_fig6_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

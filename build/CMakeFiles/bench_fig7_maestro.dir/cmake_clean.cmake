@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_maestro.dir/bench/bench_fig7_maestro.cpp.o"
+  "CMakeFiles/bench_fig7_maestro.dir/bench/bench_fig7_maestro.cpp.o.d"
+  "bench/bench_fig7_maestro"
+  "bench/bench_fig7_maestro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_maestro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_memconstrained.dir/bench/bench_fig8_memconstrained.cpp.o"
+  "CMakeFiles/bench_fig8_memconstrained.dir/bench/bench_fig8_memconstrained.cpp.o.d"
+  "bench/bench_fig8_memconstrained"
+  "bench/bench_fig8_memconstrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_memconstrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_search.dir/bench/bench_fig9_search.cpp.o"
+  "CMakeFiles/bench_fig9_search.dir/bench/bench_fig9_search.cpp.o.d"
+  "bench/bench_fig9_search"
+  "bench/bench_fig9_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

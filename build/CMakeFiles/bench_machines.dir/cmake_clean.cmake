@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_machines.dir/bench/bench_machines.cpp.o"
+  "CMakeFiles/bench_machines.dir/bench/bench_machines.cpp.o.d"
+  "bench/bench_machines"
+  "bench/bench_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_stats.dir/bench/bench_search_stats.cpp.o"
+  "CMakeFiles/bench_search_stats.dir/bench/bench_search_stats.cpp.o.d"
+  "bench/bench_search_stats"
+  "bench/bench_search_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_cfd.dir/ensemble_cfd.cpp.o"
+  "CMakeFiles/ensemble_cfd.dir/ensemble_cfd.cpp.o.d"
+  "ensemble_cfd"
+  "ensemble_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ensemble_cfd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_mapping.dir/inspect_mapping.cpp.o"
+  "CMakeFiles/inspect_mapping.dir/inspect_mapping.cpp.o.d"
+  "inspect_mapping"
+  "inspect_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_constrained.dir/memory_constrained.cpp.o"
+  "CMakeFiles/memory_constrained.dir/memory_constrained.cpp.o.d"
+  "memory_constrained"
+  "memory_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_tuning.dir/online_tuning.cpp.o"
+  "CMakeFiles/online_tuning.dir/online_tuning.cpp.o.d"
+  "online_tuning"
+  "online_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porting_machines.dir/porting_machines.cpp.o"
+  "CMakeFiles/porting_machines.dir/porting_machines.cpp.o.d"
+  "porting_machines"
+  "porting_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porting_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/circuit.cpp" "src/CMakeFiles/automap.dir/apps/circuit.cpp.o" "gcc" "src/CMakeFiles/automap.dir/apps/circuit.cpp.o.d"
+  "/root/repo/src/apps/htr.cpp" "src/CMakeFiles/automap.dir/apps/htr.cpp.o" "gcc" "src/CMakeFiles/automap.dir/apps/htr.cpp.o.d"
+  "/root/repo/src/apps/maestro.cpp" "src/CMakeFiles/automap.dir/apps/maestro.cpp.o" "gcc" "src/CMakeFiles/automap.dir/apps/maestro.cpp.o.d"
+  "/root/repo/src/apps/pennant.cpp" "src/CMakeFiles/automap.dir/apps/pennant.cpp.o" "gcc" "src/CMakeFiles/automap.dir/apps/pennant.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/CMakeFiles/automap.dir/apps/registry.cpp.o" "gcc" "src/CMakeFiles/automap.dir/apps/registry.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/CMakeFiles/automap.dir/apps/stencil.cpp.o" "gcc" "src/CMakeFiles/automap.dir/apps/stencil.cpp.o.d"
+  "/root/repo/src/automap/automap.cpp" "src/CMakeFiles/automap.dir/automap/automap.cpp.o" "gcc" "src/CMakeFiles/automap.dir/automap/automap.cpp.o.d"
+  "/root/repo/src/io/text_io.cpp" "src/CMakeFiles/automap.dir/io/text_io.cpp.o" "gcc" "src/CMakeFiles/automap.dir/io/text_io.cpp.o.d"
+  "/root/repo/src/machine/kinds.cpp" "src/CMakeFiles/automap.dir/machine/kinds.cpp.o" "gcc" "src/CMakeFiles/automap.dir/machine/kinds.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/automap.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/automap.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/mappers/custom_mappers.cpp" "src/CMakeFiles/automap.dir/mappers/custom_mappers.cpp.o" "gcc" "src/CMakeFiles/automap.dir/mappers/custom_mappers.cpp.o.d"
+  "/root/repo/src/mapping/mapping.cpp" "src/CMakeFiles/automap.dir/mapping/mapping.cpp.o" "gcc" "src/CMakeFiles/automap.dir/mapping/mapping.cpp.o.d"
+  "/root/repo/src/report/analysis.cpp" "src/CMakeFiles/automap.dir/report/analysis.cpp.o" "gcc" "src/CMakeFiles/automap.dir/report/analysis.cpp.o.d"
+  "/root/repo/src/report/codegen.cpp" "src/CMakeFiles/automap.dir/report/codegen.cpp.o" "gcc" "src/CMakeFiles/automap.dir/report/codegen.cpp.o.d"
+  "/root/repo/src/report/visualize.cpp" "src/CMakeFiles/automap.dir/report/visualize.cpp.o" "gcc" "src/CMakeFiles/automap.dir/report/visualize.cpp.o.d"
+  "/root/repo/src/runtime/mapper.cpp" "src/CMakeFiles/automap.dir/runtime/mapper.cpp.o" "gcc" "src/CMakeFiles/automap.dir/runtime/mapper.cpp.o.d"
+  "/root/repo/src/runtime/partition.cpp" "src/CMakeFiles/automap.dir/runtime/partition.cpp.o" "gcc" "src/CMakeFiles/automap.dir/runtime/partition.cpp.o.d"
+  "/root/repo/src/runtime/program.cpp" "src/CMakeFiles/automap.dir/runtime/program.cpp.o" "gcc" "src/CMakeFiles/automap.dir/runtime/program.cpp.o.d"
+  "/root/repo/src/search/coordinate_descent.cpp" "src/CMakeFiles/automap.dir/search/coordinate_descent.cpp.o" "gcc" "src/CMakeFiles/automap.dir/search/coordinate_descent.cpp.o.d"
+  "/root/repo/src/search/ensemble_tuner.cpp" "src/CMakeFiles/automap.dir/search/ensemble_tuner.cpp.o" "gcc" "src/CMakeFiles/automap.dir/search/ensemble_tuner.cpp.o.d"
+  "/root/repo/src/search/evaluator.cpp" "src/CMakeFiles/automap.dir/search/evaluator.cpp.o" "gcc" "src/CMakeFiles/automap.dir/search/evaluator.cpp.o.d"
+  "/root/repo/src/search/extra_algorithms.cpp" "src/CMakeFiles/automap.dir/search/extra_algorithms.cpp.o" "gcc" "src/CMakeFiles/automap.dir/search/extra_algorithms.cpp.o.d"
+  "/root/repo/src/search/search.cpp" "src/CMakeFiles/automap.dir/search/search.cpp.o" "gcc" "src/CMakeFiles/automap.dir/search/search.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/automap.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/automap.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/automap.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/automap.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/format.cpp" "src/CMakeFiles/automap.dir/support/format.cpp.o" "gcc" "src/CMakeFiles/automap.dir/support/format.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/automap.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/automap.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/automap.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/automap.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/automap.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/automap.dir/support/table.cpp.o.d"
+  "/root/repo/src/taskgraph/rect.cpp" "src/CMakeFiles/automap.dir/taskgraph/rect.cpp.o" "gcc" "src/CMakeFiles/automap.dir/taskgraph/rect.cpp.o.d"
+  "/root/repo/src/taskgraph/task_graph.cpp" "src/CMakeFiles/automap.dir/taskgraph/task_graph.cpp.o" "gcc" "src/CMakeFiles/automap.dir/taskgraph/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_algorithms_test.dir/extra_algorithms_test.cpp.o"
+  "CMakeFiles/extra_algorithms_test.dir/extra_algorithms_test.cpp.o.d"
+  "extra_algorithms_test"
+  "extra_algorithms_test.pdb"
+  "extra_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_model_test.dir/simulator_model_test.cpp.o"
+  "CMakeFiles/simulator_model_test.dir/simulator_model_test.cpp.o.d"
+  "simulator_model_test"
+  "simulator_model_test.pdb"
+  "simulator_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

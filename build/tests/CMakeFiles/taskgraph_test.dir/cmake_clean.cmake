@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskgraph_test.dir/taskgraph_test.cpp.o"
+  "CMakeFiles/taskgraph_test.dir/taskgraph_test.cpp.o.d"
+  "taskgraph_test"
+  "taskgraph_test.pdb"
+  "taskgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

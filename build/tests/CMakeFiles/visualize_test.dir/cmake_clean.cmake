@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_test.dir/visualize_test.cpp.o"
+  "CMakeFiles/visualize_test.dir/visualize_test.cpp.o.d"
+  "visualize_test"
+  "visualize_test.pdb"
+  "visualize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

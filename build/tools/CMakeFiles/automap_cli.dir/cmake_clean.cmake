@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automap_cli.dir/automap_cli.cpp.o"
+  "CMakeFiles/automap_cli.dir/automap_cli.cpp.o.d"
+  "automap_cli"
+  "automap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,21 +1,25 @@
 // Extended search-algorithm comparison (beyond the paper's Fig. 9 trio):
-// CCD, CD and the ensemble tuner, plus random search, simulated annealing
-// and the HEFT-style static baseline, all under the CCD budget, on Circuit
-// and HTR.
+// every algorithm in the search registry — CCD, CD, the ensemble tuner,
+// random search, simulated annealing, the HEFT-style static baseline and
+// multi-start CCD — under the CCD budget, on Circuit and HTR.
 //
 // The HEFT row demonstrates the paper's §6 argument directly: static
 // scheduling with a single memory per processor cannot exploit the
 // task/data trade-off, so it matches the default mapper at best.
+//
+// Pass --threads N to parallelize candidate evaluation (bit-identical
+// results; only wall-clock changes).
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "src/apps/circuit.hpp"
 #include "src/apps/htr.hpp"
 #include "src/apps/pennant.hpp"
 #include "src/automap/automap.hpp"
 #include "src/machine/machine.hpp"
-#include "src/search/ensemble_tuner.hpp"
-#include "src/search/extra_algorithms.hpp"
+#include "src/search/algorithms.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/format.hpp"
 #include "src/support/table.hpp"
@@ -24,29 +28,28 @@ namespace {
 using namespace automap;
 
 void run_case(const BenchmarkApp& app, const MachineModel& machine,
-              bool memory_fallbacks = false) {
+              int threads, bool memory_fallbacks = false) {
   Simulator sim(machine, app.graph, app.sim);
 
-  const SearchResult ccd = automap_optimize(
-      sim, SearchAlgorithm::kCcd,
-      {.rotations = 5, .repeats = 7, .seed = 42,
-       .memory_fallbacks = memory_fallbacks});
+  const SearchAlgorithmInfo* ccd_info = find_search_algorithm("ccd");
+  const SearchResult ccd =
+      ccd_info->run(sim, {.rotations = 5, .repeats = 7, .seed = 42,
+                          .memory_fallbacks = memory_fallbacks,
+                          .threads = threads});
   SearchOptions budgeted{.rotations = 5, .repeats = 7,
                          .time_budget_s = ccd.stats.search_time_s,
-                         .seed = 42};
+                         .seed = 42, .threads = threads};
   budgeted.memory_fallbacks = memory_fallbacks;
-  // Multistart gets 3x the budget (it runs up to three CCD passes).
-  SearchOptions multistart_options = budgeted;
-  multistart_options.time_budget_s = 3 * ccd.stats.search_time_s;
-  const SearchResult results[] = {
-      ccd,
-      automap_optimize(sim, SearchAlgorithm::kCd, budgeted),
-      run_ensemble_tuner(sim, budgeted),
-      run_random_search(sim, budgeted),
-      run_simulated_annealing(sim, budgeted),
-      run_heft_static(sim, budgeted),
-      run_ccd_multistart(sim, multistart_options, 2),
-  };
+
+  std::vector<SearchResult> results = {ccd};
+  for (const SearchAlgorithmInfo& info : search_algorithms()) {
+    if (info.name == "ccd") continue;
+    SearchOptions options = budgeted;
+    // Multistart gets 3x the budget (it runs up to three CCD passes).
+    if (info.name == "multistart")
+      options.time_budget_s = 3 * ccd.stats.search_time_s;
+    results.push_back(info.run(sim, options));
+  }
 
   std::cout << "\n-- " << app.name << " " << app.input << " (budget "
             << format_seconds(ccd.stats.search_time_s) << ") --\n";
@@ -61,11 +64,15 @@ void run_case(const BenchmarkApp& app, const MachineModel& machine,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 1;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--threads") threads = std::stoi(argv[i + 1]);
+
   std::cout << "=== Extended algorithm comparison (Shepard, 1 node) ===\n";
   const MachineModel machine = make_shepard(1);
-  run_case(make_circuit(circuit_config_for(1, 1)), machine);
-  run_case(make_htr(htr_config_for(1, 1)), machine);
+  run_case(make_circuit(circuit_config_for(1, 1)), machine, threads);
+  run_case(make_htr(htr_config_for(1, 1)), machine, threads);
 
   // Memory-constrained Pennant (+7 % over the Frame-Buffer, §5.2): static
   // scheduling has no way to pick *which* collections to demote — its
@@ -75,6 +82,7 @@ int main() {
                           machine.mem_capacity(MemKind::kFrameBuffer), 1, 1) *
                       107) /
                      100;
-  run_case(make_pennant(overflow), machine, /*memory_fallbacks=*/true);
+  run_case(make_pennant(overflow), machine, threads,
+           /*memory_fallbacks=*/true);
   return 0;
 }

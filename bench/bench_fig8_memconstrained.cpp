@@ -12,6 +12,7 @@
 // collection arguments demoted per mapping.
 
 #include <iostream>
+#include <limits>
 
 #include "src/apps/pennant.hpp"
 #include "src/automap/automap.hpp"
@@ -69,10 +70,16 @@ int main() {
             sim, SearchAlgorithm::kCcd,
             {.rotations = 5, .repeats = 7, .seed = 42,
              .memory_fallbacks = true});
-        // Measure with the same fallback lists the search used.
+        // Measure with the same fallback lists the search used. Read the
+        // outcome through the evaluator's read-only view — reporting code
+        // never needs the mutating interface.
         Evaluator measure(sim, {.repeats = 31, .seed = 2,
                                 .memory_fallbacks = true});
-        const double am_s = measure.evaluate(result.best);
+        measure.evaluate(result.best);
+        const EvaluatorView measured = measure.view();
+        const double am_s = measured.has_best()
+                                ? measured.best_seconds()
+                                : std::numeric_limits<double>::infinity();
         const auto report =
             sim.run(measure.with_fallbacks(result.best), 99);
 

@@ -7,6 +7,7 @@
 // spend 99 % of the time evaluating; OpenTuner 13-45 %.
 
 #include <iostream>
+#include <string>
 
 #include "src/apps/pennant.hpp"
 #include "src/automap/automap.hpp"
@@ -16,8 +17,12 @@
 #include "src/support/format.hpp"
 #include "src/support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace automap;
+  int threads = 1;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--threads") threads = std::stoi(argv[i + 1]);
+
   std::cout << "=== Section 5.3: search-efficiency statistics (Pennant "
                "320x180, Shepard 1 node) ===\n\n";
 
@@ -26,10 +31,11 @@ int main() {
   Simulator sim(machine, app.graph, app.sim);
 
   const SearchResult ccd = automap_optimize(
-      sim, SearchAlgorithm::kCcd, {.rotations = 5, .repeats = 7, .seed = 42});
+      sim, SearchAlgorithm::kCcd,
+      {.rotations = 5, .repeats = 7, .seed = 42, .threads = threads});
   const SearchOptions budgeted{.rotations = 5, .repeats = 7,
                                .time_budget_s = ccd.stats.search_time_s,
-                               .seed = 42};
+                               .seed = 42, .threads = threads};
   const SearchResult cd = automap_optimize(sim, SearchAlgorithm::kCd,
                                            budgeted);
   const SearchResult ot = run_ensemble_tuner(sim, budgeted);

@@ -176,4 +176,27 @@ std::string compare_runs(const TaskGraph& graph,
   return os.str();
 }
 
+std::string render_search_progress(const EvaluatorView& view) {
+  const SearchStats& stats = view.stats();
+  std::ostringstream os;
+  os << "search progress: " << stats.suggested << " suggested / "
+     << stats.evaluated << " evaluated (" << stats.invalid << " invalid, "
+     << stats.oom << " oom), simulated "
+     << format_seconds(stats.search_time_s) << " ("
+     << format_fixed(100 * stats.evaluation_fraction(), 0)
+     << "% evaluating)\n";
+  if (view.has_best()) {
+    os << "best so far: " << format_seconds(view.best_seconds()) << "\n";
+  }
+  if (!view.trajectory().empty()) {
+    os << "trajectory:";
+    for (const TrajectoryPoint& p : view.trajectory()) {
+      os << " (" << format_fixed(p.search_time_s, 1) << "s, "
+         << format_seconds(p.best_exec_s) << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace automap

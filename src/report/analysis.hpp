@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/mapping/mapping.hpp"
+#include "src/search/evaluator.hpp"
 #include "src/sim/report.hpp"
 #include "src/taskgraph/task_graph.hpp"
 
@@ -59,5 +60,11 @@ struct RunAnalysis {
 [[nodiscard]] std::string compare_runs(const TaskGraph& graph,
                                        const ExecutionReport& baseline,
                                        const ExecutionReport& improved);
+
+/// Search-progress digest from a read-only evaluator view: proposal and
+/// evaluation counters, the simulated search clock, and the best-so-far
+/// trajectory. Reporting code takes the view, never the mutating
+/// Evaluator.
+[[nodiscard]] std::string render_search_progress(const EvaluatorView& view);
 
 }  // namespace automap

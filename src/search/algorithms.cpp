@@ -1,0 +1,60 @@
+#include "src/search/algorithms.hpp"
+
+#include "src/search/coordinate_descent.hpp"
+#include "src/search/ensemble_tuner.hpp"
+#include "src/search/extra_algorithms.hpp"
+
+namespace automap {
+
+const std::vector<SearchAlgorithmInfo>& search_algorithms() {
+  static const std::vector<SearchAlgorithmInfo> registry = {
+      {"ccd", "AM-CCD",
+       "constrained coordinate-wise descent (paper default)",
+       [](const Simulator& sim, const SearchOptions& options) {
+         return run_ccd(sim, options);
+       }},
+      {"cd", "AM-CD", "plain coordinate-wise descent",
+       [](const Simulator& sim, const SearchOptions& options) {
+         return run_cd(sim, options);
+       }},
+      {"ot", "AM-OT", "OpenTuner-style ensemble tuner",
+       [](const Simulator& sim, const SearchOptions& options) {
+         return run_ensemble_tuner(sim, options);
+       }},
+      {"random", "AM-Random", "uniform random sampling of valid mappings",
+       [](const Simulator& sim, const SearchOptions& options) {
+         return run_random_search(sim, options);
+       }},
+      {"anneal", "AM-Anneal", "simulated annealing over valid mappings",
+       [](const Simulator& sim, const SearchOptions& options) {
+         return run_simulated_annealing(sim, options);
+       }},
+      {"heft", "HEFT-static", "HEFT-style static list scheduler (no search)",
+       [](const Simulator& sim, const SearchOptions& options) {
+         return run_heft_static(sim, options);
+       }},
+      {"multistart", "AM-CCD-multistart",
+       "CCD from the default plus random starting points",
+       [](const Simulator& sim, const SearchOptions& options) {
+         return run_ccd_multistart(sim, options);
+       }},
+  };
+  return registry;
+}
+
+const SearchAlgorithmInfo* find_search_algorithm(std::string_view name) {
+  for (const SearchAlgorithmInfo& info : search_algorithms())
+    if (info.name == name) return &info;
+  return nullptr;
+}
+
+std::string search_algorithm_names() {
+  std::string names;
+  for (const SearchAlgorithmInfo& info : search_algorithms()) {
+    if (!names.empty()) names += '|';
+    names += info.name;
+  }
+  return names;
+}
+
+}  // namespace automap

@@ -1,0 +1,40 @@
+#pragma once
+
+// Search-algorithm registry: the one table mapping algorithm names to
+// entry points. The CLI driver and the bench targets dispatch through it
+// instead of maintaining their own if/else chains, so adding an algorithm
+// means adding one registry row (§3: "the search algorithms are pluggable
+// components that can be replaced").
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/search/search.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace automap {
+
+struct SearchAlgorithmInfo {
+  /// Registry key, e.g. "ccd" — what --algorithm accepts.
+  std::string name;
+  /// SearchResult::algorithm label, e.g. "AM-CCD".
+  std::string label;
+  /// One-line description for usage/help output.
+  std::string summary;
+  std::function<SearchResult(const Simulator&, const SearchOptions&)> run;
+};
+
+/// All registered algorithms, in presentation order (the paper's trio
+/// first, then the extensions).
+[[nodiscard]] const std::vector<SearchAlgorithmInfo>& search_algorithms();
+
+/// Looks up an algorithm by registry name; nullptr when unknown.
+[[nodiscard]] const SearchAlgorithmInfo* find_search_algorithm(
+    std::string_view name);
+
+/// "ccd|cd|ot|..." — the names joined for usage strings.
+[[nodiscard]] std::string search_algorithm_names();
+
+}  // namespace automap

@@ -1,6 +1,8 @@
 #include "src/search/coordinate_descent.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <functional>
 #include <set>
 
 #include "src/support/error.hpp"
@@ -10,11 +12,11 @@ namespace detail {
 
 OverlapMap build_overlap_map(const TaskGraph& graph,
                              const std::vector<OverlapEdge>& edges,
-                             const std::vector<bool>* frozen) {
+                             const FrozenTaskSet* frozen) {
   // arg_refs[collection] -> all (task, arg) uses of that collection.
   std::vector<std::vector<ArgRef>> uses(graph.num_collections());
   for (const GroupTask& task : graph.tasks()) {
-    if (frozen != nullptr && (*frozen)[task.id.index()]) continue;
+    if (frozen != nullptr && frozen->contains(task.id)) continue;
     for (std::size_t a = 0; a < task.args.size(); ++a)
       uses[task.args[a].collection.index()].push_back({task.id, a});
   }
@@ -168,23 +170,68 @@ std::vector<std::size_t> args_by_size(const TaskGraph& graph,
   return order;
 }
 
-/// TestMapping (Algorithm 1 ll. 20-24): evaluate, keep if strictly better.
-void test_mapping(Evaluator& eval, const Mapping& candidate, Mapping& f,
-                  double& p) {
-  const double pt = eval.evaluate(candidate);
-  if (pt < p) {
-    f = candidate;
-    p = pt;
+/// Builds one candidate of a sweep from the current incumbent.
+using CandidateGen = std::function<Mapping(const Mapping&)>;
+
+/// One greedy-sequential coordinate sweep (Algorithm 1 ll. 10-24), batched.
+/// Semantically identical to the serial loop
+///
+///   for gen in gens:
+///     if budget_exhausted: return
+///     candidate = gen(f); pt = evaluate(candidate)
+///     if pt < p: f = candidate; p = pt        // TestMapping
+///
+/// including bit-identical statistics: the whole not-yet-tested tail is
+/// built from the current incumbent and submitted as one batch (whose
+/// candidate x repeats runs the Evaluator fans across its pool), and the
+/// moment a candidate improves the incumbent, folding stops — the tail was
+/// speculative, built from a now-stale incumbent, so it is discarded
+/// without touching any statistics and rebuilt from the new one.
+/// Improvements are rare in a descent sweep, so most batches fold whole.
+void batched_sweep(Evaluator& eval, const std::vector<CandidateGen>& gens,
+                   Mapping& f, double& p) {
+  std::size_t next = 0;
+  while (next < gens.size()) {
+    if (eval.budget_exhausted()) return;
+    std::vector<Mapping> batch;
+    batch.reserve(gens.size() - next);
+    for (std::size_t i = next; i < gens.size(); ++i)
+      batch.push_back(gens[i](f));
+
+    std::ptrdiff_t improved = -1;
+    double improved_mean = 0.0;
+    const std::size_t folded = eval.evaluate_batch(
+        batch, [&](std::size_t i, double mean) {
+          if (mean < p) {
+            improved = static_cast<std::ptrdiff_t>(i);
+            improved_mean = mean;
+            return false;
+          }
+          return true;
+        });
+
+    if (improved >= 0) {
+      f = std::move(batch[static_cast<std::size_t>(improved)]);
+      p = improved_mean;
+      next += static_cast<std::size_t>(improved) + 1;
+      continue;
+    }
+    if (folded < batch.size()) return;  // budget ran out mid-batch
+    next = gens.size();
   }
 }
 
-/// OptimizeTask (Algorithm 1 ll. 10-19).
+/// OptimizeTask (Algorithm 1 ll. 10-19): the per-coordinate candidate
+/// sweep over distribution, processor and memory kinds, expressed as a
+/// generator list so batched_sweep can evaluate it in parallel.
 void optimize_task(TaskId t, Mapping& f, double& p, Evaluator& eval,
                    const Simulator& sim, const OverlapMap* overlap,
                    bool search_distribution_strategies) {
   const TaskGraph& graph = sim.graph();
   const MachineModel& machine = sim.machine();
   const GroupTask& task = graph.task(t);
+
+  std::vector<CandidateGen> gens;
 
   // Distribution setting. The paper searches only distributed-vs-leader;
   // the extension also proposes a blocked decomposition.
@@ -196,11 +243,12 @@ void optimize_task(TaskId t, Mapping& f, double& p, Evaluator& eval,
   if (search_distribution_strategies)
     dist_options.insert(dist_options.begin() + 1, {true, true});
   for (const DistOption d : dist_options) {
-    if (eval.budget_exhausted()) return;
-    Mapping candidate = f;
-    candidate.at(t).distribute = d.distribute;
-    candidate.at(t).blocked = d.blocked;
-    test_mapping(eval, candidate, f, p);
+    gens.push_back([t, d](const Mapping& base) {
+      Mapping candidate = base;
+      candidate.at(t).distribute = d.distribute;
+      candidate.at(t).blocked = d.blocked;
+      return candidate;
+    });
   }
 
   // Processor kind x per-collection memory kind.
@@ -208,28 +256,32 @@ void optimize_task(TaskId t, Mapping& f, double& p, Evaluator& eval,
     if (k == ProcKind::kGpu && !task.cost.has_gpu_variant()) continue;
     for (const std::size_t a : args_by_size(graph, task)) {
       for (const MemKind r : machine.memories_addressable_by(k)) {
-        if (eval.budget_exhausted()) return;
-        Mapping candidate = f;
-        candidate.at(t).proc = k;
-        candidate.set_primary_memory(t, a, r);
-        if (overlap != nullptr) {
-          candidate = detail::colocation_constraints(candidate, t, a, k, r,
-                                                     *overlap, graph, machine);
-        } else {
-          // Plain CD: repair the task's other arguments so the processor
-          // switch yields an executable mapping (the runtime's fallback).
-          for (std::size_t other = 0; other < task.args.size(); ++other) {
-            if (other == a) continue;
-            if (!machine.addressable(k,
-                                     candidate.primary_memory(t, other)))
-              candidate.set_primary_memory(t, other,
-                                           machine.best_memory_for(k));
+        gens.push_back([t, k, a, r, overlap, &task, &graph,
+                        &machine](const Mapping& base) {
+          Mapping candidate = base;
+          candidate.at(t).proc = k;
+          candidate.set_primary_memory(t, a, r);
+          if (overlap != nullptr) {
+            candidate = detail::colocation_constraints(
+                candidate, t, a, k, r, *overlap, graph, machine);
+          } else {
+            // Plain CD: repair the task's other arguments so the processor
+            // switch yields an executable mapping (the runtime's fallback).
+            for (std::size_t other = 0; other < task.args.size(); ++other) {
+              if (other == a) continue;
+              if (!machine.addressable(k,
+                                       candidate.primary_memory(t, other)))
+                candidate.set_primary_memory(t, other,
+                                             machine.best_memory_for(k));
+            }
           }
-        }
-        test_mapping(eval, candidate, f, p);
+          return candidate;
+        });
       }
     }
   }
+
+  batched_sweep(eval, gens, f, p);
 }
 
 SearchResult run_coordinate_descent(const Simulator& sim,
@@ -264,11 +316,7 @@ SearchResult run_coordinate_descent(const Simulator& sim,
   }
   const std::size_t original_edges = edges.size();
 
-  std::vector<bool> frozen(graph.num_tasks(), false);
-  for (const TaskId t : options.frozen_tasks) {
-    AM_REQUIRE(t.index() < graph.num_tasks(), "frozen task id out of range");
-    frozen[t.index()] = true;
-  }
+  const FrozenTaskSet frozen(options.frozen_tasks, graph.num_tasks());
 
   const int rotations = constrained ? options.rotations : 1;
   Rng profile_rng(mix64(options.seed) ^ 0x1b873593ULL);
@@ -283,7 +331,7 @@ SearchResult run_coordinate_descent(const Simulator& sim,
 
     for (const TaskId t : order) {
       if (eval.budget_exhausted()) break;
-      if (frozen[t.index()]) continue;  // §3.3 subset search
+      if (frozen.contains(t)) continue;  // §3.3 subset search
       optimize_task(t, f, p, eval, sim, constrained ? &overlap : nullptr,
                     options.search_distribution_strategies);
     }

@@ -54,11 +54,11 @@ using OverlapMap = std::vector<std::vector<std::vector<ArgRef>>>;
 
 /// Builds O from the still-active overlap edges. `edges` uses collection
 /// ids; same-collection coupling is expressed as an edge with a == b.
-/// Arguments of tasks marked in `frozen` (§3.3 subset search) are excluded
-/// from every co-location class — they never co-move.
+/// Arguments of tasks in `frozen` (§3.3 subset search) are excluded from
+/// every co-location class — they never co-move.
 [[nodiscard]] OverlapMap build_overlap_map(
     const TaskGraph& graph, const std::vector<OverlapEdge>& edges,
-    const std::vector<bool>* frozen = nullptr);
+    const FrozenTaskSet* frozen = nullptr);
 
 /// Algorithm 2: returns f' = f with (t, arg) mapped to (k, r) and the
 /// co-location constraints re-established by fixed-point iteration.

@@ -125,7 +125,7 @@ SearchResult run_ensemble_tuner(const Simulator& sim,
   std::size_t suggestions = 1;
   while (!eval.budget_exhausted() &&
          suggestions < config.max_suggestions &&
-         eval.stats().evaluated < config.max_evaluations) {
+         eval.view().stats().evaluated < config.max_evaluations) {
     // OpenTuner-style allocation: half the proposals follow the bandit's
     // exploit choice, half are uniform exploration across the ensemble.
     // Exploration keeps feeding the pure-random technique, whose proposals

@@ -3,25 +3,54 @@
 #include <algorithm>
 #include <limits>
 #include <sstream>
+#include <unordered_map>
 
 #include "src/support/error.hpp"
+#include "src/support/rng.hpp"
 
 namespace automap {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}
+// Domain-separation salts: search-time evaluation runs and finalist-protocol
+// reruns of the same mapping must see independent noise streams.
+constexpr std::uint64_t kEvalSalt = 0x5bf03635f0a5a1edULL;
+constexpr std::uint64_t kFinalSalt = 0xa0761d6478bd642fULL;
+}  // namespace
 
 Evaluator::Evaluator(const Simulator& sim, const SearchOptions& options)
-    : sim_(sim),
-      options_(options),
-      rng_(mix64(options.seed) ^ 0x5bf03635f0a5a1edULL),
-      best_seconds_(kInf) {
+    : sim_(sim), options_(options), best_seconds_(kInf) {
   AM_REQUIRE(options_.repeats > 0, "repeats must be positive");
   AM_REQUIRE(options_.rotations > 0, "rotations must be positive");
   AM_REQUIRE(options_.top_k > 0, "top_k must be positive");
+  AM_REQUIRE(options_.threads >= 0, "threads must be >= 0");
+  const int threads = options_.threads == 0 ? ThreadPool::hardware_threads()
+                                            : options_.threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   if (!options_.profiles_seed.empty())
     import_profiles(options_.profiles_seed);
+}
+
+std::uint64_t Evaluator::run_seed(std::uint64_t mapping_hash, int repeat,
+                                  std::uint64_t salt) const {
+  // Order-independent derivation: a run's noise depends only on the search
+  // seed, the candidate's structural hash and the repeat index — never on
+  // how many candidates were evaluated before it or on which thread it ran.
+  std::uint64_t s = mix64(options_.seed ^ salt);
+  s = mix64(s ^ mapping_hash);
+  return mix64(s +
+               0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(repeat + 1));
+}
+
+Evaluator::RunOutcome Evaluator::execute_run(const Mapping& candidate,
+                                             std::uint64_t seed) const {
+  const ExecutionReport report = sim_.run(candidate, seed);
+  if (!report.ok) return {};
+  return {.ok = true,
+          .objective = options_.objective == Objective::kEnergy
+                           ? report.energy_joules
+                           : report.total_seconds,
+          .total_seconds = report.total_seconds};
 }
 
 std::string Evaluator::export_profiles() const {
@@ -92,58 +121,158 @@ Mapping Evaluator::with_fallbacks(const Mapping& mapping) const {
 }
 
 double Evaluator::evaluate(const Mapping& mapping) {
-  ++stats_.suggested;
-
-  const std::uint64_t key = mapping.hash();
-  if (auto it = profiles_.find(key);
-      it != profiles_.end() && it->second.mapping == mapping) {
-    return it->second.mean_seconds;  // profiles-database hit: free
-  }
-
-  const Mapping candidate = with_fallbacks(mapping);
-  if (!candidate.valid(sim_.graph(), sim_.machine())) {
-    ++stats_.invalid;
-    profiles_.insert_or_assign(key, Entry{mapping, kInf});
-    return kInf;
-  }
-
-  // Execute `repeats` runs; each costs its own simulated duration
-  // (whatever the ranking objective, the search pays wall time).
-  double sum = 0.0;
-  bool failed = false;
-  for (int r = 0; r < options_.repeats; ++r) {
-    const ExecutionReport report = sim_.run(candidate, rng_.next());
-    if (!report.ok) {
-      // An OOM surfaces on the first run; it still costs some time to
-      // observe (the runtime aborts during instance allocation).
-      ++stats_.oom;
-      failed = true;
-      break;
-    }
-    sum += options_.objective == Objective::kEnergy ? report.energy_joules
-                                                    : report.total_seconds;
-    stats_.search_time_s += report.total_seconds;
-    stats_.evaluation_time_s += report.total_seconds;
-  }
-  ++stats_.evaluated;
-
-  const double mean = failed ? kInf : sum / options_.repeats;
-  profiles_.insert_or_assign(key, Entry{mapping, mean});
-
-  if (mean < best_seconds_) {
-    best_seconds_ = mean;
-    trajectory_.push_back({stats_.search_time_s, mean});
-  }
-  if (mean < kInf) {
-    // Maintain the top-k list for the finalist protocol.
-    const auto pos = std::lower_bound(
-        top_.begin(), top_.end(), mean,
-        [](const Entry& e, double v) { return e.mean_seconds < v; });
-    top_.insert(pos, Entry{mapping, mean});
-    if (top_.size() > static_cast<std::size_t>(options_.top_k))
-      top_.pop_back();
-  }
+  double mean = kInf;
+  (void)evaluate_batch(
+      std::span<const Mapping>(&mapping, 1),
+      [&](std::size_t, double value) {
+        mean = value;
+        return true;
+      });
   return mean;
+}
+
+std::vector<double> Evaluator::evaluate_batch(
+    std::span<const Mapping> mappings) {
+  std::vector<double> means;
+  means.reserve(mappings.size());
+  (void)evaluate_batch(mappings, [&](std::size_t, double value) {
+    means.push_back(value);
+    return true;
+  });
+  return means;
+}
+
+std::size_t Evaluator::evaluate_batch(
+    std::span<const Mapping> mappings,
+    const std::function<bool(std::size_t, double)>& consume) {
+  // Per-candidate plan. Exactly one of three shapes:
+  //  * deferred-to-cache: the profiles database (or an earlier batch member
+  //    equal to this mapping, which will have inserted its entry by the
+  //    time this one folds) already answers it;
+  //  * invalid: fails constraint 1, folds to infinity without execution;
+  //  * execute: `repeats` pre-executable runs with derived seeds.
+  struct Plan {
+    std::uint64_t key = 0;
+    bool invalid = false;
+    bool execute = false;
+    Mapping candidate;          // fallback-extended, when execute
+    std::size_t first_run = 0;  // index into the job/outcome arrays
+  };
+  struct RunJob {
+    std::size_t plan = 0;
+    std::uint64_t seed = 0;
+  };
+
+  std::vector<Plan> plans(mappings.size());
+  std::vector<RunJob> jobs;
+  // key -> batch member that will own the profiles entry for that hash at
+  // fold time (serial insertion order: the latest scheduled one wins).
+  std::unordered_map<std::uint64_t, std::size_t> planned;
+
+  for (std::size_t j = 0; j < mappings.size(); ++j) {
+    const Mapping& mapping = mappings[j];
+    Plan& plan = plans[j];
+    plan.key = mapping.hash();
+
+    if (const auto pit = planned.find(plan.key);
+        pit != planned.end() && mappings[pit->second] == mapping) {
+      continue;  // deferred: an earlier batch member folds this entry
+    }
+    if (const auto it = profiles_.find(plan.key);
+        planned.find(plan.key) == planned.end() && it != profiles_.end() &&
+        it->second.mapping == mapping) {
+      continue;  // deferred: profiles-database hit
+    }
+
+    planned[plan.key] = j;
+    Mapping candidate = with_fallbacks(mapping);
+    if (!candidate.valid(sim_.graph(), sim_.machine())) {
+      plan.invalid = true;
+      continue;
+    }
+    plan.execute = true;
+    plan.candidate = std::move(candidate);
+    plan.first_run = jobs.size();
+    for (int r = 0; r < options_.repeats; ++r)
+      jobs.push_back({j, run_seed(plan.key, r, kEvalSalt)});
+  }
+
+  // Pre-execute every scheduled run across the pool. Without a pool the
+  // fold below runs lazily instead (preserving the serial path's early
+  // break on OOM and avoiding speculative work past a consume() stop).
+  std::vector<RunOutcome> outcomes;
+  const bool pre_executed = pool_ != nullptr && jobs.size() > 1;
+  if (pre_executed) {
+    outcomes.resize(jobs.size());
+    pool_->parallel_for(jobs.size(), [&](std::size_t i) {
+      outcomes[i] =
+          execute_run(plans[jobs[i].plan].candidate, jobs[i].seed);
+    });
+  }
+
+  // Fold serially in submission order; this is the exact serial evaluate()
+  // logic with sim_.run replaced by the pre-executed outcomes, so every
+  // statistic, cache entry and trajectory point lands in the same order
+  // with the same values regardless of thread count.
+  std::size_t folded = 0;
+  for (std::size_t j = 0; j < mappings.size(); ++j) {
+    if (j > 0 && budget_exhausted()) break;
+    const Mapping& mapping = mappings[j];
+    const Plan& plan = plans[j];
+    ++stats_.suggested;
+
+    double mean;
+    if (const auto it = profiles_.find(plan.key);
+        it != profiles_.end() && it->second.mapping == mapping) {
+      mean = it->second.mean_seconds;  // profiles-database hit: free
+    } else if (plan.invalid) {
+      ++stats_.invalid;
+      profiles_.insert_or_assign(plan.key, Entry{mapping, kInf});
+      mean = kInf;
+    } else {
+      double sum = 0.0;
+      bool failed = false;
+      for (int r = 0; r < options_.repeats; ++r) {
+        const RunOutcome out =
+            pre_executed
+                ? outcomes[plan.first_run + static_cast<std::size_t>(r)]
+                : execute_run(plan.candidate,
+                              run_seed(plan.key, r, kEvalSalt));
+        if (!out.ok) {
+          // An OOM surfaces on the first run; it still costs some time to
+          // observe (the runtime aborts during instance allocation).
+          ++stats_.oom;
+          failed = true;
+          break;
+        }
+        sum += out.objective;
+        stats_.search_time_s += out.total_seconds;
+        stats_.evaluation_time_s += out.total_seconds;
+      }
+      ++stats_.evaluated;
+
+      mean = failed ? kInf : sum / options_.repeats;
+      profiles_.insert_or_assign(plan.key, Entry{mapping, mean});
+
+      if (mean < best_seconds_) {
+        best_seconds_ = mean;
+        trajectory_.push_back({stats_.search_time_s, mean});
+      }
+      if (mean < kInf) {
+        // Maintain the top-k list for the finalist protocol.
+        const auto pos = std::lower_bound(
+            top_.begin(), top_.end(), mean,
+            [](const Entry& e, double v) { return e.mean_seconds < v; });
+        top_.insert(pos, Entry{mapping, mean});
+        if (top_.size() > static_cast<std::size_t>(options_.top_k))
+          top_.pop_back();
+      }
+    }
+
+    ++folded;
+    if (!consume(j, mean)) break;
+  }
+  return folded;
 }
 
 void Evaluator::charge_overhead(double seconds) {
@@ -155,35 +284,62 @@ bool Evaluator::budget_exhausted() const {
   return stats_.search_time_s >= options_.time_budget_s;
 }
 
-const Mapping& Evaluator::best() const {
-  AM_REQUIRE(!top_.empty(), "no successful evaluation yet");
-  return top_.front().mapping;
+const Mapping& EvaluatorView::best() const {
+  AM_REQUIRE(!eval_->top_.empty(), "no successful evaluation yet");
+  return eval_->top_.front().mapping;
 }
 
 SearchResult Evaluator::finalize(std::string algorithm_name) {
   SearchResult result;
   result.algorithm = std::move(algorithm_name);
 
-  double best_final = kInf;
+  // All (finalist, repeat) reruns are independent under derived seeds, so
+  // they fan out across the pool as one batch and fold back in top-k order.
+  const int repeats = options_.final_repeats;
+  const std::size_t runs_per = static_cast<std::size_t>(repeats);
+  std::vector<Mapping> candidates;
+  std::vector<std::uint64_t> hashes;
+  candidates.reserve(top_.size());
+  hashes.reserve(top_.size());
   for (const Entry& entry : top_) {
-    const Mapping candidate = with_fallbacks(entry.mapping);
+    candidates.push_back(with_fallbacks(entry.mapping));
+    hashes.push_back(entry.mapping.hash());
+  }
+
+  std::vector<RunOutcome> outcomes;
+  const bool pre_executed =
+      pool_ != nullptr && candidates.size() * runs_per > 1;
+  if (pre_executed) {
+    outcomes.resize(candidates.size() * runs_per);
+    pool_->parallel_for(outcomes.size(), [&](std::size_t i) {
+      const std::size_t e = i / runs_per;
+      const int r = static_cast<int>(i % runs_per);
+      outcomes[i] =
+          execute_run(candidates[e], run_seed(hashes[e], r, kFinalSalt));
+    });
+  }
+
+  double best_final = kInf;
+  for (std::size_t e = 0; e < candidates.size(); ++e) {
     double sum = 0.0;
     int ok_runs = 0;
-    for (int r = 0; r < options_.final_repeats; ++r) {
-      const ExecutionReport report = sim_.run(candidate, rng_.next());
-      if (!report.ok) break;
-      sum += options_.objective == Objective::kEnergy
-                 ? report.energy_joules
-                 : report.total_seconds;
-      stats_.search_time_s += report.total_seconds;
-      stats_.evaluation_time_s += report.total_seconds;
+    for (int r = 0; r < repeats; ++r) {
+      const RunOutcome out =
+          pre_executed
+              ? outcomes[e * runs_per + static_cast<std::size_t>(r)]
+              : execute_run(candidates[e],
+                            run_seed(hashes[e], r, kFinalSalt));
+      if (!out.ok) break;
+      sum += out.objective;
+      stats_.search_time_s += out.total_seconds;
+      stats_.evaluation_time_s += out.total_seconds;
       ++ok_runs;
     }
-    if (ok_runs == options_.final_repeats) {
+    if (ok_runs == repeats) {
       const double mean = sum / ok_runs;
       if (mean < best_final) {
         best_final = mean;
-        result.best = entry.mapping;
+        result.best = top_[e].mapping;
       }
     }
   }

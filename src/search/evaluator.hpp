@@ -1,6 +1,7 @@
 #pragma once
 
-// Candidate-mapping evaluator with a profiles database.
+// Candidate-mapping evaluator with a profiles database and a batch
+// evaluation engine.
 //
 // This is AutoMap's driver-side measurement machinery (§3, Figure 4): every
 // candidate is executed `repeats` times and the mean is recorded; results
@@ -9,16 +10,33 @@
 // is accounted in *simulated* seconds — the sum of the candidate runs'
 // execution times plus any per-suggestion algorithm overhead — so that the
 // Fig. 9 time axis reflects what a real deployment would pay.
+//
+// Candidate execution dominates search cost (§5.3: 99 % for CCD/CD), and
+// Simulator::run is const and seed-parameterized, so the (candidate,
+// repeat) runs of a batch are embarrassingly parallel. evaluate_batch fans
+// them out across a thread pool (SearchOptions::threads) and folds results
+// back serially in submission order. Every run's noise seed is *derived*
+// from (search seed, mapping hash, repeat index) instead of drawn from a
+// shared sequential generator, so a run's result does not depend on which
+// thread executed it or how many candidates preceded it — the folded
+// statistics, trajectory, top-k list and profiles database are bit-identical
+// for every thread count, including the serial path.
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "src/mapping/mapping.hpp"
 #include "src/search/search.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/support/thread_pool.hpp"
 
 namespace automap {
+
+class EvaluatorView;
 
 class Evaluator {
  public:
@@ -27,7 +45,28 @@ class Evaluator {
   /// Proposes a mapping for evaluation. Returns its mean execution time in
   /// seconds; infinity when the mapping is invalid (constraint 1) or runs
   /// out of memory. Cached mappings return instantly without re-execution.
+  /// Equivalent to a one-element evaluate_batch.
   double evaluate(const Mapping& mapping);
+
+  /// Batch entry point: pre-executes the repeats runs of every not-yet-
+  /// cached candidate across the thread pool, then folds results back in
+  /// submission order, replicating evaluate() exactly — a candidate sees
+  /// cache entries created by earlier batch members, and folding stops
+  /// once the simulated budget is exhausted (a serial loop would not have
+  /// proposed the remaining candidates). After each fold, `consume(index,
+  /// mean)` is invoked; returning false stops the batch and discards the
+  /// unfolded tail entirely (no statistics, cache or clock effects), which
+  /// lets greedy-sequential searches speculate over candidates whose
+  /// construction depends on earlier outcomes. Returns the number of
+  /// candidates folded.
+  std::size_t evaluate_batch(
+      std::span<const Mapping> mappings,
+      const std::function<bool(std::size_t, double)>& consume);
+
+  /// Convenience overload folding the whole batch (budget permitting):
+  /// returns the means of the folded prefix; the result is shorter than
+  /// `mappings` iff the budget ran out mid-batch.
+  std::vector<double> evaluate_batch(std::span<const Mapping> mappings);
 
   /// Charges algorithm-side overhead (e.g. the ensemble tuner's proposal
   /// machinery) to the search clock without touching evaluation counters.
@@ -36,20 +75,15 @@ class Evaluator {
   /// True once the simulated search clock passed the configured budget.
   [[nodiscard]] bool budget_exhausted() const;
 
-  /// Best mapping so far and its (search-time) mean.
-  [[nodiscard]] const Mapping& best() const;
-  [[nodiscard]] double best_seconds() const { return best_seconds_; }
-  [[nodiscard]] bool has_best() const { return !top_.empty(); }
-
   /// The finalist protocol (§5): re-runs the top-k mappings
-  /// `final_repeats` times each and returns the fastest, charging the
-  /// reruns to the search clock.
+  /// `final_repeats` times each (fanned across the pool) and returns the
+  /// fastest, charging the reruns to the search clock.
   [[nodiscard]] SearchResult finalize(std::string algorithm_name);
 
-  [[nodiscard]] const SearchStats& stats() const { return stats_; }
-  [[nodiscard]] const std::vector<TrajectoryPoint>& trajectory() const {
-    return trajectory_;
-  }
+  /// Read-only accessors (best/stats/trajectory/profiles export) live on
+  /// EvaluatorView; pass a view to reporting code instead of the mutating
+  /// evaluator.
+  [[nodiscard]] EvaluatorView view() const;
 
   /// If memory_fallbacks is on, returns a copy of `mapping` whose argument
   /// priority lists are extended with the remaining addressable memory
@@ -57,28 +91,75 @@ class Evaluator {
   /// mapping unchanged.
   [[nodiscard]] Mapping with_fallbacks(const Mapping& mapping) const;
 
-  /// Serializes the profiles database (every measured mapping with its
-  /// mean) for reuse via SearchOptions::profiles_seed.
-  [[nodiscard]] std::string export_profiles() const;
   /// Seeds the database from a previous export. Entries must match the
   /// simulator's graph shape; throws Error on malformed text. Imported
   /// entries do not count as suggested/evaluated.
   void import_profiles(const std::string& text);
 
  private:
+  friend class EvaluatorView;
+
   struct Entry {
     Mapping mapping;
     double mean_seconds;
   };
+  /// Result of one pre-executed simulated run, reduced to what folding
+  /// needs (full ExecutionReports would hold per-task vectors per run).
+  struct RunOutcome {
+    bool ok = false;
+    double objective = 0.0;
+    double total_seconds = 0.0;
+  };
+
+  /// Deterministic per-(candidate, repeat) noise seed — the scheme that
+  /// makes parallel evaluation order-independent.
+  [[nodiscard]] std::uint64_t run_seed(std::uint64_t mapping_hash,
+                                       int repeat,
+                                       std::uint64_t salt) const;
+  /// Executes one run and reduces it to a RunOutcome.
+  [[nodiscard]] RunOutcome execute_run(const Mapping& candidate,
+                                       std::uint64_t seed) const;
+  /// Serializes the profiles database (every measured mapping with its
+  /// mean) for reuse via SearchOptions::profiles_seed.
+  [[nodiscard]] std::string export_profiles() const;
 
   const Simulator& sim_;
   SearchOptions options_;
-  Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;  // null when options_.threads == 1
   std::unordered_map<std::uint64_t, Entry> profiles_;
   std::vector<Entry> top_;  // sorted ascending by mean, at most top_k
   double best_seconds_;
   SearchStats stats_;
   std::vector<TrajectoryPoint> trajectory_;
 };
+
+/// Read-only window onto an Evaluator for reporting and analysis code: the
+/// best mapping so far, counters, the Fig. 9 trajectory and the profiles
+/// database export — none of the propose/charge/finalize machinery. Cheap
+/// to copy; valid as long as the evaluator it views.
+class EvaluatorView {
+ public:
+  explicit EvaluatorView(const Evaluator& eval) : eval_(&eval) {}
+
+  /// Best mapping so far and its (search-time) mean.
+  [[nodiscard]] const Mapping& best() const;
+  [[nodiscard]] double best_seconds() const { return eval_->best_seconds_; }
+  [[nodiscard]] bool has_best() const { return !eval_->top_.empty(); }
+
+  [[nodiscard]] const SearchStats& stats() const { return eval_->stats_; }
+  [[nodiscard]] const std::vector<TrajectoryPoint>& trajectory() const {
+    return eval_->trajectory_;
+  }
+
+  /// Serialized profiles database for SearchOptions::profiles_seed.
+  [[nodiscard]] std::string export_profiles() const {
+    return eval_->export_profiles();
+  }
+
+ private:
+  const Evaluator* eval_;
+};
+
+inline EvaluatorView Evaluator::view() const { return EvaluatorView(*this); }
 
 }  // namespace automap

@@ -76,11 +76,26 @@ SearchResult run_random_search(const Simulator& sim,
   const std::size_t cap = std::isfinite(options.time_budget_s)
                               ? std::size_t{1} << 20
                               : 2500;
-  for (std::size_t i = 0; i < cap && !eval.budget_exhausted(); ++i) {
-    Mapping candidate = random_valid_mapping(sim.graph(), sim.machine(), rng);
-    for (const TaskId t : options.frozen_tasks)
-      candidate.at(t) = start.at(t);
-    (void)eval.evaluate(candidate);
+  // Proposals are independent of evaluation results, so random search is
+  // the ideal batch customer: draw a block of candidates, submit it whole.
+  // evaluate_batch folds with the same per-candidate budget checks the
+  // serial loop made, so results are bit-identical to one-at-a-time
+  // evaluation for every block size and thread count.
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t i = 0; i < cap && !eval.budget_exhausted();) {
+    const std::size_t block = std::min(kBlock, cap - i);
+    std::vector<Mapping> batch;
+    batch.reserve(block);
+    for (std::size_t b = 0; b < block; ++b) {
+      Mapping candidate =
+          random_valid_mapping(sim.graph(), sim.machine(), rng);
+      for (const TaskId t : options.frozen_tasks)
+        candidate.at(t) = start.at(t);
+      batch.push_back(std::move(candidate));
+    }
+    const std::size_t folded = eval.evaluate_batch(batch).size();
+    if (folded < batch.size()) break;  // budget ran out mid-block
+    i += folded;
   }
   return eval.finalize("AM-Random");
 }
@@ -129,8 +144,9 @@ SearchResult run_heft_static(const Simulator& sim,
   const MachineModel& machine = sim.machine();
 
   Mapping mapping = search_starting_point(graph, machine);
+  const FrozenTaskSet frozen(options.frozen_tasks, graph.num_tasks());
   for (const GroupTask& task : graph.tasks()) {
-    if (options.is_frozen(task.id)) continue;
+    if (frozen.contains(task.id)) continue;
     TaskMapping& tm = mapping.at(task.id);
     tm.distribute = true;
 

@@ -61,12 +61,31 @@ struct SearchOptions {
   /// incremental search resumes cheaply. Produced by
   /// SearchResult::profiles_db.
   std::string profiles_seed;
+  /// Worker threads for batch candidate evaluation (simulated runs are
+  /// independent per seed, so candidates x repeats fan out). Results are
+  /// bit-identical for every value; 1 disables the pool, 0 means one lane
+  /// per hardware thread.
+  int threads = 1;
+};
 
-  [[nodiscard]] bool is_frozen(TaskId task) const {
-    for (const TaskId t : frozen_tasks)
-      if (t == task) return true;
-    return false;
+/// Indexed frozen-task lookup (§3.3 subset search), built once per search.
+/// SearchOptions::frozen_tasks is a plain list; scanning it for every task
+/// on every coordinate visit made the membership test O(frozen) on the
+/// search's hottest loop, so algorithms build one of these instead.
+class FrozenTaskSet {
+ public:
+  FrozenTaskSet() = default;
+  /// Validates that every id is < num_tasks (throws Error otherwise).
+  FrozenTaskSet(const std::vector<TaskId>& tasks, std::size_t num_tasks);
+
+  [[nodiscard]] bool contains(TaskId task) const {
+    return task.index() < mask_.size() && mask_[task.index()];
   }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+ private:
+  std::vector<bool> mask_;
+  std::size_t count_ = 0;
 };
 
 /// One point of the Fig. 9 search-progress curves.

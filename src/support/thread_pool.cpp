@@ -1,0 +1,111 @@
+#include "src/support/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace automap {
+
+namespace {
+
+/// Shared state of one parallel_for call. Helpers and the caller claim
+/// indices from `next`; `remaining_helpers` gates the caller's exit.
+struct ForState {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining_helpers = 0;
+  std::exception_ptr error;
+
+  void drain() {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      try {
+        (*body)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->body = &body;
+  // No more helpers than indices: a helper with nothing to claim would
+  // only add wake-up latency.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  state->remaining_helpers = helpers;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      queue_.emplace_back([state] {
+        state->drain();
+        {
+          const std::lock_guard<std::mutex> state_lock(state->mutex);
+          --state->remaining_helpers;
+        }
+        state->done_cv.notify_one();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  state->drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock,
+                        [&] { return state->remaining_helpers == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+}  // namespace automap

@@ -1,0 +1,60 @@
+#pragma once
+
+// Fixed-size worker pool for batch candidate evaluation.
+//
+// The search layer's unit of parallelism is one simulated run of one
+// candidate mapping — Simulator::run is const and seed-parameterized, so
+// runs are embarrassingly parallel. The pool exposes exactly the primitive
+// the Evaluator needs: parallel_for over an index space, with the calling
+// thread participating so a pool of size N uses N lanes, not N+1, and a
+// pool of size 1 degenerates to an inline loop with zero synchronization.
+
+#include <cstddef>
+#include <functional>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace automap {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` total lanes (including the caller of
+  /// parallel_for); spawns `threads - 1` workers. threads < 1 is clamped
+  /// to 1 (inline execution, no workers).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes, including the calling thread.
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Runs body(0) .. body(n-1), each exactly once, across the pool plus
+  /// the calling thread. Indices are claimed dynamically, so per-index
+  /// runtimes may vary freely. Blocks until every index completed. The
+  /// first exception thrown by any body is rethrown on the caller (the
+  /// remaining indices still run to completion). Not reentrant: bodies
+  /// must not call parallel_for on the same pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// The machine's hardware concurrency, with a floor of 1.
+  [[nodiscard]] static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace automap

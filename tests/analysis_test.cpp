@@ -132,5 +132,23 @@ TEST(Analysis, CopyWaitAppearsUnderMixedMappings) {
   EXPECT_FALSE(a.most_blocked_tasks.empty());
 }
 
+TEST(SearchProgress, RendersCountersBestAndTrajectoryFromView) {
+  const BenchmarkApp app = make_circuit(circuit_config_for(1, 0));
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, app.graph, {.iterations = 2, .noise_sigma = 0.0});
+
+  Evaluator eval(sim, {.repeats = 2, .seed = 3});
+  std::string text = render_search_progress(eval.view());
+  EXPECT_NE(text.find("0 suggested / 0 evaluated"), std::string::npos);
+  EXPECT_EQ(text.find("best so far"), std::string::npos);
+
+  DefaultMapper dm;
+  (void)eval.evaluate(dm.map_all(app.graph, machine));
+  text = render_search_progress(eval.view());
+  EXPECT_NE(text.find("1 suggested / 1 evaluated"), std::string::npos);
+  EXPECT_NE(text.find("best so far"), std::string::npos);
+  EXPECT_NE(text.find("trajectory:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace automap

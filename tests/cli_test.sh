@@ -28,6 +28,22 @@ test -s "$DIR/db.txt"
 "$CLI" search "$DIR/m.machine" "$DIR/g.graph" --algorithm heft \
       --repeats 2 | grep -q "HEFT-static"
 
+# Unknown algorithms fail cleanly with the registry's name list.
+if "$CLI" search "$DIR/m.machine" "$DIR/g.graph" --algorithm nosuch \
+      > /dev/null 2>&1; then
+  echo "expected nonzero exit for unknown algorithm" >&2
+  exit 1
+fi
+
+# Parallel evaluation must not change the result: the search summary line
+# (best time, suggested/evaluated counts, search time) is byte-identical
+# across thread counts.
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      --threads 1 | grep "best mapping" > "$DIR/serial.txt"
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      --threads 4 | grep "best mapping" > "$DIR/parallel.txt"
+cmp "$DIR/serial.txt" "$DIR/parallel.txt"
+
 "$CLI" evaluate "$DIR/m.machine" "$DIR/g.graph" "$DIR/best.mapping" \
       --repeats 5 | grep -q "speedup"
 

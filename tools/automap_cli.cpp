@@ -30,7 +30,7 @@
 #include "src/io/text_io.hpp"
 #include "src/report/codegen.hpp"
 #include "src/report/visualize.hpp"
-#include "src/search/extra_algorithms.hpp"
+#include "src/search/algorithms.hpp"
 #include "src/machine/machine.hpp"
 #include "src/runtime/mapper.hpp"
 #include "src/sim/simulator.hpp"
@@ -48,11 +48,12 @@ int usage() {
          "  automap_cli export-app <app> <nodes> <step> <out>\n"
          "  automap_cli describe <machine> <graph>\n"
          "  automap_cli search <machine> <graph>\n"
-         "              [--algorithm ccd|cd|ot|random|anneal|heft|"
-         "multistart]\n"
+         "              [--algorithm "
+      << search_algorithm_names()
+      << "]\n"
          "              [--rotations N] [--repeats N] [--budget S]\n"
-         "              [--seed N] [--fallbacks] [-o mapping.txt]\n"
-         "              [--profiles db.txt]\n"
+         "              [--seed N] [--threads N] [--fallbacks]\n"
+         "              [-o mapping.txt] [--profiles db.txt]\n"
          "  automap_cli evaluate <machine> <graph> <mapping> [--repeats N]\n"
          "  automap_cli visualize <machine> <graph> <mapping>\n"
          "              [--dot out.dot] [--trace out.json]\n"
@@ -119,6 +120,10 @@ int cmd_search(const std::vector<std::string>& args) {
       options.time_budget_s = std::stod(value());
     } else if (args[i] == "--seed") {
       options.seed = std::stoull(value());
+    } else if (args[i] == "--threads") {
+      // 0 = one evaluation lane per hardware thread. Results are
+      // bit-identical for every value; only wall-clock time changes.
+      options.threads = std::stoi(value());
     } else if (args[i] == "--fallbacks") {
       options.memory_fallbacks = true;
     } else if (args[i] == "-o") {
@@ -141,18 +146,16 @@ int cmd_search(const std::vector<std::string>& args) {
     }
   }
 
+  const SearchAlgorithmInfo* algorithm =
+      find_search_algorithm(algorithm_name);
+  if (algorithm == nullptr) {
+    std::cerr << "unknown algorithm: " << algorithm_name << " (expected "
+              << search_algorithm_names() << ")\n";
+    return usage();
+  }
+
   Simulator sim(machine, graph, {});
-  const SearchResult result =
-      algorithm_name == "cd" ? automap_optimize(sim, SearchAlgorithm::kCd,
-                                                options)
-      : algorithm_name == "ot"
-          ? automap_optimize(sim, SearchAlgorithm::kEnsembleTuner, options)
-      : algorithm_name == "random" ? run_random_search(sim, options)
-      : algorithm_name == "anneal" ? run_simulated_annealing(sim, options)
-      : algorithm_name == "heft"   ? run_heft_static(sim, options)
-      : algorithm_name == "multistart"
-          ? run_ccd_multistart(sim, options)
-          : automap_optimize(sim, SearchAlgorithm::kCcd, options);
+  const SearchResult result = algorithm->run(sim, options);
   if (!profiles_path.empty()) save_text(profiles_path, result.profiles_db);
   std::cout << result.algorithm << ": best mapping "
             << format_seconds(result.best_seconds) << " after "

@@ -10,10 +10,12 @@
 #include "bench/fig6_common.hpp"
 #include "src/apps/circuit.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   automap::bench::run_fig6(
-      "Figure 6a: Circuit", 8, [](int nodes, int step) {
+      "Figure 6a: Circuit", 8,
+      [](int nodes, int step) {
         return automap::make_circuit(automap::circuit_config_for(nodes, step));
-      });
+      },
+      automap::bench::parse_bench_observability(argc, argv));
   return 0;
 }

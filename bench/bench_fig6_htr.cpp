@@ -9,9 +9,12 @@
 #include "bench/fig6_common.hpp"
 #include "src/apps/htr.hpp"
 
-int main() {
-  automap::bench::run_fig6("Figure 6d: HTR", 5, [](int nodes, int step) {
-    return automap::make_htr(automap::htr_config_for(nodes, step));
-  });
+int main(int argc, char** argv) {
+  automap::bench::run_fig6(
+      "Figure 6d: HTR", 5,
+      [](int nodes, int step) {
+        return automap::make_htr(automap::htr_config_for(nodes, step));
+      },
+      automap::bench::parse_bench_observability(argc, argv));
   return 0;
 }

@@ -9,10 +9,12 @@
 #include "bench/fig6_common.hpp"
 #include "src/apps/pennant.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   automap::bench::run_fig6(
-      "Figure 6c: Pennant", 7, [](int nodes, int step) {
+      "Figure 6c: Pennant", 7,
+      [](int nodes, int step) {
         return automap::make_pennant(automap::pennant_config_for(nodes, step));
-      });
+      },
+      automap::bench::parse_bench_observability(argc, argv));
   return 0;
 }

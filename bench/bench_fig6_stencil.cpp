@@ -9,10 +9,12 @@
 #include "bench/fig6_common.hpp"
 #include "src/apps/stencil.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   automap::bench::run_fig6(
-      "Figure 6b: Stencil", 11, [](int nodes, int step) {
+      "Figure 6b: Stencil", 11,
+      [](int nodes, int step) {
         return automap::make_stencil(automap::stencil_config_for(nodes, step));
-      });
+      },
+      automap::bench::parse_bench_observability(argc, argv));
   return 0;
 }

@@ -11,16 +11,21 @@
 // Pass --threads N to fan candidate evaluation across N worker threads
 // (0 = one per hardware thread). Every simulated-seconds statistic,
 // trajectory point and chosen mapping is bit-identical across thread
-// counts — only the wall-clock column changes.
+// counts — only the wall-clock column changes. --telemetry prints the
+// per-algorithm search telemetry (cache hit rate, rotation deltas, wall vs
+// simulated clocks); --trace-json PATH exports a Chrome-trace timeline of
+// the last case's AM-CCD winner.
 
 #include <chrono>
 #include <iostream>
 #include <string>
 
+#include "bench/fig6_common.hpp"
 #include "src/apps/htr.hpp"
 #include "src/apps/pennant.hpp"
 #include "src/automap/automap.hpp"
 #include "src/machine/machine.hpp"
+#include "src/report/analysis.hpp"
 #include "src/search/ensemble_tuner.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/format.hpp"
@@ -42,13 +47,13 @@ SearchResult timed(Fn&& fn, double& wall_s) {
 }
 
 void run_case(const BenchmarkApp& app, const MachineModel& machine,
-              int threads) {
+              const bench::BenchObservability& opts) {
   Simulator sim(machine, app.graph, app.sim);
 
   // Budget: what a full CCD needs, shared by all three algorithms.
   double ccd_wall = 0.0, cd_wall = 0.0, ot_wall = 0.0;
   const SearchOptions base{.rotations = 5, .repeats = 7, .seed = 42,
-                           .threads = threads};
+                           .threads = opts.threads};
   const SearchResult ccd = timed(
       [&] { return automap_optimize(sim, SearchAlgorithm::kCcd, base); },
       ccd_wall);
@@ -62,7 +67,7 @@ void run_case(const BenchmarkApp& app, const MachineModel& machine,
       [&] { return run_ensemble_tuner(sim, budgeted); }, ot_wall);
 
   std::cout << "\n-- " << app.name << " " << app.input
-            << " (budget " << format_seconds(budget) << ", " << threads
+            << " (budget " << format_seconds(budget) << ", " << opts.threads
             << " thread(s)) --\n";
   Table table({"algorithm", "best exec/iter", "search time", "wall clock",
                "suggested", "evaluated", "eval frac"});
@@ -89,23 +94,28 @@ void run_case(const BenchmarkApp& app, const MachineModel& machine,
     }
     std::cout << "\n";
   }
+
+  if (opts.telemetry) {
+    for (const SearchResult* r : results)
+      std::cout << render_search_telemetry(*r);
+  }
+  bench::emit_bench_observability(machine, app, ccd.best, opts);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  int threads = 1;
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::string(argv[i]) == "--threads") threads = std::stoi(argv[i + 1]);
+  const bench::BenchObservability opts =
+      bench::parse_bench_observability(argc, argv);
 
   std::cout << "=== Figure 9: search-algorithm comparison (Shepard, "
                "1 node) ===\n";
   const MachineModel machine = make_shepard(1);
   for (const int step : {0, 1}) {
-    run_case(make_pennant(pennant_config_for(1, step)), machine, threads);
+    run_case(make_pennant(pennant_config_for(1, step)), machine, opts);
   }
   for (const int step : {0, 1}) {
-    run_case(make_htr(htr_config_for(1, step)), machine, threads);
+    run_case(make_htr(htr_config_for(1, step)), machine, opts);
   }
   return 0;
 }

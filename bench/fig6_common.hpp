@@ -6,14 +6,19 @@
 // the exact series the paper plots.
 
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "src/apps/app.hpp"
 #include "src/automap/automap.hpp"
 #include "src/machine/machine.hpp"
 #include "src/mappers/custom_mappers.hpp"
+#include "src/report/analysis.hpp"
+#include "src/report/profile.hpp"
+#include "src/report/visualize.hpp"
 #include "src/runtime/mapper.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/format.hpp"
@@ -29,11 +34,64 @@ struct Fig6Row {
   double automap_speedup;
 };
 
+/// Observability options shared by the figure benches: search telemetry per
+/// sweep entry, an execution profile of the last AM-CCD winner, and a
+/// Chrome-trace JSON export of that winner's run.
+struct BenchObservability {
+  int threads = 1;
+  bool telemetry = false;
+  bool profile = false;
+  std::string trace_json;
+};
+
+/// Parses --threads N, --telemetry, --profile, --trace-json PATH.
+inline BenchObservability parse_bench_observability(int argc, char** argv) {
+  BenchObservability opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc)
+      opts.threads = std::atoi(argv[++i]);
+    else if (arg == "--telemetry")
+      opts.telemetry = true;
+    else if (arg == "--profile")
+      opts.profile = true;
+    else if (arg == "--trace-json" && i + 1 < argc)
+      opts.trace_json = argv[++i];
+  }
+  return opts;
+}
+
+/// Re-runs `mapping` noise-free with trace recording and emits the profile
+/// digest and/or Chrome-trace JSON.
+inline void emit_bench_observability(const MachineModel& machine,
+                                     const BenchmarkApp& app,
+                                     const Mapping& mapping,
+                                     const BenchObservability& opts) {
+  if (!opts.profile && opts.trace_json.empty()) return;
+  SimOptions sim_options = app.sim;
+  sim_options.noise_sigma = 0.0;
+  sim_options.record_trace = true;
+  Simulator sim(machine, app.graph, sim_options);
+  const ExecutionReport report = sim.run(mapping, 1);
+  if (!report.ok) return;
+  if (opts.profile) {
+    std::cout << "\n"
+              << render_profile(app.graph, compute_profile(app.graph, report));
+  }
+  if (!opts.trace_json.empty()) {
+    std::ofstream os(opts.trace_json);
+    os << render_chrome_trace(report);
+    std::cout << "wrote " << opts.trace_json
+              << " (open in a Chrome-tracing / Perfetto viewer)\n";
+  }
+}
+
 /// Runs the full sweep. `make_app(nodes, step)` builds the weak-scaled
 /// input; `num_steps` is the length of each per-node-count series.
 inline void run_fig6(
     const std::string& title, int num_steps,
-    const std::function<BenchmarkApp(int nodes, int step)>& make_app) {
+    const std::function<BenchmarkApp(int nodes, int step)>& make_app,
+    const BenchObservability& opts = {}) {
   std::cout << "=== " << title
             << " — speedup over DefaultMapper (Shepard) ===\n";
   const int kNodeCounts[] = {1, 2, 4, 8};
@@ -59,7 +117,8 @@ inline void run_fig6(
       const SearchResult result = automap_optimize(
           sim, SearchAlgorithm::kCcd,
           {.rotations = 5, .repeats = 7,
-           .seed = 42 + static_cast<std::uint64_t>(step)});
+           .seed = 42 + static_cast<std::uint64_t>(step),
+           .threads = opts.threads});
       const double automap_s =
           measure_mapping(sim, result.best, kReportRepeats, 2);
 
@@ -67,6 +126,14 @@ inline void run_fig6(
                      format_fixed(default_s / custom_s, 2),
                      format_fixed(default_s / automap_s, 2),
                      std::to_string(result.stats.evaluated)});
+      if (opts.telemetry) {
+        std::cout << "[" << nodes << " node(s), " << app.input << "] "
+                  << render_search_telemetry(result);
+      }
+      // Observability exports cover the last sweep entry (largest machine
+      // and input): one representative timeline/profile per bench run.
+      if (nodes == kNodeCounts[3] && step == num_steps - 1)
+        emit_bench_observability(machine, app, result.best, opts);
     }
     std::cout << "\n-- " << nodes << " node(s) --\n";
     table.print(std::cout);

@@ -181,8 +181,9 @@ std::string render_search_progress(const EvaluatorView& view) {
   std::ostringstream os;
   os << "search progress: " << stats.suggested << " suggested / "
      << stats.evaluated << " evaluated (" << stats.invalid << " invalid, "
-     << stats.oom << " oom), simulated "
-     << format_seconds(stats.search_time_s) << " ("
+     << stats.oom << " oom, " << stats.cache_hits
+     << " cache hits = " << format_fixed(100 * stats.cache_hit_rate(), 0)
+     << "%), simulated " << format_seconds(stats.search_time_s) << " ("
      << format_fixed(100 * stats.evaluation_fraction(), 0)
      << "% evaluating)\n";
   if (view.has_best()) {
@@ -195,6 +196,34 @@ std::string render_search_progress(const EvaluatorView& view) {
          << format_seconds(p.best_exec_s) << ")";
     }
     os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_search_telemetry(const SearchResult& result) {
+  const SearchStats& s = result.stats;
+  std::ostringstream os;
+  os << result.algorithm << " telemetry:\n"
+     << "  proposals: " << s.suggested << " suggested, " << s.evaluated
+     << " evaluated, " << s.invalid << " invalid, " << s.oom << " oom\n"
+     << "  profiles cache: " << s.cache_hits << " hits / " << s.suggested
+     << " lookups (" << format_fixed(100 * s.cache_hit_rate(), 1)
+     << "% hit rate)\n"
+     << "  clocks: simulated " << format_seconds(s.search_time_s) << " ("
+     << format_fixed(100 * s.evaluation_fraction(), 0)
+     << "% evaluating), wall " << format_seconds(s.wall_time_s) << "\n";
+  if (!s.rotations.empty()) {
+    os << "  rotations (best before -> after, delta):\n";
+    for (const RotationTelemetry& r : s.rotations) {
+      os << "    #" << r.rotation << ": ";
+      if (std::isinf(r.best_before_s))
+        os << "(none)";
+      else
+        os << format_seconds(r.best_before_s);
+      os << " -> " << format_seconds(r.best_after_s) << " (-"
+         << format_seconds(r.improvement_s()) << "), " << r.evaluated
+         << " evaluated, clock " << format_seconds(r.search_time_s) << "\n";
+    }
   }
   return os.str();
 }

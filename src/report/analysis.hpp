@@ -62,9 +62,14 @@ struct RunAnalysis {
                                        const ExecutionReport& improved);
 
 /// Search-progress digest from a read-only evaluator view: proposal and
-/// evaluation counters, the simulated search clock, and the best-so-far
-/// trajectory. Reporting code takes the view, never the mutating
-/// Evaluator.
+/// evaluation counters, cache hit rate, the simulated search clock, and the
+/// best-so-far trajectory. Reporting code takes the view, never the
+/// mutating Evaluator.
 [[nodiscard]] std::string render_search_progress(const EvaluatorView& view);
+
+/// Search telemetry digest of a finished search: counters, profiles-cache
+/// hit rate, OOM count, wall vs simulated clocks, and per-rotation
+/// improvement deltas (CCD/CD). The CLI/bench `--telemetry` output.
+[[nodiscard]] std::string render_search_telemetry(const SearchResult& result);
 
 }  // namespace automap

@@ -162,9 +162,11 @@ std::string render_chrome_trace(const ExecutionReport& report) {
        << "\"ts\":" << e.start_s * 1e6 << ","
        << "\"dur\":" << e.duration_s * 1e6 << ","
        << "\"args\":{\"iteration\":" << e.iteration << ",\"kind\":\""
-       << (e.kind == TraceEvent::Kind::kTask ? "task" : "copy") << "\"}}";
+       << (e.kind == TraceEvent::Kind::kTask ? "task" : "copy") << "\"";
+    if (e.kind == TraceEvent::Kind::kCopy) os << ",\"bytes\":" << e.bytes;
+    os << "}}";
   }
-  os << "]}\n";
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
   return os.str();
 }
 

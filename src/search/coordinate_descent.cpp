@@ -323,6 +323,7 @@ SearchResult run_coordinate_descent(const Simulator& sim,
 
   for (int rotation = 0; rotation < rotations; ++rotation) {
     if (eval.budget_exhausted()) break;
+    const double best_before = eval.view().best_seconds();
 
     const detail::OverlapMap overlap =
         detail::build_overlap_map(graph, edges, &frozen);
@@ -335,6 +336,7 @@ SearchResult run_coordinate_descent(const Simulator& sim,
       optimize_task(t, f, p, eval, sim, constrained ? &overlap : nullptr,
                     options.search_distribution_strategies);
     }
+    eval.note_rotation(rotation, best_before);
 
     // Relax the data-movement constraint: drop 1/(N-1) of the lightest
     // edges per rotation so the final rotation runs unconstrained.

@@ -1,8 +1,11 @@
 #include "src/search/evaluator.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
 #include <limits>
 #include <sstream>
+#include <string>
 #include <unordered_map>
 
 #include "src/support/error.hpp"
@@ -19,7 +22,8 @@ constexpr std::uint64_t kFinalSalt = 0xa0761d6478bd642fULL;
 }  // namespace
 
 Evaluator::Evaluator(const Simulator& sim, const SearchOptions& options)
-    : sim_(sim), options_(options), best_seconds_(kInf) {
+    : sim_(sim), options_(options), best_seconds_(kInf),
+      wall_start_(std::chrono::steady_clock::now()) {
   AM_REQUIRE(options_.repeats > 0, "repeats must be positive");
   AM_REQUIRE(options_.rotations > 0, "rotations must be positive");
   AM_REQUIRE(options_.top_k > 0, "top_k must be positive");
@@ -74,7 +78,20 @@ void Evaluator::import_profiles(const std::string& text) {
     if (line.empty()) continue;
     AM_REQUIRE(line.rfind("entry ", 0) == 0,
                "expected an 'entry' line in the profiles database");
-    const double mean = std::stod(line.substr(6));
+    // Validate the mean ourselves: bare std::stod would leak
+    // std::invalid_argument past the Error-based diagnostics every other
+    // malformed-input path produces.
+    double mean = 0.0;
+    std::size_t parsed = 0;
+    try {
+      mean = std::stod(line.substr(6), &parsed);
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    AM_REQUIRE(parsed > 0 &&
+                   line.find_first_not_of(" \t", 6 + parsed) ==
+                       std::string::npos,
+               "malformed mean in profiles database entry: '" + line + "'");
     std::string mapping_text;
     for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
       std::string task_line;
@@ -85,16 +102,26 @@ void Evaluator::import_profiles(const std::string& text) {
     Mapping mapping = Mapping::parse(mapping_text, graph);
     const std::uint64_t key = mapping.hash();
     if (mean < kInf) {
-      const auto pos = std::lower_bound(
-          top_.begin(), top_.end(), mean,
-          [](const Entry& e, double v) { return e.mean_seconds < v; });
-      top_.insert(pos, Entry{mapping, mean});
-      if (top_.size() > static_cast<std::size_t>(options_.top_k))
-        top_.pop_back();
+      // insert_top dedupes by hash, so importing the same database twice
+      // (or re-importing after a search) does not stack duplicate
+      // finalists.
+      insert_top(mapping, mean);
       best_seconds_ = std::min(best_seconds_, mean);
     }
     profiles_.insert_or_assign(key, Entry{std::move(mapping), mean});
   }
+}
+
+void Evaluator::insert_top(const Mapping& mapping, double mean) {
+  const std::uint64_t key = mapping.hash();
+  for (const Entry& e : top_)
+    if (e.mapping.hash() == key && e.mapping == mapping) return;
+  const auto pos = std::lower_bound(
+      top_.begin(), top_.end(), mean,
+      [](const Entry& e, double v) { return e.mean_seconds < v; });
+  top_.insert(pos, Entry{mapping, mean});
+  if (top_.size() > static_cast<std::size_t>(options_.top_k))
+    top_.pop_back();
 }
 
 Mapping Evaluator::with_fallbacks(const Mapping& mapping) const {
@@ -225,6 +252,7 @@ std::size_t Evaluator::evaluate_batch(
     if (const auto it = profiles_.find(plan.key);
         it != profiles_.end() && it->second.mapping == mapping) {
       mean = it->second.mean_seconds;  // profiles-database hit: free
+      ++stats_.cache_hits;
     } else if (plan.invalid) {
       ++stats_.invalid;
       profiles_.insert_or_assign(plan.key, Entry{mapping, kInf});
@@ -240,8 +268,13 @@ std::size_t Evaluator::evaluate_batch(
                               run_seed(plan.key, r, kEvalSalt));
         if (!out.ok) {
           // An OOM surfaces on the first run; it still costs some time to
-          // observe (the runtime aborts during instance allocation).
+          // observe (the runtime aborts during instance allocation), so
+          // charge the machine-derived observation cost to the search
+          // clock. This fold-side charge is shared by the serial and
+          // batched paths, preserving thread-count invariance.
           ++stats_.oom;
+          stats_.search_time_s += failure_observation_cost();
+          stats_.evaluation_time_s += failure_observation_cost();
           failed = true;
           break;
         }
@@ -258,15 +291,8 @@ std::size_t Evaluator::evaluate_batch(
         best_seconds_ = mean;
         trajectory_.push_back({stats_.search_time_s, mean});
       }
-      if (mean < kInf) {
-        // Maintain the top-k list for the finalist protocol.
-        const auto pos = std::lower_bound(
-            top_.begin(), top_.end(), mean,
-            [](const Entry& e, double v) { return e.mean_seconds < v; });
-        top_.insert(pos, Entry{mapping, mean});
-        if (top_.size() > static_cast<std::size_t>(options_.top_k))
-          top_.pop_back();
-      }
+      // Maintain the top-k list for the finalist protocol.
+      if (mean < kInf) insert_top(mapping, mean);
     }
 
     ++folded;
@@ -278,6 +304,22 @@ std::size_t Evaluator::evaluate_batch(
 void Evaluator::charge_overhead(double seconds) {
   AM_REQUIRE(seconds >= 0.0, "negative overhead");
   stats_.search_time_s += seconds;
+}
+
+double Evaluator::failure_observation_cost() const {
+  // The runtime walks every task's dependence analysis and instance
+  // allocation before the OOM aborts the run — one runtime-overhead
+  // quantum per task, independent of how far the allocation pass got.
+  return sim_.machine().runtime_overhead() *
+         static_cast<double>(sim_.graph().num_tasks());
+}
+
+void Evaluator::note_rotation(int rotation, double best_before_s) {
+  stats_.rotations.push_back({.rotation = rotation,
+                              .best_before_s = best_before_s,
+                              .best_after_s = best_seconds_,
+                              .evaluated = stats_.evaluated,
+                              .search_time_s = stats_.search_time_s});
 }
 
 bool Evaluator::budget_exhausted() const {
@@ -329,7 +371,13 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
               ? outcomes[e * runs_per + static_cast<std::size_t>(r)]
               : execute_run(candidates[e],
                             run_seed(hashes[e], r, kFinalSalt));
-      if (!out.ok) break;
+      if (!out.ok) {
+        // Same accounting as the search loop: a failed rerun still costs
+        // observation time.
+        stats_.search_time_s += failure_observation_cost();
+        stats_.evaluation_time_s += failure_observation_cost();
+        break;
+      }
       sum += out.objective;
       stats_.search_time_s += out.total_seconds;
       stats_.evaluation_time_s += out.total_seconds;
@@ -346,6 +394,9 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
   AM_CHECK(best_final < kInf,
            "finalist protocol found no executable mapping");
   result.best_seconds = best_final;
+  stats_.wall_time_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start_)
+                           .count();
   result.stats = stats_;
   result.trajectory = trajectory_;
   result.profiles_db = export_profiles();

@@ -22,6 +22,7 @@
 // statistics, trajectory, top-k list and profiles database are bit-identical
 // for every thread count, including the serial path.
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -72,6 +73,11 @@ class Evaluator {
   /// machinery) to the search clock without touching evaluation counters.
   void charge_overhead(double seconds);
 
+  /// Records one completed CCD/CD rotation in the telemetry: the best mean
+  /// before the rotation vs now, plus the cumulative counters. Deterministic
+  /// given the folded statistics, so thread-count invariance is preserved.
+  void note_rotation(int rotation, double best_before_s);
+
   /// True once the simulated search clock passed the configured budget.
   [[nodiscard]] bool budget_exhausted() const;
 
@@ -119,6 +125,14 @@ class Evaluator {
   /// Executes one run and reduces it to a RunOutcome.
   [[nodiscard]] RunOutcome execute_run(const Mapping& candidate,
                                        std::uint64_t seed) const;
+  /// Simulated cost of observing a failed (OOM) evaluation: the runtime
+  /// still performs dependence analysis and instance allocation for every
+  /// task before aborting, so each failure charges one runtime-overhead
+  /// quantum per task to the search clock.
+  [[nodiscard]] double failure_observation_cost() const;
+  /// Inserts into the top-k finalist list unless an entry with the same
+  /// structural hash and mapping is already present (dedupe on import).
+  void insert_top(const Mapping& mapping, double mean);
   /// Serializes the profiles database (every measured mapping with its
   /// mean) for reuse via SearchOptions::profiles_seed.
   [[nodiscard]] std::string export_profiles() const;
@@ -131,6 +145,8 @@ class Evaluator {
   double best_seconds_;
   SearchStats stats_;
   std::vector<TrajectoryPoint> trajectory_;
+  /// Wall-clock anchor for SearchStats::wall_time_s (simulated vs real).
+  std::chrono::steady_clock::time_point wall_start_;
 };
 
 /// Read-only window onto an Evaluator for reporting and analysis code: the

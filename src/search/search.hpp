@@ -3,6 +3,7 @@
 // Common search-layer types: options, statistics, results, and the starting
 // point shared by the coordinate-descent algorithms (§4.1).
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -94,6 +95,25 @@ struct TrajectoryPoint {
   double best_exec_s = 0.0;
 };
 
+/// Telemetry of one CCD/CD rotation: what the rotation started from, what
+/// it reached, and what it cost — the per-rotation improvement deltas of
+/// the observability layer. Deterministic (derived from folded statistics),
+/// so thread-count invariance extends to it.
+struct RotationTelemetry {
+  int rotation = 0;
+  /// Best mean before/after the rotation (infinity before any success).
+  double best_before_s = std::numeric_limits<double>::infinity();
+  double best_after_s = std::numeric_limits<double>::infinity();
+  /// Cumulative evaluated count and simulated clock at rotation end.
+  std::size_t evaluated = 0;
+  double search_time_s = 0.0;
+
+  [[nodiscard]] double improvement_s() const {
+    if (std::isinf(best_before_s) || std::isinf(best_after_s)) return 0.0;
+    return best_before_s - best_after_s;
+  }
+};
+
 struct SearchStats {
   /// Mappings proposed by the algorithm (§5.3: CCD 1941, CD 389, OT 157k).
   std::size_t suggested = 0;
@@ -103,13 +123,27 @@ struct SearchStats {
   std::size_t invalid = 0;
   /// Executions that failed with an out-of-memory error.
   std::size_t oom = 0;
+  /// Proposals answered from the profiles database without execution (the
+  /// "suggested minus evaluated" gap of §5.3, counted directly).
+  std::size_t cache_hits = 0;
   /// Total simulated search time and the share spent executing candidates
   /// (§5.3: 99 % for CCD/CD, 13-45 % for OpenTuner).
   double search_time_s = 0.0;
   double evaluation_time_s = 0.0;
+  /// Real (wall-clock) seconds the search took, as opposed to the simulated
+  /// clock above. Not deterministic; excluded from invariance checks.
+  double wall_time_s = 0.0;
+  /// Per-rotation improvement deltas (CCD/CD only; empty otherwise).
+  std::vector<RotationTelemetry> rotations;
 
   [[nodiscard]] double evaluation_fraction() const {
     return search_time_s > 0.0 ? evaluation_time_s / search_time_s : 0.0;
+  }
+  [[nodiscard]] double cache_hit_rate() const {
+    return suggested > 0
+               ? static_cast<double>(cache_hits) /
+                     static_cast<double>(suggested)
+               : 0.0;
   }
 };
 

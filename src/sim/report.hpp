@@ -21,6 +21,12 @@ struct TaskReport {
   double compute_seconds = 0.0;
   /// Time spent waiting on incoming copies per iteration (seconds).
   double copy_wait_seconds = 0.0;
+  /// Share of compute_seconds that is per-wave launch overhead (seconds per
+  /// iteration, before noise) — the term the profile module splits out.
+  double launch_overhead_seconds = 0.0;
+  /// Share of compute_seconds that is the mapping-independent per-launch
+  /// runtime cost (seconds per iteration, before noise).
+  double runtime_overhead_seconds = 0.0;
 };
 
 /// Memory-kind footprint actually allocated by a run.
@@ -39,11 +45,13 @@ struct TraceEvent {
   Kind kind = Kind::kTask;
   /// Task name, or "src->dst" channel description for copies.
   std::string name;
-  /// "GPU"/"CPU" pool or channel resource label.
+  /// "GPU"/"CPU" pool, intra-node channel, or the shared "network" row.
   std::string resource;
   int iteration = 0;
   double start_s = 0.0;
   double duration_s = 0.0;
+  /// Bytes moved (copies only; 0 for task events).
+  std::uint64_t bytes = 0;
 };
 
 /// Result of simulating one execution of the application under a mapping.

@@ -145,8 +145,9 @@ Simulator::Resolution Simulator::resolve_memories(
   return res;
 }
 
-double Simulator::task_duration(const GroupTask& task, const TaskMapping& tm,
-                                const std::vector<ResolvedArg>& args) const {
+Simulator::TaskDuration Simulator::task_duration(
+    const GroupTask& task, const TaskMapping& tm,
+    const std::vector<ResolvedArg>& args) const {
   const ProcGroup& pg = machine_.proc_group(tm.proc);
   const int num_nodes = machine_.num_nodes();
   const bool distributed = tm.distribute && num_nodes > 1;
@@ -162,9 +163,10 @@ double Simulator::task_duration(const GroupTask& task, const TaskMapping& tm,
   AM_CHECK(compute_per_point >= 0.0, "task mapped to missing variant");
 
   // Launch overhead and compute serialize in waves over the pool.
+  const double launch_time =
+      static_cast<double>(waves) * pg.launch_overhead_s;
   const double compute_time =
-      static_cast<double>(waves) *
-      (pg.launch_overhead_s + compute_per_point);
+      launch_time + static_cast<double>(waves) * compute_per_point;
 
   // Memory access is pool-level: all points on a node stream their bytes
   // through the shared affinity bandwidth (per-allocation for FrameBuffer,
@@ -211,7 +213,9 @@ double Simulator::task_duration(const GroupTask& task, const TaskMapping& tm,
 
   // Mapping-independent per-launch runtime cost (dependence analysis,
   // mapper queries, instance binding on the reserved runtime cores).
-  return machine_.runtime_overhead() + compute_time + mem_time;
+  return {.total = machine_.runtime_overhead() + compute_time + mem_time,
+          .launch_overhead = launch_time,
+          .runtime_overhead = machine_.runtime_overhead()};
 }
 
 ExecutionReport Simulator::run(const Mapping& mapping,
@@ -243,8 +247,13 @@ ExecutionReport Simulator::run(const Mapping& mapping,
   // Processor pools: busy-until per (proc kind, node).
   std::vector<std::array<double, kNumProcKinds>> pool_busy(
       static_cast<std::size_t>(num_nodes), {0.0, 0.0});
-  // Copy channels: busy-until per (src kind, dst kind, inter-node).
-  std::map<std::tuple<std::size_t, std::size_t, bool>, double> channel_busy;
+  // Intra-node copy channels: busy-until per (src kind, dst kind). All
+  // inter-node legs share one interconnect busy-state instead: the machine
+  // has one NIC, so System->System and FB->FB network transfers contend
+  // with each other even though their bandwidths (machine_.channel) differ
+  // per kind pair.
+  std::map<std::tuple<std::size_t, std::size_t>, double> channel_busy;
+  double interconnect_busy = 0.0;
 
   std::vector<double> finish_prev(graph_.num_tasks(), 0.0);
   std::vector<double> finish_cur(graph_.num_tasks(), 0.0);
@@ -350,7 +359,9 @@ ExecutionReport Simulator::run(const Mapping& mapping,
               leg.bytes / leg.parallelism / ch.bandwidth_bytes_per_s;
           if (copy_noise_sigma > 0.0)
             elapsed *= rng.lognormal_factor(copy_noise_sigma);
-          auto& busy = channel_busy[{index_of(src), index_of(dst), leg.inter}];
+          double& busy =
+              leg.inter ? interconnect_busy
+                        : channel_busy[{index_of(src), index_of(dst)}];
           const double start = std::max(arrival, busy);
           busy = start + elapsed;
           arrival = busy;
@@ -359,12 +370,14 @@ ExecutionReport Simulator::run(const Mapping& mapping,
                 {.kind = TraceEvent::Kind::kCopy,
                  .name = std::string(to_string(src)) + "->" +
                          std::string(to_string(dst)) + " for " + task.name,
-                 .resource = std::string(leg.inter ? "network " : "channel ") +
-                             std::string(to_string(src)) + "-" +
-                             std::string(to_string(dst)),
+                 .resource = leg.inter
+                                 ? "network"
+                                 : "channel " + std::string(to_string(src)) +
+                                       "-" + std::string(to_string(dst)),
                  .iteration = iter,
                  .start_s = start,
-                 .duration_s = elapsed});
+                 .duration_s = elapsed,
+                 .bytes = static_cast<std::uint64_t>(leg.bytes)});
           }
           if (leg.inter) {
             report.inter_node_copy_bytes +=
@@ -389,7 +402,8 @@ ExecutionReport Simulator::run(const Mapping& mapping,
             pool_busy[static_cast<std::size_t>(n)][index_of(tm.proc)]);
 
       const double start = std::max(ready, pool_free);
-      double duration = task_duration(task, tm, resolved);
+      const TaskDuration parts = task_duration(task, tm, resolved);
+      double duration = parts.total;
       if (options_.noise_sigma > 0.0)
         duration *= rng.lognormal_factor(options_.noise_sigma);
       const double finish = start + duration;
@@ -422,6 +436,8 @@ ExecutionReport Simulator::run(const Mapping& mapping,
       tr.proc = tm.proc;
       tr.compute_seconds += duration;
       tr.copy_wait_seconds += std::max(0.0, ready - pool_free);
+      tr.launch_overhead_seconds += parts.launch_overhead;
+      tr.runtime_overhead_seconds += parts.runtime_overhead;
     }
     std::swap(finish_prev, finish_cur);
   }
@@ -430,6 +446,8 @@ ExecutionReport Simulator::run(const Mapping& mapping,
   for (auto& tr : report.tasks) {
     tr.compute_seconds /= options_.iterations;
     tr.copy_wait_seconds /= options_.iterations;
+    tr.launch_overhead_seconds /= options_.iterations;
+    tr.runtime_overhead_seconds /= options_.iterations;
   }
   report.intra_node_copy_bytes /=
       static_cast<std::uint64_t>(options_.iterations);

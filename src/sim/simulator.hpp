@@ -84,11 +84,16 @@ class Simulator {
   /// priority list under per-instance capacity accounting.
   [[nodiscard]] Resolution resolve_memories(const Mapping& mapping) const;
 
-  /// Wave-execution time of one group task on its pool (excluding waits).
-  [[nodiscard]] double task_duration(const GroupTask& task,
-                                     const TaskMapping& tm,
-                                     const std::vector<ResolvedArg>& args)
-      const;
+  /// Wave-execution time of one group task on its pool (excluding waits),
+  /// with the overhead terms split out for per-task profiling.
+  struct TaskDuration {
+    double total = 0.0;
+    double launch_overhead = 0.0;
+    double runtime_overhead = 0.0;
+  };
+  [[nodiscard]] TaskDuration task_duration(
+      const GroupTask& task, const TaskMapping& tm,
+      const std::vector<ResolvedArg>& args) const;
 
   const MachineModel& machine_;
   const TaskGraph& graph_;

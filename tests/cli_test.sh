@@ -47,6 +47,19 @@ cmp "$DIR/serial.txt" "$DIR/parallel.txt"
 "$CLI" evaluate "$DIR/m.machine" "$DIR/g.graph" "$DIR/best.mapping" \
       --repeats 5 | grep -q "speedup"
 
+# Observability flags: telemetry counters, profile digest, Chrome trace.
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      --telemetry --profile --trace-json "$DIR/search.trace.json" \
+      > "$DIR/telemetry.txt"
+grep -q "hit rate" "$DIR/telemetry.txt"
+grep -q "rotation" "$DIR/telemetry.txt"
+grep -q "critical path" "$DIR/telemetry.txt"
+grep -q "traceEvents" "$DIR/search.trace.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      "$DIR/search.trace.json"
+"$CLI" evaluate "$DIR/m.machine" "$DIR/g.graph" "$DIR/best.mapping" \
+      --profile | grep -q "utilization"
+
 "$CLI" visualize "$DIR/m.machine" "$DIR/g.graph" "$DIR/best.mapping" \
       --dot "$DIR/map.dot" --trace "$DIR/trace.json" | grep -q "legend"
 grep -q "digraph mapping" "$DIR/map.dot"

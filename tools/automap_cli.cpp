@@ -28,7 +28,9 @@
 #include "src/apps/registry.hpp"
 #include "src/automap/automap.hpp"
 #include "src/io/text_io.hpp"
+#include "src/report/analysis.hpp"
 #include "src/report/codegen.hpp"
+#include "src/report/profile.hpp"
 #include "src/report/visualize.hpp"
 #include "src/search/algorithms.hpp"
 #include "src/machine/machine.hpp"
@@ -54,7 +56,9 @@ int usage() {
          "              [--rotations N] [--repeats N] [--budget S]\n"
          "              [--seed N] [--threads N] [--fallbacks]\n"
          "              [-o mapping.txt] [--profiles db.txt]\n"
+         "              [--telemetry] [--profile] [--trace-json out.json]\n"
          "  automap_cli evaluate <machine> <graph> <mapping> [--repeats N]\n"
+         "              [--profile] [--trace-json out.json]\n"
          "  automap_cli visualize <machine> <graph> <mapping>\n"
          "              [--dot out.dot] [--trace out.json]\n"
          "  automap_cli codegen <graph> <mapping> <ClassName> <out.cpp>\n"
@@ -96,6 +100,27 @@ int cmd_describe(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Reruns `mapping` noise-free with trace recording and emits the requested
+/// observability outputs: the profile digest to stdout and/or Chrome-trace
+/// JSON to `trace_json_path`.
+void emit_observability(const MachineModel& machine, const TaskGraph& graph,
+                        const Mapping& mapping, bool profile,
+                        const std::string& trace_json_path) {
+  if (!profile && trace_json_path.empty()) return;
+  Simulator sim(machine, graph,
+                {.iterations = 10, .noise_sigma = 0.0, .record_trace = true});
+  const ExecutionReport report = sim.run(mapping, 1);
+  AM_REQUIRE(report.ok, "mapping failed to execute: " + report.failure);
+  if (profile) {
+    std::cout << "\n" << render_profile(graph, compute_profile(graph, report));
+  }
+  if (!trace_json_path.empty()) {
+    save_text(trace_json_path, render_chrome_trace(report));
+    std::cout << "\nwrote " << trace_json_path
+              << " (open in a Chrome-tracing / Perfetto viewer)\n";
+  }
+}
+
 int cmd_search(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   const MachineModel machine = load_machine(args[0]);
@@ -105,6 +130,9 @@ int cmd_search(const std::vector<std::string>& args) {
   SearchOptions options{.seed = 42};
   std::string out_path;
   std::string profiles_path;
+  std::string trace_json_path;
+  bool telemetry = false;
+  bool profile = false;
   for (std::size_t i = 2; i < args.size(); ++i) {
     auto value = [&]() -> const std::string& {
       AM_REQUIRE(i + 1 < args.size(), args[i] + " needs a value");
@@ -130,6 +158,12 @@ int cmd_search(const std::vector<std::string>& args) {
       out_path = value();
     } else if (args[i] == "--profiles") {
       profiles_path = value();
+    } else if (args[i] == "--trace-json") {
+      trace_json_path = value();
+    } else if (args[i] == "--telemetry") {
+      telemetry = true;
+    } else if (args[i] == "--profile") {
+      profile = true;
     } else {
       std::cerr << "unknown option: " << args[i] << "\n";
       return usage();
@@ -165,6 +199,8 @@ int cmd_search(const std::vector<std::string>& args) {
             << format_fixed(100 * result.stats.evaluation_fraction(), 0)
             << "% evaluating)\n\n"
             << result.best.describe(graph);
+  if (telemetry) std::cout << "\n" << render_search_telemetry(result);
+  emit_observability(machine, graph, result.best, profile, trace_json_path);
   if (!out_path.empty()) {
     save_text(out_path, result.best.serialize());
     std::cout << "\nwrote " << out_path << "\n";
@@ -242,8 +278,16 @@ int cmd_evaluate(const std::vector<std::string>& args) {
   const TaskGraph graph = load_task_graph(args[1]);
   const Mapping mapping = Mapping::parse(load_text(args[2]), graph);
   int repeats = 31;
-  for (std::size_t i = 3; i + 1 < args.size(); ++i)
-    if (args[i] == "--repeats") repeats = std::stoi(args[i + 1]);
+  bool profile = false;
+  std::string trace_json_path;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    if (args[i] == "--repeats" && i + 1 < args.size())
+      repeats = std::stoi(args[++i]);
+    else if (args[i] == "--trace-json" && i + 1 < args.size())
+      trace_json_path = args[++i];
+    else if (args[i] == "--profile")
+      profile = true;
+  }
 
   Simulator sim(machine, graph, {});
   const double mean = measure_mapping(sim, mapping, repeats, 1);
@@ -255,6 +299,7 @@ int cmd_evaluate(const std::vector<std::string>& args) {
       measure_mapping(sim, dm.map_all(graph, machine), repeats, 1);
   std::cout << "default mapper: " << format_seconds(def) << " ("
             << format_speedup(def / mean) << " speedup)\n";
+  emit_observability(machine, graph, mapping, profile, trace_json_path);
   return 0;
 }
 

@@ -11,10 +11,14 @@
 // Pass --threads N to fan candidate evaluation across N worker threads
 // (0 = one per hardware thread). Every simulated-seconds statistic,
 // trajectory point and chosen mapping is bit-identical across thread
-// counts — only the wall-clock column changes. --telemetry prints the
-// per-algorithm search telemetry (cache hit rate, rotation deltas, wall vs
-// simulated clocks); --trace-json PATH exports a Chrome-trace timeline of
-// the last case's AM-CCD winner.
+// counts — only the wall-clock column changes. --no-prune disables
+// incumbent-bounded candidate pruning; the results are again bit-identical,
+// only slower to compute — the flag exists to demonstrate (and measure)
+// exactly that. --preset pennant|htr|stencil|all selects the app series
+// (default all). --telemetry prints the per-algorithm search telemetry
+// (cache hit rate, rotation deltas, wall vs simulated clocks);
+// --trace-json PATH exports a Chrome-trace timeline of the last case's
+// AM-CCD winner.
 
 #include <chrono>
 #include <iostream>
@@ -23,6 +27,7 @@
 #include "bench/fig6_common.hpp"
 #include "src/apps/htr.hpp"
 #include "src/apps/pennant.hpp"
+#include "src/apps/stencil.hpp"
 #include "src/automap/automap.hpp"
 #include "src/machine/machine.hpp"
 #include "src/report/analysis.hpp"
@@ -52,8 +57,12 @@ void run_case(const BenchmarkApp& app, const MachineModel& machine,
 
   // Budget: what a full CCD needs, shared by all three algorithms.
   double ccd_wall = 0.0, cd_wall = 0.0, ot_wall = 0.0;
+  // No pass here reuses the profiles database, so skip serializing it —
+  // the wall-clock column should measure the search, not the export.
   const SearchOptions base{.rotations = 5, .repeats = 7, .seed = 42,
-                           .threads = opts.threads};
+                           .threads = opts.threads,
+                           .prune_candidates = opts.prune,
+                           .export_profiles_db = false};
   const SearchResult ccd = timed(
       [&] { return automap_optimize(sim, SearchAlgorithm::kCcd, base); },
       ccd_wall);
@@ -107,15 +116,26 @@ void run_case(const BenchmarkApp& app, const MachineModel& machine,
 int main(int argc, char** argv) {
   const bench::BenchObservability opts =
       bench::parse_bench_observability(argc, argv);
+  std::string preset = "all";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--preset" && i + 1 < argc)
+      preset = argv[i + 1];
+  }
 
   std::cout << "=== Figure 9: search-algorithm comparison (Shepard, "
                "1 node) ===\n";
   const MachineModel machine = make_shepard(1);
-  for (const int step : {0, 1}) {
-    run_case(make_pennant(pennant_config_for(1, step)), machine, opts);
+  if (preset == "all" || preset == "pennant") {
+    for (const int step : {0, 1})
+      run_case(make_pennant(pennant_config_for(1, step)), machine, opts);
   }
-  for (const int step : {0, 1}) {
-    run_case(make_htr(htr_config_for(1, step)), machine, opts);
+  if (preset == "all" || preset == "htr") {
+    for (const int step : {0, 1})
+      run_case(make_htr(htr_config_for(1, step)), machine, opts);
+  }
+  if (preset == "all" || preset == "stencil") {
+    for (const int step : {0, 1})
+      run_case(make_stencil(stencil_config_for(1, step)), machine, opts);
   }
   return 0;
 }

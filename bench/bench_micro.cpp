@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "src/apps/circuit.hpp"
 #include "src/apps/htr.hpp"
 #include "src/apps/pennant.hpp"
@@ -123,6 +125,66 @@ void BM_StencilGraphGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StencilGraphGeneration);
+
+// Simulator steady-state throughput on the search fast path (begin_runs
+// once, run_prepared per repeat against a reused arena) — the quantity that
+// bounds how many candidates a search can afford. The CI perf-smoke job
+// runs these with
+//
+//   bench_micro --benchmark_filter=SimThroughput \
+//               --benchmark_out=BENCH_sim.json --benchmark_out_format=json
+//
+// and fails on a >2x regression of any entry versus the committed baseline
+// (bench/BENCH_sim_baseline.json, checked by tools/check_bench_sim.py).
+// Counters: runs_per_s (simulated runs per wall second) and ns_per_event
+// (wall nanoseconds per scheduled task execution).
+void sim_throughput(benchmark::State& state, const BenchmarkApp& app) {
+  Simulator sim(shepard1(), app.graph, app.sim);
+  DefaultMapper dm;
+  const Mapping m = dm.map_all(app.graph, shepard1());
+  SimScratch scratch;
+  if (!sim.begin_runs(m, scratch)) {
+    state.SkipWithError("default mapping failed to resolve");
+    return;
+  }
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.run_prepared(m, ++seed, scratch,
+                         std::numeric_limits<double>::infinity()));
+  }
+  const double runs = static_cast<double>(state.iterations());
+  // One "event" = one task execution in the event loop: tasks x iterations
+  // per simulated run.
+  const double events = runs *
+                        static_cast<double>(app.graph.num_tasks()) *
+                        static_cast<double>(sim.options().iterations);
+  state.counters["runs_per_s"] =
+      benchmark::Counter(runs, benchmark::Counter::kIsRate);
+  // kIsRate|kInvert reports elapsed/value; with value = events * 1e-9 that
+  // is wall nanoseconds per event.
+  state.counters["ns_per_event"] = benchmark::Counter(
+      events * 1e-9,
+      benchmark::Counter::Flags(benchmark::Counter::kIsRate |
+                                benchmark::Counter::kInvert));
+}
+
+void BM_SimThroughputStencil(benchmark::State& state) {
+  const BenchmarkApp app = make_stencil(stencil_config_for(1, 1));
+  sim_throughput(state, app);
+}
+BENCHMARK(BM_SimThroughputStencil);
+
+void BM_SimThroughputPennant(benchmark::State& state) {
+  sim_throughput(state, pennant_app());
+}
+BENCHMARK(BM_SimThroughputPennant);
+
+void BM_SimThroughputHtr(benchmark::State& state) {
+  const BenchmarkApp app = make_htr(htr_config_for(1, 1));
+  sim_throughput(state, app);
+}
+BENCHMARK(BM_SimThroughputHtr);
 
 }  // namespace
 

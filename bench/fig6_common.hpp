@@ -39,18 +39,25 @@ struct Fig6Row {
 /// Chrome-trace JSON export of that winner's run.
 struct BenchObservability {
   int threads = 1;
+  /// --no-prune disables incumbent-bounded candidate pruning; results are
+  /// bit-identical either way (only the wall-clock column changes), which
+  /// is exactly what the flag exists to demonstrate.
+  bool prune = true;
   bool telemetry = false;
   bool profile = false;
   std::string trace_json;
 };
 
-/// Parses --threads N, --telemetry, --profile, --trace-json PATH.
+/// Parses --threads N, --no-prune, --telemetry, --profile,
+/// --trace-json PATH.
 inline BenchObservability parse_bench_observability(int argc, char** argv) {
   BenchObservability opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc)
       opts.threads = std::atoi(argv[++i]);
+    else if (arg == "--no-prune")
+      opts.prune = false;
     else if (arg == "--telemetry")
       opts.telemetry = true;
     else if (arg == "--profile")
@@ -118,7 +125,8 @@ inline void run_fig6(
           sim, SearchAlgorithm::kCcd,
           {.rotations = 5, .repeats = 7,
            .seed = 42 + static_cast<std::uint64_t>(step),
-           .threads = opts.threads});
+           .threads = opts.threads, .prune_candidates = opts.prune,
+           .export_profiles_db = false});
       const double automap_s =
           measure_mapping(sim, result.best, kReportRepeats, 2);
 

@@ -150,6 +150,12 @@ Affinity MachineModel::affinity(ProcKind p, MemKind m) const {
   return *a;
 }
 
+bool MachineModel::has_channel(MemKind src, MemKind dst,
+                               bool inter_node) const {
+  return channels_[index_of(src)][index_of(dst)][inter_node ? 1 : 0]
+      .has_value();
+}
+
 Channel MachineModel::channel(MemKind src, MemKind dst,
                               bool inter_node) const {
   const auto& c = channels_[index_of(src)][index_of(dst)][inter_node ? 1 : 0];

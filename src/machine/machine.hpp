@@ -116,6 +116,9 @@ class MachineModel {
   [[nodiscard]] MemKind best_memory_for(ProcKind p) const;
 
   [[nodiscard]] Affinity affinity(ProcKind p, MemKind m) const;
+  /// True when a copy channel between the two kinds is configured.
+  [[nodiscard]] bool has_channel(MemKind src, MemKind dst,
+                                 bool inter_node) const;
   [[nodiscard]] Channel channel(MemKind src, MemKind dst,
                                 bool inter_node) const;
   [[nodiscard]] Channel cross_socket_channel() const;

@@ -16,16 +16,6 @@ Mapping::Mapping(const TaskGraph& graph) {
   }
 }
 
-TaskMapping& Mapping::at(TaskId id) {
-  AM_REQUIRE(id.index() < tasks_.size(), "task id out of range");
-  return tasks_[id.index()];
-}
-
-const TaskMapping& Mapping::at(TaskId id) const {
-  AM_REQUIRE(id.index() < tasks_.size(), "task id out of range");
-  return tasks_[id.index()];
-}
-
 MemKind Mapping::primary_memory(TaskId id, std::size_t arg) const {
   const TaskMapping& tm = at(id);
   AM_REQUIRE(arg < tm.arg_memories.size(), "argument index out of range");
@@ -83,7 +73,24 @@ std::vector<std::string> Mapping::violations(
 }
 
 bool Mapping::valid(const TaskGraph& graph, const MachineModel& machine) const {
-  return violations(graph, machine).empty();
+  // Same predicate as violations().empty(), without building the
+  // human-readable strings: the search layer validates every proposed
+  // candidate, most of which are invalid mutations.
+  if (tasks_.size() != graph.num_tasks()) return false;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const GroupTask& task = graph.task(TaskId(i));
+    const TaskMapping& tm = tasks_[i];
+    if (tm.arg_memories.size() != task.args.size()) return false;
+    if (!machine.has_proc_kind(tm.proc)) return false;
+    if (tm.proc == ProcKind::kGpu && !task.cost.has_gpu_variant())
+      return false;
+    for (const auto& mems : tm.arg_memories) {
+      if (mems.empty()) return false;
+      for (const MemKind m : mems)
+        if (!machine.addressable(tm.proc, m)) return false;
+    }
+  }
+  return true;
 }
 
 std::uint64_t Mapping::hash() const {
@@ -103,22 +110,28 @@ std::uint64_t Mapping::hash() const {
 }
 
 std::string Mapping::serialize() const {
-  std::ostringstream os;
+  // Plain string appends: the profiles-database export serializes every
+  // measured mapping, which can be tens of thousands per search.
+  std::string out;
+  out.reserve(tasks_.size() * 48);
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     const TaskMapping& tm = tasks_[i];
-    os << "task " << i << " "
-       << (tm.distribute ? (tm.blocked ? "blocked" : "dist") : "leader") << " "
-       << to_string(tm.proc);
+    out += "task ";
+    out += std::to_string(i);
+    out += ' ';
+    out += tm.distribute ? (tm.blocked ? "blocked" : "dist") : "leader";
+    out += ' ';
+    out += to_string(tm.proc);
     for (const auto& mems : tm.arg_memories) {
-      os << " ";
+      out += ' ';
       for (std::size_t m = 0; m < mems.size(); ++m) {
-        if (m > 0) os << ",";
-        os << to_string(mems[m]);
+        if (m > 0) out += ',';
+        out += to_string(mems[m]);
       }
     }
-    os << "\n";
+    out += '\n';
   }
-  return os.str();
+  return out;
 }
 
 Mapping Mapping::parse(const std::string& text, const TaskGraph& graph) {

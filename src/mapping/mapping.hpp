@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/machine/machine.hpp"
+#include "src/support/error.hpp"
 #include "src/support/id.hpp"
 #include "src/taskgraph/task_graph.hpp"
 
@@ -52,8 +53,16 @@ class Mapping {
   explicit Mapping(const TaskGraph& graph);
 
   [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
-  [[nodiscard]] TaskMapping& at(TaskId id);
-  [[nodiscard]] const TaskMapping& at(TaskId id) const;
+  // Defined inline: the simulator event loop reads task mappings millions
+  // of times per search.
+  [[nodiscard]] TaskMapping& at(TaskId id) {
+    AM_REQUIRE(id.index() < tasks_.size(), "task id out of range");
+    return tasks_[id.index()];
+  }
+  [[nodiscard]] const TaskMapping& at(TaskId id) const {
+    AM_REQUIRE(id.index() < tasks_.size(), "task id out of range");
+    return tasks_[id.index()];
+  }
 
   /// Primary (first-priority) memory kind of argument `arg` of task `id`.
   [[nodiscard]] MemKind primary_memory(TaskId id, std::size_t arg) const;

@@ -205,7 +205,8 @@ std::string render_search_telemetry(const SearchResult& result) {
   std::ostringstream os;
   os << result.algorithm << " telemetry:\n"
      << "  proposals: " << s.suggested << " suggested, " << s.evaluated
-     << " evaluated, " << s.invalid << " invalid, " << s.oom << " oom\n"
+     << " evaluated, " << s.invalid << " invalid, " << s.oom << " oom, "
+     << s.censored << " censored\n"
      << "  profiles cache: " << s.cache_hits << " hits / " << s.suggested
      << " lookups (" << format_fixed(100 * s.cache_hit_rate(), 1)
      << "% hit rate)\n"

@@ -200,15 +200,20 @@ void batched_sweep(Evaluator& eval, const std::vector<CandidateGen>& gens,
 
     std::ptrdiff_t improved = -1;
     double improved_mean = 0.0;
+    // The incumbent mean is the interest bound: a candidate that cannot
+    // beat p will be rejected below, so the evaluator may censor it at p
+    // (pruning its simulation) without changing any acceptance decision.
     const std::size_t folded = eval.evaluate_batch(
-        batch, [&](std::size_t i, double mean) {
+        batch,
+        [&](std::size_t i, double mean) {
           if (mean < p) {
             improved = static_cast<std::ptrdiff_t>(i);
             improved_mean = mean;
             return false;
           }
           return true;
-        });
+        },
+        /*interest_bound_s=*/p);
 
     if (improved >= 0) {
       f = std::move(batch[static_cast<std::size_t>(improved)]);

@@ -22,15 +22,17 @@ ProcKind random_proc(Rng& rng) {
   return kAllProcKinds[rng.uniform_index(kNumProcKinds)];
 }
 
-Mapping random_mapping(const TaskGraph& graph, Rng& rng) {
-  Mapping m(graph);
+/// Overwrites `m` (already graph-shaped) with a uniformly random mapping.
+/// In-place so the proposal loop reuses one candidate buffer instead of
+/// constructing a fresh Mapping per suggestion.
+void random_mapping_into(Mapping& m, const TaskGraph& graph, Rng& rng) {
   for (const GroupTask& task : graph.tasks()) {
     TaskMapping& tm = m.at(task.id);
     tm.distribute = rng.bernoulli(0.5);
+    tm.blocked = false;
     tm.proc = random_proc(rng);
-    for (auto& mem : tm.arg_memories) mem = {random_mem(rng)};
+    for (auto& mem : tm.arg_memories) mem.assign(1, random_mem(rng));
   }
-  return m;
 }
 
 /// Mutates `count` random dimensions of a mapping in place.
@@ -50,14 +52,14 @@ void mutate(Mapping& m, const TaskGraph& graph, Rng& rng, int count) {
   }
 }
 
-/// Uniform crossover of two parents.
-Mapping crossover(const Mapping& a, const Mapping& b, const TaskGraph& graph,
-                  Rng& rng) {
-  Mapping child = a;
+/// Uniform crossover of two parents into `child` (assignment reuses the
+/// child's existing buffers).
+void crossover_into(Mapping& child, const Mapping& a, const Mapping& b,
+                    const TaskGraph& graph, Rng& rng) {
+  child = a;
   for (const GroupTask& task : graph.tasks()) {
     if (rng.bernoulli(0.5)) child.at(task.id) = b.at(task.id);
   }
-  return child;
 }
 
 enum Technique : std::size_t {
@@ -123,6 +125,10 @@ SearchResult run_ensemble_tuner(const Simulator& sim,
   };
 
   std::size_t suggestions = 1;
+  // Reused proposal buffer: every technique overwrites it fully, and
+  // assignment recycles its heap blocks instead of reallocating per
+  // suggestion.
+  Mapping candidate = elites.front();
   while (!eval.budget_exhausted() &&
          suggestions < config.max_suggestions &&
          eval.view().stats().evaluated < config.max_evaluations) {
@@ -135,10 +141,9 @@ SearchResult run_ensemble_tuner(const Simulator& sim,
                                       ? rng.uniform_index(kNumTechniques)
                                       : bandit.pick(rng);
 
-    Mapping candidate = elites.front();
     switch (technique) {
       case kRandom:
-        candidate = random_mapping(graph, rng);
+        random_mapping_into(candidate, graph, rng);
         break;
       case kHillClimb: {
         candidate = elites[rng.uniform_index(elites.size())];
@@ -149,7 +154,7 @@ SearchResult run_ensemble_tuner(const Simulator& sim,
       case kGenetic: {
         const Mapping& a = elites[rng.uniform_index(elites.size())];
         const Mapping& b = elites[rng.uniform_index(elites.size())];
-        candidate = crossover(a, b, graph, rng);
+        crossover_into(candidate, a, b, graph, rng);
         mutate(candidate, graph, rng, 1);
         break;
       }
@@ -160,7 +165,11 @@ SearchResult run_ensemble_tuner(const Simulator& sim,
     restore_frozen(candidate);
     ++suggestions;
     eval.charge_overhead(config.overhead_per_suggestion_s);
-    const double value = eval.evaluate(candidate);
+    // Candidates worse than the tuner's incumbent only need to be known as
+    // such: pass `best` as the interest bound so they may be censored. A
+    // censored value folds to the censor threshold (>= best), which takes
+    // the same not-improved branch below an exact mean would.
+    const double value = eval.evaluate(candidate, best);
 
     const bool improved = value < best;
     if (improved) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <limits>
 #include <sstream>
@@ -31,6 +32,10 @@ Evaluator::Evaluator(const Simulator& sim, const SearchOptions& options)
   const int threads = options_.threads == 0 ? ThreadPool::hardware_threads()
                                             : options_.threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  // One reusable simulation arena per pool lane (lane 0 doubles as the
+  // serial path's arena), so steady-state evaluation allocates nothing.
+  scratches_.resize(
+      pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1);
   if (!options_.profiles_seed.empty())
     import_profiles(options_.profiles_seed);
 }
@@ -47,8 +52,11 @@ std::uint64_t Evaluator::run_seed(std::uint64_t mapping_hash, int repeat,
 }
 
 Evaluator::RunOutcome Evaluator::execute_run(const Mapping& candidate,
-                                             std::uint64_t seed) const {
-  const ExecutionReport report = sim_.run(candidate, seed);
+                                             std::uint64_t seed,
+                                             SimScratch& scratch) const {
+  // Finalist reruns are never bounded: the protocol's whole point is an
+  // exact mean over the top-k, and top-k entries are never censored.
+  const ExecutionReport& report = sim_.run(candidate, seed, scratch, kInf);
   if (!report.ok) return {};
   return {.ok = true,
           .objective = options_.objective == Objective::kEnergy
@@ -57,13 +65,85 @@ Evaluator::RunOutcome Evaluator::execute_run(const Mapping& candidate,
           .total_seconds = report.total_seconds};
 }
 
+Evaluator::CandOutcome Evaluator::run_candidate(const Mapping& candidate,
+                                                std::uint64_t key,
+                                                double threshold_s,
+                                                bool bound_runs,
+                                                SimScratch& scratch) const {
+  // Racing schedule against the censor threshold T: after k completed runs
+  // the candidate is censored when its running sum exceeds
+  //
+  //   B_k = min(k*T*(1 + 3*sigma/sqrt(k)),  repeats*T)
+  //
+  // The first term is a confidence line — a candidate whose true mean is
+  // at most T crosses it with probability ~Phi(-3) per prefix under the
+  // simulator's log-normal per-run noise, so real improvements survive
+  // while a candidate 2x worse than the incumbent is cut after a single
+  // run instead of burning its full repeat budget. The second term is the
+  // exactness cap: sum > repeats*T alone already proves mean > T, and
+  // because B_repeats equals the cap, an *uncensored* candidate always has
+  // a provably exact mean <= T (no false accepts at the last run). With
+  // sigma = 0 the line collapses to k*T and the race is exact.
+  //
+  // Run r executes under a simulated-time bound of B_{r+1} - sum, so with
+  // pruning on the simulator abandons the run the moment the verdict is
+  // determined and the trailing repeats are skipped. With pruning off the
+  // runs execute unbounded but the same verdict and charge are computed
+  // from their totals (a post-censor run charges and contributes nothing),
+  // so both modes produce the same CandOutcome bit for bit.
+  CandOutcome out;
+  // One validation + memory resolution serves every repeat: placement is
+  // noise-independent, so begin_runs hoists it out of the repeat loop. A
+  // failure here is an OOM (constraint-1 validity was already checked at
+  // plan time).
+  if (!sim_.begin_runs(candidate, scratch)) {
+    out.oom = true;
+    return out;
+  }
+  const double repeats_d = static_cast<double>(options_.repeats);
+  const double slack = 3.0 * sim_.options().noise_sigma;
+  double sum = 0.0;
+  for (int r = 0; r < options_.repeats; ++r) {
+    double allowance = kInf;  // what this run may add before censoring
+    if (out.censored) {
+      allowance = 0.0;
+    } else if (std::isfinite(threshold_s)) {
+      const double k = static_cast<double>(r + 1);
+      const double line =
+          std::min(k * threshold_s * (1.0 + slack / std::sqrt(k)),
+                   repeats_d * threshold_s);
+      allowance = line - sum;  // >= 0: the schedule is nondecreasing
+    }
+    const ExecutionReport& report =
+        sim_.run_prepared(candidate, run_seed(key, r, kEvalSalt), scratch,
+                          bound_runs ? allowance : kInf);
+    if (!report.ok) {
+      out.oom = true;
+      return out;
+    }
+    if (report.censored || report.total_seconds > allowance) {
+      out.charge_s += allowance;
+      out.censored = true;
+      if (bound_runs) return out;
+    } else {
+      out.objective_sum += options_.objective == Objective::kEnergy
+                               ? report.energy_joules
+                               : report.total_seconds;
+      out.charge_s += report.total_seconds;
+      sum += report.total_seconds;
+    }
+  }
+  return out;
+}
+
 std::string Evaluator::export_profiles() const {
   std::ostringstream os;
   os.precision(17);
   os << "profiles " << profiles_.size() << "\n";
   for (const auto& [hash, entry] : profiles_) {
-    os << "entry " << entry.mean_seconds << "\n"
-       << entry.mapping.serialize();
+    os << "entry " << entry.mean_seconds;
+    if (entry.censored) os << " censored";
+    os << "\n" << entry.mapping.serialize();
   }
   return os.str();
 }
@@ -88,9 +168,19 @@ void Evaluator::import_profiles(const std::string& text) {
     } catch (const std::exception&) {
       parsed = 0;
     }
-    AM_REQUIRE(parsed > 0 &&
-                   line.find_first_not_of(" \t", 6 + parsed) ==
-                       std::string::npos,
+    // After the mean the line may carry the optional "censored" marker: the
+    // stored value is then a bound the candidate's true mean exceeds, not
+    // an exact measurement.
+    bool censored = false;
+    bool well_formed = parsed > 0;
+    if (well_formed) {
+      const std::size_t tail = line.find_first_not_of(" \t", 6 + parsed);
+      if (tail != std::string::npos) {
+        censored = line.substr(tail) == "censored";
+        well_formed = censored;
+      }
+    }
+    AM_REQUIRE(well_formed,
                "malformed mean in profiles database entry: '" + line + "'");
     std::string mapping_text;
     for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
@@ -101,14 +191,15 @@ void Evaluator::import_profiles(const std::string& text) {
     }
     Mapping mapping = Mapping::parse(mapping_text, graph);
     const std::uint64_t key = mapping.hash();
-    if (mean < kInf) {
+    if (mean < kInf && !censored) {
       // insert_top dedupes by hash, so importing the same database twice
       // (or re-importing after a search) does not stack duplicate
-      // finalists.
+      // finalists. Censored entries stay out of the finalist list and the
+      // incumbent — their stored value is a bound, not a mean.
       insert_top(mapping, mean);
       best_seconds_ = std::min(best_seconds_, mean);
     }
-    profiles_.insert_or_assign(key, Entry{std::move(mapping), mean});
+    profiles_.insert_or_assign(key, Entry{std::move(mapping), mean, censored});
   }
 }
 
@@ -147,51 +238,75 @@ Mapping Evaluator::with_fallbacks(const Mapping& mapping) const {
   return out;
 }
 
-double Evaluator::evaluate(const Mapping& mapping) {
+double Evaluator::evaluate(const Mapping& mapping, double interest_bound_s) {
   double mean = kInf;
   (void)evaluate_batch(
       std::span<const Mapping>(&mapping, 1),
       [&](std::size_t, double value) {
         mean = value;
         return true;
-      });
+      },
+      interest_bound_s);
   return mean;
 }
 
 std::vector<double> Evaluator::evaluate_batch(
-    std::span<const Mapping> mappings) {
+    std::span<const Mapping> mappings, double interest_bound_s) {
   std::vector<double> means;
   means.reserve(mappings.size());
-  (void)evaluate_batch(mappings, [&](std::size_t, double value) {
-    means.push_back(value);
-    return true;
-  });
+  (void)evaluate_batch(
+      mappings,
+      [&](std::size_t, double value) {
+        means.push_back(value);
+        return true;
+      },
+      interest_bound_s);
   return means;
 }
 
 std::size_t Evaluator::evaluate_batch(
     std::span<const Mapping> mappings,
-    const std::function<bool(std::size_t, double)>& consume) {
+    const std::function<bool(std::size_t, double)>& consume,
+    double interest_bound_s) {
+  // Censor threshold, fixed once at submission so it cannot depend on fold
+  // order or thread count: a candidate is only worth resolving exactly if
+  // its mean could still beat the caller's interest bound *or* displace the
+  // k-th finalist (run_ccd_multistart re-imports the database across
+  // passes, so finalist-grade means must stay exact even when the caller's
+  // incumbent is tighter). The threshold — not the prune flag — drives the
+  // censoring arithmetic; prune only decides whether the simulator actually
+  // stops at the budget.
+  double threshold = kInf;
+  if (options_.objective == Objective::kExecutionTime) {
+    const double top_guard =
+        top_.size() >= static_cast<std::size_t>(options_.top_k)
+            ? top_.back().mean_seconds
+            : kInf;
+    threshold = std::max(interest_bound_s, top_guard);
+  }
+  const bool bound_runs =
+      options_.prune_candidates && std::isfinite(threshold);
+
   // Per-candidate plan. Exactly one of three shapes:
-  //  * deferred-to-cache: the profiles database (or an earlier batch member
-  //    equal to this mapping, which will have inserted its entry by the
-  //    time this one folds) already answers it;
+  //  * deferred-to-cache: a usable profiles entry (or an earlier batch
+  //    member equal to this mapping, which will have inserted its entry by
+  //    the time this one folds) already answers it;
   //  * invalid: fails constraint 1, folds to infinity without execution;
-  //  * execute: `repeats` pre-executable runs with derived seeds.
+  //  * execute: one budgeted run sequence with derived seeds.
   struct Plan {
     std::uint64_t key = 0;
     bool invalid = false;
     bool execute = false;
-    Mapping candidate;          // fallback-extended, when execute
-    std::size_t first_run = 0;  // index into the job/outcome arrays
-  };
-  struct RunJob {
-    std::size_t plan = 0;
-    std::uint64_t seed = 0;
+    /// Candidate to execute: points at the submitted mapping, or at
+    /// `storage` when memory fallbacks extended it. Stable because `plans`
+    /// is sized once up front.
+    const Mapping* cand = nullptr;
+    Mapping storage;          // owns the fallback-extended copy, when any
+    std::size_t outcome = 0;  // index into exec_plans/outcomes, when execute
   };
 
   std::vector<Plan> plans(mappings.size());
-  std::vector<RunJob> jobs;
+  std::vector<std::size_t> exec_plans;  // batch indices of execute plans
   // key -> batch member that will own the profiles entry for that hash at
   // fold time (serial insertion order: the latest scheduled one wins).
   std::unordered_map<std::uint64_t, std::size_t> planned;
@@ -205,42 +320,55 @@ std::size_t Evaluator::evaluate_batch(
         pit != planned.end() && mappings[pit->second] == mapping) {
       continue;  // deferred: an earlier batch member folds this entry
     }
+    // A cached entry answers the query unless it is censored at a bound
+    // tighter than this batch's threshold — then the caller needs the mean
+    // resolved further and the candidate re-executes (overwriting the
+    // entry at fold time).
     if (const auto it = profiles_.find(plan.key);
         planned.find(plan.key) == planned.end() && it != profiles_.end() &&
-        it->second.mapping == mapping) {
-      continue;  // deferred: profiles-database hit
+        it->second.mapping == mapping &&
+        (!it->second.censored || it->second.mean_seconds >= threshold)) {
+      continue;  // deferred: usable profiles-database hit
     }
 
     planned[plan.key] = j;
-    Mapping candidate = with_fallbacks(mapping);
-    if (!candidate.valid(sim_.graph(), sim_.machine())) {
+    const Mapping* candidate = &mapping;
+    if (options_.memory_fallbacks) {
+      plan.storage = with_fallbacks(mapping);
+      candidate = &plan.storage;
+    }
+    if (!candidate->valid(sim_.graph(), sim_.machine())) {
       plan.invalid = true;
       continue;
     }
     plan.execute = true;
-    plan.candidate = std::move(candidate);
-    plan.first_run = jobs.size();
-    for (int r = 0; r < options_.repeats; ++r)
-      jobs.push_back({j, run_seed(plan.key, r, kEvalSalt)});
+    plan.cand = candidate;
+    plan.outcome = exec_plans.size();
+    exec_plans.push_back(j);
   }
 
-  // Pre-execute every scheduled run across the pool. Without a pool the
-  // fold below runs lazily instead (preserving the serial path's early
-  // break on OOM and avoiding speculative work past a consume() stop).
-  std::vector<RunOutcome> outcomes;
-  const bool pre_executed = pool_ != nullptr && jobs.size() > 1;
+  // Pre-execute every scheduled candidate across the pool, one lane-owned
+  // scratch arena per lane. Without a pool the fold below runs lazily
+  // instead (avoiding speculative work past a consume() stop).
+  std::vector<CandOutcome> outcomes;
+  const bool pre_executed = pool_ != nullptr && exec_plans.size() > 1;
   if (pre_executed) {
-    outcomes.resize(jobs.size());
-    pool_->parallel_for(jobs.size(), [&](std::size_t i) {
-      outcomes[i] =
-          execute_run(plans[jobs[i].plan].candidate, jobs[i].seed);
-    });
+    outcomes.resize(exec_plans.size());
+    pool_->parallel_for(
+        exec_plans.size(), [&](std::size_t lane, std::size_t i) {
+          const Plan& plan = plans[exec_plans[i]];
+          outcomes[i] = run_candidate(*plan.cand, plan.key, threshold,
+                                      bound_runs, scratches_[lane]);
+        });
   }
 
   // Fold serially in submission order; this is the exact serial evaluate()
-  // logic with sim_.run replaced by the pre-executed outcomes, so every
-  // statistic, cache entry and trajectory point lands in the same order
-  // with the same values regardless of thread count.
+  // logic with run_candidate replaced by the pre-executed outcomes, so
+  // every statistic, cache entry and trajectory point lands in the same
+  // order with the same values regardless of thread count. Dispatch on the
+  // plan's shape, not on a fresh cache probe: an execute plan may exist
+  // precisely because the cached entry was censored too tightly, and must
+  // overwrite it rather than read it back.
   std::size_t folded = 0;
   for (std::size_t j = 0; j < mappings.size(); ++j) {
     if (j > 0 && budget_exhausted()) break;
@@ -249,50 +377,59 @@ std::size_t Evaluator::evaluate_batch(
     ++stats_.suggested;
 
     double mean;
-    if (const auto it = profiles_.find(plan.key);
-        it != profiles_.end() && it->second.mapping == mapping) {
-      mean = it->second.mean_seconds;  // profiles-database hit: free
-      ++stats_.cache_hits;
-    } else if (plan.invalid) {
+    if (plan.invalid) {
       ++stats_.invalid;
       profiles_.insert_or_assign(plan.key, Entry{mapping, kInf});
       mean = kInf;
-    } else {
-      double sum = 0.0;
-      bool failed = false;
-      for (int r = 0; r < options_.repeats; ++r) {
-        const RunOutcome out =
-            pre_executed
-                ? outcomes[plan.first_run + static_cast<std::size_t>(r)]
-                : execute_run(plan.candidate,
-                              run_seed(plan.key, r, kEvalSalt));
-        if (!out.ok) {
-          // An OOM surfaces on the first run; it still costs some time to
-          // observe (the runtime aborts during instance allocation), so
-          // charge the machine-derived observation cost to the search
-          // clock. This fold-side charge is shared by the serial and
-          // batched paths, preserving thread-count invariance.
-          ++stats_.oom;
-          stats_.search_time_s += failure_observation_cost();
-          stats_.evaluation_time_s += failure_observation_cost();
-          failed = true;
-          break;
-        }
-        sum += out.objective;
-        stats_.search_time_s += out.total_seconds;
-        stats_.evaluation_time_s += out.total_seconds;
-      }
+    } else if (plan.execute) {
+      const CandOutcome out =
+          pre_executed ? outcomes[plan.outcome]
+                       : run_candidate(*plan.cand, plan.key, threshold,
+                                       bound_runs, scratches_[0]);
       ++stats_.evaluated;
-
-      mean = failed ? kInf : sum / options_.repeats;
-      profiles_.insert_or_assign(plan.key, Entry{mapping, mean});
-
-      if (mean < best_seconds_) {
-        best_seconds_ = mean;
-        trajectory_.push_back({stats_.search_time_s, mean});
+      if (out.oom) {
+        // An OOM surfaces before the event loop (placement is mapping-
+        // deterministic), so censoring never masks it. It still costs some
+        // time to observe (the runtime aborts during instance allocation),
+        // so charge the machine-derived observation cost to the search
+        // clock. This fold-side charge is shared by the serial and batched
+        // paths, preserving thread-count invariance.
+        ++stats_.oom;
+        stats_.search_time_s += failure_observation_cost();
+        stats_.evaluation_time_s += failure_observation_cost();
+        profiles_.insert_or_assign(plan.key, Entry{mapping, kInf});
+        mean = kInf;
+      } else {
+        stats_.search_time_s += out.charge_s;
+        stats_.evaluation_time_s += out.charge_s;
+        if (out.censored) {
+          // Fold to exactly the threshold (not budget/repeats, whose
+          // rounding could land one ulp below it and leak past a caller's
+          // `mean < bound` acceptance test). Censored candidates never
+          // update the incumbent, trajectory or finalist list.
+          ++stats_.censored;
+          mean = threshold;
+          profiles_.insert_or_assign(
+              plan.key, Entry{mapping, mean, /*censored=*/true});
+        } else {
+          mean = out.objective_sum / options_.repeats;
+          profiles_.insert_or_assign(plan.key, Entry{mapping, mean});
+          if (mean < best_seconds_) {
+            best_seconds_ = mean;
+            trajectory_.push_back({stats_.search_time_s, mean});
+          }
+          // Maintain the top-k list for the finalist protocol.
+          if (mean < kInf) insert_top(mapping, mean);
+        }
       }
-      // Maintain the top-k list for the finalist protocol.
-      if (mean < kInf) insert_top(mapping, mean);
+    } else {
+      // Deferred: answered by the profiles database — an import, an earlier
+      // search, or an earlier batch member that folded before us.
+      const auto it = profiles_.find(plan.key);
+      AM_CHECK(it != profiles_.end() && it->second.mapping == mapping,
+               "deferred batch member lost its profiles entry");
+      mean = it->second.mean_seconds;
+      ++stats_.cache_hits;
     }
 
     ++folded;
@@ -353,12 +490,14 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
       pool_ != nullptr && candidates.size() * runs_per > 1;
   if (pre_executed) {
     outcomes.resize(candidates.size() * runs_per);
-    pool_->parallel_for(outcomes.size(), [&](std::size_t i) {
-      const std::size_t e = i / runs_per;
-      const int r = static_cast<int>(i % runs_per);
-      outcomes[i] =
-          execute_run(candidates[e], run_seed(hashes[e], r, kFinalSalt));
-    });
+    pool_->parallel_for(
+        outcomes.size(), [&](std::size_t lane, std::size_t i) {
+          const std::size_t e = i / runs_per;
+          const int r = static_cast<int>(i % runs_per);
+          outcomes[i] = execute_run(
+              candidates[e], run_seed(hashes[e], r, kFinalSalt),
+              scratches_[lane]);
+        });
   }
 
   double best_final = kInf;
@@ -370,7 +509,8 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
           pre_executed
               ? outcomes[e * runs_per + static_cast<std::size_t>(r)]
               : execute_run(candidates[e],
-                            run_seed(hashes[e], r, kFinalSalt));
+                            run_seed(hashes[e], r, kFinalSalt),
+                            scratches_[0]);
       if (!out.ok) {
         // Same accounting as the search loop: a failed rerun still costs
         // observation time.
@@ -399,7 +539,7 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
                            .count();
   result.stats = stats_;
   result.trajectory = trajectory_;
-  result.profiles_db = export_profiles();
+  if (options_.export_profiles_db) result.profiles_db = export_profiles();
   return result;
 }
 

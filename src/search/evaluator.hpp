@@ -12,19 +12,39 @@
 // Fig. 9 time axis reflects what a real deployment would pay.
 //
 // Candidate execution dominates search cost (§5.3: 99 % for CCD/CD), and
-// Simulator::run is const and seed-parameterized, so the (candidate,
-// repeat) runs of a batch are embarrassingly parallel. evaluate_batch fans
-// them out across a thread pool (SearchOptions::threads) and folds results
-// back serially in submission order. Every run's noise seed is *derived*
-// from (search seed, mapping hash, repeat index) instead of drawn from a
-// shared sequential generator, so a run's result does not depend on which
-// thread executed it or how many candidates preceded it — the folded
-// statistics, trajectory, top-k list and profiles database are bit-identical
-// for every thread count, including the serial path.
+// Simulator::run is const and seed-parameterized, so the candidates of a
+// batch are embarrassingly parallel. evaluate_batch fans them out across a
+// thread pool (SearchOptions::threads) and folds results back serially in
+// submission order. Every run's noise seed is *derived* from (search seed,
+// mapping hash, repeat index) instead of drawn from a shared sequential
+// generator, so a run's result does not depend on which thread executed it
+// or how many candidates preceded it — the folded statistics, trajectory,
+// top-k list and profiles database are bit-identical for every thread
+// count, including the serial path.
+//
+// Incumbent-bounded pruning (SearchOptions::prune_candidates): most
+// candidates a hill-climbing search proposes are worse than the incumbent,
+// and simulating them to completion only confirms that. evaluate_batch
+// fixes a censor threshold T at batch submission — the larger of the
+// caller's interest bound and the current k-th best finalist mean — and
+// races every executed candidate against it: after k runs the candidate is
+// *censored* once its running sum crosses a noise-aware confidence line
+// (capped at repeats x T, at which point mean > T is proven outright), and
+// each run simulates under a time bound of whatever the line leaves. A
+// censored candidate folds to exactly T, is recorded in the profiles
+// database with a censored flag (re-executed only if a later batch needs
+// it resolved under a looser threshold), and never enters the trajectory
+// or the top-k list; an uncensored candidate's mean is exact and provably
+// at most T. The censoring arithmetic runs in both modes; the prune flag
+// only decides whether the simulator aborts at the line or burns real time
+// past it — so results stay bit-identical with pruning on or off, at any
+// thread count. The search clock is charged the simulated seconds actually
+// consumed up to the line (the cost a real bounded deployment would pay).
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -47,27 +67,42 @@ class Evaluator {
   /// seconds; infinity when the mapping is invalid (constraint 1) or runs
   /// out of memory. Cached mappings return instantly without re-execution.
   /// Equivalent to a one-element evaluate_batch.
-  double evaluate(const Mapping& mapping);
+  ///
+  /// `interest_bound_s` declares how slow a candidate may be and still be
+  /// useful to the caller (typically the caller's incumbent mean): a
+  /// candidate whose mean provably exceeds both the bound and the k-th
+  /// finalist mean is censored and returns the censor threshold instead of
+  /// an exact mean. Pass infinity (the default) when the exact value
+  /// matters — e.g. to seed an incumbent, or for simulated annealing's
+  /// acceptance probabilities.
+  double evaluate(const Mapping& mapping,
+                  double interest_bound_s =
+                      std::numeric_limits<double>::infinity());
 
-  /// Batch entry point: pre-executes the repeats runs of every not-yet-
-  /// cached candidate across the thread pool, then folds results back in
-  /// submission order, replicating evaluate() exactly — a candidate sees
-  /// cache entries created by earlier batch members, and folding stops
-  /// once the simulated budget is exhausted (a serial loop would not have
-  /// proposed the remaining candidates). After each fold, `consume(index,
-  /// mean)` is invoked; returning false stops the batch and discards the
-  /// unfolded tail entirely (no statistics, cache or clock effects), which
-  /// lets greedy-sequential searches speculate over candidates whose
-  /// construction depends on earlier outcomes. Returns the number of
-  /// candidates folded.
+  /// Batch entry point: pre-executes every not-yet-cached candidate across
+  /// the thread pool (one budgeted run sequence per candidate), then folds
+  /// results back in submission order, replicating evaluate() exactly — a
+  /// candidate sees cache entries created by earlier batch members, and
+  /// folding stops once the simulated budget is exhausted (a serial loop
+  /// would not have proposed the remaining candidates). The censor
+  /// threshold derived from `interest_bound_s` is fixed once at submission,
+  /// before any run executes, so it cannot depend on fold order or thread
+  /// count. After each fold, `consume(index, mean)` is invoked; returning
+  /// false stops the batch and discards the unfolded tail entirely (no
+  /// statistics, cache or clock effects), which lets greedy-sequential
+  /// searches speculate over candidates whose construction depends on
+  /// earlier outcomes. Returns the number of candidates folded.
   std::size_t evaluate_batch(
       std::span<const Mapping> mappings,
-      const std::function<bool(std::size_t, double)>& consume);
+      const std::function<bool(std::size_t, double)>& consume,
+      double interest_bound_s = std::numeric_limits<double>::infinity());
 
   /// Convenience overload folding the whole batch (budget permitting):
   /// returns the means of the folded prefix; the result is shorter than
   /// `mappings` iff the budget ran out mid-batch.
-  std::vector<double> evaluate_batch(std::span<const Mapping> mappings);
+  std::vector<double> evaluate_batch(
+      std::span<const Mapping> mappings,
+      double interest_bound_s = std::numeric_limits<double>::infinity());
 
   /// Charges algorithm-side overhead (e.g. the ensemble tuner's proposal
   /// machinery) to the search clock without touching evaluation counters.
@@ -108,6 +143,12 @@ class Evaluator {
   struct Entry {
     Mapping mapping;
     double mean_seconds;
+    /// True when mean_seconds is a censored observation: the candidate's
+    /// true mean provably exceeds the stored value (the censor threshold
+    /// in force when it was recorded) but was never resolved exactly. A
+    /// censored entry answers any query whose threshold is at most the
+    /// stored value; a looser query re-executes and overwrites it.
+    bool censored = false;
   };
   /// Result of one pre-executed simulated run, reduced to what folding
   /// needs (full ExecutionReports would hold per-task vectors per run).
@@ -116,15 +157,44 @@ class Evaluator {
     double objective = 0.0;
     double total_seconds = 0.0;
   };
+  /// Result of one candidate's budgeted run sequence.
+  struct CandOutcome {
+    bool oom = false;
+    /// The candidate exhausted its simulated-seconds budget: its true mean
+    /// provably exceeds the batch's censor threshold.
+    bool censored = false;
+    /// Sum of the objective over the completed (uncensored) runs; unused
+    /// when censored or oom.
+    double objective_sum = 0.0;
+    /// Simulated seconds to charge to the search clock: the full run
+    /// totals, clipped at the budget. Independent of prune_candidates by
+    /// construction.
+    double charge_s = 0.0;
+  };
 
   /// Deterministic per-(candidate, repeat) noise seed — the scheme that
   /// makes parallel evaluation order-independent.
   [[nodiscard]] std::uint64_t run_seed(std::uint64_t mapping_hash,
                                        int repeat,
                                        std::uint64_t salt) const;
-  /// Executes one run and reduces it to a RunOutcome.
+  /// Executes one unbounded run (finalist protocol) and reduces it to a
+  /// RunOutcome.
   [[nodiscard]] RunOutcome execute_run(const Mapping& candidate,
-                                       std::uint64_t seed) const;
+                                       std::uint64_t seed,
+                                       SimScratch& scratch) const;
+  /// Executes one candidate's `repeats` runs as a race against the censor
+  /// threshold: after k runs the candidate is censored once its running sum
+  /// crosses a noise-aware confidence line (capped at repeats x threshold,
+  /// the exactness bound), and run k executes under a simulated-time bound
+  /// of whatever the line leaves. The censoring decision, charge and
+  /// objective sum are pure functions of the unbounded run totals and the
+  /// threshold, so prune (`bound_runs`) on and off produce identical
+  /// outcomes — pruning only skips the simulation work past the line.
+  [[nodiscard]] CandOutcome run_candidate(const Mapping& candidate,
+                                          std::uint64_t key,
+                                          double threshold_s,
+                                          bool bound_runs,
+                                          SimScratch& scratch) const;
   /// Simulated cost of observing a failed (OOM) evaluation: the runtime
   /// still performs dependence analysis and instance allocation for every
   /// task before aborting, so each failure charges one runtime-overhead
@@ -140,6 +210,10 @@ class Evaluator {
   const Simulator& sim_;
   SearchOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when options_.threads == 1
+  /// One simulation arena per pool lane (index 0 doubles as the serial
+  /// path's arena); lanes are exclusive within a parallel_for, so each
+  /// arena is touched by one run at a time.
+  std::vector<SimScratch> scratches_;
   std::unordered_map<std::uint64_t, Entry> profiles_;
   std::vector<Entry> top_;  // sorted ascending by mean, at most top_k
   double best_seconds_;

@@ -93,7 +93,11 @@ SearchResult run_random_search(const Simulator& sim,
         candidate.at(t) = start.at(t);
       batch.push_back(std::move(candidate));
     }
-    const std::size_t folded = eval.evaluate_batch(batch).size();
+    // Random search never compares candidates against each other — only
+    // the finalist list matters — so the interest bound is zero and the
+    // evaluator censors at the k-th finalist mean.
+    const std::size_t folded =
+        eval.evaluate_batch(batch, /*interest_bound_s=*/0.0).size();
     if (folded < batch.size()) break;  // budget ran out mid-block
     i += folded;
   }
@@ -193,15 +197,18 @@ SearchResult run_ccd_multistart(const Simulator& sim,
   // First pass from the §4.1 starting point; each further pass begins from
   // a random valid mapping and inherits the accumulated profiles database,
   // so re-proposed candidates are free and the finalist pool spans every
-  // pass.
-  SearchResult result = run_ccd(sim, options);
+  // pass. The passes always export their database (that is the chaining
+  // mechanism), whatever the caller asked for the final result.
+  SearchOptions chained = options;
+  chained.export_profiles_db = true;
+  SearchResult result = run_ccd(sim, chained);
   SearchStats combined = result.stats;
 
   for (int s = 0; s < extra_starts; ++s) {
     if (std::isfinite(options.time_budget_s) &&
         combined.search_time_s >= options.time_budget_s)
       break;
-    SearchOptions next = options;
+    SearchOptions next = chained;
     next.seed = rng.next();
     next.profiles_seed = result.profiles_db;
     if (std::isfinite(options.time_budget_s))
@@ -219,6 +226,7 @@ SearchResult run_ccd_multistart(const Simulator& sim,
 
   result.algorithm = "AM-CCD-multistart";
   result.stats = combined;
+  if (!options.export_profiles_db) result.profiles_db.clear();
   return result;
 }
 

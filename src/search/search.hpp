@@ -63,10 +63,26 @@ struct SearchOptions {
   /// SearchResult::profiles_db.
   std::string profiles_seed;
   /// Worker threads for batch candidate evaluation (simulated runs are
-  /// independent per seed, so candidates x repeats fan out). Results are
+  /// independent per seed, so candidates fan out). Results are
   /// bit-identical for every value; 1 disables the pool, 0 means one lane
   /// per hardware thread.
   int threads = 1;
+  /// Incumbent-bounded candidate pruning: bounded simulation aborts a
+  /// candidate's runs as soon as it provably cannot beat the caller's
+  /// interest bound or displace the current top-k finalists (it is then
+  /// *censored* — folded to the censor threshold and cached as such). The
+  /// censoring arithmetic and clock charges are applied identically with
+  /// the flag off, so the search result — best mapping, counters, simulated
+  /// clock, trajectory — is bit-identical either way at any thread count;
+  /// the flag only controls whether the simulator skips the wall-clock work
+  /// past the bound. Only effective under Objective::kExecutionTime.
+  bool prune_candidates = true;
+  /// Serialize the profiles database into SearchResult::profiles_db at
+  /// finalize. On by default; callers that never reuse the database (e.g.
+  /// one-shot benchmark searches) can turn it off — a long search
+  /// accumulates tens of thousands of entries, and serializing them can
+  /// rival the evaluation work itself.
+  bool export_profiles_db = true;
 };
 
 /// Indexed frozen-task lookup (§3.3 subset search), built once per search.
@@ -123,6 +139,11 @@ struct SearchStats {
   std::size_t invalid = 0;
   /// Executions that failed with an out-of-memory error.
   std::size_t oom = 0;
+  /// Executions censored at the batch's censor threshold: the candidate
+  /// provably could not beat the incumbent or enter the top-k, so its runs
+  /// were cut off at the budget (identical count with pruning on or off —
+  /// the flag only decides whether the cut saves wall-clock time).
+  std::size_t censored = 0;
   /// Proposals answered from the profiles database without execution (the
   /// "suggested minus evaluated" gap of §5.3, counted directly).
   std::size_t cache_hits = 0;

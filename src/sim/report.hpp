@@ -62,7 +62,18 @@ struct ExecutionReport {
   bool ok = false;
   std::string failure;
 
-  /// End-to-end wall time of the simulated run (seconds).
+  /// True when the run was abandoned because the simulated clock provably
+  /// exceeded the caller's time bound (incumbent-bounded pruning). The run
+  /// still counts as ok; `total_seconds` then holds the clock value that
+  /// crossed the bound — a strict lower bound on the true makespan — and
+  /// every other field is partial and must not be consumed.
+  bool censored = false;
+  /// The bound a censored run was cut at (infinity when unbounded).
+  double time_bound = 0.0;
+
+  /// End-to-end wall time of the simulated run (seconds); for censored
+  /// runs, the bound-crossing clock value (a lower bound on the true
+  /// makespan).
   double total_seconds = 0.0;
   /// Main-loop iterations executed.
   int iterations = 0;

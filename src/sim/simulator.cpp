@@ -2,9 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
-#include <map>
-#include <set>
 #include <sstream>
 
 #include "src/support/error.hpp"
@@ -26,6 +23,27 @@ std::size_t arg_index_of(const GroupTask& task, CollectionId collection) {
   AM_UNREACHABLE("dependence edge references a collection the task lacks");
 }
 
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Resets a scratch-held report to the state a fresh run expects. Vectors
+/// are cleared, not deallocated, so steady-state runs reuse their capacity.
+void clear_report(ExecutionReport& report, int iterations,
+                  double time_bound) {
+  report.ok = false;
+  report.failure.clear();
+  report.censored = false;
+  report.time_bound = time_bound;
+  report.total_seconds = 0.0;
+  report.iterations = iterations;
+  report.intra_node_copy_bytes = 0;
+  report.inter_node_copy_bytes = 0;
+  report.energy_joules = 0.0;
+  report.tasks.clear();
+  report.footprints.clear();
+  report.demoted_args = 0;
+  report.trace.clear();
+}
+
 }  // namespace
 
 Simulator::Simulator(const MachineModel& machine, const TaskGraph& graph,
@@ -36,37 +54,210 @@ Simulator::Simulator(const MachineModel& machine, const TaskGraph& graph,
   machine_.validate();
   graph_.validate();
   topo_order_ = graph_.topological_order();
-  incoming_.resize(graph_.num_tasks());
+  mem_kinds_ = machine_.mem_kinds();
+  runtime_overhead_ = machine_.runtime_overhead();
+  num_nodes_ = machine_.num_nodes();
+
+  const std::size_t num_tasks = graph_.num_tasks();
+
+  // Flattened collection-argument space: arg_off_[t] .. arg_off_[t+1].
+  arg_off_.assign(num_tasks + 1, 0);
+  for (std::size_t t = 0; t < num_tasks; ++t)
+    arg_off_[t + 1] =
+        arg_off_[t] +
+        static_cast<std::uint32_t>(graph_.task(TaskId(t)).args.size());
+  num_flat_args_ = arg_off_[num_tasks];
+
+  // CSR incoming adjacency. A counting pass followed by an in-order fill
+  // keeps each consumer's in-edge order equal to the global edge order,
+  // which the RNG draw sequence (copy noise) depends on.
+  in_off_.assign(num_tasks + 1, 0);
   for (const DependenceEdge& e : graph_.edges())
-    incoming_[e.consumer.index()].push_back(e);
+    ++in_off_[e.consumer.index() + 1];
+  for (std::size_t t = 0; t < num_tasks; ++t) in_off_[t + 1] += in_off_[t];
+  in_edges_.resize(graph_.num_edges());
+  {
+    std::vector<std::uint32_t> cursor(in_off_.begin(), in_off_.end() - 1);
+    std::size_t num_data_edges = 0;
+    for (const DependenceEdge& e : graph_.edges()) {
+      EdgeIn in;
+      in.producer = static_cast<std::uint32_t>(e.producer.index());
+      in.producer_arg =
+          arg_off_[e.producer.index()] +
+          static_cast<std::uint32_t>(
+              arg_index_of(graph_.task(e.producer), e.producer_collection));
+      in.consumer_arg =
+          arg_off_[e.consumer.index()] +
+          static_cast<std::uint32_t>(
+              arg_index_of(graph_.task(e.consumer), e.consumer_collection));
+      in.cross_iteration = e.cross_iteration;
+      in.carries_data = e.carries_data;
+      in.cross_collection = e.producer_collection != e.consumer_collection;
+      const double bytes = static_cast<double>(e.bytes);
+      in.bytes = bytes;
+      in.inter_bytes_blocked = bytes * e.internode_fraction;
+      in.inter_bytes_rr = bytes * std::min(1.0, e.internode_fraction * 1.6);
+      in.inter_bytes_gather = bytes * static_cast<double>(num_nodes_ - 1) /
+                              static_cast<double>(num_nodes_);
+      in.bytes_over_nodes = bytes / static_cast<double>(num_nodes_);
+      in_edges_[cursor[e.consumer.index()]++] = in;
+      if (e.carries_data) ++num_data_edges;
+    }
+    // Trace upper bound: one task event plus at most two copy legs per
+    // data-carrying edge, each iteration.
+    trace_reserve_ = static_cast<std::size_t>(options_.iterations) *
+                     (num_tasks + 2 * num_data_edges);
+  }
+
+  // Per-(task, proc kind, distributed) duration invariants. Combinations a
+  // valid mapping can never reach (missing proc kind / missing variant) get
+  // NaN; Mapping::violations rejects them before any run consumes these.
+  dur_compute_.assign(num_tasks * kNumProcKinds * 2, kNaN);
+  dur_launch_.assign(num_tasks * kNumProcKinds * 2, kNaN);
+  energy_coeff_.assign(num_tasks * kNumProcKinds * 2, kNaN);
+  arg_sec_.assign(num_flat_args_ * kNumProcKinds * 2 * kNumMemKinds, kNaN);
+
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const GroupTask& task = graph_.task(TaskId(t));
+    for (const ProcKind proc : kAllProcKinds) {
+      if (!machine_.has_proc_kind(proc)) continue;
+      const ProcGroup& pg = machine_.proc_group(proc);
+      const double per_point = proc == ProcKind::kGpu
+                                   ? task.cost.gpu_seconds_per_point
+                                   : task.cost.cpu_seconds_per_point;
+      if (per_point < 0.0) continue;  // missing variant
+      const double compute_per_point = per_point / pg.speed;
+
+      for (int dist = 0; dist < 2; ++dist) {
+        const int nodes_used = dist != 0 ? num_nodes_ : 1;
+        const std::int64_t points_per_node =
+            ceil_div(task.num_points, nodes_used);
+        const std::int64_t waves =
+            ceil_div(points_per_node, pg.count_per_node);
+
+        // Launch overhead and compute serialize in waves over the pool.
+        const double launch_time =
+            static_cast<double>(waves) * pg.launch_overhead_s;
+        const double compute_time =
+            launch_time + static_cast<double>(waves) * compute_per_point;
+
+        const std::size_t di =
+            dur_index(t, index_of(proc), static_cast<std::size_t>(dist));
+        // Base duration: the mapping-independent per-launch runtime cost
+        // (dependence analysis, mapper queries, instance binding) plus
+        // wave compute. Memory-access time is added per resolved argument
+        // at run time from arg_sec_.
+        dur_compute_[di] = runtime_overhead_ + compute_time;
+        dur_launch_[di] = launch_time;
+
+        const double busy_instances = static_cast<double>(
+            std::min<std::int64_t>(points_per_node, pg.count_per_node));
+        energy_coeff_[di] = pg.watts_busy * busy_instances * nodes_used;
+
+        // Memory access is pool-level: all points on a node stream their
+        // bytes through the shared affinity bandwidth (per-allocation for
+        // FrameBuffer, engaging as many GPUs as the group occupies).
+        for (std::size_t a = 0; a < task.args.size(); ++a) {
+          const CollectionUse& use = task.args[a];
+          const double node_bytes =
+              static_cast<double>(graph_.collection_bytes(use.collection)) *
+              use.access_fraction / static_cast<double>(nodes_used);
+          for (const MemKind mem : kAllMemKinds) {
+            if (!machine_.addressable(proc, mem)) continue;
+            const Affinity aff = machine_.affinity(proc, mem);
+
+            // Allocations engaged in parallel: GPUs for FrameBuffer, one
+            // shared aggregate otherwise (System's two sockets are already
+            // folded into the affinity figure).
+            double engaged = 1.0;
+            if (mem == MemKind::kFrameBuffer) {
+              engaged = static_cast<double>(std::min<std::int64_t>(
+                  std::min(pg.count_per_node,
+                           machine_.mems_per_node(MemKind::kFrameBuffer)),
+                  points_per_node));
+            }
+            const double bw = aff.bandwidth_bytes_per_s * engaged;
+
+            double seconds = aff.latency_s * static_cast<double>(waves);
+            if (proc == ProcKind::kCpu && mem == MemKind::kSystem &&
+                machine_.mems_per_node(MemKind::kSystem) > 1) {
+              // NUMA: with per-socket System allocations, roughly half of
+              // a CPU pool's accesses cross to the far socket's allocation
+              // through the cross-socket link (Legion keeps one instance
+              // per socket and transfers between them). Zero-Copy is a
+              // single allocation visible to all processors and avoids
+              // this — the effect the paper calls out for Stencil (§5).
+              const double cross_bw =
+                  std::min(bw, 2.0 * machine_.cross_socket_channel()
+                                         .bandwidth_bytes_per_s);
+              seconds += 0.5 * node_bytes / bw + 0.5 * node_bytes / cross_bw;
+            } else {
+              seconds += node_bytes / bw;
+            }
+            arg_sec_[arg_sec_index(arg_off_[t] + a, index_of(proc),
+                                   static_cast<std::size_t>(dist),
+                                   index_of(mem))] = seconds;
+          }
+        }
+      }
+    }
+  }
+
+  // Flat channel table. Absent channels keep present = false; the event
+  // loop falls back to machine_.channel() there, which raises the standard
+  // missing-channel error.
+  for (const MemKind src : kAllMemKinds) {
+    for (const MemKind dst : kAllMemKinds) {
+      for (int inter = 0; inter < 2; ++inter) {
+        if (!machine_.has_mem_kind(src) || !machine_.has_mem_kind(dst))
+          continue;
+        if (!machine_.has_channel(src, dst, inter != 0)) continue;
+        const Channel ch = machine_.channel(src, dst, inter != 0);
+        chan_[index_of(src)][index_of(dst)][inter] = {
+            .bandwidth = ch.bandwidth_bytes_per_s,
+            .latency = ch.latency_s,
+            .present = true};
+      }
+    }
+  }
 }
 
-Simulator::Resolution Simulator::resolve_memories(
-    const Mapping& mapping) const {
-  Resolution res;
-  res.args.resize(graph_.num_tasks());
+void Simulator::prepare(SimScratch& scratch) const {
+  if (scratch.prepared_for_ == this) return;
+  scratch.prepared_for_ = this;
+  scratch.resolved_.resize(num_flat_args_);
+  scratch.footprints_.reserve(kNumMemKinds);
+  scratch.used_.resize(static_cast<std::size_t>(num_nodes_) * kNumMemKinds);
+  scratch.instantiated_.resize(graph_.num_collections() * kNumMemKinds * 2);
+  scratch.finish_prev_.resize(graph_.num_tasks());
+  scratch.finish_cur_.resize(graph_.num_tasks());
+  scratch.report_.tasks.reserve(graph_.num_tasks());
+  scratch.resolve_ok_ = false;
+}
 
-  const int num_nodes = machine_.num_nodes();
+void Simulator::resolve_memories(const Mapping& mapping,
+                                 SimScratch& scratch) const {
+  scratch.resolve_ok_ = false;
+  scratch.demoted_args_ = 0;
+  scratch.footprints_.clear();
 
   // Per (node, mem kind): bytes committed to the *fullest single instance*
   // of that kind. We charge each collection instance divided over the
   // allocations that hold it (sockets for System, GPUs for FrameBuffer).
-  std::vector<std::array<std::uint64_t, kNumMemKinds>> used(
-      static_cast<std::size_t>(num_nodes), {0, 0, 0});
-
+  std::fill(scratch.used_.begin(), scratch.used_.end(), 0);
   // A collection instantiated once per (collection, kind, distributed) is
   // shared by all tasks that agree on those coordinates.
-  std::set<std::tuple<std::uint32_t, std::size_t, bool>> instantiated;
+  std::fill(scratch.instantiated_.begin(), scratch.instantiated_.end(), 0);
 
   for (const GroupTask& task : graph_.tasks()) {
     const TaskMapping& tm = mapping.at(task.id);
     AM_REQUIRE(tm.arg_memories.size() == task.args.size(),
                "mapping shape mismatch for task " + task.name);
-    auto& resolved = res.args[task.id.index()];
-    resolved.resize(task.args.size());
+    SimScratch::ResolvedArg* resolved =
+        scratch.resolved_.data() + arg_off_[task.id.index()];
 
-    const bool distributed = tm.distribute && num_nodes > 1;
-    const int nodes_used = distributed ? num_nodes : 1;
+    const bool distributed = tm.distribute && num_nodes_ > 1;
+    const int nodes_used = distributed ? num_nodes_ : 1;
     const std::int64_t points_per_node =
         ceil_div(task.num_points, nodes_used);
 
@@ -81,12 +272,15 @@ Simulator::Resolution Simulator::resolve_memories(
         const MemKind kind = tm.arg_memories[a][pri];
         if (!machine_.addressable(tm.proc, kind)) continue;
 
-        const auto key = std::make_tuple(cid.value(), index_of(kind),
-                                         distributed);
-        if (instantiated.contains(key)) {
+        std::uint8_t& known =
+            scratch.instantiated_[(cid.value() * kNumMemKinds +
+                                   index_of(kind)) *
+                                      2 +
+                                  (distributed ? 1 : 0)];
+        if (known != 0) {
           // Already resident in this kind with the same layout; reuse it.
           resolved[a] = {.memory = kind, .demoted = pri > 0};
-          if (pri > 0) ++res.demoted_args;
+          if (pri > 0) ++scratch.demoted_args_;
           placed = true;
           break;
         }
@@ -103,7 +297,8 @@ Simulator::Resolution Simulator::resolve_memories(
 
         bool fits = true;
         for (int n = 0; n < nodes_used; ++n) {
-          if (used[static_cast<std::size_t>(n)][index_of(kind)] +
+          if (scratch.used_[static_cast<std::size_t>(n) * kNumMemKinds +
+                            index_of(kind)] +
                   instance_share >
               capacity) {
             fits = false;
@@ -113,10 +308,11 @@ Simulator::Resolution Simulator::resolve_memories(
         if (!fits) continue;
 
         for (int n = 0; n < nodes_used; ++n)
-          used[static_cast<std::size_t>(n)][index_of(kind)] += instance_share;
-        instantiated.insert(key);
+          scratch.used_[static_cast<std::size_t>(n) * kNumMemKinds +
+                        index_of(kind)] += instance_share;
+        known = 1;
         resolved[a] = {.memory = kind, .demoted = pri > 0};
-        if (pri > 0) ++res.demoted_args;
+        if (pri > 0) ++scratch.demoted_args_;
         placed = true;
         break;
       }
@@ -127,197 +323,101 @@ Simulator::Resolution Simulator::resolve_memories(
            << task.name << " argument "
            << graph_.collection(cid).name << " ("
            << format_bytes(total_bytes) << ") has capacity left";
-        res.failure = os.str();
-        return res;
+        scratch.failure_ = os.str();
+        return;
       }
     }
   }
 
-  for (const MemKind kind : machine_.mem_kinds()) {
+  for (const MemKind kind : mem_kinds_) {
     std::uint64_t peak = 0;
-    for (const auto& node_used : used)
-      peak = std::max(peak, node_used[index_of(kind)]);
-    res.footprints.push_back({.kind = kind,
-                              .peak_instance_bytes = peak,
-                              .capacity_bytes = machine_.mem_capacity(kind)});
+    for (int n = 0; n < num_nodes_; ++n)
+      peak = std::max(
+          peak, scratch.used_[static_cast<std::size_t>(n) * kNumMemKinds +
+                              index_of(kind)]);
+    scratch.footprints_.push_back(
+        {.kind = kind,
+         .peak_instance_bytes = peak,
+         .capacity_bytes = machine_.mem_capacity(kind)});
   }
-  res.ok = true;
-  return res;
+  scratch.resolve_ok_ = true;
 }
 
-Simulator::TaskDuration Simulator::task_duration(
-    const GroupTask& task, const TaskMapping& tm,
-    const std::vector<ResolvedArg>& args) const {
-  const ProcGroup& pg = machine_.proc_group(tm.proc);
-  const int num_nodes = machine_.num_nodes();
-  const bool distributed = tm.distribute && num_nodes > 1;
-  const int nodes_used = distributed ? num_nodes : 1;
+void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
+                         double time_bound, SimScratch& scratch) const {
+  ExecutionReport& report = scratch.report_;
+  clear_report(report, options_.iterations, time_bound);
+  report.footprints = scratch.footprints_;
+  report.demoted_args = scratch.demoted_args_;
 
-  const std::int64_t points_per_node = ceil_div(task.num_points, nodes_used);
-  const std::int64_t waves = ceil_div(points_per_node, pg.count_per_node);
-
-  const double compute_per_point =
-      (tm.proc == ProcKind::kGpu ? task.cost.gpu_seconds_per_point
-                                 : task.cost.cpu_seconds_per_point) /
-      pg.speed;
-  AM_CHECK(compute_per_point >= 0.0, "task mapped to missing variant");
-
-  // Launch overhead and compute serialize in waves over the pool.
-  const double launch_time =
-      static_cast<double>(waves) * pg.launch_overhead_s;
-  const double compute_time =
-      launch_time + static_cast<double>(waves) * compute_per_point;
-
-  // Memory access is pool-level: all points on a node stream their bytes
-  // through the shared affinity bandwidth (per-allocation for FrameBuffer,
-  // engaging as many GPUs as the group occupies).
-  double mem_time = 0.0;
-  for (std::size_t a = 0; a < task.args.size(); ++a) {
-    const CollectionUse& use = task.args[a];
-    const MemKind mem = args[a].memory;
-    const Affinity aff = machine_.affinity(tm.proc, mem);
-    const double node_bytes =
-        static_cast<double>(graph_.collection_bytes(use.collection)) *
-        use.access_fraction / static_cast<double>(nodes_used);
-
-    // Allocations engaged in parallel: GPUs for FrameBuffer, one shared
-    // aggregate otherwise (System's two sockets are already folded into
-    // the affinity figure).
-    double engaged = 1.0;
-    if (mem == MemKind::kFrameBuffer) {
-      engaged = static_cast<double>(std::min<std::int64_t>(
-          std::min(pg.count_per_node,
-                   machine_.mems_per_node(MemKind::kFrameBuffer)),
-          points_per_node));
-    }
-    const double bw = aff.bandwidth_bytes_per_s * engaged;
-
-    double seconds = aff.latency_s * static_cast<double>(waves);
-    if (tm.proc == ProcKind::kCpu && mem == MemKind::kSystem &&
-        machine_.mems_per_node(MemKind::kSystem) > 1) {
-      // NUMA: with per-socket System allocations, roughly half of a CPU
-      // pool's accesses cross to the far socket's allocation through the
-      // cross-socket link (Legion keeps one instance per socket and
-      // transfers between them). Zero-Copy is a single allocation visible
-      // to all processors and avoids this — the effect the paper calls out
-      // for Stencil (§5).
-      const double cross_bw =
-          std::min(bw, 2.0 * machine_.cross_socket_channel()
-                                 .bandwidth_bytes_per_s);
-      seconds += 0.5 * node_bytes / bw + 0.5 * node_bytes / cross_bw;
-    } else {
-      seconds += node_bytes / bw;
-    }
-    mem_time += seconds;
-  }
-
-  // Mapping-independent per-launch runtime cost (dependence analysis,
-  // mapper queries, instance binding on the reserved runtime cores).
-  return {.total = machine_.runtime_overhead() + compute_time + mem_time,
-          .launch_overhead = launch_time,
-          .runtime_overhead = machine_.runtime_overhead()};
-}
-
-ExecutionReport Simulator::run(const Mapping& mapping,
-                               std::uint64_t seed) const {
-  ExecutionReport report;
-  report.iterations = options_.iterations;
-
-  {
-    const auto violations = mapping.violations(graph_, machine_);
-    if (!violations.empty()) {
-      report.failure = "invalid mapping: " + violations.front();
-      return report;
-    }
-  }
-
-  const Resolution res = resolve_memories(mapping);
-  if (!res.ok) {
-    report.failure = res.failure;
-    return report;
-  }
-  report.footprints = res.footprints;
-  report.demoted_args = res.demoted_args;
+  const std::size_t num_tasks = graph_.num_tasks();
+  report.tasks.resize(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i)
+    report.tasks[i] = TaskReport{.task = TaskId(i)};
+  if (options_.record_trace) report.trace.reserve(trace_reserve_);
 
   Rng rng(mix64(seed) ^ mapping.hash());
-  const int num_nodes = machine_.num_nodes();
-  const auto& topo = topo_order_;
+  const bool multi = num_nodes_ > 1;
 
   // Resource state, carried across iterations.
-  // Processor pools: busy-until per (proc kind, node).
-  std::vector<std::array<double, kNumProcKinds>> pool_busy(
-      static_cast<std::size_t>(num_nodes), {0.0, 0.0});
+  // Processor pools: busy-until per (proc kind, leader node / other nodes).
+  // Two clocks per kind suffice: a non-distributed task runs on the leader
+  // node alone and a distributed task occupies every node at once, so
+  // nodes 1..N-1 always share one busy-until value.
+  std::array<double, kNumProcKinds * 2> pool_busy{};
   // Intra-node copy channels: busy-until per (src kind, dst kind). All
   // inter-node legs share one interconnect busy-state instead: the machine
   // has one NIC, so System->System and FB->FB network transfers contend
   // with each other even though their bandwidths (machine_.channel) differ
   // per kind pair.
-  std::map<std::tuple<std::size_t, std::size_t>, double> channel_busy;
+  std::array<double, kNumMemKinds * kNumMemKinds> channel_busy{};
   double interconnect_busy = 0.0;
 
-  std::vector<double> finish_prev(graph_.num_tasks(), 0.0);
-  std::vector<double> finish_cur(graph_.num_tasks(), 0.0);
-
-  report.tasks.resize(graph_.num_tasks());
-  for (std::size_t i = 0; i < graph_.num_tasks(); ++i)
-    report.tasks[i].task = TaskId(i);
+  // Never read before written within a run (topological order guarantees
+  // producers precede consumers; cross-iteration edges skip iteration 0),
+  // so no per-run clearing is needed.
+  std::vector<double>& finish_prev = scratch.finish_prev_;
+  std::vector<double>& finish_cur = scratch.finish_cur_;
 
   const double copy_noise_sigma = options_.noise_sigma * 0.5;
   double makespan = 0.0;
 
   for (int iter = 0; iter < options_.iterations; ++iter) {
-    for (const TaskId tid : topo) {
-      const GroupTask& task = graph_.task(tid);
+    for (const TaskId tid : topo_order_) {
+      const std::size_t ti = tid.index();
       const TaskMapping& tm = mapping.at(tid);
-      const auto& resolved = res.args[tid.index()];
+      const bool c_dist = tm.distribute && multi;
 
       // 1. Data arrival: producers' finish plus any inferred copies.
       double ready = 0.0;
-      for (const DependenceEdge& edge : incoming_[tid.index()]) {
-        const DependenceEdge* e = &edge;
+      for (std::uint32_t ei = in_off_[ti]; ei < in_off_[ti + 1]; ++ei) {
+        const EdgeIn& e = in_edges_[ei];
         double produced_at;
-        if (e->cross_iteration) {
+        if (e.cross_iteration) {
           if (iter == 0) continue;  // initial data is in place
-          produced_at = finish_prev[e->producer.index()];
+          produced_at = finish_prev[e.producer];
         } else {
-          produced_at = finish_cur[e->producer.index()];
+          produced_at = finish_cur[e.producer];
         }
 
-        if (!e->carries_data) {
+        if (!e.carries_data) {
           // Pure ordering dependence (WAR/WAW): serializes, moves nothing.
           ready = std::max(ready, produced_at);
           continue;
         }
 
-        const GroupTask& prod_task = graph_.task(e->producer);
-        const TaskMapping& ptm = mapping.at(e->producer);
-        const MemKind src =
-            res.args[e->producer.index()]
-                    [arg_index_of(prod_task, e->producer_collection)]
-                        .memory;
-        const MemKind dst =
-            resolved[arg_index_of(task, e->consumer_collection)].memory;
-
-        const bool p_dist = ptm.distribute && num_nodes > 1;
-        const bool c_dist = tm.distribute && num_nodes > 1;
-        const double bytes = static_cast<double>(e->bytes);
+        const TaskMapping& ptm = mapping.at(TaskId(e.producer));
+        const MemKind src = scratch.resolved_[e.producer_arg].memory;
+        const MemKind dst = scratch.resolved_[e.consumer_arg].memory;
+        const bool p_dist = ptm.distribute && multi;
         // Cross-collection (halo/ghost) flow moves between *instances* even
         // when both live in the same memory kind — per-socket System
         // allocations and per-GPU Frame-Buffers require a staging copy.
-        // Zero-Copy is a single node-wide allocation, so it alone is exempt:
-        // this is the System-vs-ZeroCopy distinction the paper calls out
-        // for Stencil (§5).
-        const bool cross_collection =
-            e->producer_collection != e->consumer_collection;
+        // Zero-Copy is a single node-wide allocation, so it alone is
+        // exempt: this is the System-vs-ZeroCopy distinction the paper
+        // calls out for Stencil (§5).
         const bool intra_copy_needed =
-            src != dst || (cross_collection && src != MemKind::kZeroCopy);
-        // Round-robin point placement scatters neighboring points across
-        // nodes, inflating the boundary traffic a blocked decomposition
-        // would keep local (the custom-mapper advantage on Circuit, §5).
-        const double internode_fraction =
-            (ptm.blocked && tm.blocked)
-                ? e->internode_fraction
-                : std::min(1.0, e->internode_fraction * 1.6);
+            src != dst || (e.cross_collection && src != MemKind::kZeroCopy);
 
         // Copy legs: (bytes to move, effective per-node parallelism,
         // inter-node?). Legs queue on their channel in sequence.
@@ -326,42 +426,57 @@ ExecutionReport Simulator::run(const Mapping& mapping,
           double parallelism = 1.0;
           bool inter = false;
         };
-        std::vector<Leg> legs;
+        std::array<Leg, 2> legs;
+        int num_legs = 0;
         if (p_dist && c_dist) {
-          const double inter_bytes = bytes * internode_fraction;
+          // Round-robin point placement scatters neighboring points across
+          // nodes, inflating the boundary traffic a blocked decomposition
+          // would keep local (the custom-mapper advantage on Circuit, §5).
+          const double inter_bytes = (ptm.blocked && tm.blocked)
+                                         ? e.inter_bytes_blocked
+                                         : e.inter_bytes_rr;
           if (inter_bytes > 0.0)
-            legs.push_back({inter_bytes, double(num_nodes), true});
+            legs[static_cast<std::size_t>(num_legs++)] = {
+                inter_bytes, static_cast<double>(num_nodes_), true};
           if (intra_copy_needed) {
-            const double intra = bytes - inter_bytes;
+            const double intra = e.bytes - inter_bytes;
             if (intra > 0.0)
-              legs.push_back({intra, double(num_nodes), false});
+              legs[static_cast<std::size_t>(num_legs++)] = {
+                  intra, static_cast<double>(num_nodes_), false};
           }
         } else if (p_dist != c_dist) {
           // Gather to / scatter from the leader node: (N-1)/N of the data
           // crosses the network serially into one endpoint.
-          const double inter_bytes =
-              bytes * static_cast<double>(num_nodes - 1) /
-              static_cast<double>(num_nodes);
-          if (inter_bytes > 0.0) legs.push_back({inter_bytes, 1.0, true});
+          if (e.inter_bytes_gather > 0.0)
+            legs[static_cast<std::size_t>(num_legs++)] = {
+                e.inter_bytes_gather, 1.0, true};
           if (intra_copy_needed)
-            legs.push_back(
-                {bytes / static_cast<double>(num_nodes), 1.0, false});
+            legs[static_cast<std::size_t>(num_legs++)] = {e.bytes_over_nodes,
+                                                          1.0, false};
         } else {
           // Both on the leader node (or a single-node machine).
-          if (intra_copy_needed) legs.push_back({bytes, 1.0, false});
+          if (intra_copy_needed)
+            legs[static_cast<std::size_t>(num_legs++)] = {e.bytes, 1.0,
+                                                          false};
         }
 
         double arrival = produced_at;
-        for (const Leg& leg : legs) {
-          const Channel ch = machine_.channel(src, dst, leg.inter);
+        for (int li = 0; li < num_legs; ++li) {
+          const Leg& leg = legs[static_cast<std::size_t>(li)];
+          const Chan& ch =
+              chan_[index_of(src)][index_of(dst)][leg.inter ? 1 : 0];
+          if (!ch.present) {
+            // Raises the standard missing-channel error.
+            (void)machine_.channel(src, dst, leg.inter);
+          }
           double elapsed =
-              ch.latency_s +
-              leg.bytes / leg.parallelism / ch.bandwidth_bytes_per_s;
+              ch.latency + leg.bytes / leg.parallelism / ch.bandwidth;
           if (copy_noise_sigma > 0.0)
             elapsed *= rng.lognormal_factor(copy_noise_sigma);
-          double& busy =
-              leg.inter ? interconnect_busy
-                        : channel_busy[{index_of(src), index_of(dst)}];
+          double& busy = leg.inter
+                             ? interconnect_busy
+                             : channel_busy[index_of(src) * kNumMemKinds +
+                                            index_of(dst)];
           const double start = std::max(arrival, busy);
           busy = start + elapsed;
           arrival = busy;
@@ -369,7 +484,8 @@ ExecutionReport Simulator::run(const Mapping& mapping,
             report.trace.push_back(
                 {.kind = TraceEvent::Kind::kCopy,
                  .name = std::string(to_string(src)) + "->" +
-                         std::string(to_string(dst)) + " for " + task.name,
+                         std::string(to_string(dst)) + " for " +
+                         graph_.task(tid).name,
                  .resource = leg.inter
                                  ? "network"
                                  : "channel " + std::string(to_string(src)) +
@@ -393,51 +509,59 @@ ExecutionReport Simulator::run(const Mapping& mapping,
       }
 
       // 2. Processor pool availability on every node the task occupies.
-      const bool distributed = tm.distribute && num_nodes > 1;
-      const int nodes_used = distributed ? num_nodes : 1;
-      double pool_free = 0.0;
-      for (int n = 0; n < nodes_used; ++n)
-        pool_free = std::max(
-            pool_free,
-            pool_busy[static_cast<std::size_t>(n)][index_of(tm.proc)]);
+      const std::size_t pk = index_of(tm.proc);
+      const double pool_free =
+          c_dist ? std::max(pool_busy[pk * 2], pool_busy[pk * 2 + 1])
+                 : pool_busy[pk * 2];
 
       const double start = std::max(ready, pool_free);
-      const TaskDuration parts = task_duration(task, tm, resolved);
-      double duration = parts.total;
+      const std::size_t di = dur_index(ti, pk, c_dist ? 1 : 0);
+      double mem_time = 0.0;
+      for (std::uint32_t a = arg_off_[ti]; a < arg_off_[ti + 1]; ++a) {
+        mem_time +=
+            arg_sec_[arg_sec_index(a, pk, c_dist ? 1 : 0,
+                                   index_of(scratch.resolved_[a].memory))];
+      }
+      double duration = dur_compute_[di] + mem_time;
       if (options_.noise_sigma > 0.0)
         duration *= rng.lognormal_factor(options_.noise_sigma);
       const double finish = start + duration;
 
-      for (int n = 0; n < nodes_used; ++n)
-        pool_busy[static_cast<std::size_t>(n)][index_of(tm.proc)] = finish;
-      finish_cur[tid.index()] = finish;
+      pool_busy[pk * 2] = finish;
+      if (c_dist) pool_busy[pk * 2 + 1] = finish;
+      finish_cur[ti] = finish;
       makespan = std::max(makespan, finish);
+
+      // Incumbent-bounded abort: the makespan is the maximum task finish,
+      // so the first finish past the bound proves the full run exceeds it.
+      // Report the crossing clock value as a censored lower bound; the
+      // remaining report fields stay partial and must not be consumed.
+      if (finish > time_bound) {
+        report.ok = true;
+        report.censored = true;
+        report.total_seconds = finish;
+        return;
+      }
 
       // Energy: busy instances x busy time (per-instance power), across
       // the nodes the group occupies.
-      const ProcGroup& pg = machine_.proc_group(tm.proc);
-      const std::int64_t points_per_node =
-          (task.num_points + nodes_used - 1) / nodes_used;
-      const double busy_instances = static_cast<double>(
-          std::min<std::int64_t>(points_per_node, pg.count_per_node));
-      report.energy_joules +=
-          duration * pg.watts_busy * busy_instances * nodes_used;
+      report.energy_joules += duration * energy_coeff_[di];
       if (options_.record_trace) {
-        report.trace.push_back({.kind = TraceEvent::Kind::kTask,
-                                .name = task.name,
-                                .resource = std::string(to_string(tm.proc)) +
-                                            " pool",
-                                .iteration = iter,
-                                .start_s = start,
-                                .duration_s = duration});
+        report.trace.push_back(
+            {.kind = TraceEvent::Kind::kTask,
+             .name = graph_.task(tid).name,
+             .resource = std::string(to_string(tm.proc)) + " pool",
+             .iteration = iter,
+             .start_s = start,
+             .duration_s = duration});
       }
 
-      TaskReport& tr = report.tasks[tid.index()];
+      TaskReport& tr = report.tasks[ti];
       tr.proc = tm.proc;
       tr.compute_seconds += duration;
       tr.copy_wait_seconds += std::max(0.0, ready - pool_free);
-      tr.launch_overhead_seconds += parts.launch_overhead;
-      tr.runtime_overhead_seconds += parts.runtime_overhead;
+      tr.launch_overhead_seconds += dur_launch_[di];
+      tr.runtime_overhead_seconds += runtime_overhead_;
     }
     std::swap(finish_prev, finish_cur);
   }
@@ -456,17 +580,77 @@ ExecutionReport Simulator::run(const Mapping& mapping,
 
   report.ok = true;
   report.total_seconds = makespan;
-  return report;
+}
+
+bool Simulator::begin_runs(const Mapping& mapping,
+                           SimScratch& scratch) const {
+  prepare(scratch);
+
+  {
+    const auto violations = mapping.violations(graph_, machine_);
+    if (!violations.empty()) {
+      clear_report(scratch.report_, options_.iterations,
+                   options_.time_bound);
+      scratch.report_.failure = "invalid mapping: " + violations.front();
+      return false;
+    }
+  }
+
+  resolve_memories(mapping, scratch);
+  if (!scratch.resolve_ok_) {
+    clear_report(scratch.report_, options_.iterations, options_.time_bound);
+    scratch.report_.failure = scratch.failure_;
+    return false;
+  }
+  return true;
+}
+
+const ExecutionReport& Simulator::run_prepared(const Mapping& mapping,
+                                               std::uint64_t seed,
+                                               SimScratch& scratch,
+                                               double time_bound) const {
+  simulate(mapping, seed, time_bound, scratch);
+  return scratch.report_;
+}
+
+const ExecutionReport& Simulator::run(const Mapping& mapping,
+                                      std::uint64_t seed, SimScratch& scratch,
+                                      double time_bound) const {
+  if (!begin_runs(mapping, scratch)) return scratch.report_;
+  simulate(mapping, seed, time_bound, scratch);
+  return scratch.report_;
+}
+
+const ExecutionReport& Simulator::run(const Mapping& mapping,
+                                      std::uint64_t seed,
+                                      SimScratch& scratch) const {
+  return run(mapping, seed, scratch, options_.time_bound);
+}
+
+ExecutionReport Simulator::run(const Mapping& mapping,
+                               std::uint64_t seed) const {
+  SimScratch scratch;
+  run(mapping, seed, scratch, options_.time_bound);
+  return std::move(scratch.report_);
 }
 
 double Simulator::mean_total_seconds(const Mapping& mapping,
                                      std::uint64_t seed, int repeats) const {
   AM_REQUIRE(repeats > 0, "repeats must be positive");
+  SimScratch scratch;
+  // One validation + memory resolution serves every repeat (both are
+  // noise-independent).
+  if (!begin_runs(mapping, scratch))
+    return std::numeric_limits<double>::infinity();
+
   double sum = 0.0;
   for (int r = 0; r < repeats; ++r) {
-    const ExecutionReport rep = run(mapping, mix64(seed + 1000003ULL * r));
-    if (!rep.ok) return std::numeric_limits<double>::infinity();
-    sum += rep.total_seconds;
+    simulate(mapping,
+             mix64(seed + 1000003ULL * static_cast<std::uint64_t>(r)),
+             std::numeric_limits<double>::infinity(), scratch);
+    if (!scratch.report_.ok)
+      return std::numeric_limits<double>::infinity();
+    sum += scratch.report_.total_seconds;
   }
   return sum / repeats;
 }

@@ -24,8 +24,22 @@
 //     list and fails the run (OOM) when nothing fits (§3.1, §5.2);
 //   * noise: multiplicative log-normal run-to-run variation, so the driver
 //     must average repeated runs like the real system does.
+//
+// Because the search is dynamic-profiling-driven, simulator throughput *is*
+// search throughput (§4–5): the search evaluates thousands of mappings
+// against the same (graph, machine) pair. The simulator therefore
+// front-loads every mapping-independent quantity at construction — a CSR
+// view of the dependence edges, per-(task, processor kind, distribution)
+// wave/duration invariants, per-argument memory-access times for every
+// resolvable memory kind, and flat affinity/channel tables — and threads a
+// reusable SimScratch arena through run() so that steady-state runs perform
+// no heap allocation.
 
+#include <array>
 #include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "src/machine/machine.hpp"
 #include "src/mapping/mapping.hpp"
@@ -43,6 +57,56 @@ struct SimOptions {
   /// Record per-task/per-copy timeline events in the report (costs memory;
   /// off during search, on for visualization).
   bool record_trace = false;
+  /// Default simulated-time bound for run(): once the simulated clock
+  /// provably exceeds it, the run is abandoned and reported as *censored*
+  /// ("the makespan is >= this bound"). Infinity disables bounding. The
+  /// search layer uses per-call bounds derived from its incumbent instead
+  /// of this default (incumbent-bounded candidate pruning).
+  double time_bound = std::numeric_limits<double>::infinity();
+};
+
+class Simulator;
+
+/// Reusable per-worker scratch arena for Simulator::run. All per-run state
+/// (memory resolution, busy clocks, the report itself) lives here, so a
+/// worker that evaluates thousands of candidates against one simulator
+/// allocates only on its first run (or when switching simulators) and runs
+/// allocation-free afterwards. A SimScratch may be reused across different
+/// Simulator instances; it re-sizes itself on first use with each one. Not
+/// thread-safe: use one arena per worker lane.
+class SimScratch {
+ public:
+  SimScratch() = default;
+  SimScratch(const SimScratch&) = delete;
+  SimScratch& operator=(const SimScratch&) = delete;
+  SimScratch(SimScratch&&) = default;
+  SimScratch& operator=(SimScratch&&) = default;
+
+ private:
+  friend class Simulator;
+
+  struct ResolvedArg {
+    MemKind memory = MemKind::kSystem;
+    bool demoted = false;
+  };
+
+  /// Identity of the simulator the buffers are currently sized for.
+  const Simulator* prepared_for_ = nullptr;
+
+  // Memory-resolution state (valid between resolve and the runs using it).
+  bool resolve_ok_ = false;
+  int demoted_args_ = 0;
+  std::string failure_;
+  std::vector<ResolvedArg> resolved_;       // flat, Simulator::arg_off_
+  std::vector<MemoryFootprint> footprints_;
+  std::vector<std::uint64_t> used_;         // [node][mem kind]
+  std::vector<std::uint8_t> instantiated_;  // [collection][kind][distributed]
+
+  // Event-loop state.
+  std::vector<double> finish_prev_;
+  std::vector<double> finish_cur_;
+
+  ExecutionReport report_;
 };
 
 class Simulator {
@@ -52,12 +116,50 @@ class Simulator {
             SimOptions options = {});
 
   /// Simulates one run. `seed` individualizes the noise; runs with equal
-  /// seeds and mappings are bit-identical.
+  /// seeds and mappings are bit-identical. Convenience wrapper around the
+  /// scratch-based overload (allocates a fresh arena per call).
   [[nodiscard]] ExecutionReport run(const Mapping& mapping,
                                     std::uint64_t seed) const;
 
+  /// Fast path: simulates one run using `scratch` for all per-run state and
+  /// returns a reference to the report held inside it. The reference stays
+  /// valid until the next run with the same arena. Uses
+  /// SimOptions::time_bound.
+  const ExecutionReport& run(const Mapping& mapping, std::uint64_t seed,
+                             SimScratch& scratch) const;
+
+  /// As above with an explicit simulated-time bound: the event loop aborts
+  /// as soon as any task provably finishes after `time_bound`, returning a
+  /// report with `censored = true` whose `total_seconds` holds the clock
+  /// value that crossed the bound (a lower bound on the true makespan).
+  /// The abort predicate is exact — a run is censored if and only if its
+  /// unbounded makespan strictly exceeds the bound — so bounded and
+  /// unbounded runs of the same (mapping, seed) agree on everything up to
+  /// the abort point.
+  const ExecutionReport& run(const Mapping& mapping, std::uint64_t seed,
+                             SimScratch& scratch, double time_bound) const;
+
+  /// Prepares `scratch` for a *run sequence* over one mapping: validates
+  /// the mapping and resolves memory placement once — both are noise-
+  /// independent, so one pass serves every subsequent repeat. Returns false
+  /// when the mapping is invalid or runs out of memory (scratch.report()
+  /// then describes the failure and no runs are possible). On success,
+  /// run_prepared() simulates individual runs against the cached
+  /// resolution without re-validating or re-resolving.
+  bool begin_runs(const Mapping& mapping, SimScratch& scratch) const;
+
+  /// One run against the resolution cached by the last successful
+  /// begin_runs() on this scratch. Must be called with that same mapping;
+  /// behavior is undefined otherwise. Bit-identical to the equivalent
+  /// run() call, minus the per-run validation and resolution cost.
+  const ExecutionReport& run_prepared(const Mapping& mapping,
+                                      std::uint64_t seed, SimScratch& scratch,
+                                      double time_bound) const;
+
   /// Convenience: runs `repeats` times with derived seeds and returns the
-  /// mean total time, or infinity if any run fails (OOM).
+  /// mean total time, or infinity if any run fails (OOM). Memory resolution
+  /// is noise-independent, so it is performed once and shared by all
+  /// repeats.
   [[nodiscard]] double mean_total_seconds(const Mapping& mapping,
                                           std::uint64_t seed,
                                           int repeats) const;
@@ -67,41 +169,93 @@ class Simulator {
   [[nodiscard]] const SimOptions& options() const { return options_; }
 
  private:
-  struct ResolvedArg {
-    MemKind memory = MemKind::kSystem;
-    bool demoted = false;
+  /// One incoming dependence edge, flattened for the event loop: argument
+  /// positions are pre-resolved to flat indices and every derived byte
+  /// quantity (gather/scatter shares, blocked vs round-robin inter-node
+  /// shares) is precomputed.
+  struct EdgeIn {
+    std::uint32_t producer = 0;      // task index
+    std::uint32_t producer_arg = 0;  // flat collection-argument index
+    std::uint32_t consumer_arg = 0;
+    bool cross_iteration = false;
+    bool carries_data = true;
+    /// producer_collection != consumer_collection (halo/ghost flow that
+    /// moves between instances even within one memory kind).
+    bool cross_collection = false;
+    double bytes = 0.0;
+    double inter_bytes_blocked = 0.0;  // bytes * internode_fraction
+    double inter_bytes_rr = 0.0;       // bytes * min(1, fraction * 1.6)
+    double inter_bytes_gather = 0.0;   // bytes * (N-1)/N
+    double bytes_over_nodes = 0.0;     // bytes / N
   };
-  struct Resolution {
-    bool ok = false;
-    std::string failure;
-    // Indexed [task][arg].
-    std::vector<std::vector<ResolvedArg>> args;
-    std::vector<MemoryFootprint> footprints;
-    int demoted_args = 0;
+
+  /// Flat per-(src kind, dst kind, inter-node) channel table.
+  struct Chan {
+    double bandwidth = 0.0;
+    double latency = 0.0;
+    bool present = false;
   };
 
   /// Allocation pass: picks a concrete memory kind per argument from its
-  /// priority list under per-instance capacity accounting.
-  [[nodiscard]] Resolution resolve_memories(const Mapping& mapping) const;
+  /// priority list under per-instance capacity accounting. Fills the
+  /// resolution state of `scratch`.
+  void resolve_memories(const Mapping& mapping, SimScratch& scratch) const;
 
-  /// Wave-execution time of one group task on its pool (excluding waits),
-  /// with the overhead terms split out for per-task profiling.
-  struct TaskDuration {
-    double total = 0.0;
-    double launch_overhead = 0.0;
-    double runtime_overhead = 0.0;
-  };
-  [[nodiscard]] TaskDuration task_duration(
-      const GroupTask& task, const TaskMapping& tm,
-      const std::vector<ResolvedArg>& args) const;
+  /// The event loop proper: one simulated run against the resolution held
+  /// in `scratch`. Fills scratch.report_.
+  void simulate(const Mapping& mapping, std::uint64_t seed,
+                double time_bound, SimScratch& scratch) const;
+
+  /// (Re)sizes the arena for this simulator and clears per-run state.
+  void prepare(SimScratch& scratch) const;
+
+  [[nodiscard]] std::size_t dur_index(std::size_t task, std::size_t proc,
+                                      std::size_t dist) const {
+    return (task * kNumProcKinds + proc) * 2 + dist;
+  }
+  [[nodiscard]] std::size_t arg_sec_index(std::size_t flat_arg,
+                                          std::size_t proc,
+                                          std::size_t dist,
+                                          std::size_t mem) const {
+    return ((flat_arg * kNumProcKinds + proc) * 2 + dist) * kNumMemKinds +
+           mem;
+  }
 
   const MachineModel& machine_;
   const TaskGraph& graph_;
   SimOptions options_;
-  // Hot-path caches: the search evaluates thousands of mappings against the
-  // same graph, so per-run recomputation would dominate.
+
+  // Mapping-independent invariants, all built once at construction: the
+  // search evaluates thousands of mappings against the same graph, so
+  // per-run recomputation would dominate.
   std::vector<TaskId> topo_order_;
-  std::vector<std::vector<DependenceEdge>> incoming_;
+  /// CSR adjacency over incoming edges (in-edge order matches the graph's
+  /// global edge order per consumer, preserving RNG draw order).
+  std::vector<std::uint32_t> in_off_;  // size num_tasks + 1
+  std::vector<EdgeIn> in_edges_;
+  /// CSR offsets of the flattened collection-argument space.
+  std::vector<std::uint32_t> arg_off_;  // size num_tasks + 1
+  std::size_t num_flat_args_ = 0;
+  /// Per (task, proc kind, distributed): wave-execution compute time
+  /// (launch overhead included) and the launch-overhead share, pre-noise.
+  /// NaN for invalid combinations (missing variant / missing proc kind),
+  /// which mapping validation rejects before the event loop runs.
+  std::vector<double> dur_compute_;
+  std::vector<double> dur_launch_;
+  /// Per (task, proc kind, distributed): energy per busy-second
+  /// (watts x busy instances x nodes used).
+  std::vector<double> energy_coeff_;
+  /// Per (flat arg, proc kind, distributed, resolved mem kind): pool-level
+  /// memory access seconds, including affinity latency per wave and the
+  /// NUMA cross-socket penalty. NaN for unaddressable combinations.
+  std::vector<double> arg_sec_;
+  Chan chan_[kNumMemKinds][kNumMemKinds][2];
+  std::vector<MemKind> mem_kinds_;
+  double runtime_overhead_ = 0.0;
+  int num_nodes_ = 1;
+  /// Expected trace length (tasks + a 2-leg bound per data edge, per
+  /// iteration) to reserve up front when record_trace is on.
+  std::size_t trace_reserve_ = 0;
 };
 
 }  // namespace automap

@@ -1,50 +1,14 @@
 #include "src/support/rng.hpp"
 
 #include <cmath>
-#include <numbers>
 
 #include "src/support/error.hpp"
 
 namespace automap {
 
-std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t mix64(std::uint64_t value) {
-  std::uint64_t state = value;
-  return splitmix64(state);
-}
-
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
-}
-
-std::uint64_t Rng::next() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high bits -> double in [0, 1).
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 double Rng::uniform(double lo, double hi) {
@@ -62,30 +26,13 @@ std::uint64_t Rng::uniform_index(std::uint64_t bound) {
   }
 }
 
-double Rng::normal() {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return cached_normal_;
-  }
-  // Box–Muller: two uniforms -> two independent standard normals.
-  double u1 = uniform();
-  while (u1 <= 0.0) u1 = uniform();
-  const double u2 = uniform();
-  const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double angle = 2.0 * std::numbers::pi * u2;
-  cached_normal_ = radius * std::sin(angle);
-  has_cached_normal_ = true;
-  return radius * std::cos(angle);
-}
-
 double Rng::normal(double mean, double stddev) {
   AM_REQUIRE(stddev >= 0.0, "normal requires non-negative stddev");
   return mean + stddev * normal();
 }
 
-double Rng::lognormal_factor(double sigma) {
+double Rng::lognormal_factor_slow(double sigma) {
   AM_REQUIRE(sigma >= 0.0, "lognormal_factor requires non-negative sigma");
-  if (sigma == 0.0) return 1.0;
   return std::exp(sigma * normal());
 }
 

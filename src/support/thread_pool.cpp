@@ -12,17 +12,20 @@ namespace {
 /// indices from `next`; `remaining_helpers` gates the caller's exit.
 struct ForState {
   std::size_t n = 0;
-  const std::function<void(std::size_t)>* body = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::atomic<std::size_t> next{0};
   std::mutex mutex;
   std::condition_variable done_cv;
   std::size_t remaining_helpers = 0;
   std::exception_ptr error;
 
-  void drain() {
+  /// `lane` is fixed per drainer (0 = caller, 1..k = helper closures), so
+  /// two indices with the same lane never run concurrently even if one
+  /// worker thread happens to execute several helper closures.
+  void drain(std::size_t lane) {
     for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       try {
-        (*body)(i);
+        (*body)(lane, i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mutex);
         if (!error) error = std::current_exception();
@@ -65,9 +68,16 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for(n,
+               [&body](std::size_t, std::size_t index) { body(index); });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
     return;
   }
 
@@ -82,8 +92,8 @@ void ThreadPool::parallel_for(std::size_t n,
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t h = 0; h < helpers; ++h) {
-      queue_.emplace_back([state] {
-        state->drain();
+      queue_.emplace_back([state, lane = h + 1] {
+        state->drain(lane);
         {
           const std::lock_guard<std::mutex> state_lock(state->mutex);
           --state->remaining_helpers;
@@ -94,7 +104,7 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   work_cv_.notify_all();
 
-  state->drain();
+  state->drain(0);
   {
     std::unique_lock<std::mutex> lock(state->mutex);
     state->done_cv.wait(lock,

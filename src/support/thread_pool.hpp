@@ -44,6 +44,16 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 
+  /// Lane-indexed variant: body(lane, index) where `lane` identifies the
+  /// execution lane running the index — 0 for the calling thread, 1..k for
+  /// the helpers of this call. Lanes are exclusive within one parallel_for
+  /// (two indices with the same lane never run concurrently) and lane ids
+  /// stay below thread_count(), so callers can hand each lane its own
+  /// mutable scratch state without synchronization.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t lane,
+                                             std::size_t index)>& body);
+
   /// The machine's hardware concurrency, with a floor of 1.
   [[nodiscard]] static int hardware_threads();
 

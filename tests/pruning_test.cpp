@@ -1,0 +1,333 @@
+// Tests for the simulator fast path's bounded-abort semantics and the
+// evaluator's incumbent-bounded candidate pruning: a bounded run censors if
+// and only if the unbounded run would exceed the bound; a censored
+// evaluation folds to exactly the censor threshold (never beating the
+// incumbent); the full SearchResult is bit-identical with pruning on or
+// off at any thread count; and censored profiles-database entries answer
+// tight queries, re-resolve under looser ones, and survive an
+// export/import round trip.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/apps/stencil.hpp"
+#include "src/machine/machine.hpp"
+#include "src/search/coordinate_descent.hpp"
+#include "src/search/evaluator.hpp"
+#include "src/search/search.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace automap {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Tiny app with a non-trivial mapping space (GPU-friendly producer, a
+/// CPU-only task, two collections) — same shape as the evaluate_batch
+/// tests.
+struct MiniApp {
+  TaskGraph g;
+  CollectionId shared, other;
+  TaskId producer, consumer, cpu_only;
+
+  MiniApp() {
+    const RegionId r = g.add_region("r", Rect::line(0, (1 << 21) - 1), 8);
+    shared = g.add_collection(r, "shared", Rect::line(0, (1 << 20) - 1));
+    other =
+        g.add_collection(r, "other", Rect::line(1 << 20, (1 << 21) - 1));
+    producer = g.add_task(
+        "produce", 8,
+        {.cpu_seconds_per_point = 2e-3, .gpu_seconds_per_point = 4e-5},
+        {{shared, Privilege::kWriteOnly, 0.4},
+         {other, Privilege::kReadOnly, 0.5}});
+    consumer = g.add_task("consume", 8, {.cpu_seconds_per_point = 1e-4},
+                          {{shared, Privilege::kReadOnly, 0.4}});
+    cpu_only = g.add_task("host_side", 8, {.cpu_seconds_per_point = 5e-5},
+                          {{other, Privilege::kReadWrite, 0.3}});
+    g.add_dependence({.producer = producer,
+                      .consumer = consumer,
+                      .producer_collection = shared,
+                      .consumer_collection = shared,
+                      .bytes = g.collection_bytes(shared)});
+  }
+};
+
+/// A fast and a slow valid candidate for the MiniApp, ordered by their
+/// exact (noise-free irrelevant: ordering measured) means under `sim`.
+struct OrderedPair {
+  Mapping fast, slow;
+  double fast_mean, slow_mean;
+};
+
+OrderedPair ordered_pair(const MiniApp& app, const MachineModel& machine,
+                         const Simulator& sim, const SearchOptions& opts) {
+  Mapping a = search_starting_point(app.g, machine);
+  Mapping b = a;
+  b.at(app.producer).proc = ProcKind::kCpu;
+  b.at(app.producer).arg_memories.assign(2, {MemKind::kSystem});
+  // A throwaway evaluator with an empty finalist list measures both
+  // exactly (the censor threshold is infinite until top_k finalists
+  // exist). Means are reproducible: run seeds derive from (search seed,
+  // mapping hash, repeat), not from evaluation order.
+  Evaluator probe(sim, opts);
+  const double mean_a = probe.evaluate(a);
+  const double mean_b = probe.evaluate(b);
+  EXPECT_NE(mean_a, mean_b);
+  if (mean_a <= mean_b) return {a, b, mean_a, mean_b};
+  return {b, a, mean_b, mean_a};
+}
+
+// --- simulator bounded-abort semantics -------------------------------------
+
+TEST(SimTimeBound, CensorsExactlyWhenTheUnboundedRunExceedsTheBound) {
+  MiniApp app;
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, app.g, {.iterations = 2, .noise_sigma = 0.05});
+  const Mapping m = search_starting_point(app.g, machine);
+
+  const ExecutionReport full = sim.run(m, 7);
+  ASSERT_TRUE(full.ok);
+  ASSERT_FALSE(full.censored);
+  ASSERT_GT(full.total_seconds, 0.0);
+
+  SimScratch scratch;
+  // Bound above the makespan: identical result, not censored.
+  {
+    const ExecutionReport& r =
+        sim.run(m, 7, scratch, full.total_seconds * 1.001);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.censored);
+    EXPECT_EQ(r.total_seconds, full.total_seconds);
+  }
+  // Bound exactly at the makespan: the abort predicate is *strictly
+  // exceeds*, so the run still completes.
+  {
+    const ExecutionReport& r = sim.run(m, 7, scratch, full.total_seconds);
+    EXPECT_FALSE(r.censored);
+    EXPECT_EQ(r.total_seconds, full.total_seconds);
+  }
+  // Bound below the makespan: censored, and the reported clock is the
+  // value that crossed the bound — past the bound, at most the makespan.
+  {
+    const double bound = full.total_seconds * 0.25;
+    const ExecutionReport& r = sim.run(m, 7, scratch, bound);
+    EXPECT_TRUE(r.censored);
+    EXPECT_GT(r.total_seconds, bound);
+    EXPECT_LE(r.total_seconds, full.total_seconds);
+  }
+}
+
+TEST(SimTimeBound, PreparedRunSequenceMatchesOneShotRuns) {
+  MiniApp app;
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, app.g, {.iterations = 2, .noise_sigma = 0.05});
+  const Mapping m = search_starting_point(app.g, machine);
+
+  SimScratch scratch;
+  ASSERT_TRUE(sim.begin_runs(m, scratch));
+  for (const std::uint64_t seed : {1u, 2u, 3u, 99u}) {
+    const ExecutionReport full = sim.run(m, seed);
+    const ExecutionReport& prepared = sim.run_prepared(m, seed, scratch, kInf);
+    EXPECT_TRUE(prepared.ok);
+    EXPECT_FALSE(prepared.censored);
+    EXPECT_EQ(prepared.total_seconds, full.total_seconds);
+  }
+}
+
+// --- censored evaluation ----------------------------------------------------
+
+TEST(Pruning, CensoredCandidateNeverBeatsTheIncumbent) {
+  MiniApp app;
+  const MachineModel machine = make_shepard(1);
+  // Noise-free so each run equals the mean and the censor race is exact.
+  Simulator sim(machine, app.g, {.iterations = 2, .noise_sigma = 0.0});
+  // top_k = 1 so a single incumbent already fills the finalist list (with
+  // finalist slots open every candidate must be resolved exactly).
+  const SearchOptions opts{.repeats = 3, .seed = 5, .top_k = 1};
+  const OrderedPair pair = ordered_pair(app, machine, sim, opts);
+
+  Evaluator eval(sim, opts);
+  EXPECT_EQ(eval.evaluate(pair.fast), pair.fast_mean);
+
+  // The slow candidate races against the incumbent's mean and is censored:
+  // it folds to exactly the threshold, so it can never appear better than
+  // the incumbent, and it stays out of the finalist list.
+  const double value = eval.evaluate(pair.slow, pair.fast_mean);
+  EXPECT_EQ(value, pair.fast_mean);
+  EXPECT_GE(value, pair.fast_mean);
+  EXPECT_EQ(eval.view().stats().censored, 1u);
+  EXPECT_EQ(eval.view().stats().evaluated, 2u);
+  EXPECT_EQ(eval.view().best_seconds(), pair.fast_mean);
+  EXPECT_EQ(eval.view().best(), pair.fast);
+}
+
+TEST(Pruning, CensorArithmeticIsIdenticalWithPruningOff) {
+  MiniApp app;
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, app.g, {.iterations = 2, .noise_sigma = 0.05});
+  const SearchOptions opts{.repeats = 3, .seed = 5, .top_k = 1};
+  const OrderedPair pair = ordered_pair(app, machine, sim, opts);
+
+  SearchOptions pruned = opts;
+  pruned.prune_candidates = true;
+  SearchOptions unpruned = opts;
+  unpruned.prune_candidates = false;
+
+  Evaluator a(sim, pruned);
+  Evaluator b(sim, unpruned);
+  EXPECT_EQ(a.evaluate(pair.fast), b.evaluate(pair.fast));
+  EXPECT_EQ(a.evaluate(pair.slow, pair.fast_mean),
+            b.evaluate(pair.slow, pair.fast_mean));
+  EXPECT_EQ(a.view().stats().censored, b.view().stats().censored);
+  EXPECT_EQ(a.view().stats().search_time_s, b.view().stats().search_time_s);
+  EXPECT_EQ(a.view().stats().evaluation_time_s,
+            b.view().stats().evaluation_time_s);
+  EXPECT_EQ(a.view().export_profiles(), b.view().export_profiles());
+}
+
+TEST(Pruning, DuplicateCensoredCandidatesFoldOnce) {
+  MiniApp app;
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, app.g, {.iterations = 2, .noise_sigma = 0.0});
+  const SearchOptions opts{.repeats = 3, .seed = 5, .top_k = 1,
+                           .threads = 2};
+  const OrderedPair pair = ordered_pair(app, machine, sim, opts);
+
+  Evaluator eval(sim, opts);
+  EXPECT_EQ(eval.evaluate(pair.fast), pair.fast_mean);
+
+  // Two copies of the slow candidate in one bounded batch: the first is
+  // executed (and censored), the second is answered by the cache entry the
+  // first one folded.
+  const std::vector<Mapping> batch = {pair.slow, pair.slow};
+  const std::vector<double> means =
+      eval.evaluate_batch(batch, pair.fast_mean);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_EQ(means[0], pair.fast_mean);
+  EXPECT_EQ(means[1], pair.fast_mean);
+  EXPECT_EQ(eval.view().stats().suggested, 3u);
+  EXPECT_EQ(eval.view().stats().evaluated, 2u);
+  EXPECT_EQ(eval.view().stats().censored, 1u);
+  EXPECT_EQ(eval.view().stats().cache_hits, 1u);
+}
+
+// --- censored profiles-database entries ------------------------------------
+
+TEST(Pruning, CensoredEntryReResolvesUnderALooserBound) {
+  MiniApp app;
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, app.g, {.iterations = 2, .noise_sigma = 0.0});
+  const SearchOptions opts{.repeats = 3, .seed = 5, .top_k = 1};
+  const OrderedPair pair = ordered_pair(app, machine, sim, opts);
+
+  Evaluator eval(sim, opts);
+  EXPECT_EQ(eval.evaluate(pair.fast), pair.fast_mean);
+  EXPECT_EQ(eval.evaluate(pair.slow, pair.fast_mean), pair.fast_mean);
+  EXPECT_EQ(eval.view().stats().evaluated, 2u);
+  EXPECT_EQ(eval.view().stats().censored, 1u);
+  EXPECT_NE(eval.view().export_profiles().find(" censored"),
+            std::string::npos);
+
+  // An equally tight query is answered by the censored entry.
+  EXPECT_EQ(eval.evaluate(pair.slow, pair.fast_mean), pair.fast_mean);
+  EXPECT_EQ(eval.view().stats().evaluated, 2u);
+  EXPECT_EQ(eval.view().stats().cache_hits, 1u);
+
+  // A looser query (exact value wanted) re-executes and overwrites the
+  // entry with the exact mean.
+  EXPECT_EQ(eval.evaluate(pair.slow), pair.slow_mean);
+  EXPECT_EQ(eval.view().stats().evaluated, 3u);
+  EXPECT_EQ(eval.view().export_profiles().find(" censored"),
+            std::string::npos);
+
+  // Once resolved exactly, even tight queries are cache hits.
+  EXPECT_EQ(eval.evaluate(pair.slow, pair.fast_mean), pair.slow_mean);
+  EXPECT_EQ(eval.view().stats().evaluated, 3u);
+  EXPECT_EQ(eval.view().stats().cache_hits, 2u);
+}
+
+TEST(Pruning, CensoredEntriesSurviveExportImportRoundTrip) {
+  MiniApp app;
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, app.g, {.iterations = 2, .noise_sigma = 0.0});
+  const SearchOptions opts{.repeats = 3, .seed = 5, .top_k = 1};
+  const OrderedPair pair = ordered_pair(app, machine, sim, opts);
+
+  Evaluator first(sim, opts);
+  EXPECT_EQ(first.evaluate(pair.fast), pair.fast_mean);
+  EXPECT_EQ(first.evaluate(pair.slow, pair.fast_mean), pair.fast_mean);
+  const std::string text = first.view().export_profiles();
+  ASSERT_NE(text.find(" censored"), std::string::npos);
+
+  SearchOptions seeded = opts;
+  seeded.profiles_seed = text;
+  Evaluator resumed(sim, seeded);
+  // The exact entry seeds the incumbent; the censored one does not.
+  EXPECT_TRUE(resumed.view().has_best());
+  EXPECT_EQ(resumed.view().best_seconds(), pair.fast_mean);
+  EXPECT_EQ(resumed.view().best(), pair.fast);
+
+  // A query at the bound the entry was censored at is a cache hit...
+  EXPECT_EQ(resumed.evaluate(pair.slow, pair.fast_mean), pair.fast_mean);
+  EXPECT_EQ(resumed.view().stats().evaluated, 0u);
+  EXPECT_EQ(resumed.view().stats().cache_hits, 1u);
+  // ...and a looser one re-executes the candidate.
+  EXPECT_EQ(resumed.evaluate(pair.slow), pair.slow_mean);
+  EXPECT_EQ(resumed.view().stats().evaluated, 1u);
+}
+
+// --- end-to-end search invariance ------------------------------------------
+
+void expect_identical(const SearchResult& a, const SearchResult& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.algorithm, b.algorithm) << context;
+  EXPECT_EQ(a.best, b.best) << context;
+  EXPECT_EQ(a.best_seconds, b.best_seconds) << context;
+  EXPECT_EQ(a.stats.suggested, b.stats.suggested) << context;
+  EXPECT_EQ(a.stats.evaluated, b.stats.evaluated) << context;
+  EXPECT_EQ(a.stats.invalid, b.stats.invalid) << context;
+  EXPECT_EQ(a.stats.oom, b.stats.oom) << context;
+  EXPECT_EQ(a.stats.censored, b.stats.censored) << context;
+  EXPECT_EQ(a.stats.cache_hits, b.stats.cache_hits) << context;
+  EXPECT_EQ(a.stats.search_time_s, b.stats.search_time_s) << context;
+  EXPECT_EQ(a.stats.evaluation_time_s, b.stats.evaluation_time_s) << context;
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size()) << context;
+  for (std::size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_EQ(a.trajectory[i].search_time_s, b.trajectory[i].search_time_s)
+        << context;
+    EXPECT_EQ(a.trajectory[i].best_exec_s, b.trajectory[i].best_exec_s)
+        << context;
+  }
+  EXPECT_EQ(a.profiles_db, b.profiles_db) << context;
+}
+
+TEST(Pruning, CcdSearchResultBitIdenticalPruneOnOffAcrossThreadCounts) {
+  const MachineModel machine = make_shepard(1);
+  const BenchmarkApp app = make_stencil(stencil_config_for(1, 0));
+  Simulator sim(machine, app.graph, {.iterations = 3, .noise_sigma = 0.02});
+
+  SearchOptions base{.rotations = 3, .repeats = 3, .seed = 42};
+  base.threads = 1;
+  base.prune_candidates = false;
+  const SearchResult reference = run_ccd(sim, base);
+  // The search must actually exercise censoring, or this test proves
+  // nothing about pruning.
+  EXPECT_GT(reference.stats.censored, 0u);
+
+  for (const int threads : {1, 4, 8}) {
+    for (const bool prune : {true, false}) {
+      SearchOptions o = base;
+      o.threads = threads;
+      o.prune_candidates = prune;
+      expect_identical(run_ccd(sim, o), reference,
+                       "threads=" + std::to_string(threads) +
+                           " prune=" + std::to_string(prune));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace automap

@@ -54,7 +54,8 @@ int usage() {
       << search_algorithm_names()
       << "]\n"
          "              [--rotations N] [--repeats N] [--budget S]\n"
-         "              [--seed N] [--threads N] [--fallbacks]\n"
+         "              [--seed N] [--threads N] [--no-prune] "
+         "[--fallbacks]\n"
          "              [-o mapping.txt] [--profiles db.txt]\n"
          "              [--telemetry] [--profile] [--trace-json out.json]\n"
          "  automap_cli evaluate <machine> <graph> <mapping> [--repeats N]\n"
@@ -152,6 +153,10 @@ int cmd_search(const std::vector<std::string>& args) {
       // 0 = one evaluation lane per hardware thread. Results are
       // bit-identical for every value; only wall-clock time changes.
       options.threads = std::stoi(value());
+    } else if (args[i] == "--no-prune") {
+      // Disable incumbent-bounded candidate pruning. Results are
+      // bit-identical with or without it; only wall-clock time changes.
+      options.prune_candidates = false;
     } else if (args[i] == "--fallbacks") {
       options.memory_fallbacks = true;
     } else if (args[i] == "-o") {
@@ -188,6 +193,9 @@ int cmd_search(const std::vector<std::string>& args) {
     return usage();
   }
 
+  // Serializing the profiles database costs real time on long searches;
+  // only pay for it when --profiles asked to save it.
+  options.export_profiles_db = !profiles_path.empty();
   Simulator sim(machine, graph, {});
   const SearchResult result = algorithm->run(sim, options);
   if (!profiles_path.empty()) save_text(profiles_path, result.profiles_db);

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_sim.json against the committed baseline.
+
+Usage: check_bench_sim.py BASELINE.json CURRENT.json [MAX_SLOWDOWN]
+
+Both files are google-benchmark JSON exports (--benchmark_out_format=json).
+For every benchmark present in the baseline, the current per-iteration
+real_time must not exceed MAX_SLOWDOWN (default 2.0) times the baseline
+value. The wide margin absorbs hardware differences between the machine
+that recorded the baseline and the CI runner; a genuine fast-path
+regression (lost precomputation, per-run allocation creep) overshoots it.
+
+Exit code 0 when every benchmark passes, 1 on any regression or missing
+benchmark.
+"""
+
+import json
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNIT_NS[b.get("time_unit", "ns")]
+        out[b["name"]] = b["real_time"] * unit
+    return out
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    baseline = load(argv[1])
+    current = load(argv[2])
+    max_slowdown = float(argv[3]) if len(argv) > 3 else 2.0
+
+    if not baseline:
+        print(f"error: no benchmarks in baseline {argv[1]}")
+        return 1
+
+    failed = False
+    for name, base_ns in sorted(baseline.items()):
+        if name not in current:
+            print(f"FAIL {name}: missing from current run")
+            failed = True
+            continue
+        cur_ns = current[name]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        verdict = "ok" if ratio <= max_slowdown else "FAIL"
+        print(f"{verdict:>4} {name}: baseline {base_ns:.1f} ns, "
+              f"current {cur_ns:.1f} ns ({ratio:.2f}x)")
+        if ratio > max_slowdown:
+            failed = True
+
+    if failed:
+        print(f"perf smoke failed: slowdown above {max_slowdown:.1f}x")
+        return 1
+    print("perf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -125,6 +125,8 @@ void write_machine(std::ostream& os, const MachineModel& machine) {
   os << "machine " << machine.name() << " nodes " << machine.num_nodes()
      << "\n";
   os << "runtime_overhead " << machine.runtime_overhead() << "\n";
+  if (machine.restart_overhead() > 0.0)
+    os << "restart_overhead " << machine.restart_overhead() << "\n";
   for (const ProcKind k : machine.proc_kinds()) {
     const ProcGroup& g = machine.proc_group(k);
     os << "proc " << to_string(k) << " count " << g.count_per_node
@@ -177,6 +179,10 @@ MachineModel read_machine(std::istream& is) {
     if (t[0] == "runtime_overhead") {
       reader.expect(t.size() == 2, "runtime_overhead <seconds>");
       machine.set_runtime_overhead(reader.to_double(t[1]));
+    } else if (t[0] == "restart_overhead") {
+      // Optional (absent in machine files written before the fault layer).
+      reader.expect(t.size() == 2, "restart_overhead <seconds>");
+      machine.set_restart_overhead(reader.to_double(t[1]));
     } else if (t[0] == "proc") {
       reader.expect((t.size() == 8 || t.size() == 10) && t[2] == "count" &&
                         t[4] == "speed" && t[6] == "launch_overhead",

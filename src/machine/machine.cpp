@@ -66,6 +66,11 @@ void MachineModel::set_runtime_overhead(double seconds) {
   runtime_overhead_ = seconds;
 }
 
+void MachineModel::set_restart_overhead(double seconds) {
+  AM_REQUIRE(seconds >= 0.0, "negative restart overhead");
+  restart_overhead_ = seconds;
+}
+
 void MachineModel::validate() const {
   AM_REQUIRE(!proc_groups_.empty(), "machine has no processors");
   AM_REQUIRE(!mem_groups_.empty(), "machine has no memories");
@@ -207,7 +212,8 @@ std::uint64_t MachineModel::total_capacity(MemKind k) const {
 std::string MachineModel::describe() const {
   std::ostringstream os;
   os << "machine " << name_ << ": " << num_nodes_ << " node(s), runtime "
-     << "overhead " << format_seconds(runtime_overhead_) << "/launch\n";
+     << "overhead " << format_seconds(runtime_overhead_) << "/launch, "
+     << format_seconds(restart_overhead_) << "/restart\n";
   for (const auto& g : proc_groups_) {
     os << "  " << to_string(g.kind) << " x" << g.count_per_node
        << "/node, speed " << g.speed << ", launch overhead "
@@ -286,6 +292,9 @@ MachineModel make_shepard(int num_nodes) {
   m.set_channel(MemKind::kFrameBuffer, MemKind::kFrameBuffer, true, ib_dev);
 
   m.set_runtime_overhead(50e-6);
+  // Relaunching a failed run costs far more than launching a task: process
+  // respawn plus runtime re-initialization on a warm allocation.
+  m.set_restart_overhead(0.05);
   m.validate();
   return m;
 }
@@ -348,6 +357,7 @@ MachineModel make_lassen(int num_nodes) {
   m.set_channel(MemKind::kFrameBuffer, MemKind::kFrameBuffer, true, ib_dev);
 
   m.set_runtime_overhead(50e-6);
+  m.set_restart_overhead(0.05);
   m.validate();
   return m;
 }
@@ -382,6 +392,7 @@ MachineModel make_cpu_cluster(int num_nodes) {
   m.set_channel(MemKind::kZeroCopy, MemKind::kZeroCopy, true, ib);
 
   m.set_runtime_overhead(50e-6);
+  m.set_restart_overhead(0.05);
   m.validate();
   return m;
 }

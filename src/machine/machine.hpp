@@ -94,6 +94,12 @@ class MachineModel {
   /// reserved cores whichever processor kind executes the task). This floor
   /// is what keeps the paper's small-input speedups moderate.
   void set_runtime_overhead(double seconds);
+  /// Simulated cost of restarting a failed application run on this machine
+  /// (process respawn, runtime re-initialization, instance re-binding) —
+  /// what a fault-tolerant driver pays per retry on top of the work the
+  /// fault itself destroyed. Used as the default retry backoff quantum by
+  /// the search layer's resilience policy.
+  void set_restart_overhead(double seconds);
 
   /// Verifies internal consistency (every declared proc kind can address at
   /// least one memory kind, channels exist between co-addressable memories,
@@ -123,6 +129,7 @@ class MachineModel {
                                 bool inter_node) const;
   [[nodiscard]] Channel cross_socket_channel() const;
   [[nodiscard]] double runtime_overhead() const { return runtime_overhead_; }
+  [[nodiscard]] double restart_overhead() const { return restart_overhead_; }
 
   // --- instance-level queries (used by the simulator) ---------------------
 
@@ -146,6 +153,7 @@ class MachineModel {
   std::optional<Channel> channels_[kNumMemKinds][kNumMemKinds][2];
   std::optional<Channel> cross_socket_;
   double runtime_overhead_ = 0.0;
+  double restart_overhead_ = 0.0;
 };
 
 /// Machine presets modeled on the paper's experimental clusters (§5).

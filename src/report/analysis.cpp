@@ -213,6 +213,12 @@ std::string render_search_telemetry(const SearchResult& result) {
      << "  clocks: simulated " << format_seconds(s.search_time_s) << " ("
      << format_fixed(100 * s.evaluation_fraction(), 0)
      << "% evaluating), wall " << format_seconds(s.wall_time_s) << "\n";
+  if (s.transient_failures > 0 || s.retries > 0 || s.quarantined > 0 ||
+      s.degraded) {
+    os << "  resilience: " << s.transient_failures << " transient failures, "
+       << s.retries << " retries, " << s.quarantined << " quarantined"
+       << (s.degraded ? ", DEGRADED result" : "") << "\n";
+  }
   if (!s.rotations.empty()) {
     os << "  rotations (best before -> after, delta):\n";
     for (const RotationTelemetry& r : s.rotations) {

@@ -101,8 +101,16 @@ ExecutionProfile compute_profile(const TaskGraph& graph,
 
   // Per-resource busy accounting. Events on one resource never overlap
   // (each pool/channel is a serialized busy-until state in the simulator).
+  // kFault annotations overlap the task/copy they describe, so counting
+  // them would double-book the resource; they feed the fault attribution
+  // totals instead.
   std::map<std::string, ResourceUsage> rows;
   for (const TraceEvent& e : report.trace) {
+    if (e.kind == TraceEvent::Kind::kFault) {
+      ++p.fault_events;
+      p.fault_lost_s += e.duration_s;
+      continue;
+    }
     ResourceUsage& row = rows[e.resource];
     if (row.events == 0) {
       row.resource = e.resource;
@@ -143,7 +151,17 @@ ExecutionProfile compute_profile(const TaskGraph& graph,
                      return a.busy_seconds > b.busy_seconds;
                    });
 
-  p.critical_path = extract_critical_path(report.trace, p.makespan_s);
+  if (p.fault_events == 0) {
+    p.critical_path = extract_critical_path(report.trace, p.makespan_s);
+  } else {
+    // Fault annotations are not schedulable work; walking through one would
+    // corrupt the back-to-back chain. Filter them out first.
+    std::vector<TraceEvent> timeline;
+    timeline.reserve(report.trace.size() - p.fault_events);
+    for (const TraceEvent& e : report.trace)
+      if (e.kind != TraceEvent::Kind::kFault) timeline.push_back(e);
+    p.critical_path = extract_critical_path(timeline, p.makespan_s);
+  }
   if (!p.critical_path.empty()) {
     const CriticalPathStep& last = p.critical_path.back();
     p.critical_path_s =
@@ -196,8 +214,14 @@ std::string render_profile(const TaskGraph& graph,
     if (s.iteration != last_iter) continue;
     os << "  " << format_fixed(s.start_s, 6) << "s +"
        << format_seconds(s.duration_s) << "  ["
-       << (s.kind == TraceEvent::Kind::kTask ? "task" : "copy") << "] "
-       << s.name << " on " << s.resource << "\n";
+       << (s.kind == TraceEvent::Kind::kTask   ? "task"
+           : s.kind == TraceEvent::Kind::kCopy ? "copy"
+                                               : "fault")
+       << "] " << s.name << " on " << s.resource << "\n";
+  }
+  if (p.fault_events > 0) {
+    os << "\ninjected faults: " << p.fault_events << " events, "
+       << format_seconds(p.fault_lost_s) << " lost\n";
   }
   return os.str();
 }

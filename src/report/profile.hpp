@@ -85,6 +85,14 @@ struct ExecutionProfile {
   /// Span split by what the path was doing.
   double critical_task_s = 0.0;
   double critical_copy_s = 0.0;
+
+  /// Injected-fault attribution (zero without fault injection): kFault
+  /// annotation events in the trace and the simulated seconds they lost
+  /// (crash re-execution, straggler inflation, copy re-issue). Fault events
+  /// overlap the tasks/copies they annotate, so they are excluded from the
+  /// busy accounting and the critical path above.
+  std::size_t fault_events = 0;
+  double fault_lost_s = 0.0;
 };
 
 /// Digests a traced execution report. Requires report.ok and a non-empty

@@ -162,7 +162,10 @@ std::string render_chrome_trace(const ExecutionReport& report) {
        << "\"ts\":" << e.start_s * 1e6 << ","
        << "\"dur\":" << e.duration_s * 1e6 << ","
        << "\"args\":{\"iteration\":" << e.iteration << ",\"kind\":\""
-       << (e.kind == TraceEvent::Kind::kTask ? "task" : "copy") << "\"";
+       << (e.kind == TraceEvent::Kind::kTask   ? "task"
+           : e.kind == TraceEvent::Kind::kCopy ? "copy"
+                                               : "fault")
+       << "\"";
     if (e.kind == TraceEvent::Kind::kCopy) os << ",\"bytes\":" << e.bytes;
     os << "}}";
   }

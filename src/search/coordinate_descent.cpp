@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
 #include <functional>
+#include <limits>
 #include <set>
+#include <sstream>
+#include <string>
 
+#include "src/io/text_io.hpp"
 #include "src/support/error.hpp"
 
 namespace automap {
@@ -289,6 +294,103 @@ void optimize_task(TaskId t, Mapping& f, double& p, Evaluator& eval,
   batched_sweep(eval, gens, f, p);
 }
 
+/// A parsed CCD/CD checkpoint: where the killed search stood. Checkpoints
+/// are always *pre-finalize* states that an uninterrupted run passes
+/// through, so resuming replays the remaining rotations and the finalist
+/// protocol deterministically — the resumed SearchResult is bit-identical
+/// to the uninterrupted one (wall_time_s excepted).
+struct ResumePoint {
+  int rotation = 0;
+  std::size_t position = 0;  // index into `order`; 0 = rotation start
+  double best_before = std::numeric_limits<double>::infinity();
+  double incumbent_mean = std::numeric_limits<double>::infinity();
+  std::vector<TaskId> order;  // the rotation's coordinate order, mid-rotation
+  std::string evaluator_state;
+};
+
+/// Atomically publishes a checkpoint: rotation/position cursor, the
+/// rotation's coordinate order (mid-rotation), the incumbent mapping, and
+/// the evaluator's full state. Write-to-temp + rename keeps the previous
+/// checkpoint intact if the process dies mid-write.
+void write_checkpoint(const std::string& path, const char* algorithm,
+                      int rotation, std::size_t position, double best_before,
+                      double incumbent_mean,
+                      const std::vector<TaskId>& order, const Mapping& f,
+                      const Evaluator& eval) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "automap-checkpoint 1\n";
+  os << "algorithm " << algorithm << "\n";
+  os << "rotation " << rotation << "\n";
+  os << "position " << position << "\n";
+  os << "best_before " << best_before << "\n";
+  os << "incumbent_mean " << incumbent_mean << "\n";
+  os << "order " << (position > 0 ? order.size() : 0);
+  if (position > 0)
+    for (const TaskId t : order) os << " " << t.index();
+  os << "\n";
+  os << f.serialize();
+  os << eval.serialize_state();
+  const std::string tmp = path + ".tmp";
+  save_text(tmp, os.str());
+  AM_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "failed to publish checkpoint file '" + path + "'");
+}
+
+/// Parses a checkpoint produced by write_checkpoint. The mapping is parsed
+/// into `f`; the evaluator-state tail is returned verbatim for
+/// Evaluator::restore_state.
+ResumePoint parse_checkpoint(const std::string& text, const char* algorithm,
+                             const TaskGraph& graph, Mapping& f) {
+  std::istringstream is(text);
+  std::string line;
+  const auto field = [&is, &line](const char* head) {
+    AM_REQUIRE(std::getline(is, line) &&
+                   line.rfind(std::string(head) + " ", 0) == 0,
+               "malformed checkpoint: expected '" + std::string(head) + "'");
+    return line.substr(std::string(head).size() + 1);
+  };
+  const auto to_d = [](const std::string& t) -> double {
+    try {
+      return std::stod(t);
+    } catch (const std::exception&) {
+      throw Error("malformed number in checkpoint: '" + t + "'");
+    }
+  };
+  AM_REQUIRE(field("automap-checkpoint") == "1",
+             "unsupported checkpoint version");
+  const std::string label = field("algorithm");
+  AM_REQUIRE(label == algorithm,
+             "checkpoint was written by " + label + ", cannot resume as " +
+                 algorithm);
+  ResumePoint rp;
+  rp.rotation = static_cast<int>(to_d(field("rotation")));
+  rp.position = static_cast<std::size_t>(to_d(field("position")));
+  rp.best_before = to_d(field("best_before"));
+  rp.incumbent_mean = to_d(field("incumbent_mean"));
+  std::istringstream order_is(field("order"));
+  std::size_t n_order = 0;
+  AM_REQUIRE(static_cast<bool>(order_is >> n_order),
+             "malformed order in checkpoint");
+  for (std::size_t i = 0; i < n_order; ++i) {
+    std::size_t idx = 0;
+    AM_REQUIRE(static_cast<bool>(order_is >> idx),
+               "truncated order in checkpoint");
+    AM_REQUIRE(idx < graph.num_tasks(), "order task out of range");
+    rp.order.push_back(TaskId(idx));
+  }
+  std::string mapping_text;
+  for (std::size_t t = 0; t < graph.num_tasks(); ++t) {
+    AM_REQUIRE(std::getline(is, line), "truncated mapping in checkpoint");
+    mapping_text += line + "\n";
+  }
+  f = Mapping::parse(mapping_text, graph);
+  std::ostringstream tail;
+  tail << is.rdbuf();
+  rp.evaluator_state = tail.str();
+  return rp;
+}
+
 SearchResult run_coordinate_descent(const Simulator& sim,
                                     const SearchOptions& options,
                                     bool constrained,
@@ -296,10 +398,21 @@ SearchResult run_coordinate_descent(const Simulator& sim,
   Evaluator eval(sim, options);
   const TaskGraph& graph = sim.graph();
   const MachineModel& machine = sim.machine();
+  const char* algorithm = constrained ? "AM-CCD" : "AM-CD";
 
   Mapping f = start != nullptr ? *start
                                : search_starting_point(graph, machine);
-  double p = eval.evaluate(f);
+
+  // Resume: restore the evaluator and the rotation cursor from a
+  // checkpoint instead of starting fresh. The initial incumbent evaluation
+  // is already inside the restored state, so it is skipped.
+  const bool resuming = !options.resume_state.empty();
+  ResumePoint rp;
+  if (resuming) {
+    rp = parse_checkpoint(options.resume_state, algorithm, graph, f);
+    eval.restore_state(rp.evaluator_state);
+  }
+  double p = resuming ? rp.incumbent_mean : eval.evaluate(f);
 
   // The overlap graph C, including same-collection coupling edges (a == b)
   // for collections used by more than one task.
@@ -326,36 +439,96 @@ SearchResult run_coordinate_descent(const Simulator& sim,
   const int rotations = constrained ? options.rotations : 1;
   Rng profile_rng(mix64(options.seed) ^ 0x1b873593ULL);
 
-  for (int rotation = 0; rotation < rotations; ++rotation) {
+  // Relax the data-movement constraint: drop 1/(N-1) of the lightest
+  // edges per rotation so the final rotation runs unconstrained.
+  const auto drop_edges = [&] {
+    if (!constrained || rotations <= 1) return;
+    const std::size_t drop =
+        (original_edges + static_cast<std::size_t>(rotations) - 2) /
+        static_cast<std::size_t>(rotations - 1);
+    const std::size_t keep = edges.size() > drop ? edges.size() - drop : 0;
+    edges.resize(keep);
+  };
+
+  // Resume replay: each completed rotation consumed one profiling-seed
+  // draw and one edge-drop step; a mid-rotation checkpoint additionally
+  // burned the draw of the rotation in flight (its coordinate order is
+  // restored from the checkpoint instead of recomputed). Discarding the
+  // same draws keeps every later rotation's order identical to the
+  // uninterrupted run's.
+  const int start_rotation = resuming ? rp.rotation : 0;
+  if (resuming) {
+    const int draws = start_rotation + (rp.position > 0 ? 1 : 0);
+    for (int i = 0; i < draws; ++i) (void)profile_rng.next();
+    for (int i = 0; i < start_rotation; ++i) drop_edges();
+  }
+
+  for (int rotation = start_rotation; rotation < rotations; ++rotation) {
     if (eval.budget_exhausted()) break;
-    const double best_before = eval.view().best_seconds();
+    const bool mid_resume =
+        resuming && rotation == start_rotation && rp.position > 0;
+    const double best_before =
+        mid_resume ? rp.best_before : eval.view().best_seconds();
 
     const detail::OverlapMap overlap =
         detail::build_overlap_map(graph, edges, &frozen);
     const std::vector<TaskId> order =
-        detail::tasks_by_runtime(sim, f, profile_rng.next());
+        mid_resume ? rp.order
+                   : detail::tasks_by_runtime(sim, f, profile_rng.next());
 
-    for (const TaskId t : order) {
+    // Counters for the degraded-rotation circuit breaker below.
+    const std::size_t evaluated_before = eval.view().stats().evaluated;
+    const std::size_t failed_before =
+        eval.view().stats().oom + eval.view().stats().quarantined;
+
+    for (std::size_t pos = mid_resume ? rp.position : 0; pos < order.size();
+         ++pos) {
+      const TaskId t = order[pos];
       if (eval.budget_exhausted()) break;
       if (frozen.contains(t)) continue;  // §3.3 subset search
       optimize_task(t, f, p, eval, sim, constrained ? &overlap : nullptr,
                     options.search_distribution_strategies);
+      // Task-boundary checkpoint: every state written here is one the
+      // uninterrupted run passes through, so a kill at any moment resumes
+      // onto the same trajectory. A budget-cut optimize_task folds only a
+      // prefix of its batch — a state no uninterrupted run visits — so the
+      // write is skipped once the budget is exhausted.
+      if (!options.checkpoint_path.empty() && !eval.budget_exhausted())
+        write_checkpoint(options.checkpoint_path, algorithm, rotation,
+                         pos + 1, best_before, p, order, f, eval);
     }
     eval.note_rotation(rotation, best_before);
 
-    // Relax the data-movement constraint: drop 1/(N-1) of the lightest
-    // edges per rotation so the final rotation runs unconstrained.
-    if (constrained && rotations > 1) {
-      const std::size_t drop =
-          (original_edges + static_cast<std::size_t>(rotations) - 2) /
-          static_cast<std::size_t>(rotations - 1);
-      const std::size_t keep =
-          edges.size() > drop ? edges.size() - drop : 0;
-      edges.resize(keep);
+    drop_edges();
+
+    // Skip the rotation-boundary checkpoint when the budget cut the
+    // rotation short: the boundary state would record note_rotation over an
+    // incomplete rotation, which an uninterrupted (larger-budget) run never
+    // passes through. The last task-boundary checkpoint stays on disk and
+    // resumes onto the true trajectory instead.
+    if (!options.checkpoint_path.empty() && !eval.budget_exhausted())
+      write_checkpoint(options.checkpoint_path, algorithm, rotation + 1, 0,
+                       best_before, p, order, f, eval);
+
+    // Graceful-degradation circuit breaker (fault injection only): when
+    // every candidate executed this rotation failed (OOM or quarantined),
+    // the fault rate has made rotations unprofilable — stop descending and
+    // return the best-known incumbent flagged as degraded rather than
+    // burning the remaining rotations on noise.
+    if (sim.options().faults.enabled()) {
+      const std::size_t d_eval =
+          eval.view().stats().evaluated - evaluated_before;
+      const std::size_t d_failed = eval.view().stats().oom +
+                                   eval.view().stats().quarantined -
+                                   failed_before;
+      if (d_eval > 0 && d_failed == d_eval) {
+        eval.mark_degraded();
+        break;
+      }
     }
   }
 
-  return eval.finalize(constrained ? "AM-CCD" : "AM-CD");
+  return eval.finalize(algorithm);
 }
 
 }  // namespace

@@ -29,6 +29,10 @@ Evaluator::Evaluator(const Simulator& sim, const SearchOptions& options)
   AM_REQUIRE(options_.rotations > 0, "rotations must be positive");
   AM_REQUIRE(options_.top_k > 0, "top_k must be positive");
   AM_REQUIRE(options_.threads >= 0, "threads must be >= 0");
+  AM_REQUIRE(options_.resilience.max_retries >= 0,
+             "max_retries must be >= 0");
+  AM_REQUIRE(options_.resilience.quarantine_after >= 0,
+             "quarantine_after must be >= 0");
   const int threads = options_.threads == 0 ? ThreadPool::hardware_threads()
                                             : options_.threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -41,28 +45,95 @@ Evaluator::Evaluator(const Simulator& sim, const SearchOptions& options)
 }
 
 std::uint64_t Evaluator::run_seed(std::uint64_t mapping_hash, int repeat,
-                                  std::uint64_t salt) const {
+                                  int attempt, std::uint64_t salt) const {
   // Order-independent derivation: a run's noise depends only on the search
-  // seed, the candidate's structural hash and the repeat index — never on
-  // how many candidates were evaluated before it or on which thread it ran.
+  // seed, the candidate's structural hash, the repeat index and the retry
+  // attempt — never on how many candidates were evaluated before it or on
+  // which thread it ran. Attempt 0 reproduces the historical derivation
+  // exactly, so fault-free searches are bit-identical to builds that
+  // predate the retry machinery.
   std::uint64_t s = mix64(options_.seed ^ salt);
   s = mix64(s ^ mapping_hash);
+  if (attempt > 0)
+    s = mix64(s ^
+              (0x94d049bb133111ebULL * static_cast<std::uint64_t>(attempt)));
   return mix64(s +
                0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(repeat + 1));
 }
 
+double Evaluator::retry_backoff(int attempt) const {
+  // Budget-aware backoff: each re-attempt charges the restart quantum,
+  // doubled per attempt — a real fault-tolerant driver pays process respawn
+  // and runtime re-initialization before every relaunch.
+  const double quantum = options_.resilience.retry_backoff_s >= 0.0
+                             ? options_.resilience.retry_backoff_s
+                             : sim_.machine().restart_overhead();
+  return quantum * static_cast<double>(1ULL << std::min(attempt, 62));
+}
+
+double Evaluator::aggregate_objective(const CandOutcome& out) const {
+  AM_CHECK(out.survivors > 0, "aggregating a candidate with no survivors");
+  const double n = static_cast<double>(out.survivors);
+  switch (options_.resilience.aggregation) {
+    case Aggregation::kMean:
+      return out.objective_sum / n;
+    case Aggregation::kMedian: {
+      std::vector<double> v = out.objectives;
+      std::sort(v.begin(), v.end());
+      const std::size_t m = v.size() / 2;
+      return v.size() % 2 == 1 ? v[m] : 0.5 * (v[m - 1] + v[m]);
+    }
+    case Aggregation::kTrimmedMean: {
+      // Drop the single min and max; degenerates to the mean below three
+      // survivors (nothing left to trim).
+      if (out.survivors < 3) return out.objective_sum / n;
+      const auto [lo, hi] =
+          std::minmax_element(out.objectives.begin(), out.objectives.end());
+      return (out.objective_sum - *lo - *hi) / (n - 2.0);
+    }
+  }
+  AM_CHECK(false, "unknown aggregation");
+  return kInf;
+}
+
 Evaluator::RunOutcome Evaluator::execute_run(const Mapping& candidate,
-                                             std::uint64_t seed,
+                                             std::uint64_t hash, int repeat,
                                              SimScratch& scratch) const {
   // Finalist reruns are never bounded: the protocol's whole point is an
   // exact mean over the top-k, and top-k entries are never censored.
-  const ExecutionReport& report = sim_.run(candidate, seed, scratch, kInf);
-  if (!report.ok) return {};
-  return {.ok = true,
-          .objective = options_.objective == Objective::kEnergy
-                           ? report.energy_joules
-                           : report.total_seconds,
-          .total_seconds = report.total_seconds};
+  // Transient faults retry under the same policy as search-time evaluation;
+  // all clock costs beyond a successful run's own time ride in charge_s so
+  // the fold stays a pure accumulation.
+  RunOutcome out;
+  for (int attempt = 0;; ++attempt) {
+    const ExecutionReport& report = sim_.run(
+        candidate, run_seed(hash, repeat, attempt, kFinalSalt), scratch,
+        kInf);
+    if (report.ok) {
+      out.ok = true;
+      out.objective = options_.objective == Objective::kEnergy
+                          ? report.energy_joules
+                          : report.total_seconds;
+      out.total_seconds = report.total_seconds;
+      return out;
+    }
+    if (!report.transient) {
+      // Deterministic failure (OOM): one observation cost, same as the
+      // search loop charges.
+      out.charge_s += failure_observation_cost();
+      return out;
+    }
+    // Injected transient fault: the clock paid for the partial run and the
+    // abort observation.
+    ++out.transient_failures;
+    out.charge_s += report.total_seconds + failure_observation_cost();
+    if (attempt >= options_.resilience.max_retries) {
+      out.transient = true;  // repeat lost, retry budget exhausted
+      return out;
+    }
+    ++out.retries;
+    out.charge_s += retry_backoff(attempt);
+  }
 }
 
 Evaluator::CandOutcome Evaluator::run_candidate(const Mapping& candidate,
@@ -100,56 +171,115 @@ Evaluator::CandOutcome Evaluator::run_candidate(const Mapping& candidate,
     out.oom = true;
     return out;
   }
+  const ResiliencePolicy& policy = options_.resilience;
+  const bool inject = sim_.options().faults.enabled();
+  const bool robust = policy.aggregation != Aggregation::kMean;
+  // The censoring race bounds the running *sum*, which only the mean can
+  // interpret; the robust aggregations need every survivor's value, so
+  // censoring is disabled for them (every repeat runs to completion).
+  const double race_threshold_s = robust ? kInf : threshold_s;
   const double repeats_d = static_cast<double>(options_.repeats);
   const double slack = 3.0 * sim_.options().noise_sigma;
   double sum = 0.0;
+  int consecutive_lost = 0;
   for (int r = 0; r < options_.repeats; ++r) {
     double allowance = kInf;  // what this run may add before censoring
-    if (out.censored) {
-      allowance = 0.0;
-    } else if (std::isfinite(threshold_s)) {
+    if (std::isfinite(race_threshold_s)) {
       const double k = static_cast<double>(r + 1);
       const double line =
-          std::min(k * threshold_s * (1.0 + slack / std::sqrt(k)),
-                   repeats_d * threshold_s);
+          std::min(k * race_threshold_s * (1.0 + slack / std::sqrt(k)),
+                   repeats_d * race_threshold_s);
       allowance = line - sum;  // >= 0: the schedule is nondecreasing
     }
-    const ExecutionReport& report =
-        sim_.run_prepared(candidate, run_seed(key, r, kEvalSalt), scratch,
-                          bound_runs ? allowance : kInf);
-    if (!report.ok) {
-      out.oom = true;
-      return out;
+    bool repeat_lost = false;
+    for (int attempt = 0;; ++attempt) {
+      // Under fault injection every run executes unbounded: a bounded
+      // abort at the censor line would mask a crash draw the fault stream
+      // scheduled past it, making prune on/off observably different. The
+      // censor verdict is still computed from the totals below.
+      const ExecutionReport& report = sim_.run_prepared(
+          candidate, run_seed(key, r, attempt, kEvalSalt), scratch,
+          (bound_runs && !inject) ? allowance : kInf);
+      if (report.ok) {
+        if (report.censored || report.total_seconds > allowance) {
+          // Censor verdict: charge what the line allowed and stop. Every
+          // remaining repeat would see a zero allowance and contribute
+          // nothing, so the historical post-censor loop folds away.
+          out.charge_s += allowance;
+          out.censored = true;
+          return out;
+        }
+        const double objective = options_.objective == Objective::kEnergy
+                                     ? report.energy_joules
+                                     : report.total_seconds;
+        out.objective_sum += objective;
+        out.charge_s += report.total_seconds;
+        sum += report.total_seconds;
+        ++out.survivors;
+        if (robust) out.objectives.push_back(objective);
+        break;
+      }
+      if (!report.transient) {
+        out.oom = true;
+        return out;
+      }
+      // Injected transient fault: the clock paid for the partial run and
+      // the abort observation.
+      ++out.transient_failures;
+      out.charge_s += report.total_seconds + failure_observation_cost();
+      if (attempt >= policy.max_retries) {
+        repeat_lost = true;  // retry budget exhausted
+        break;
+      }
+      ++out.retries;
+      out.charge_s += retry_backoff(attempt);
     }
-    if (report.censored || report.total_seconds > allowance) {
-      out.charge_s += allowance;
-      out.censored = true;
-      if (bound_runs) return out;
+    if (repeat_lost) {
+      ++consecutive_lost;
+      if (policy.quarantine_after > 0 &&
+          consecutive_lost >= policy.quarantine_after) {
+        // Quarantine: the candidate keeps failing under its whole retry
+        // budget; stop wasting repeats and cache it as failed.
+        out.failed = true;
+        out.quarantined = true;
+        return out;
+      }
     } else {
-      out.objective_sum += options_.objective == Objective::kEnergy
-                               ? report.energy_joules
-                               : report.total_seconds;
-      out.charge_s += report.total_seconds;
-      sum += report.total_seconds;
+      consecutive_lost = 0;
     }
   }
+  if (out.survivors == 0) out.failed = true;
   return out;
 }
 
 std::string Evaluator::export_profiles() const {
+  // Canonical order (sorted by structural hash): unordered_map iteration
+  // varies between runs and library versions, and checkpoint/resume
+  // bit-identity needs the exported bytes to be a pure function of the
+  // database contents.
+  std::vector<std::pair<std::uint64_t, const Entry*>> order;
+  order.reserve(profiles_.size());
+  for (const auto& [hash, entry] : profiles_) order.emplace_back(hash, &entry);
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   std::ostringstream os;
   os.precision(17);
   os << "profiles " << profiles_.size() << "\n";
-  for (const auto& [hash, entry] : profiles_) {
-    os << "entry " << entry.mean_seconds;
-    if (entry.censored) os << " censored";
-    os << "\n" << entry.mapping.serialize();
+  for (const auto& [hash, entry] : order) {
+    os << "entry " << entry->mean_seconds;
+    if (entry->censored) os << " censored";
+    if (entry->quarantined) os << " quarantined";
+    os << "\n" << entry->mapping.serialize();
   }
   return os.str();
 }
 
 void Evaluator::import_profiles(const std::string& text) {
   std::istringstream is(text);
+  import_profiles_impl(is, /*update_top=*/true);
+}
+
+void Evaluator::import_profiles_impl(std::istream& is, bool update_top) {
   std::string line;
   AM_REQUIRE(std::getline(is, line) && line.rfind("profiles ", 0) == 0,
              "malformed profiles database header");
@@ -168,16 +298,20 @@ void Evaluator::import_profiles(const std::string& text) {
     } catch (const std::exception&) {
       parsed = 0;
     }
-    // After the mean the line may carry the optional "censored" marker: the
-    // stored value is then a bound the candidate's true mean exceeds, not
-    // an exact measurement.
+    // After the mean the line may carry an optional marker: "censored"
+    // (the stored value is a bound the true mean exceeds) or "quarantined"
+    // (the candidate failed its whole retry budget and is cached as
+    // permanently failed).
     bool censored = false;
+    bool quarantined = false;
     bool well_formed = parsed > 0;
     if (well_formed) {
       const std::size_t tail = line.find_first_not_of(" \t", 6 + parsed);
       if (tail != std::string::npos) {
-        censored = line.substr(tail) == "censored";
-        well_formed = censored;
+        const std::string marker = line.substr(tail);
+        censored = marker == "censored";
+        quarantined = marker == "quarantined";
+        well_formed = censored || quarantined;
       }
     }
     AM_REQUIRE(well_formed,
@@ -191,15 +325,19 @@ void Evaluator::import_profiles(const std::string& text) {
     }
     Mapping mapping = Mapping::parse(mapping_text, graph);
     const std::uint64_t key = mapping.hash();
-    if (mean < kInf && !censored) {
+    if (update_top && mean < kInf && !censored) {
       // insert_top dedupes by hash, so importing the same database twice
       // (or re-importing after a search) does not stack duplicate
       // finalists. Censored entries stay out of the finalist list and the
-      // incumbent — their stored value is a bound, not a mean.
+      // incumbent — their stored value is a bound, not a mean. (During a
+      // checkpoint restore the top-k list is restored verbatim from its
+      // own section instead — re-deriving it here could break mean ties in
+      // a different order than the original chronological insertions.)
       insert_top(mapping, mean);
       best_seconds_ = std::min(best_seconds_, mean);
     }
-    profiles_.insert_or_assign(key, Entry{std::move(mapping), mean, censored});
+    profiles_.insert_or_assign(
+        key, Entry{std::move(mapping), mean, censored, quarantined});
   }
 }
 
@@ -387,17 +525,35 @@ std::size_t Evaluator::evaluate_batch(
                        : run_candidate(*plan.cand, plan.key, threshold,
                                        bound_runs, scratches_[0]);
       ++stats_.evaluated;
+      stats_.transient_failures +=
+          static_cast<std::size_t>(out.transient_failures);
+      stats_.retries += static_cast<std::size_t>(out.retries);
       if (out.oom) {
         // An OOM surfaces before the event loop (placement is mapping-
         // deterministic), so censoring never masks it. It still costs some
         // time to observe (the runtime aborts during instance allocation),
         // so charge the machine-derived observation cost to the search
-        // clock. This fold-side charge is shared by the serial and batched
-        // paths, preserving thread-count invariance.
+        // clock, plus whatever transient attempts preceded the verdict
+        // (zero in fault-free operation). This fold-side charge is shared
+        // by the serial and batched paths, preserving thread-count
+        // invariance.
         ++stats_.oom;
-        stats_.search_time_s += failure_observation_cost();
-        stats_.evaluation_time_s += failure_observation_cost();
+        stats_.search_time_s += failure_observation_cost() + out.charge_s;
+        stats_.evaluation_time_s += failure_observation_cost() + out.charge_s;
         profiles_.insert_or_assign(plan.key, Entry{mapping, kInf});
+        mean = kInf;
+      } else if (out.failed) {
+        // Every repeat was lost to transient faults. Cache the candidate
+        // as quarantined whether or not the consecutive-loss cutoff fired
+        // early: fault draws come from a derived stream, so re-executing
+        // under the same policy would lose the same way — the cache answer
+        // is the honest one.
+        ++stats_.quarantined;
+        stats_.search_time_s += out.charge_s;
+        stats_.evaluation_time_s += out.charge_s;
+        profiles_.insert_or_assign(
+            plan.key, Entry{mapping, kInf, /*censored=*/false,
+                            /*quarantined=*/true});
         mean = kInf;
       } else {
         stats_.search_time_s += out.charge_s;
@@ -412,7 +568,7 @@ std::size_t Evaluator::evaluate_batch(
           profiles_.insert_or_assign(
               plan.key, Entry{mapping, mean, /*censored=*/true});
         } else {
-          mean = out.objective_sum / options_.repeats;
+          mean = aggregate_objective(out);
           profiles_.insert_or_assign(plan.key, Entry{mapping, mean});
           if (mean < best_seconds_) {
             best_seconds_ = mean;
@@ -463,6 +619,152 @@ bool Evaluator::budget_exhausted() const {
   return stats_.search_time_s >= options_.time_budget_s;
 }
 
+void Evaluator::mark_degraded() { stats_.degraded = true; }
+
+std::string Evaluator::serialize_state() const {
+  // Text format (version 1), all doubles at precision 17 so a restored
+  // state reproduces the original bit for bit:
+  //
+  //   evaluator-state 1
+  //   best_seconds <v>
+  //   counters <suggested> <evaluated> <invalid> <oom> <censored>
+  //            <cache_hits> <transient_failures> <retries> <quarantined>
+  //            <degraded-0/1>                        (one line, ten fields)
+  //   clocks <search_time_s> <evaluation_time_s>
+  //   rotations <n> / rotation <r> <before> <after> <evaluated> <time> ...
+  //   trajectory <n> / point <time> <value> ...
+  //   top <n> / finalist <mean> + serialized mapping ...
+  //   <profiles database export>
+  //
+  // wall_time_s is deliberately not stored: it is real time, excluded from
+  // every determinism guarantee.
+  std::ostringstream os;
+  os.precision(17);
+  os << "evaluator-state 1\n";
+  os << "best_seconds " << best_seconds_ << "\n";
+  os << "counters " << stats_.suggested << " " << stats_.evaluated << " "
+     << stats_.invalid << " " << stats_.oom << " " << stats_.censored << " "
+     << stats_.cache_hits << " " << stats_.transient_failures << " "
+     << stats_.retries << " " << stats_.quarantined << " "
+     << (stats_.degraded ? 1 : 0) << "\n";
+  os << "clocks " << stats_.search_time_s << " " << stats_.evaluation_time_s
+     << "\n";
+  os << "rotations " << stats_.rotations.size() << "\n";
+  for (const RotationTelemetry& rt : stats_.rotations)
+    os << "rotation " << rt.rotation << " " << rt.best_before_s << " "
+       << rt.best_after_s << " " << rt.evaluated << " " << rt.search_time_s
+       << "\n";
+  os << "trajectory " << trajectory_.size() << "\n";
+  for (const TrajectoryPoint& p : trajectory_)
+    os << "point " << p.search_time_s << " " << p.best_exec_s << "\n";
+  // The top-k list is serialized in its exact order: re-deriving it from
+  // the profiles database could break mean ties in a different order than
+  // the original chronological insertions, and finalize() resolves ties by
+  // position.
+  os << "top " << top_.size() << "\n";
+  for (const Entry& e : top_)
+    os << "finalist " << e.mean_seconds << "\n" << e.mapping.serialize();
+  os << export_profiles();
+  return os.str();
+}
+
+void Evaluator::restore_state(const std::string& text) {
+  AM_REQUIRE(profiles_.empty() && top_.empty() && stats_.suggested == 0,
+             "restore_state requires a freshly constructed evaluator");
+  std::istringstream is(text);
+  std::string line;
+  // stod/stoull handle "inf" and report malformed input; stream extraction
+  // of doubles would reject "inf" outright on common standard libraries.
+  const auto to_d = [](const std::string& t) -> double {
+    try {
+      return std::stod(t);
+    } catch (const std::exception&) {
+      throw Error("malformed number in evaluator state: '" + t + "'");
+    }
+  };
+  const auto to_u = [](const std::string& t) -> std::size_t {
+    try {
+      return static_cast<std::size_t>(std::stoull(t));
+    } catch (const std::exception&) {
+      throw Error("malformed count in evaluator state: '" + t + "'");
+    }
+  };
+  // Reads the next line, asserts its leading tag, returns the remaining
+  // whitespace-separated fields.
+  const auto split = [&is, &line](const char* head) {
+    AM_REQUIRE(std::getline(is, line), "truncated evaluator state");
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    AM_REQUIRE(tag == head, "malformed evaluator state: expected '" +
+                                std::string(head) + "', got '" + tag + "'");
+    std::vector<std::string> fields;
+    std::string t;
+    while (ls >> t) fields.push_back(t);
+    return fields;
+  };
+
+  const auto header = split("evaluator-state");
+  AM_REQUIRE(header.size() == 1 && header[0] == "1",
+             "unsupported evaluator state version");
+  const auto best = split("best_seconds");
+  AM_REQUIRE(best.size() == 1, "malformed best_seconds in evaluator state");
+  best_seconds_ = to_d(best[0]);
+  const auto counters = split("counters");
+  AM_REQUIRE(counters.size() == 10, "malformed counters in evaluator state");
+  stats_.suggested = to_u(counters[0]);
+  stats_.evaluated = to_u(counters[1]);
+  stats_.invalid = to_u(counters[2]);
+  stats_.oom = to_u(counters[3]);
+  stats_.censored = to_u(counters[4]);
+  stats_.cache_hits = to_u(counters[5]);
+  stats_.transient_failures = to_u(counters[6]);
+  stats_.retries = to_u(counters[7]);
+  stats_.quarantined = to_u(counters[8]);
+  stats_.degraded = counters[9] == "1";
+  const auto clocks = split("clocks");
+  AM_REQUIRE(clocks.size() == 2, "malformed clocks in evaluator state");
+  stats_.search_time_s = to_d(clocks[0]);
+  stats_.evaluation_time_s = to_d(clocks[1]);
+  const auto nrot = split("rotations");
+  AM_REQUIRE(nrot.size() == 1, "malformed rotations header");
+  for (std::size_t i = 0, n = to_u(nrot[0]); i < n; ++i) {
+    const auto f = split("rotation");
+    AM_REQUIRE(f.size() == 5, "malformed rotation in evaluator state");
+    stats_.rotations.push_back({.rotation = static_cast<int>(to_u(f[0])),
+                                .best_before_s = to_d(f[1]),
+                                .best_after_s = to_d(f[2]),
+                                .evaluated = to_u(f[3]),
+                                .search_time_s = to_d(f[4])});
+  }
+  const auto ntraj = split("trajectory");
+  AM_REQUIRE(ntraj.size() == 1, "malformed trajectory header");
+  for (std::size_t i = 0, n = to_u(ntraj[0]); i < n; ++i) {
+    const auto f = split("point");
+    AM_REQUIRE(f.size() == 2, "malformed trajectory point");
+    trajectory_.push_back({to_d(f[0]), to_d(f[1])});
+  }
+  const auto ntop = split("top");
+  AM_REQUIRE(ntop.size() == 1, "malformed top header");
+  const TaskGraph& graph = sim_.graph();
+  for (std::size_t i = 0, n = to_u(ntop[0]); i < n; ++i) {
+    const auto f = split("finalist");
+    AM_REQUIRE(f.size() == 1, "malformed finalist in evaluator state");
+    const double mean = to_d(f[0]);
+    std::string mapping_text;
+    for (std::size_t t = 0; t < graph.num_tasks(); ++t) {
+      std::string task_line;
+      AM_REQUIRE(std::getline(is, task_line),
+                 "truncated finalist mapping in evaluator state");
+      mapping_text += task_line + "\n";
+    }
+    top_.push_back(Entry{Mapping::parse(mapping_text, graph), mean});
+  }
+  // The profiles section is a verbatim database export; the top-k list and
+  // incumbent were restored above, so the import must not rebuild them.
+  import_profiles_impl(is, /*update_top=*/false);
+}
+
 const Mapping& EvaluatorView::best() const {
   AM_REQUIRE(!eval_->top_.empty(), "no successful evaluation yet");
   return eval_->top_.front().mapping;
@@ -494,46 +796,73 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
         outcomes.size(), [&](std::size_t lane, std::size_t i) {
           const std::size_t e = i / runs_per;
           const int r = static_cast<int>(i % runs_per);
-          outcomes[i] = execute_run(
-              candidates[e], run_seed(hashes[e], r, kFinalSalt),
-              scratches_[lane]);
+          outcomes[i] =
+              execute_run(candidates[e], hashes[e], r, scratches_[lane]);
         });
   }
 
+  const bool robust = options_.resilience.aggregation != Aggregation::kMean;
   double best_final = kInf;
   for (std::size_t e = 0; e < candidates.size(); ++e) {
     double sum = 0.0;
     int ok_runs = 0;
+    bool excluded = false;
+    std::vector<double> values;  // per-survivor, robust aggregations only
     for (int r = 0; r < repeats; ++r) {
       const RunOutcome out =
           pre_executed
               ? outcomes[e * runs_per + static_cast<std::size_t>(r)]
-              : execute_run(candidates[e],
-                            run_seed(hashes[e], r, kFinalSalt),
-                            scratches_[0]);
+              : execute_run(candidates[e], hashes[e], r, scratches_[0]);
+      // charge_s carries lost attempts, retry backoff and failure
+      // observation costs (zero for a fault-free success), so the fold is
+      // one accumulation for every outcome shape.
+      stats_.search_time_s += out.charge_s;
+      stats_.evaluation_time_s += out.charge_s;
+      stats_.transient_failures +=
+          static_cast<std::size_t>(out.transient_failures);
+      stats_.retries += static_cast<std::size_t>(out.retries);
       if (!out.ok) {
-        // Same accounting as the search loop: a failed rerun still costs
-        // observation time.
-        stats_.search_time_s += failure_observation_cost();
-        stats_.evaluation_time_s += failure_observation_cost();
-        break;
+        if (!out.transient) {
+          // Deterministic failure (OOM): the finalist can never complete,
+          // so stop rerunning it — the historical exclusion rule.
+          excluded = true;
+          break;
+        }
+        continue;  // transient-exhausted repeat: lost, keep folding
       }
       sum += out.objective;
       stats_.search_time_s += out.total_seconds;
       stats_.evaluation_time_s += out.total_seconds;
       ++ok_runs;
+      if (robust) values.push_back(out.objective);
     }
-    if (ok_runs == repeats) {
-      const double mean = sum / ok_runs;
+    // A finalist scores when a strict majority of its repeats survived —
+    // fault-free that is all of them, reproducing the historical
+    // ok_runs == repeats rule bit for bit.
+    if (!excluded && ok_runs * 2 > repeats) {
+      CandOutcome agg;
+      agg.objective_sum = sum;
+      agg.survivors = ok_runs;
+      agg.objectives = std::move(values);
+      const double mean = aggregate_objective(agg);
       if (mean < best_final) {
         best_final = mean;
         result.best = top_[e].mapping;
       }
     }
   }
-  AM_CHECK(best_final < kInf,
-           "finalist protocol found no executable mapping");
-  result.best_seconds = best_final;
+  if (best_final < kInf) {
+    result.best_seconds = best_final;
+  } else {
+    // Graceful degradation: the fault rate left every finalist
+    // unprofilable. Return the best-known incumbent with the degraded flag
+    // instead of throwing away the whole search.
+    AM_CHECK(!top_.empty(),
+             "finalist protocol found no executable mapping");
+    stats_.degraded = true;
+    result.best = top_.front().mapping;
+    result.best_seconds = top_.front().mean_seconds;
+  }
   stats_.wall_time_s = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - wall_start_)
                            .count();

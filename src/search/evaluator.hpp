@@ -44,6 +44,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <limits>
 #include <memory>
 #include <span>
@@ -137,6 +138,22 @@ class Evaluator {
   /// entries do not count as suggested/evaluated.
   void import_profiles(const std::string& text);
 
+  /// Marks the search result degraded (SearchStats::degraded): the caller
+  /// determined the fault rate makes further progress unprofilable and is
+  /// returning the best-known incumbent instead of throwing.
+  void mark_degraded();
+
+  /// Serializes the evaluator's full mutable state — counters, clock,
+  /// trajectory, top-k list, profiles database — for the checkpoint file.
+  /// Deterministic (entries sorted by structural hash), so a resumed search
+  /// exports a byte-identical profiles database.
+  [[nodiscard]] std::string serialize_state() const;
+  /// Restores state serialized by serialize_state. Must be called on a
+  /// freshly constructed evaluator (before any proposal); throws Error on
+  /// malformed text. The wall-clock anchor restarts at zero — wall_time_s
+  /// is explicitly excluded from determinism guarantees.
+  void restore_state(const std::string& text);
+
  private:
   friend class EvaluatorView;
 
@@ -149,6 +166,11 @@ class Evaluator {
     /// censored entry answers any query whose threshold is at most the
     /// stored value; a looser query re-executes and overwrites it.
     bool censored = false;
+    /// True when the candidate was quarantined by the resilience policy:
+    /// it failed quarantine_after consecutive repeats (retries included)
+    /// and is cached as failed (mean infinity) — never re-run under this
+    /// search. Mutually exclusive with censored.
+    bool quarantined = false;
   };
   /// Result of one pre-executed simulated run, reduced to what folding
   /// needs (full ExecutionReports would hold per-task vectors per run).
@@ -156,6 +178,18 @@ class Evaluator {
     bool ok = false;
     double objective = 0.0;
     double total_seconds = 0.0;
+    /// The run's failure (ok == false) was a transient injected fault and
+    /// its retry budget is exhausted — the repeat is lost, but the finalist
+    /// is not excluded outright the way a deterministic failure excludes.
+    bool transient = false;
+    /// Simulated seconds consumed by this run *beyond* total_seconds: lost
+    /// attempts, retry backoff, and failure observation cost. Charged to
+    /// the search clock by the fold; zero in fault-free operation for ok
+    /// runs (for failed runs it carries failure_observation_cost(), which
+    /// the fold previously added at the call site).
+    double charge_s = 0.0;
+    int transient_failures = 0;
+    int retries = 0;
   };
   /// Result of one candidate's budgeted run sequence.
   struct CandOutcome {
@@ -163,24 +197,47 @@ class Evaluator {
     /// The candidate exhausted its simulated-seconds budget: its true mean
     /// provably exceeds the batch's censor threshold.
     bool censored = false;
+    /// Every repeat was lost to transient faults (retries exhausted); the
+    /// candidate folds to infinity.
+    bool failed = false;
+    /// failed via quarantine_after consecutive lost repeats — the candidate
+    /// is additionally cached so it is never proposed for execution again.
+    bool quarantined = false;
     /// Sum of the objective over the completed (uncensored) runs; unused
     /// when censored or oom.
     double objective_sum = 0.0;
     /// Simulated seconds to charge to the search clock: the full run
-    /// totals, clipped at the budget. Independent of prune_candidates by
-    /// construction.
+    /// totals, clipped at the budget, plus fault losses and retry backoff.
+    /// Independent of prune_candidates by construction.
     double charge_s = 0.0;
+    /// Repeats that produced a valid observation (== repeats fault-free).
+    int survivors = 0;
+    int transient_failures = 0;
+    int retries = 0;
+    /// Per-survivor objective values, recorded only under the robust
+    /// aggregations (the mean needs just the sum).
+    std::vector<double> objectives;
   };
 
-  /// Deterministic per-(candidate, repeat) noise seed — the scheme that
-  /// makes parallel evaluation order-independent.
+  /// Deterministic per-(candidate, repeat, attempt) noise seed — the scheme
+  /// that makes parallel evaluation order-independent. Attempt 0 is the
+  /// original derivation; retries (attempt > 0) mix in the attempt index so
+  /// each re-execution sees fresh noise and fresh fault draws.
   [[nodiscard]] std::uint64_t run_seed(std::uint64_t mapping_hash,
-                                       int repeat,
+                                       int repeat, int attempt,
                                        std::uint64_t salt) const;
-  /// Executes one unbounded run (finalist protocol) and reduces it to a
-  /// RunOutcome.
+  /// Retry backoff charged for attempt `attempt` (0-based): the policy's
+  /// quantum (or the machine's restart_overhead) doubled per attempt.
+  [[nodiscard]] double retry_backoff(int attempt) const;
+  /// Folds a candidate's surviving repeats into one recorded value per the
+  /// configured Aggregation. For kMean this is objective_sum / survivors —
+  /// bit-identical to the historical objective_sum / repeats when nothing
+  /// was lost.
+  [[nodiscard]] double aggregate_objective(const CandOutcome& out) const;
+  /// Executes one unbounded finalist-protocol run (retrying transient
+  /// faults under the resilience policy) and reduces it to a RunOutcome.
   [[nodiscard]] RunOutcome execute_run(const Mapping& candidate,
-                                       std::uint64_t seed,
+                                       std::uint64_t hash, int repeat,
                                        SimScratch& scratch) const;
   /// Executes one candidate's `repeats` runs as a race against the censor
   /// threshold: after k runs the candidate is censored once its running sum
@@ -203,6 +260,11 @@ class Evaluator {
   /// Inserts into the top-k finalist list unless an entry with the same
   /// structural hash and mapping is already present (dedupe on import).
   void insert_top(const Mapping& mapping, double mean);
+  /// Shared core of import_profiles and restore_state: parses a profiles
+  /// section from the stream. When `update_top` is false the top-k list and
+  /// incumbent are left untouched (restore_state rebuilds them verbatim
+  /// from the checkpoint's own section to preserve tie order).
+  void import_profiles_impl(std::istream& is, bool update_top);
   /// Serializes the profiles database (every measured mapping with its
   /// mean) for reuse via SearchOptions::profiles_seed.
   [[nodiscard]] std::string export_profiles() const;

@@ -22,6 +22,39 @@ enum class Objective {
   kEnergy,
 };
 
+/// How the surviving repeats of one candidate fold into its recorded value.
+/// The mean is the paper's protocol; a straggler-polluted mean misranks
+/// candidates, so under fault injection the robust alternatives resist
+/// right-tail outliers. Incumbent-bounded censoring races a running *sum*
+/// against the threshold, which is only meaningful for the mean, so the
+/// robust aggregations disable censoring.
+enum class Aggregation {
+  kMean,
+  kMedian,
+  kTrimmedMean,  ///< Mean with the single min and max repeat dropped.
+};
+
+/// How the evaluator responds to transient faults (ExecutionReport::
+/// transient): bounded retry, per-candidate quarantine, robust folding.
+/// Inert when the simulator's FaultModel is disabled — transient failures
+/// then never occur, and the policy's arithmetic reduces to today's exact
+/// mean protocol bit for bit.
+struct ResiliencePolicy {
+  /// Re-attempts per repeat after a transient failure (each with a fresh
+  /// derived seed). 0 = a transient failure immediately loses the repeat.
+  int max_retries = 2;
+  /// Consecutive lost repeats after which the candidate is quarantined:
+  /// recorded as failed in the profiles database and never re-run under
+  /// this search (the cache answers all later proposals). 0 disables
+  /// quarantine (every repeat is still attempted).
+  int quarantine_after = 3;
+  /// Simulated seconds charged to the search clock per retry, doubling per
+  /// attempt (budget-aware backoff, like the existing OOM observation
+  /// cost). Negative = use the machine's restart_overhead().
+  double retry_backoff_s = -1.0;
+  Aggregation aggregation = Aggregation::kMean;
+};
+
 struct SearchOptions {
   /// CCD rotations (paper: 5; more cost time without gains, fewer reduce
   /// CCD to CD, §5).
@@ -83,6 +116,15 @@ struct SearchOptions {
   /// accumulates tens of thousands of entries, and serializing them can
   /// rival the evaluation work itself.
   bool export_profiles_db = true;
+  /// Retry / quarantine / aggregation behaviour under fault injection.
+  ResiliencePolicy resilience;
+  /// When non-empty, CCD/CD periodically serialize their search state
+  /// (incumbent, rotation position, profiles database) to this file —
+  /// atomically, so a kill mid-write leaves the previous checkpoint intact.
+  std::string checkpoint_path;
+  /// Contents of a checkpoint file written via checkpoint_path; when
+  /// non-empty, CCD/CD resume from that state instead of starting fresh.
+  std::string resume_state;
 };
 
 /// Indexed frozen-task lookup (§3.3 subset search), built once per search.
@@ -147,6 +189,18 @@ struct SearchStats {
   /// Proposals answered from the profiles database without execution (the
   /// "suggested minus evaluated" gap of §5.3, counted directly).
   std::size_t cache_hits = 0;
+  /// Injected transient faults observed across all runs (crash / memory
+  /// pressure); zero when the FaultModel is disabled.
+  std::size_t transient_failures = 0;
+  /// Re-attempts issued by the resilience policy (each charged backoff).
+  std::size_t retries = 0;
+  /// Candidates quarantined after consecutive lost repeats; cached as
+  /// failed and never re-run under this search.
+  std::size_t quarantined = 0;
+  /// The finalist protocol could not profile any finalist (fault rate made
+  /// every rotation unprofilable); the result carries the best-known
+  /// incumbent instead of a finalist-verified winner.
+  bool degraded = false;
   /// Total simulated search time and the share spent executing candidates
   /// (§5.3: 99 % for CCD/CD, 13-45 % for OpenTuner).
   double search_time_s = 0.0;

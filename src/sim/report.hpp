@@ -41,7 +41,10 @@ struct MemoryFootprint {
 /// One scheduled activity of a run, for timeline visualization. Only
 /// recorded when SimOptions::record_trace is set.
 struct TraceEvent {
-  enum class Kind : std::uint8_t { kTask, kCopy };
+  /// kFault events annotate injected faults (straggler inflation, crash
+  /// points, copy re-issues); their window overlaps the affected task/copy
+  /// event, so consumers must not count them toward resource busy time.
+  enum class Kind : std::uint8_t { kTask, kCopy, kFault };
   Kind kind = Kind::kTask;
   /// Task name, or "src->dst" channel description for copies.
   std::string name;
@@ -54,6 +57,27 @@ struct TraceEvent {
   std::uint64_t bytes = 0;
 };
 
+/// Tally of the faults the simulator injected into one run (all zero when
+/// SimOptions::faults is disabled).
+struct FaultCounts {
+  /// Transient task crashes (each aborts the run).
+  int crashes = 0;
+  /// Straggler events (task duration multiplied, run continues).
+  int stragglers = 0;
+  /// Transient memory-pressure windows observed (fatal only when the
+  /// mapping's peak footprint exceeds the reduced capacity).
+  int mem_pressure = 0;
+  /// Copy legs that failed once and were re-issued.
+  int copy_retries = 0;
+  /// Simulated seconds consumed by fault effects: straggler inflation,
+  /// partial work lost to a crash, and re-issued copy attempts.
+  double lost_seconds = 0.0;
+
+  [[nodiscard]] int total() const {
+    return crashes + stragglers + mem_pressure + copy_retries;
+  }
+};
+
 /// Result of simulating one execution of the application under a mapping.
 struct ExecutionReport {
   /// True when every collection argument found a memory with capacity; when
@@ -61,6 +85,11 @@ struct ExecutionReport {
   /// are meaningless (the driver skips such mappings, §5.2).
   bool ok = false;
   std::string failure;
+  /// Set (with ok == false) when the failure was an injected transient
+  /// fault — a retry with a different seed may succeed, unlike the
+  /// deterministic placement-time OOM above. `total_seconds` then holds the
+  /// simulated clock at the abort (work a retrying driver has to pay for).
+  bool transient = false;
 
   /// True when the run was abandoned because the simulated clock provably
   /// exceeded the caller's time bound (incumbent-bounded pruning). The run
@@ -97,6 +126,9 @@ struct ExecutionReport {
   /// Count of collection arguments that were demoted to a lower-priority
   /// memory kind because the first choice was full (§3.1 priority lists).
   int demoted_args = 0;
+
+  /// Injected-fault tally for this run (zeros when fault injection is off).
+  FaultCounts faults;
 
   /// Timeline events; empty unless SimOptions::record_trace.
   std::vector<TraceEvent> trace;

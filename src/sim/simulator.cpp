@@ -25,12 +25,20 @@ std::size_t arg_index_of(const GroupTask& task, CollectionId collection) {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
+/// Domain-separation salt for the fault RNG stream: fault draws must not
+/// perturb the noise stream (a fault-free config makes zero fault draws and
+/// reproduces pre-fault-layer results bit for bit), and an enabled model
+/// must not correlate faults with noise.
+constexpr std::uint64_t kFaultSalt = 0x8f6a3c1db94e527bULL;
+
 /// Resets a scratch-held report to the state a fresh run expects. Vectors
 /// are cleared, not deallocated, so steady-state runs reuse their capacity.
 void clear_report(ExecutionReport& report, int iterations,
                   double time_bound) {
   report.ok = false;
   report.failure.clear();
+  report.transient = false;
+  report.faults = FaultCounts{};
   report.censored = false;
   report.time_bound = time_bound;
   report.total_seconds = 0.0;
@@ -51,6 +59,19 @@ Simulator::Simulator(const MachineModel& machine, const TaskGraph& graph,
     : machine_(machine), graph_(graph), options_(options) {
   AM_REQUIRE(options_.iterations > 0, "iterations must be positive");
   AM_REQUIRE(options_.noise_sigma >= 0.0, "noise sigma must be >= 0");
+  const FaultModel& fm = options_.faults;
+  AM_REQUIRE(fm.crash_prob >= 0.0 && fm.crash_prob <= 1.0,
+             "crash probability must be in [0, 1]");
+  AM_REQUIRE(fm.straggler_prob >= 0.0 && fm.straggler_prob <= 1.0,
+             "straggler probability must be in [0, 1]");
+  AM_REQUIRE(fm.straggler_factor >= 1.0, "straggler factor must be >= 1");
+  AM_REQUIRE(fm.mem_pressure_prob >= 0.0 && fm.mem_pressure_prob <= 1.0,
+             "memory-pressure probability must be in [0, 1]");
+  AM_REQUIRE(
+      fm.mem_pressure_headroom > 0.0 && fm.mem_pressure_headroom <= 1.0,
+      "memory-pressure headroom must be in (0, 1]");
+  AM_REQUIRE(fm.copy_fault_prob >= 0.0 && fm.copy_fault_prob <= 1.0,
+             "copy-fault probability must be in [0, 1]");
   machine_.validate();
   graph_.validate();
   topo_order_ = graph_.topological_order();
@@ -359,6 +380,37 @@ void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
   Rng rng(mix64(seed) ^ mapping.hash());
   const bool multi = num_nodes_ > 1;
 
+  // Fault injection draws come from a *separate* derived stream: the noise
+  // sequence above is untouched whether faults are on or off, and a
+  // disabled model makes no draws at all, so fault-free configs reproduce
+  // the pre-fault-layer results bit for bit at any thread count.
+  const FaultModel& faults = options_.faults;
+  const bool inject = faults.enabled();
+  Rng fault_rng(inject ? (mix64(seed ^ kFaultSalt) ^ mapping.hash()) : 0);
+
+  // Transient memory pressure: for this run every allocation's usable
+  // capacity shrinks to the headroom share of nominal (co-tenant runtime
+  // services, fragmentation). The placement itself is cached and
+  // deterministic, so the check reduces to comparing the mapping's peak
+  // footprints against the reduced capacities.
+  if (inject && faults.mem_pressure_prob > 0.0 &&
+      fault_rng.bernoulli(faults.mem_pressure_prob)) {
+    ++report.faults.mem_pressure;
+    for (const MemoryFootprint& fp : scratch.footprints_) {
+      const double usable = faults.mem_pressure_headroom *
+                            static_cast<double>(fp.capacity_bytes);
+      if (static_cast<double>(fp.peak_instance_bytes) > usable) {
+        std::ostringstream os;
+        os << "transient memory pressure: " << to_string(fp.kind) << " peak "
+           << format_bytes(fp.peak_instance_bytes) << " exceeds reduced "
+           << "capacity " << format_bytes(static_cast<std::uint64_t>(usable));
+        report.failure = os.str();
+        report.transient = true;
+        return;
+      }
+    }
+  }
+
   // Resource state, carried across iterations.
   // Processor pools: busy-until per (proc kind, leader node / other nodes).
   // Two clocks per kind suffice: a non-distributed task runs on the leader
@@ -473,6 +525,16 @@ void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
               ch.latency + leg.bytes / leg.parallelism / ch.bandwidth;
           if (copy_noise_sigma > 0.0)
             elapsed *= rng.lognormal_factor(copy_noise_sigma);
+          // Channel fault: the first attempt is lost at completion and the
+          // copy re-issues back to back, doubling the leg's channel time.
+          bool copy_faulted = false;
+          if (inject && faults.copy_fault_prob > 0.0 &&
+              fault_rng.bernoulli(faults.copy_fault_prob)) {
+            copy_faulted = true;
+            ++report.faults.copy_retries;
+            report.faults.lost_seconds += elapsed;
+            elapsed *= 2.0;
+          }
           double& busy = leg.inter
                              ? interconnect_busy
                              : channel_busy[index_of(src) * kNumMemKinds +
@@ -494,6 +556,17 @@ void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
                  .start_s = start,
                  .duration_s = elapsed,
                  .bytes = static_cast<std::uint64_t>(leg.bytes)});
+            if (copy_faulted) {
+              // Annotate the lost first attempt so the profile can
+              // attribute the re-issue time to faults.
+              report.trace.push_back(
+                  {.kind = TraceEvent::Kind::kFault,
+                   .name = "copy fault: " + report.trace.back().name,
+                   .resource = report.trace.back().resource,
+                   .iteration = iter,
+                   .start_s = start,
+                   .duration_s = elapsed * 0.5});
+            }
           }
           if (leg.inter) {
             report.inter_node_copy_bytes +=
@@ -525,6 +598,52 @@ void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
       double duration = dur_compute_[di] + mem_time;
       if (options_.noise_sigma > 0.0)
         duration *= rng.lognormal_factor(options_.noise_sigma);
+
+      if (inject) {
+        // Straggler: the task's wave runs on a slow/contended instance and
+        // its duration inflates; the run continues.
+        if (faults.straggler_prob > 0.0 &&
+            fault_rng.bernoulli(faults.straggler_prob)) {
+          const double inflation = duration * (faults.straggler_factor - 1.0);
+          duration += inflation;
+          ++report.faults.stragglers;
+          report.faults.lost_seconds += inflation;
+          if (options_.record_trace) {
+            report.trace.push_back(
+                {.kind = TraceEvent::Kind::kFault,
+                 .name = "straggler: " + graph_.task(tid).name,
+                 .resource = std::string(to_string(tm.proc)) + " pool",
+                 .iteration = iter,
+                 .start_s = start,
+                 .duration_s = inflation});
+          }
+        }
+        // Transient crash at a uniformly sampled point of the task's
+        // execution: the run aborts there. The partial work up to the crash
+        // is what a retrying driver pays for (total_seconds).
+        if (faults.crash_prob > 0.0 &&
+            fault_rng.bernoulli(faults.crash_prob)) {
+          const double lost = fault_rng.uniform() * duration;
+          ++report.faults.crashes;
+          report.faults.lost_seconds += lost;
+          if (options_.record_trace) {
+            report.trace.push_back(
+                {.kind = TraceEvent::Kind::kFault,
+                 .name = "crash: " + graph_.task(tid).name,
+                 .resource = std::string(to_string(tm.proc)) + " pool",
+                 .iteration = iter,
+                 .start_s = start,
+                 .duration_s = lost});
+          }
+          report.transient = true;
+          report.failure = "transient crash in task " +
+                           graph_.task(tid).name + " (iteration " +
+                           std::to_string(iter) + ")";
+          report.total_seconds = std::max(makespan, start + lost);
+          return;
+        }
+      }
+
       const double finish = start + duration;
 
       pool_busy[pk * 2] = finish;

@@ -49,6 +49,37 @@
 
 namespace automap {
 
+/// Deterministic fault-injection model. All probabilities are per-event
+/// Bernoulli draws from a dedicated fault RNG stream derived from the
+/// (seed, mapping) pair — the same derivation discipline as the noise
+/// stream, so results stay bit-identical at any thread count, and a
+/// disabled model makes *zero* draws (fault-free configs reproduce the
+/// pre-fault-layer results bit for bit).
+struct FaultModel {
+  /// Per-task probability of a transient crash. The crash point is sampled
+  /// uniformly inside the task's execution window; the run aborts there
+  /// with ExecutionReport::transient set.
+  double crash_prob = 0.0;
+  /// Per-task probability of a straggler event: the task's duration is
+  /// multiplied by `straggler_factor` (slow node, contended NIC, GC pause).
+  double straggler_prob = 0.0;
+  double straggler_factor = 4.0;
+  /// Per-run probability of a transient memory-pressure window: every
+  /// allocation's usable capacity shrinks to `mem_pressure_headroom` of
+  /// nominal for the run, so a mapping that normally fits can fail with a
+  /// transient OOM.
+  double mem_pressure_prob = 0.0;
+  double mem_pressure_headroom = 0.75;
+  /// Per-copy-leg probability of a channel fault: the leg's first attempt
+  /// is lost and the copy is re-issued (the leg takes twice its time).
+  double copy_fault_prob = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return crash_prob > 0.0 || straggler_prob > 0.0 ||
+           mem_pressure_prob > 0.0 || copy_fault_prob > 0.0;
+  }
+};
+
 struct SimOptions {
   /// Main-loop iterations to simulate.
   int iterations = 10;
@@ -63,6 +94,8 @@ struct SimOptions {
   /// search layer uses per-call bounds derived from its incumbent instead
   /// of this default (incumbent-bounded candidate pruning).
   double time_bound = std::numeric_limits<double>::infinity();
+  /// Deterministic fault injection; disabled by default.
+  FaultModel faults;
 };
 
 class Simulator;

@@ -18,6 +18,11 @@ struct ForState {
   std::condition_variable done_cv;
   std::size_t remaining_helpers = 0;
   std::exception_ptr error;
+  /// Item index whose exception is stored in `error`. Keeping the *lowest*
+  /// index (not whichever throw won the lock race) makes the rethrown
+  /// exception deterministic at any thread count: it is always the one a
+  /// serial loop would have hit first.
+  std::size_t error_index = 0;
 
   /// `lane` is fixed per drainer (0 = caller, 1..k = helper closures), so
   /// two indices with the same lane never run concurrently even if one
@@ -28,7 +33,10 @@ struct ForState {
         (*body)(lane, i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mutex);
-        if (!error) error = std::current_exception();
+        if (!error || i < error_index) {
+          error = std::current_exception();
+          error_index = i;
+        }
       }
     }
   }

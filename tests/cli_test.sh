@@ -85,6 +85,76 @@ if "$CLI" validate "$DIR/m.machine" "$DIR/g.graph" "$DIR/broken.mapping" \
   exit 1
 fi
 
+# A garbled profiles database must fail with a one-line diagnostic and a
+# nonzero exit, not a raw uncaught exception / abort.
+cat > "$DIR/garbled.txt" <<'EOF'
+profiles 1
+mean 0.5
+task notanumber dist GPU FrameBuffer
+EOF
+if "$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 1 --repeats 2 \
+      --profiles "$DIR/garbled.txt" > /dev/null 2> "$DIR/garbled.err"; then
+  echo "expected nonzero exit for garbled profiles" >&2
+  exit 1
+fi
+grep -qi "error" "$DIR/garbled.err"
+test "$(wc -l < "$DIR/garbled.err")" -le 2
+
+# Same for a malformed numeric flag (std::stoi throws std::invalid_argument,
+# which only the top-level catch-all converts to a diagnostic).
+if "$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations banana \
+      > /dev/null 2> "$DIR/badflag.err"; then
+  echo "expected nonzero exit for malformed numeric flag" >&2
+  exit 1
+fi
+grep -qi "error" "$DIR/badflag.err"
+test "$(wc -l < "$DIR/badflag.err")" -le 2
+
+# Fault injection: the searched result under faults is thread-count
+# invariant and the resilience telemetry reaches the output.
+FAULTS=(--fault-crash 0.05 --fault-straggler 0.05 --retries 2 --quarantine 2)
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      "${FAULTS[@]}" --threads 1 --telemetry > "$DIR/faulty1.txt"
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      "${FAULTS[@]}" --threads 4 --telemetry > "$DIR/faulty4.txt"
+grep "best mapping" "$DIR/faulty1.txt" > "$DIR/faulty1.line"
+grep "best mapping" "$DIR/faulty4.txt" > "$DIR/faulty4.line"
+cmp "$DIR/faulty1.line" "$DIR/faulty4.line"
+grep -q "resilience:" "$DIR/faulty1.txt"
+
+# Interrupt-and-resume: a search cut mid-flight by the simulated budget
+# leaves a mid-search checkpoint; resuming from it must land on the exact
+# summary line of the uninterrupted run (deterministic cut).
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      "${FAULTS[@]}" | grep "best mapping" > "$DIR/uninterrupted.txt"
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      "${FAULTS[@]}" --budget 10 --checkpoint "$DIR/ck_budget.txt" \
+      > /dev/null
+test -s "$DIR/ck_budget.txt"
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      "${FAULTS[@]}" --resume "$DIR/ck_budget.txt" | grep "best mapping" \
+      > "$DIR/budget_resumed.txt"
+cmp "$DIR/uninterrupted.txt" "$DIR/budget_resumed.txt"
+
+# Kill-and-resume smoke: the same flow under a real SIGKILL (timing-
+# dependent: if the kill misses the run, the fallback still exercises the
+# uninterrupted path).
+for attempt in 1 2 3; do
+  rm -f "$DIR/ck.txt"
+  ( timeout --signal=KILL 0.05 "$CLI" search "$DIR/m.machine" "$DIR/g.graph" \
+        --rotations 2 --repeats 3 "${FAULTS[@]}" \
+        --checkpoint "$DIR/ck.txt" > /dev/null 2>&1 || true ) 2> /dev/null
+  if [ -s "$DIR/ck.txt" ]; then break; fi
+done
+RESUME=()
+if [ -s "$DIR/ck.txt" ]; then
+  RESUME=(--resume "$DIR/ck.txt")
+fi
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      "${FAULTS[@]}" ${RESUME[@]+"${RESUME[@]}"} | grep "best mapping" \
+      > "$DIR/resumed.txt"
+cmp "$DIR/uninterrupted.txt" "$DIR/resumed.txt"
+
 # Unknown commands fail cleanly.
 if "$CLI" frobnicate > /dev/null 2>&1; then
   echo "expected nonzero exit for unknown command" >&2

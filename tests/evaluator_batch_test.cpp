@@ -209,6 +209,75 @@ TEST(EvaluateBatch, ConsumeFalseDiscardsTheUnfoldedTail) {
             fresh.view().export_profiles());
 }
 
+TEST(EvaluateBatch, MixedOutcomeBatchIsThreadCountInvariant) {
+  // One 32 GiB collection: fits Zero-Copy (60 GiB) and System (64 GiB) but
+  // not a 16 GiB Frame-Buffer, so placement alone decides between a valid
+  // run and an OOM. GPU compute must reach the data over the slow Zero-Copy
+  // affinity, so against a CPU+System incumbent it is censored. One batch
+  // therefore folds all three outcome kinds — valid, OOM, censored — and
+  // the folded statistics must not depend on the thread count.
+  TaskGraph g;
+  const RegionId r = g.add_region("r", Rect::line(0, (1 << 29) - 1), 64);
+  const CollectionId big =
+      g.add_collection(r, "big", Rect::line(0, (1 << 29) - 1));
+  (void)g.add_task(
+      "work", 8,
+      {.cpu_seconds_per_point = 2e-3, .gpu_seconds_per_point = 4e-5},
+      {{big, Privilege::kReadWrite, 0.01}});
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, g, {.iterations = 2, .noise_sigma = 0.02});
+
+  const TaskId work = TaskId(0);
+  Mapping fast = search_starting_point(g, machine);
+  fast.at(work).proc = ProcKind::kCpu;
+  fast.set_primary_memory(work, 0, MemKind::kSystem);
+  Mapping oom = fast;
+  oom.at(work).proc = ProcKind::kGpu;
+  oom.set_primary_memory(work, 0, MemKind::kFrameBuffer);
+  Mapping slow = fast;
+  slow.at(work).proc = ProcKind::kGpu;
+  slow.set_primary_memory(work, 0, MemKind::kZeroCopy);
+  const std::vector<Mapping> batch = {oom, slow};
+
+  std::vector<double> serial_means;
+  SearchStats serial_stats;
+  std::string serial_profiles;
+  for (const int threads : {1, 8}) {
+    Evaluator eval(sim,
+                   {.repeats = 3, .seed = 7, .top_k = 1, .threads = threads});
+    const double incumbent = eval.evaluate(fast);
+    ASSERT_TRUE(std::isfinite(incumbent));
+    const std::vector<double> means = eval.evaluate_batch(batch, incumbent);
+    ASSERT_EQ(means.size(), batch.size());
+    EXPECT_TRUE(std::isinf(means[0]));   // OOM folds to infinity
+    EXPECT_EQ(means[1], incumbent);      // censored folds to the threshold
+
+    const SearchStats& s = eval.view().stats();
+    EXPECT_EQ(s.oom, 1u);
+    EXPECT_EQ(s.censored, 1u);
+    EXPECT_EQ(s.evaluated, 3u);
+    if (threads == 1) {
+      serial_means = means;
+      serial_stats = s;
+      serial_profiles = eval.view().export_profiles();
+      continue;
+    }
+    EXPECT_EQ(means, serial_means);
+    EXPECT_EQ(s.suggested, serial_stats.suggested);
+    EXPECT_EQ(s.evaluated, serial_stats.evaluated);
+    EXPECT_EQ(s.invalid, serial_stats.invalid);
+    EXPECT_EQ(s.oom, serial_stats.oom);
+    EXPECT_EQ(s.censored, serial_stats.censored);
+    EXPECT_EQ(s.cache_hits, serial_stats.cache_hits);
+    EXPECT_EQ(s.transient_failures, serial_stats.transient_failures);
+    EXPECT_EQ(s.retries, serial_stats.retries);
+    EXPECT_EQ(s.quarantined, serial_stats.quarantined);
+    EXPECT_EQ(s.search_time_s, serial_stats.search_time_s);
+    EXPECT_EQ(s.evaluation_time_s, serial_stats.evaluation_time_s);
+    EXPECT_EQ(eval.view().export_profiles(), serial_profiles);
+  }
+}
+
 // --- bit-identical results across thread counts -----------------------------
 
 void expect_identical(const SearchResult& a, const SearchResult& b,

@@ -134,6 +134,39 @@ TEST_P(FuzzProperty, CcdProducesValidResultsOnArbitraryGraphs) {
   EXPECT_GT(res.stats.evaluated, 0u);
 }
 
+TEST_P(FuzzProperty, CcdUnderFaultInjectionStaysValidAndThreadInvariant) {
+  Rng rng(GetParam());
+  const TaskGraph g = random_graph(rng);
+  const MachineModel machine = make_shepard(1);
+  Simulator sim(machine, g,
+                {.iterations = 2, .noise_sigma = 0.02,
+                 .faults = {.crash_prob = 0.05,
+                            .straggler_prob = 0.05,
+                            .straggler_factor = 3.0,
+                            .mem_pressure_prob = 0.02,
+                            .copy_fault_prob = 0.02}});
+  SearchOptions options{.rotations = 2, .repeats = 2, .seed = GetParam()};
+  options.resilience = {.max_retries = 2, .quarantine_after = 2};
+  const SearchResult res = run_ccd(sim, options);
+  // Whatever the fault draws did, the search either finished with a valid
+  // finalist or degraded gracefully to a best-known incumbent — it must
+  // never throw or return an unusable mapping.
+  EXPECT_TRUE(res.best.valid(g, machine));
+  if (!res.stats.degraded) {
+    EXPECT_TRUE(std::isfinite(res.best_seconds));
+  }
+  options.threads = 4;
+  const SearchResult threaded = run_ccd(sim, options);
+  EXPECT_EQ(threaded.best, res.best);
+  EXPECT_EQ(threaded.best_seconds, res.best_seconds);
+  EXPECT_EQ(threaded.stats.transient_failures, res.stats.transient_failures);
+  EXPECT_EQ(threaded.stats.retries, res.stats.retries);
+  EXPECT_EQ(threaded.stats.quarantined, res.stats.quarantined);
+  EXPECT_EQ(threaded.stats.degraded, res.stats.degraded);
+  EXPECT_EQ(threaded.stats.search_time_s, res.stats.search_time_s);
+  EXPECT_EQ(threaded.profiles_db, res.profiles_db);
+}
+
 TEST_P(FuzzProperty, SimulationIsMonotoneInIterations) {
   Rng rng(GetParam());
   const TaskGraph g = random_graph(rng);

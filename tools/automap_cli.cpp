@@ -58,6 +58,11 @@ int usage() {
          "[--fallbacks]\n"
          "              [-o mapping.txt] [--profiles db.txt]\n"
          "              [--telemetry] [--profile] [--trace-json out.json]\n"
+         "              [--fault-crash P] [--fault-straggler P]\n"
+         "              [--fault-straggler-factor X] [--fault-oom P]\n"
+         "              [--fault-copy P] [--retries N] [--quarantine K]\n"
+         "              [--backoff S] [--aggregate mean|median|trimmed]\n"
+         "              [--checkpoint file] [--resume file]\n"
          "  automap_cli evaluate <machine> <graph> <mapping> [--repeats N]\n"
          "              [--profile] [--trace-json out.json]\n"
          "  automap_cli visualize <machine> <graph> <mapping>\n"
@@ -129,9 +134,11 @@ int cmd_search(const std::vector<std::string>& args) {
 
   std::string algorithm_name = "ccd";
   SearchOptions options{.seed = 42};
+  FaultModel faults;
   std::string out_path;
   std::string profiles_path;
   std::string trace_json_path;
+  std::string resume_path;
   bool telemetry = false;
   bool profile = false;
   for (std::size_t i = 2; i < args.size(); ++i) {
@@ -169,10 +176,48 @@ int cmd_search(const std::vector<std::string>& args) {
       telemetry = true;
     } else if (args[i] == "--profile") {
       profile = true;
+    } else if (args[i] == "--fault-crash") {
+      faults.crash_prob = std::stod(value());
+    } else if (args[i] == "--fault-straggler") {
+      faults.straggler_prob = std::stod(value());
+    } else if (args[i] == "--fault-straggler-factor") {
+      faults.straggler_factor = std::stod(value());
+    } else if (args[i] == "--fault-oom") {
+      faults.mem_pressure_prob = std::stod(value());
+    } else if (args[i] == "--fault-copy") {
+      faults.copy_fault_prob = std::stod(value());
+    } else if (args[i] == "--retries") {
+      options.resilience.max_retries = std::stoi(value());
+    } else if (args[i] == "--quarantine") {
+      options.resilience.quarantine_after = std::stoi(value());
+    } else if (args[i] == "--backoff") {
+      options.resilience.retry_backoff_s = std::stod(value());
+    } else if (args[i] == "--aggregate") {
+      const std::string& name = value();
+      if (name == "mean") {
+        options.resilience.aggregation = Aggregation::kMean;
+      } else if (name == "median") {
+        options.resilience.aggregation = Aggregation::kMedian;
+      } else if (name == "trimmed") {
+        options.resilience.aggregation = Aggregation::kTrimmedMean;
+      } else {
+        std::cerr << "unknown aggregation: " << name
+                  << " (expected mean|median|trimmed)\n";
+        return usage();
+      }
+    } else if (args[i] == "--checkpoint") {
+      options.checkpoint_path = value();
+    } else if (args[i] == "--resume") {
+      resume_path = value();
     } else {
       std::cerr << "unknown option: " << args[i] << "\n";
       return usage();
     }
+  }
+
+  if (!resume_path.empty()) {
+    options.resume_state = load_text(resume_path);
+    std::cout << "resuming from checkpoint " << resume_path << "\n";
   }
 
   if (!profiles_path.empty()) {
@@ -196,8 +241,12 @@ int cmd_search(const std::vector<std::string>& args) {
   // Serializing the profiles database costs real time on long searches;
   // only pay for it when --profiles asked to save it.
   options.export_profiles_db = !profiles_path.empty();
-  Simulator sim(machine, graph, {});
+  Simulator sim(machine, graph, {.faults = faults});
   const SearchResult result = algorithm->run(sim, options);
+  if (result.stats.degraded)
+    std::cout << "warning: search degraded — finalist protocol was "
+                 "unprofilable under the fault rate; reporting the "
+                 "best-known incumbent\n";
   if (!profiles_path.empty()) save_text(profiles_path, result.profiles_db);
   std::cout << result.algorithm << ": best mapping "
             << format_seconds(result.best_seconds) << " after "
@@ -328,6 +377,12 @@ int main(int argc, char** argv) {
     if (command == "validate") return cmd_validate(args);
     return usage();
   } catch (const automap::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // Anything the library did not convert to an Error (e.g. std::stoi on a
+    // malformed numeric flag or a garbled input file) still exits with a
+    // one-line diagnostic instead of an uncaught-exception abort.
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

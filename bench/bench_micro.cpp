@@ -12,7 +12,9 @@
 #include "src/apps/pennant.hpp"
 #include "src/apps/stencil.hpp"
 #include "src/machine/machine.hpp"
+#include "src/report/journal.hpp"
 #include "src/runtime/mapper.hpp"
+#include "src/support/json.hpp"
 #include "src/search/coordinate_descent.hpp"
 #include "src/search/search.hpp"
 #include "src/sim/simulator.hpp"
@@ -125,6 +127,24 @@ void BM_StencilGraphGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StencilGraphGeneration);
+
+// Journal emission cost per candidate event (in-memory journal). The hot
+// path with the journal *disabled* is a single pointer check — covered by
+// the SimThroughput gate below, which runs with options.journal == nullptr.
+void BM_JournalEmitCandidate(benchmark::State& state) {
+  Journal journal;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    journal.event("candidate")
+        .integer("seq", static_cast<long long>(++seq))
+        .str("status", "evaluated")
+        .num("mean", 0.0525)
+        .num("clock", static_cast<double>(seq) * 0.1)
+        .str("hash", hex_u64(0x9e3779b97f4a7c15ULL * seq));
+  }
+  benchmark::DoNotOptimize(journal.text());
+}
+BENCHMARK(BM_JournalEmitCandidate);
 
 // Simulator steady-state throughput on the search fast path (begin_runs
 // once, run_prepared per repeat against a reused arena) — the quantity that

@@ -1,5 +1,6 @@
 #include "src/io/text_io.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -372,6 +373,18 @@ std::string load_text(const std::string& path) {
   std::ostringstream os;
   os << is.rdbuf();
   return os.str();
+}
+
+void require_writable_path(const std::string& path) {
+  AM_REQUIRE(!path.empty(), "output path is empty");
+  // Append mode probes writability without truncating an existing file.
+  const bool existed = static_cast<bool>(std::ifstream(path));
+  {
+    std::ofstream os(path, std::ios::app);
+    AM_REQUIRE(os.good(), "cannot write output file: " + path +
+                              " (missing directory or no permission?)");
+  }
+  if (!existed) std::remove(path.c_str());
 }
 
 void save_machine(const std::string& path, const MachineModel& machine) {

@@ -67,9 +67,19 @@ struct RunAnalysis {
 /// mutating Evaluator.
 [[nodiscard]] std::string render_search_progress(const EvaluatorView& view);
 
+/// Unicode block sparkline of a value series (min flat -> "▁", max ->
+/// "█"); empty input renders empty. Shared by the telemetry convergence
+/// line and `automap replay`'s offline re-render.
+[[nodiscard]] std::string render_sparkline(const std::vector<double>& values);
+
 /// Search telemetry digest of a finished search: counters, profiles-cache
-/// hit rate, OOM count, wall vs simulated clocks, and per-rotation
-/// improvement deltas (CCD/CD). The CLI/bench `--telemetry` output.
-[[nodiscard]] std::string render_search_telemetry(const SearchResult& result);
+/// hit rate, OOM count, wall vs simulated clocks, a convergence sparkline
+/// of the incumbent trajectory, and per-rotation improvement deltas
+/// (CCD/CD). The CLI/bench `--telemetry` output. When the search wrote a
+/// provenance journal or a metrics dump, pass their paths so the digest
+/// points at them.
+[[nodiscard]] std::string render_search_telemetry(
+    const SearchResult& result, const std::string& journal_path = "",
+    const std::string& metrics_path = "");
 
 }  // namespace automap

@@ -1,0 +1,96 @@
+#include "src/report/journal.hpp"
+
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+
+namespace automap {
+
+Journal::Journal() : out_(&buffer_) {
+  event("journal").integer("version", kJournalVersion);
+}
+
+Journal::Journal(const std::string& path)
+    : path_(path), file_(path, std::ios::trunc), out_(&file_) {
+  AM_REQUIRE(file_.good(), "cannot open journal for writing: " + path);
+  event("journal").integer("version", kJournalVersion);
+}
+
+Journal::Event::Event(Journal* journal, std::string_view type)
+    : journal_(journal) {
+  line_ = "{\"n\":" + std::to_string(journal_->next_sequence_++) +
+          ",\"type\":\"" + std::string(type) + "\"";
+  if (journal_->rotation_ >= 0) {
+    line_ += ",\"rot\":" + std::to_string(journal_->rotation_);
+  }
+  if (journal_->position_ >= 0) {
+    line_ += ",\"pos\":" + std::to_string(journal_->position_);
+    line_ += ",\"task\":" + std::to_string(journal_->task_);
+  }
+}
+
+Journal::Event::~Event() {
+  line_ += "}";
+  journal_->commit(line_);
+}
+
+Journal::Event& Journal::Event::str(std::string_view key,
+                                    std::string_view value) {
+  line_ += ",\"" + std::string(key) + "\":\"" + json_escape(value) + "\"";
+  return *this;
+}
+
+Journal::Event& Journal::Event::num(std::string_view key, double value) {
+  line_ += ",\"" + std::string(key) + "\":" + json_double(value);
+  return *this;
+}
+
+Journal::Event& Journal::Event::integer(std::string_view key,
+                                        long long value) {
+  line_ += ",\"" + std::string(key) + "\":" + std::to_string(value);
+  return *this;
+}
+
+Journal::Event& Journal::Event::boolean(std::string_view key, bool value) {
+  line_ += ",\"" + std::string(key) + "\":" + (value ? "true" : "false");
+  return *this;
+}
+
+Journal::Event& Journal::Event::raw(std::string_view key,
+                                    std::string_view json) {
+  line_ += ",\"" + std::string(key) + "\":" + std::string(json);
+  return *this;
+}
+
+Journal::Event Journal::event(std::string_view type) {
+  return Event(this, type);
+}
+
+void Journal::set_rotation(int rotation) { rotation_ = rotation; }
+
+void Journal::set_coordinate(int position, int task) {
+  position_ = position;
+  task_ = task;
+}
+
+void Journal::clear_coordinate() {
+  position_ = -1;
+  task_ = -1;
+}
+
+void Journal::clear_cursor() {
+  rotation_ = -1;
+  clear_coordinate();
+}
+
+std::string Journal::text() const {
+  AM_REQUIRE(path_.empty(), "text() is only available on in-memory journals");
+  return buffer_.str();
+}
+
+void Journal::flush() { out_->flush(); }
+
+void Journal::commit(const std::string& line) {
+  *out_ << line << '\n';
+}
+
+}  // namespace automap

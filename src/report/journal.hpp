@@ -1,0 +1,98 @@
+#pragma once
+
+// Structured, append-only search provenance journal (§ISSUE 5; schema in
+// docs/file_formats.md). The search stack emits one JSONL record per
+// decision-relevant event — candidate evaluated/censored/quarantined,
+// coordinate move accepted/rejected with its makespan delta, constraint
+// edges established and pruned per rotation, checkpoints, incumbent
+// improvements, metric snapshots — each stamped with the simulated search
+// clock and the current rotation/coordinate cursor.
+//
+// Ordering contract ("lock-free-ordered"): every emission site sits on the
+// serial side of the search — the evaluate_batch fold loop or the
+// algorithm's own single-threaded control flow — never inside pool
+// workers. Events therefore carry a single monotone sequence number with
+// no locking, and a journal is byte-identical at any --threads value (the
+// same guarantee the SearchResult already has). A null Journal* in
+// SearchOptions disables everything: emission sites are `if (journal_)`
+// guards on the fold side, which is noise against a simulator run.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace automap {
+
+/// Current schema version, written in the header record and bumped on any
+/// incompatible change (see docs/file_formats.md "Versioning policy").
+inline constexpr int kJournalVersion = 1;
+
+class Journal {
+ public:
+  /// In-memory journal (tests, byte-identity comparisons); read back with
+  /// text().
+  Journal();
+  /// File-backed journal. Throws Error when the path cannot be opened.
+  explicit Journal(const std::string& path);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// One pending JSONL record. Committed (rendered + appended + newline)
+  /// when the builder goes out of scope; chain field setters in between.
+  /// Keys must be unique per event and values are rendered exactly once,
+  /// in call order — byte-identity depends on it.
+  class Event {
+   public:
+    ~Event();
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    Event& str(std::string_view key, std::string_view value);
+    Event& num(std::string_view key, double value);
+    Event& integer(std::string_view key, long long value);
+    Event& boolean(std::string_view key, bool value);
+    /// Pre-rendered JSON (arrays, objects, metric snapshots).
+    Event& raw(std::string_view key, std::string_view json);
+
+   private:
+    friend class Journal;
+    Event(Journal* journal, std::string_view type);
+
+    Journal* journal_;
+    std::string line_;
+  };
+
+  /// Starts a record of the given type, stamped with the next sequence
+  /// number and the current rotation/coordinate cursor.
+  Event event(std::string_view type);
+
+  /// Cursor state auto-attached to subsequent events as "rot"/"pos"/"task".
+  void set_rotation(int rotation);
+  void set_coordinate(int position, int task);
+  void clear_coordinate();
+  void clear_cursor();
+
+  /// Serialized contents of an in-memory journal (precondition: default-
+  /// constructed, not file-backed).
+  [[nodiscard]] std::string text() const;
+  /// Path of a file-backed journal; empty for in-memory journals.
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void flush();
+
+ private:
+  void commit(const std::string& line);
+
+  std::string path_;
+  std::ostringstream buffer_;
+  std::ofstream file_;
+  std::ostream* out_;
+  long long next_sequence_ = 0;
+  int rotation_ = -1;
+  int position_ = -1;
+  int task_ = -1;
+};
+
+}  // namespace automap

@@ -141,6 +141,12 @@ std::string render_mapping_dot(const TaskGraph& graph,
 }
 
 std::string render_chrome_trace(const ExecutionReport& report) {
+  return render_chrome_trace(report, {});
+}
+
+std::string render_chrome_trace(
+    const ExecutionReport& report,
+    const std::vector<TrajectoryPoint>& trajectory) {
   AM_REQUIRE(report.ok, "cannot render a trace of a failed run");
   // Stable row ids per resource.
   std::map<std::string, int> rows;
@@ -168,6 +174,24 @@ std::string render_chrome_trace(const ExecutionReport& report) {
        << "\"";
     if (e.kind == TraceEvent::Kind::kCopy) os << ",\"bytes\":" << e.bytes;
     os << "}}";
+  }
+  if (!trajectory.empty()) {
+    // The search clock (simulated hours of candidate evaluation) and the
+    // rendered run (one execution, milliseconds) live on different time
+    // axes, so incumbent markers are placed proportionally: an improvement
+    // at 40% of the search lands at 40% of the rendered run.
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+          "\"args\":{\"name\":\"search\"}}";
+    const double span = trajectory.back().search_time_s;
+    for (const TrajectoryPoint& point : trajectory) {
+      const double fraction =
+          span > 0.0 ? point.search_time_s / span : 1.0;
+      os << ",{\"name\":\"incumbent " << format_seconds(point.best_exec_s)
+         << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":0,"
+         << "\"ts\":" << fraction * report.total_seconds * 1e6 << ","
+         << "\"args\":{\"best_s\":" << point.best_exec_s
+         << ",\"search_time_s\":" << point.search_time_s << "}}";
+    }
   }
   os << "],\"displayTimeUnit\":\"ms\"}\n";
   return os.str();

@@ -10,8 +10,10 @@
 // Chrome tracing (about://tracing / Perfetto) JSON format.
 
 #include <string>
+#include <vector>
 
 #include "src/mapping/mapping.hpp"
+#include "src/search/search.hpp"
 #include "src/sim/report.hpp"
 #include "src/taskgraph/task_graph.hpp"
 
@@ -32,5 +34,14 @@ namespace automap {
 /// execution report recorded with SimOptions::record_trace. Resources
 /// become rows (tid); durations are exported in microseconds.
 [[nodiscard]] std::string render_chrome_trace(const ExecutionReport& report);
+
+/// Same, with the search's incumbent-improvement trajectory overlaid as
+/// instant events on a dedicated "search" row (tid 0): each improvement
+/// appears at its fraction of the search clock mapped onto the rendered
+/// run's duration, tagged with the new best and the simulated search time.
+/// An empty trajectory renders identically to the plain overload.
+[[nodiscard]] std::string render_chrome_trace(
+    const ExecutionReport& report,
+    const std::vector<TrajectoryPoint>& trajectory);
 
 }  // namespace automap

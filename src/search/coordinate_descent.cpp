@@ -1,6 +1,7 @@
 #include "src/search/coordinate_descent.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <functional>
@@ -10,7 +11,10 @@
 #include <string>
 
 #include "src/io/text_io.hpp"
+#include "src/report/journal.hpp"
 #include "src/support/error.hpp"
+#include "src/support/json.hpp"
+#include "src/support/metrics.hpp"
 
 namespace automap {
 namespace detail {
@@ -159,6 +163,39 @@ std::vector<TaskId> tasks_by_runtime(const Simulator& sim, const Mapping& f,
   return order;
 }
 
+std::vector<ForcedMove> forced_moves(const Mapping& base,
+                                     const Mapping& candidate, TaskId t,
+                                     std::size_t arg,
+                                     const OverlapMap* overlap,
+                                     const TaskGraph& graph) {
+  std::vector<ForcedMove> out;
+  for (const GroupTask& task : graph.tasks()) {
+    const TaskId ti = task.id;
+    // The primary move sets t's processor itself; every *other* task whose
+    // processor changed was pulled by the fixed point's addressability
+    // repair.
+    if (ti != t && candidate.at(ti).proc != base.at(ti).proc) {
+      out.push_back({.task = ti,
+                     .proc_change = true,
+                     .proc = candidate.at(ti).proc});
+    }
+    for (std::size_t ai = 0; ai < task.args.size(); ++ai) {
+      if (ti == t && ai == arg) continue;  // the primary decision itself
+      const MemKind m = candidate.primary_memory(ti, ai);
+      if (m == base.primary_memory(ti, ai)) continue;
+      bool direct = false;
+      if (overlap != nullptr) {
+        const auto& related = (*overlap)[t.index()][arg];
+        direct = std::find(related.begin(), related.end(),
+                           ArgRef{ti, ai}) != related.end();
+      }
+      out.push_back(
+          {.task = ti, .arg = ai, .mem = m, .direct = direct});
+    }
+  }
+  return out;
+}
+
 namespace {
 
 /// Collection-argument indices of a task, largest collection first
@@ -178,6 +215,108 @@ std::vector<std::size_t> args_by_size(const TaskGraph& graph,
 /// Builds one candidate of a sweep from the current incumbent.
 using CandidateGen = std::function<Mapping(const Mapping&)>;
 
+/// What decision a sweep generator proposes — recorded alongside each
+/// generator so the provenance journal can describe the move without
+/// re-deriving it from a mapping diff.
+struct MoveInfo {
+  bool is_dist = false;  // distribution move vs placement move
+  bool distribute = false;
+  bool blocked = false;
+  std::size_t arg = 0;
+  ProcKind proc = ProcKind::kCpu;
+  MemKind mem = MemKind::kSystem;
+};
+
+/// Observability instruments of one CCD/CD run (all null when disabled).
+struct CcdInstruments {
+  Journal* journal = nullptr;
+  Counter* moves_accepted = nullptr;
+  Counter* moves_rejected = nullptr;
+  Counter* rotations = nullptr;
+  Counter* checkpoints = nullptr;
+  Gauge* edges_active = nullptr;
+
+  [[nodiscard]] bool active() const {
+    return journal != nullptr || moves_accepted != nullptr;
+  }
+};
+
+/// Context a sweep needs to journal its moves: which coordinate is being
+/// optimized and under which (possibly null) co-location map.
+struct MoveContext {
+  const CcdInstruments* ins = nullptr;
+  const Evaluator* eval = nullptr;
+  const std::vector<MoveInfo>* infos = nullptr;
+  TaskId t;
+  const OverlapMap* overlap = nullptr;  // null under plain CD
+  const TaskGraph* graph = nullptr;
+};
+
+std::string render_forced(const std::vector<ForcedMove>& moves,
+                          bool constrained) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const ForcedMove& m = moves[i];
+    if (i > 0) out += ",";
+    out += "{\"task\":" + std::to_string(m.task.index());
+    if (m.proc_change) {
+      out += ",\"proc\":\"" + std::string(to_string(m.proc)) + "\"";
+      out += ",\"via\":\"addressability\"";
+    } else {
+      out += ",\"arg\":" + std::to_string(m.arg);
+      out += ",\"mem\":\"" + std::string(to_string(m.mem)) + "\"";
+      // direct: the argument co-locates with the primary (same or
+      // overlapping collection). transitive: dragged by the fixed point
+      // through other co-location classes. repair: plain CD's
+      // addressability fallback (no constraint graph at all).
+      out += m.direct ? ",\"via\":\"colocation\""
+                      : (constrained ? ",\"via\":\"transitive\""
+                                     : ",\"via\":\"repair\"");
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+/// Emits one `move` journal event (and bumps the accepted/rejected
+/// counters) for the sweep candidate at generator index `g`. Runs inside
+/// the serial fold, so ordering and byte-identity are free.
+void emit_move(const MoveContext& mc, std::size_t g, const Mapping& base,
+               const Mapping& candidate, bool accepted, double mean,
+               double incumbent) {
+  const CcdInstruments& ins = *mc.ins;
+  if (ins.moves_accepted != nullptr) {
+    (accepted ? ins.moves_accepted : ins.moves_rejected)->inc();
+  }
+  if (ins.journal == nullptr) return;
+  const MoveInfo& info = (*mc.infos)[g];
+  auto ev = ins.journal->event("move");
+  ev.str("kind", info.is_dist ? "distribution" : "placement");
+  if (info.is_dist) {
+    ev.boolean("distribute", info.distribute)
+        .boolean("blocked", info.blocked);
+  } else {
+    ev.integer("arg", static_cast<long long>(info.arg))
+        .str("proc", to_string(info.proc))
+        .str("mem", to_string(info.mem));
+  }
+  ev.boolean("accepted", accepted).num("mean", mean);
+  if (std::isfinite(mean) && std::isfinite(incumbent)) {
+    ev.num("delta", mean - incumbent);
+  }
+  ev.num("clock", mc.eval->view().stats().search_time_s);
+  if (accepted) {
+    ev.str("hash", hex_u64(candidate.hash()));
+    if (!info.is_dist) {
+      ev.raw("forced",
+             render_forced(forced_moves(base, candidate, mc.t, info.arg,
+                                        mc.overlap, *mc.graph),
+                           /*constrained=*/mc.overlap != nullptr));
+    }
+  }
+}
+
 /// One greedy-sequential coordinate sweep (Algorithm 1 ll. 10-24), batched.
 /// Semantically identical to the serial loop
 ///
@@ -194,7 +333,8 @@ using CandidateGen = std::function<Mapping(const Mapping&)>;
 /// without touching any statistics and rebuilt from the new one.
 /// Improvements are rare in a descent sweep, so most batches fold whole.
 void batched_sweep(Evaluator& eval, const std::vector<CandidateGen>& gens,
-                   Mapping& f, double& p) {
+                   Mapping& f, double& p,
+                   const MoveContext* mc = nullptr) {
   std::size_t next = 0;
   while (next < gens.size()) {
     if (eval.budget_exhausted()) return;
@@ -211,7 +351,15 @@ void batched_sweep(Evaluator& eval, const std::vector<CandidateGen>& gens,
     const std::size_t folded = eval.evaluate_batch(
         batch,
         [&](std::size_t i, double mean) {
-          if (mean < p) {
+          const bool accepted = mean < p;
+          // Journal the move on the fold side, before the incumbent is
+          // updated: `f` is still the pre-move base the forced-move diff
+          // needs, and `p` the delta baseline. Discarded speculative tails
+          // never reach this point, matching the serial semantics.
+          if (mc != nullptr) {
+            emit_move(*mc, next + i, f, batch[i], accepted, mean, p);
+          }
+          if (accepted) {
             improved = static_cast<std::ptrdiff_t>(i);
             improved_mean = mean;
             return false;
@@ -236,12 +384,14 @@ void batched_sweep(Evaluator& eval, const std::vector<CandidateGen>& gens,
 /// generator list so batched_sweep can evaluate it in parallel.
 void optimize_task(TaskId t, Mapping& f, double& p, Evaluator& eval,
                    const Simulator& sim, const OverlapMap* overlap,
-                   bool search_distribution_strategies) {
+                   bool search_distribution_strategies,
+                   const CcdInstruments* ins = nullptr) {
   const TaskGraph& graph = sim.graph();
   const MachineModel& machine = sim.machine();
   const GroupTask& task = graph.task(t);
 
   std::vector<CandidateGen> gens;
+  std::vector<MoveInfo> infos;  // parallel to gens, journal only
 
   // Distribution setting. The paper searches only distributed-vs-leader;
   // the extension also proposes a blocked decomposition.
@@ -259,6 +409,9 @@ void optimize_task(TaskId t, Mapping& f, double& p, Evaluator& eval,
       candidate.at(t).blocked = d.blocked;
       return candidate;
     });
+    infos.push_back({.is_dist = true,
+                     .distribute = d.distribute,
+                     .blocked = d.blocked});
   }
 
   // Processor kind x per-collection memory kind.
@@ -287,11 +440,22 @@ void optimize_task(TaskId t, Mapping& f, double& p, Evaluator& eval,
           }
           return candidate;
         });
+        infos.push_back({.arg = a, .proc = k, .mem = r});
       }
     }
   }
 
-  batched_sweep(eval, gens, f, p);
+  if (ins != nullptr && ins->active()) {
+    const MoveContext mc{.ins = ins,
+                         .eval = &eval,
+                         .infos = &infos,
+                         .t = t,
+                         .overlap = overlap,
+                         .graph = &graph};
+    batched_sweep(eval, gens, f, p, &mc);
+  } else {
+    batched_sweep(eval, gens, f, p);
+  }
 }
 
 /// A parsed CCD/CD checkpoint: where the killed search stood. Checkpoints
@@ -400,6 +564,22 @@ SearchResult run_coordinate_descent(const Simulator& sim,
   const MachineModel& machine = sim.machine();
   const char* algorithm = constrained ? "AM-CCD" : "AM-CD";
 
+  CcdInstruments ins;
+  ins.journal = options.journal;
+  if (options.metrics != nullptr) {
+    MetricsRegistry& m = *options.metrics;
+    ins.moves_accepted = m.counter("automap_moves_accepted_total",
+                                   "Coordinate moves accepted");
+    ins.moves_rejected = m.counter("automap_moves_rejected_total",
+                                   "Coordinate moves rejected");
+    ins.rotations =
+        m.counter("automap_rotations_total", "CCD/CD rotations completed");
+    ins.checkpoints =
+        m.counter("automap_checkpoints_total", "Checkpoint files written");
+    ins.edges_active = m.gauge("automap_constraint_edges_active",
+                               "Active co-location constraint edges");
+  }
+
   Mapping f = start != nullptr ? *start
                                : search_starting_point(graph, machine);
 
@@ -412,6 +592,7 @@ SearchResult run_coordinate_descent(const Simulator& sim,
     rp = parse_checkpoint(options.resume_state, algorithm, graph, f);
     eval.restore_state(rp.evaluator_state);
   }
+  eval.journal_search_begin(algorithm, f, /*custom_start=*/start != nullptr);
   double p = resuming ? rp.incumbent_mean : eval.evaluate(f);
 
   // The overlap graph C, including same-collection coupling edges (a == b)
@@ -433,6 +614,25 @@ SearchResult run_coordinate_descent(const Simulator& sim,
                      });
   }
   const std::size_t original_edges = edges.size();
+  if (ins.edges_active != nullptr) {
+    ins.edges_active->set(static_cast<double>(edges.size()));
+  }
+  if (ins.journal != nullptr && constrained) {
+    std::string rendered = "[";
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (i > 0) rendered += ",";
+      rendered += "{\"a\":" + std::to_string(edges[i].a.index()) +
+                  ",\"b\":" + std::to_string(edges[i].b.index()) +
+                  ",\"bytes\":" +
+                  std::to_string(static_cast<long long>(
+                      edges[i].weight_bytes)) +
+                  "}";
+    }
+    rendered += "]";
+    ins.journal->event("constraint_graph")
+        .integer("edges", static_cast<long long>(edges.size()))
+        .raw("edge_list", rendered);
+  }
 
   const FrozenTaskSet frozen(options.frozen_tasks, graph.num_tasks());
 
@@ -440,14 +640,26 @@ SearchResult run_coordinate_descent(const Simulator& sim,
   Rng profile_rng(mix64(options.seed) ^ 0x1b873593ULL);
 
   // Relax the data-movement constraint: drop 1/(N-1) of the lightest
-  // edges per rotation so the final rotation runs unconstrained.
-  const auto drop_edges = [&] {
+  // edges per rotation so the final rotation runs unconstrained. Resume
+  // replay passes quiet=true: the dropped journal events were already
+  // written by the run that produced the checkpoint.
+  const auto drop_edges = [&](bool quiet) {
     if (!constrained || rotations <= 1) return;
     const std::size_t drop =
         (original_edges + static_cast<std::size_t>(rotations) - 2) /
         static_cast<std::size_t>(rotations - 1);
     const std::size_t keep = edges.size() > drop ? edges.size() - drop : 0;
+    const std::size_t dropped = edges.size() - keep;
     edges.resize(keep);
+    if (quiet) return;
+    if (ins.edges_active != nullptr) {
+      ins.edges_active->set(static_cast<double>(edges.size()));
+    }
+    if (ins.journal != nullptr && dropped > 0) {
+      ins.journal->event("edges_pruned")
+          .integer("dropped", static_cast<long long>(dropped))
+          .integer("remaining", static_cast<long long>(edges.size()));
+    }
   };
 
   // Resume replay: each completed rotation consumed one profiling-seed
@@ -460,7 +672,7 @@ SearchResult run_coordinate_descent(const Simulator& sim,
   if (resuming) {
     const int draws = start_rotation + (rp.position > 0 ? 1 : 0);
     for (int i = 0; i < draws; ++i) (void)profile_rng.next();
-    for (int i = 0; i < start_rotation; ++i) drop_edges();
+    for (int i = 0; i < start_rotation; ++i) drop_edges(/*quiet=*/true);
   }
 
   for (int rotation = start_rotation; rotation < rotations; ++rotation) {
@@ -476,6 +688,20 @@ SearchResult run_coordinate_descent(const Simulator& sim,
         mid_resume ? rp.order
                    : detail::tasks_by_runtime(sim, f, profile_rng.next());
 
+    if (ins.journal != nullptr) {
+      ins.journal->set_rotation(rotation);
+      std::string order_json = "[";
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i > 0) order_json += ",";
+        order_json += std::to_string(order[i].index());
+      }
+      order_json += "]";
+      ins.journal->event("rotation_begin")
+          .integer("edges", static_cast<long long>(edges.size()))
+          .num("incumbent", p)
+          .raw("order", order_json);
+    }
+
     // Counters for the degraded-rotation circuit breaker below.
     const std::size_t evaluated_before = eval.view().stats().evaluated;
     const std::size_t failed_before =
@@ -486,29 +712,49 @@ SearchResult run_coordinate_descent(const Simulator& sim,
       const TaskId t = order[pos];
       if (eval.budget_exhausted()) break;
       if (frozen.contains(t)) continue;  // §3.3 subset search
+      if (ins.journal != nullptr) {
+        ins.journal->set_coordinate(static_cast<int>(pos),
+                                    static_cast<int>(t.index()));
+      }
       optimize_task(t, f, p, eval, sim, constrained ? &overlap : nullptr,
-                    options.search_distribution_strategies);
+                    options.search_distribution_strategies, &ins);
       // Task-boundary checkpoint: every state written here is one the
       // uninterrupted run passes through, so a kill at any moment resumes
       // onto the same trajectory. A budget-cut optimize_task folds only a
       // prefix of its batch — a state no uninterrupted run visits — so the
       // write is skipped once the budget is exhausted.
-      if (!options.checkpoint_path.empty() && !eval.budget_exhausted())
+      if (!options.checkpoint_path.empty() && !eval.budget_exhausted()) {
         write_checkpoint(options.checkpoint_path, algorithm, rotation,
                          pos + 1, best_before, p, order, f, eval);
+        if (ins.checkpoints != nullptr) ins.checkpoints->inc();
+        if (ins.journal != nullptr) {
+          ins.journal->event("checkpoint")
+              .integer("at_rotation", rotation)
+              .integer("at_position", static_cast<long long>(pos + 1));
+        }
+      }
     }
+    if (ins.journal != nullptr) ins.journal->clear_coordinate();
     eval.note_rotation(rotation, best_before);
+    if (ins.rotations != nullptr) ins.rotations->inc();
 
-    drop_edges();
+    drop_edges(/*quiet=*/false);
 
     // Skip the rotation-boundary checkpoint when the budget cut the
     // rotation short: the boundary state would record note_rotation over an
     // incomplete rotation, which an uninterrupted (larger-budget) run never
     // passes through. The last task-boundary checkpoint stays on disk and
     // resumes onto the true trajectory instead.
-    if (!options.checkpoint_path.empty() && !eval.budget_exhausted())
+    if (!options.checkpoint_path.empty() && !eval.budget_exhausted()) {
       write_checkpoint(options.checkpoint_path, algorithm, rotation + 1, 0,
                        best_before, p, order, f, eval);
+      if (ins.checkpoints != nullptr) ins.checkpoints->inc();
+      if (ins.journal != nullptr) {
+        ins.journal->event("checkpoint")
+            .integer("at_rotation", rotation + 1)
+            .integer("at_position", 0);
+      }
+    }
 
     // Graceful-degradation circuit breaker (fault injection only): when
     // every candidate executed this rotation failed (OOM or quarantined),

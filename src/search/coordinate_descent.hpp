@@ -74,5 +74,35 @@ using OverlapMap = std::vector<std::vector<std::vector<ArgRef>>>;
                                                    const Mapping& f,
                                                    std::uint64_t seed);
 
+/// One decision an accepted placement move changed *beyond* its primary
+/// (t, arg) -> (proc, mem) decision: a co-located argument dragged to the
+/// same memory, or a task pulled to the new processor kind because the
+/// fixed point left it unable to address its arguments. The provenance
+/// journal attaches these to every accepted placement move, and `automap
+/// explain` renders them as "forced by co-location with ...".
+struct ForcedMove {
+  TaskId task;
+  /// True: the task's processor changed to `proc` (addressability pull).
+  /// False: argument `arg`'s primary memory changed to `mem`.
+  bool proc_change = false;
+  std::size_t arg = 0;
+  ProcKind proc = ProcKind::kCpu;
+  MemKind mem = MemKind::kSystem;
+  /// The changed argument overlaps the primary (t, arg) directly (same
+  /// collection or an overlapping one) — versus a transitive fixed-point
+  /// consequence or, under plain CD, an addressability repair.
+  bool direct = false;
+};
+
+/// Complete diff of an accepted placement move against the pre-move
+/// incumbent, the primary decision itself excluded. Deterministic
+/// task-major order. `overlap` is the active co-location map (null under
+/// plain CD, where every change is an addressability repair).
+[[nodiscard]] std::vector<ForcedMove> forced_moves(const Mapping& base,
+                                                   const Mapping& candidate,
+                                                   TaskId t, std::size_t arg,
+                                                   const OverlapMap* overlap,
+                                                   const TaskGraph& graph);
+
 }  // namespace detail
 }  // namespace automap

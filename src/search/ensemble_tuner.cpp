@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/report/journal.hpp"
 #include "src/support/error.hpp"
 
 namespace automap {
@@ -115,6 +116,7 @@ SearchResult run_ensemble_tuner(const Simulator& sim,
   // starting point so the tuner has at least one valid incumbent.
   std::vector<Mapping> elites;
   elites.push_back(search_starting_point(graph, machine));
+  eval.journal_search_begin("AM-OT", elites.front());
   double best = eval.evaluate(elites.front());
 
   // §3.3 subset search: frozen tasks keep the starting-point decisions.
@@ -180,6 +182,14 @@ SearchResult run_ensemble_tuner(const Simulator& sim,
       elites.push_back(candidate);
     }
     bandit.reward(technique, improved);
+    if (options.journal != nullptr) {
+      static constexpr const char* kTechniqueNames[kNumTechniques] = {
+          "random", "hill_climb", "genetic"};
+      options.journal->event("tune")
+          .str("technique", kTechniqueNames[technique])
+          .boolean("improved", improved)
+          .num("value", value);
+    }
   }
 
   return eval.finalize("AM-OT");

@@ -9,7 +9,10 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/report/journal.hpp"
 #include "src/support/error.hpp"
+#include "src/support/json.hpp"
+#include "src/support/metrics.hpp"
 #include "src/support/rng.hpp"
 
 namespace automap {
@@ -42,6 +45,40 @@ Evaluator::Evaluator(const Simulator& sim, const SearchOptions& options)
       pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1);
   if (!options_.profiles_seed.empty())
     import_profiles(options_.profiles_seed);
+
+  // Observability handles. All instruments below are updated exclusively
+  // on the serial fold side, so they are deterministic (thread-count
+  // invariant) and eligible for journal snapshots.
+  journal_ = options_.journal;
+  metrics_ = options_.metrics;
+  if (metrics_) {
+    m_suggested_ = metrics_->counter("automap_candidates_suggested_total",
+                                     "Candidate mappings proposed");
+    m_evaluated_ = metrics_->counter("automap_candidates_evaluated_total",
+                                     "Candidate mappings executed");
+    m_invalid_ = metrics_->counter("automap_candidates_invalid_total",
+                                   "Candidates rejected as invalid");
+    m_oom_ = metrics_->counter("automap_candidates_oom_total",
+                               "Candidates that ran out of memory");
+    m_censored_ =
+        metrics_->counter("automap_candidates_censored_total",
+                          "Candidates censored at the batch threshold");
+    m_cache_hits_ = metrics_->counter(
+        "automap_candidates_cache_hits_total",
+        "Candidates answered from the profiles database");
+    m_quarantined_ =
+        metrics_->counter("automap_candidates_quarantined_total",
+                          "Candidates quarantined by the resilience policy");
+    m_search_clock_ = metrics_->gauge("automap_search_clock_seconds",
+                                      "Simulated search clock");
+    m_best_seconds_ = metrics_->gauge("automap_best_seconds",
+                                      "Incumbent objective value");
+    m_candidate_mean_ = metrics_->histogram(
+        "automap_candidate_mean_seconds",
+        "Recorded candidate objective values (seconds)",
+        {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+         300.0, 1000.0});
+  }
 }
 
 std::uint64_t Evaluator::run_seed(std::uint64_t mapping_hash, int repeat,
@@ -515,10 +552,12 @@ std::size_t Evaluator::evaluate_batch(
     ++stats_.suggested;
 
     double mean;
+    const char* status;
     if (plan.invalid) {
       ++stats_.invalid;
       profiles_.insert_or_assign(plan.key, Entry{mapping, kInf});
       mean = kInf;
+      status = "invalid";
     } else if (plan.execute) {
       const CandOutcome out =
           pre_executed ? outcomes[plan.outcome]
@@ -542,6 +581,7 @@ std::size_t Evaluator::evaluate_batch(
         stats_.evaluation_time_s += failure_observation_cost() + out.charge_s;
         profiles_.insert_or_assign(plan.key, Entry{mapping, kInf});
         mean = kInf;
+        status = "oom";
       } else if (out.failed) {
         // Every repeat was lost to transient faults. Cache the candidate
         // as quarantined whether or not the consecutive-loss cutoff fired
@@ -555,6 +595,7 @@ std::size_t Evaluator::evaluate_batch(
             plan.key, Entry{mapping, kInf, /*censored=*/false,
                             /*quarantined=*/true});
         mean = kInf;
+        status = "quarantined";
       } else {
         stats_.search_time_s += out.charge_s;
         stats_.evaluation_time_s += out.charge_s;
@@ -567,15 +608,27 @@ std::size_t Evaluator::evaluate_batch(
           mean = threshold;
           profiles_.insert_or_assign(
               plan.key, Entry{mapping, mean, /*censored=*/true});
+          status = "censored";
         } else {
           mean = aggregate_objective(out);
           profiles_.insert_or_assign(plan.key, Entry{mapping, mean});
           if (mean < best_seconds_) {
             best_seconds_ = mean;
             trajectory_.push_back({stats_.search_time_s, mean});
+            if (journal_) {
+              // 1:1 with trajectory points — the replay drift check and
+              // the Chrome-trace search row both reconstruct the Fig. 9
+              // curve from these.
+              journal_->event("incumbent")
+                  .num("clock", stats_.search_time_s)
+                  .num("best", mean)
+                  .integer("seq",
+                           static_cast<long long>(stats_.suggested));
+            }
           }
           // Maintain the top-k list for the finalist protocol.
           if (mean < kInf) insert_top(mapping, mean);
+          status = "evaluated";
         }
       }
     } else {
@@ -586,12 +639,123 @@ std::size_t Evaluator::evaluate_batch(
                "deferred batch member lost its profiles entry");
       mean = it->second.mean_seconds;
       ++stats_.cache_hits;
+      status = "cached";
     }
 
+    if (journal_ || metrics_) journal_candidate(status, mean, plan.key);
     ++folded;
     if (!consume(j, mean)) break;
   }
   return folded;
+}
+
+void Evaluator::journal_candidate(const char* status, double mean,
+                                  std::uint64_t hash) {
+  const std::string_view s(status);
+  if (metrics_) {
+    m_suggested_->inc();
+    if (s == "cached") {
+      m_cache_hits_->inc();
+    } else if (s == "invalid") {
+      m_invalid_->inc();
+    } else {
+      m_evaluated_->inc();
+      if (s == "oom") {
+        m_oom_->inc();
+      } else if (s == "censored") {
+        m_censored_->inc();
+      } else if (s == "quarantined") {
+        m_quarantined_->inc();
+      }
+    }
+    m_search_clock_->set(stats_.search_time_s);
+    if (std::isfinite(best_seconds_)) m_best_seconds_->set(best_seconds_);
+    if (std::isfinite(mean)) m_candidate_mean_->observe(mean);
+  }
+  if (journal_) {
+    journal_->event("candidate")
+        .integer("seq", static_cast<long long>(stats_.suggested))
+        .str("status", s)
+        .num("mean", mean)
+        .num("clock", stats_.search_time_s)
+        .str("hash", hex_u64(hash));
+    journal_metrics_snapshot(/*force=*/false);
+  }
+}
+
+void Evaluator::journal_metrics_snapshot(bool force) {
+  if (!journal_ || !metrics_) return;
+  if (!force) {
+    if (options_.journal_snapshot_every <= 0) return;
+    if (++folds_since_snapshot_ < options_.journal_snapshot_every) return;
+  }
+  folds_since_snapshot_ = 0;
+  // Only deterministic instruments appear in the snapshot — raw simulator
+  // run counts include speculative pool work and would break the journal's
+  // thread-count byte-identity.
+  journal_->event("metrics")
+      .num("clock", stats_.search_time_s)
+      .raw("values", metrics_->snapshot_json());
+}
+
+void Evaluator::journal_search_begin(std::string_view label,
+                                     const Mapping& start,
+                                     bool custom_start) {
+  if (!journal_) return;
+  const SimOptions& sim = sim_.options();
+  std::string frozen = "[";
+  for (std::size_t i = 0; i < options_.frozen_tasks.size(); ++i) {
+    if (i > 0) frozen += ",";
+    frozen += std::to_string(options_.frozen_tasks[i].index());
+  }
+  frozen += "]";
+  const char* aggregation = "mean";
+  switch (options_.resilience.aggregation) {
+    case Aggregation::kMean:
+      break;
+    case Aggregation::kMedian:
+      aggregation = "median";
+      break;
+    case Aggregation::kTrimmedMean:
+      aggregation = "trimmed_mean";
+      break;
+  }
+  // Everything that determines the deterministic outcome is recorded —
+  // except the thread count, which by contract changes nothing (and would
+  // break journal byte-identity across --threads values). The seed is a
+  // string: JSON numbers above 2^53 lose precision through double parsing.
+  journal_->event("search_begin")
+      .str("algorithm", label)
+      .str("seed", std::to_string(options_.seed))
+      .integer("rotations", options_.rotations)
+      .integer("repeats", options_.repeats)
+      .num("budget", options_.time_budget_s)
+      .integer("top_k", options_.top_k)
+      .integer("final_repeats", options_.final_repeats)
+      .boolean("prune", options_.prune_candidates)
+      .boolean("fallbacks", options_.memory_fallbacks)
+      .boolean("distribution_strategies",
+               options_.search_distribution_strategies)
+      .str("objective", options_.objective == Objective::kEnergy
+                            ? "energy"
+                            : "time")
+      .integer("max_retries", options_.resilience.max_retries)
+      .integer("quarantine_after", options_.resilience.quarantine_after)
+      .num("retry_backoff_s", options_.resilience.retry_backoff_s)
+      .str("aggregation", aggregation)
+      .integer("sim_iterations", sim.iterations)
+      .num("noise_sigma", sim.noise_sigma)
+      .num("fault_crash", sim.faults.crash_prob)
+      .num("fault_straggler", sim.faults.straggler_prob)
+      .num("fault_straggler_factor", sim.faults.straggler_factor)
+      .num("fault_mem_pressure", sim.faults.mem_pressure_prob)
+      .num("fault_mem_headroom", sim.faults.mem_pressure_headroom)
+      .num("fault_copy", sim.faults.copy_fault_prob)
+      .raw("frozen", frozen)
+      .str("start", start.serialize())
+      .boolean("custom_start", custom_start)
+      .boolean("resumed", !options_.resume_state.empty())
+      .boolean("seeded_profiles", !options_.profiles_seed.empty());
 }
 
 void Evaluator::charge_overhead(double seconds) {
@@ -613,13 +777,24 @@ void Evaluator::note_rotation(int rotation, double best_before_s) {
                               .best_after_s = best_seconds_,
                               .evaluated = stats_.evaluated,
                               .search_time_s = stats_.search_time_s});
+  if (journal_) {
+    journal_->event("rotation_end")
+        .num("before", best_before_s)
+        .num("after", best_seconds_)
+        .integer("evaluated", static_cast<long long>(stats_.evaluated))
+        .num("clock", stats_.search_time_s);
+    journal_metrics_snapshot(/*force=*/true);
+  }
 }
 
 bool Evaluator::budget_exhausted() const {
   return stats_.search_time_s >= options_.time_budget_s;
 }
 
-void Evaluator::mark_degraded() { stats_.degraded = true; }
+void Evaluator::mark_degraded() {
+  stats_.degraded = true;
+  if (journal_) journal_->event("degraded");
+}
 
 std::string Evaluator::serialize_state() const {
   // Text format (version 1), all doubles at precision 17 so a restored
@@ -773,6 +948,8 @@ const Mapping& EvaluatorView::best() const {
 SearchResult Evaluator::finalize(std::string algorithm_name) {
   SearchResult result;
   result.algorithm = std::move(algorithm_name);
+  // The finalist protocol runs outside any rotation/coordinate scope.
+  if (journal_) journal_->clear_cursor();
 
   // All (finalist, repeat) reruns are independent under derived seeds, so
   // they fan out across the pool as one batch and fold back in top-k order.
@@ -839,16 +1016,26 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
     // A finalist scores when a strict majority of its repeats survived —
     // fault-free that is all of them, reproducing the historical
     // ok_runs == repeats rule bit for bit.
+    double final_mean = kInf;
     if (!excluded && ok_runs * 2 > repeats) {
       CandOutcome agg;
       agg.objective_sum = sum;
       agg.survivors = ok_runs;
       agg.objectives = std::move(values);
-      const double mean = aggregate_objective(agg);
-      if (mean < best_final) {
-        best_final = mean;
+      final_mean = aggregate_objective(agg);
+      if (final_mean < best_final) {
+        best_final = final_mean;
         result.best = top_[e].mapping;
       }
+    }
+    if (journal_) {
+      journal_->event("finalist")
+          .integer("rank", static_cast<long long>(e))
+          .str("hash", hex_u64(hashes[e]))
+          .boolean("excluded", excluded)
+          .integer("ok_runs", ok_runs)
+          .num("mean", final_mean)
+          .num("clock", stats_.search_time_s);
     }
   }
   if (best_final < kInf) {
@@ -869,6 +1056,24 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
   result.stats = stats_;
   result.trajectory = trajectory_;
   if (options_.export_profiles_db) result.profiles_db = export_profiles();
+  if (metrics_) {
+    m_search_clock_->set(stats_.search_time_s);
+    if (std::isfinite(result.best_seconds))
+      m_best_seconds_->set(result.best_seconds);
+  }
+  if (journal_) {
+    journal_metrics_snapshot(/*force=*/true);
+    journal_->event("finalize")
+        .str("algorithm", result.algorithm)
+        .num("best", result.best_seconds)
+        .boolean("degraded", stats_.degraded)
+        .integer("suggested", static_cast<long long>(stats_.suggested))
+        .integer("evaluated", static_cast<long long>(stats_.evaluated))
+        .integer("censored", static_cast<long long>(stats_.censored))
+        .num("clock", stats_.search_time_s)
+        .str("winner", result.best.serialize());
+    journal_->flush();
+  }
   return result;
 }
 

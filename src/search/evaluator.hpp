@@ -58,7 +58,12 @@
 
 namespace automap {
 
+class Counter;
 class EvaluatorView;
+class Gauge;
+class Histogram;
+class Journal;
+class MetricsRegistry;
 
 class Evaluator {
  public:
@@ -142,6 +147,20 @@ class Evaluator {
   /// determined the fault rate makes further progress unprofilable and is
   /// returning the best-known incumbent instead of throwing.
   void mark_degraded();
+
+  /// Emits the journal's `search_begin` record for this search: the
+  /// algorithm label, the full (options, simulator) configuration that
+  /// determines the deterministic outcome — everything except the thread
+  /// count, which by contract changes nothing — and the serialized starting
+  /// mapping. Algorithms call this once before their first proposal; no-op
+  /// when no journal is configured.
+  void journal_search_begin(std::string_view label, const Mapping& start,
+                            bool custom_start = false);
+
+  /// The journal configured in SearchOptions (null when disabled) — the
+  /// algorithms emit their own structural events (moves, constraint edges,
+  /// rotations) through this.
+  [[nodiscard]] Journal* journal() const { return journal_; }
 
   /// Serializes the evaluator's full mutable state — counters, clock,
   /// trajectory, top-k list, profiles database — for the checkpoint file.
@@ -269,6 +288,15 @@ class Evaluator {
   /// mean) for reuse via SearchOptions::profiles_seed.
   [[nodiscard]] std::string export_profiles() const;
 
+  /// Emits one fold-side `candidate` journal event and updates the
+  /// per-candidate metrics. `status` is one of evaluated / cached /
+  /// invalid / oom / censored / quarantined. Serial fold side only.
+  void journal_candidate(const char* status, double mean,
+                         std::uint64_t hash);
+  /// Appends a deterministic metrics snapshot to the journal when the
+  /// snapshot cadence is due (or `force` is set).
+  void journal_metrics_snapshot(bool force);
+
   const Simulator& sim_;
   SearchOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when options_.threads == 1
@@ -283,6 +311,24 @@ class Evaluator {
   std::vector<TrajectoryPoint> trajectory_;
   /// Wall-clock anchor for SearchStats::wall_time_s (simulated vs real).
   std::chrono::steady_clock::time_point wall_start_;
+
+  // Observability handles, cached at construction from SearchOptions
+  // (all null when the corresponding facility is disabled). Every update
+  // happens on the serial fold side, preserving thread-count invariance.
+  Journal* journal_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* m_suggested_ = nullptr;
+  Counter* m_evaluated_ = nullptr;
+  Counter* m_invalid_ = nullptr;
+  Counter* m_oom_ = nullptr;
+  Counter* m_censored_ = nullptr;
+  Counter* m_cache_hits_ = nullptr;
+  Counter* m_quarantined_ = nullptr;
+  Gauge* m_search_clock_ = nullptr;
+  Gauge* m_best_seconds_ = nullptr;
+  Histogram* m_candidate_mean_ = nullptr;
+  /// Folds since the last journal metrics snapshot (cadence counter).
+  int folds_since_snapshot_ = 0;
 };
 
 /// Read-only window onto an Evaluator for reporting and analysis code: the

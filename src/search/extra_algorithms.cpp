@@ -70,6 +70,7 @@ SearchResult run_random_search(const Simulator& sim,
   Evaluator eval(sim, options);
   Rng rng(mix64(options.seed) ^ 0x2545f4914f6cdd1dULL);
   const Mapping start = search_starting_point(sim.graph(), sim.machine());
+  eval.journal_search_begin("AM-Random", start);
   (void)eval.evaluate(start);
   // Random search has no natural end; without a budget, sample as many
   // candidates as a five-rotation CCD would propose.
@@ -114,6 +115,7 @@ SearchResult run_simulated_annealing(const Simulator& sim,
   Rng rng(mix64(options.seed) ^ 0x94d049bb133111ebULL);
 
   Mapping current = search_starting_point(sim.graph(), sim.machine());
+  eval.journal_search_begin("AM-Anneal", current);
   double current_cost = eval.evaluate(current);
   AM_CHECK(std::isfinite(current_cost), "starting point failed to execute");
 
@@ -184,6 +186,7 @@ SearchResult run_heft_static(const Simulator& sim,
                            {machine.best_memory_for(tm.proc)});
   }
 
+  eval.journal_search_begin("HEFT-static", mapping);
   (void)eval.evaluate(mapping);
   return eval.finalize("HEFT-static");
 }

@@ -15,6 +15,9 @@
 
 namespace automap {
 
+class Journal;
+class MetricsRegistry;
+
 /// What the search minimizes (§3.3: execution time by default, but AutoMap
 /// is suitable for other metrics such as power/energy).
 enum class Objective {
@@ -125,6 +128,19 @@ struct SearchOptions {
   /// Contents of a checkpoint file written via checkpoint_path; when
   /// non-empty, CCD/CD resume from that state instead of starting fresh.
   std::string resume_state;
+  /// Provenance journal (src/report/journal.hpp). When set, the algorithms
+  /// and the evaluator append typed JSONL events for every decision; the
+  /// emission sites all sit on the serial fold side, so the journal is
+  /// byte-identical at any `threads` value. Null disables all emission.
+  Journal* journal = nullptr;
+  /// Metrics registry (src/support/metrics.hpp). When set, the evaluator
+  /// and algorithms update counters/gauges/histograms; pair it with
+  /// SimOptions::metrics for raw simulator run counts. Null disables.
+  MetricsRegistry* metrics = nullptr;
+  /// Fold-side cadence (in consumed candidates) at which the evaluator
+  /// appends a deterministic metrics snapshot to the journal; rotation
+  /// boundaries always snapshot too. <= 0 disables periodic snapshots.
+  int journal_snapshot_every = 256;
 };
 
 /// Indexed frozen-task lookup (§3.3 subset search), built once per search.

@@ -6,6 +6,7 @@
 
 #include "src/support/error.hpp"
 #include "src/support/format.hpp"
+#include "src/support/metrics.hpp"
 
 namespace automap {
 
@@ -78,6 +79,22 @@ Simulator::Simulator(const MachineModel& machine, const TaskGraph& graph,
   mem_kinds_ = machine_.mem_kinds();
   runtime_overhead_ = machine_.runtime_overhead();
   num_nodes_ = machine_.num_nodes();
+
+  if (options_.metrics) {
+    // Raw run counts include speculative pool work, so they are not
+    // thread-count invariant: deterministic=false keeps them out of the
+    // journal's metric snapshots (see MetricsRegistry).
+    runs_total_ = options_.metrics->counter(
+        "automap_sim_runs_total", "Simulated runs executed (any outcome)",
+        /*deterministic=*/false);
+    runs_censored_ = options_.metrics->counter(
+        "automap_sim_runs_censored_total",
+        "Simulated runs aborted at a time bound", /*deterministic=*/false);
+    runs_failed_ = options_.metrics->counter(
+        "automap_sim_runs_failed_total",
+        "Simulated runs that failed (OOM or transient fault)",
+        /*deterministic=*/false);
+  }
 
   const std::size_t num_tasks = graph_.num_tasks();
 
@@ -724,11 +741,22 @@ bool Simulator::begin_runs(const Mapping& mapping,
   return true;
 }
 
+void Simulator::count_run(const ExecutionReport& report) const {
+  if (!runs_total_) return;
+  runs_total_->inc();
+  if (report.censored) {
+    runs_censored_->inc();
+  } else if (!report.ok) {
+    runs_failed_->inc();
+  }
+}
+
 const ExecutionReport& Simulator::run_prepared(const Mapping& mapping,
                                                std::uint64_t seed,
                                                SimScratch& scratch,
                                                double time_bound) const {
   simulate(mapping, seed, time_bound, scratch);
+  count_run(scratch.report_);
   return scratch.report_;
 }
 
@@ -737,6 +765,7 @@ const ExecutionReport& Simulator::run(const Mapping& mapping,
                                       double time_bound) const {
   if (!begin_runs(mapping, scratch)) return scratch.report_;
   simulate(mapping, seed, time_bound, scratch);
+  count_run(scratch.report_);
   return scratch.report_;
 }
 

@@ -49,6 +49,9 @@
 
 namespace automap {
 
+class Counter;
+class MetricsRegistry;
+
 /// Deterministic fault-injection model. All probabilities are per-event
 /// Bernoulli draws from a dedicated fault RNG stream derived from the
 /// (seed, mapping) pair — the same derivation discipline as the noise
@@ -96,6 +99,13 @@ struct SimOptions {
   double time_bound = std::numeric_limits<double>::infinity();
   /// Deterministic fault injection; disabled by default.
   FaultModel faults;
+  /// Raw simulator run counters (src/support/metrics.hpp). These count
+  /// every simulated run, including the speculative tail a thread pool
+  /// pre-executes past an early-stopping fold — so they are NOT
+  /// thread-count invariant and are registered deterministic=false
+  /// (excluded from journal snapshots, present in --metrics-out). Null
+  /// disables; the counters are atomic, so pool workers may bump them.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class Simulator;
@@ -242,6 +252,9 @@ class Simulator {
   /// (Re)sizes the arena for this simulator and clears per-run state.
   void prepare(SimScratch& scratch) const;
 
+  /// Bumps the run counters (no-op when metrics are disabled).
+  void count_run(const ExecutionReport& report) const;
+
   [[nodiscard]] std::size_t dur_index(std::size_t task, std::size_t proc,
                                       std::size_t dist) const {
     return (task * kNumProcKinds + proc) * 2 + dist;
@@ -289,6 +302,12 @@ class Simulator {
   /// Expected trace length (tasks + a 2-leg bound per data edge, per
   /// iteration) to reserve up front when record_trace is on.
   std::size_t trace_reserve_ = 0;
+  /// Run counters cached from options_.metrics at construction (null when
+  /// metrics are disabled — the per-run cost is then a single untaken
+  /// branch).
+  Counter* runs_total_ = nullptr;
+  Counter* runs_censored_ = nullptr;
+  Counter* runs_failed_ = nullptr;
 };
 
 }  // namespace automap

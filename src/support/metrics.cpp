@@ -1,0 +1,164 @@
+#include "src/support/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+
+namespace automap {
+namespace {
+
+// Prometheus sample values: integers print without an exponent, other
+// finite values reuse the deterministic %.17g form (unquoted), non-finite
+// values use the exposition-format spellings.
+std::string sample_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  std::string s = json_double(v);
+  return s;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  AM_REQUIRE(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()),
+             "histogram bucket bounds must be sorted");
+  buckets_.assign(upper_bounds_.size() + 1, 0);  // last = overflow (+Inf)
+}
+
+void Histogram::observe(double value) {
+  std::size_t i = 0;
+  while (i < upper_bounds_.size() && value > upper_bounds_[i]) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += value;
+}
+
+std::uint64_t Histogram::cumulative(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < buckets_.size(); ++b) {
+    total += buckets_[b];
+  }
+  return total;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name) {
+  for (auto& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  bool deterministic) {
+  if (Entry* e = find(name)) {
+    AM_REQUIRE(e->kind == Kind::kCounter,
+               "metric re-registered with a different kind: " + name);
+    return e->counter.get();
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->help = help;
+  e->kind = Kind::kCounter;
+  e->deterministic = deterministic;
+  e->counter = std::make_unique<Counter>();
+  Counter* out = e->counter.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              bool deterministic) {
+  if (Entry* e = find(name)) {
+    AM_REQUIRE(e->kind == Kind::kGauge,
+               "metric re-registered with a different kind: " + name);
+    return e->gauge.get();
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->help = help;
+  e->kind = Kind::kGauge;
+  e->deterministic = deterministic;
+  e->gauge = std::make_unique<Gauge>();
+  Gauge* out = e->gauge.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> upper_bounds,
+                                      bool deterministic) {
+  if (Entry* e = find(name)) {
+    AM_REQUIRE(e->kind == Kind::kHistogram,
+               "metric re-registered with a different kind: " + name);
+    return e->histogram.get();
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->help = help;
+  e->kind = Kind::kHistogram;
+  e->deterministic = deterministic;
+  e->histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  Histogram* out = e->histogram.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+std::string MetricsRegistry::expose() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    out += "# HELP " + e->name + " " + e->help + "\n";
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + e->name + " counter\n";
+        out += e->name + " " + std::to_string(e->counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + e->name + " gauge\n";
+        out += e->name + " " + sample_value(e->gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + e->name + " histogram\n";
+        const Histogram& h = *e->histogram;
+        for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+          out += e->name + "_bucket{le=\"" +
+                 sample_value(h.upper_bounds()[i]) + "\"} " +
+                 std::to_string(h.cumulative(i)) + "\n";
+        }
+        out += e->name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) +
+               "\n";
+        out += e->name + "_sum " + sample_value(h.sum()) + "\n";
+        out += e->name + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& e : entries_) {
+    if (!e->deterministic || e->kind == Kind::kHistogram) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(e->name) + "\":";
+    if (e->kind == Kind::kCounter) {
+      out += std::to_string(e->counter->value());
+    } else {
+      out += json_double(e->gauge->value());
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace automap

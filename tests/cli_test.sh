@@ -155,6 +155,69 @@ fi
       > "$DIR/resumed.txt"
 cmp "$DIR/uninterrupted.txt" "$DIR/resumed.txt"
 
+# Provenance journal + metrics: the journal is valid JSONL, the metrics
+# dump is Prometheus text, and the telemetry digest points at both.
+"$CLI" export-app stencil 2 1 "$DIR/s.graph" > /dev/null
+"$CLI" search "$DIR/m.machine" "$DIR/s.graph" --rotations 3 --repeats 3 \
+      --journal "$DIR/s.journal.jsonl" --metrics-out "$DIR/s.metrics.txt" \
+      --telemetry > "$DIR/jtel.txt"
+test -s "$DIR/s.journal.jsonl"
+python3 -c '
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert lines[0]["type"] == "journal" and lines[0]["version"] >= 1
+assert [l["n"] for l in lines] == list(range(len(lines)))
+types = {l["type"] for l in lines}
+for required in ("search_begin", "candidate", "move", "incumbent",
+                 "metrics", "finalize"):
+    assert required in types, required
+' "$DIR/s.journal.jsonl"
+grep -q "# HELP automap_candidates_suggested_total" "$DIR/s.metrics.txt"
+grep -q "# TYPE automap_candidate_mean_seconds histogram" "$DIR/s.metrics.txt"
+grep -q "journal: " "$DIR/jtel.txt"
+grep -q "convergence: " "$DIR/jtel.txt"
+
+# Journals are byte-identical at any --threads value.
+"$CLI" search "$DIR/m.machine" "$DIR/s.graph" --rotations 3 --repeats 3 \
+      --threads 4 --journal "$DIR/s.journal.t4.jsonl" > /dev/null
+cmp "$DIR/s.journal.jsonl" "$DIR/s.journal.t4.jsonl"
+
+# explain renders per-decision provenance incl. co-location attribution.
+"$CLI" explain "$DIR/s.graph" "$DIR/s.journal.jsonl" > "$DIR/explain.txt"
+grep -q "decision provenance" "$DIR/explain.txt"
+grep -q "forced by co-location with" "$DIR/explain.txt"
+grep -q "processor = " "$DIR/explain.txt"
+
+# replay cross-checks the journal against a fresh run: no drift.
+"$CLI" replay "$DIR/m.machine" "$DIR/s.graph" "$DIR/s.journal.jsonl" \
+      | grep -q "no drift"
+
+# A tampered journal must be caught (nonzero exit, drift report).
+sed 's/"type":"finalize","algorithm":"AM-CCD","best":/"type":"finalize","algorithm":"AM-CCD","best":9/' \
+      "$DIR/s.journal.jsonl" > "$DIR/tampered.jsonl"
+if "$CLI" replay "$DIR/m.machine" "$DIR/s.graph" "$DIR/tampered.jsonl" \
+      > "$DIR/tampered.out" 2>&1; then
+  echo "expected nonzero exit for tampered journal" >&2
+  exit 1
+fi
+grep -q "DRIFT" "$DIR/tampered.out"
+
+# Unwritable output paths fail up front with one Error line, before any
+# search work runs.
+if "$CLI" search "$DIR/m.machine" "$DIR/s.graph" \
+      --journal "$DIR/no-such-dir/x.jsonl" > /dev/null 2> "$DIR/badpath.err"
+then
+  echo "expected nonzero exit for unwritable journal path" >&2
+  exit 1
+fi
+grep -qi "error" "$DIR/badpath.err"
+test "$(wc -l < "$DIR/badpath.err")" -le 2
+if "$CLI" search "$DIR/m.machine" "$DIR/s.graph" \
+      --metrics-out "$DIR/no-such-dir/m.txt" > /dev/null 2>&1; then
+  echo "expected nonzero exit for unwritable metrics path" >&2
+  exit 1
+fi
+
 # Unknown commands fail cleanly.
 if "$CLI" frobnicate > /dev/null 2>&1; then
   echo "expected nonzero exit for unknown command" >&2

@@ -19,19 +19,26 @@
 //       --seed N                  (default 42)
 //       --fallbacks               (enable §3.1 memory priority lists)
 //   evaluate <machine file> <graph file> <mapping file> [--repeats N]
+//   explain <graph file> <journal.jsonl>        (decision provenance)
+//   replay <machine file> <graph file> <journal.jsonl>  (drift cross-check)
 
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "src/apps/registry.hpp"
 #include "src/automap/automap.hpp"
 #include "src/io/text_io.hpp"
 #include "src/report/analysis.hpp"
 #include "src/report/codegen.hpp"
+#include "src/report/explain.hpp"
+#include "src/report/journal.hpp"
 #include "src/report/profile.hpp"
 #include "src/report/visualize.hpp"
+#include "src/support/metrics.hpp"
 #include "src/search/algorithms.hpp"
 #include "src/machine/machine.hpp"
 #include "src/runtime/mapper.hpp"
@@ -63,8 +70,12 @@ int usage() {
          "              [--fault-copy P] [--retries N] [--quarantine K]\n"
          "              [--backoff S] [--aggregate mean|median|trimmed]\n"
          "              [--checkpoint file] [--resume file]\n"
+         "              [--journal out.jsonl] [--metrics-out out.txt]\n"
          "  automap_cli evaluate <machine> <graph> <mapping> [--repeats N]\n"
          "              [--profile] [--trace-json out.json]\n"
+         "  automap_cli explain <graph> <journal.jsonl>\n"
+         "  automap_cli replay <machine> <graph> <journal.jsonl> "
+         "[--threads N]\n"
          "  automap_cli visualize <machine> <graph> <mapping>\n"
          "              [--dot out.dot] [--trace out.json]\n"
          "  automap_cli codegen <graph> <mapping> <ClassName> <out.cpp>\n"
@@ -111,7 +122,8 @@ int cmd_describe(const std::vector<std::string>& args) {
 /// JSON to `trace_json_path`.
 void emit_observability(const MachineModel& machine, const TaskGraph& graph,
                         const Mapping& mapping, bool profile,
-                        const std::string& trace_json_path) {
+                        const std::string& trace_json_path,
+                        const std::vector<TrajectoryPoint>& trajectory = {}) {
   if (!profile && trace_json_path.empty()) return;
   Simulator sim(machine, graph,
                 {.iterations = 10, .noise_sigma = 0.0, .record_trace = true});
@@ -121,7 +133,7 @@ void emit_observability(const MachineModel& machine, const TaskGraph& graph,
     std::cout << "\n" << render_profile(graph, compute_profile(graph, report));
   }
   if (!trace_json_path.empty()) {
-    save_text(trace_json_path, render_chrome_trace(report));
+    save_text(trace_json_path, render_chrome_trace(report, trajectory));
     std::cout << "\nwrote " << trace_json_path
               << " (open in a Chrome-tracing / Perfetto viewer)\n";
   }
@@ -139,6 +151,8 @@ int cmd_search(const std::vector<std::string>& args) {
   std::string profiles_path;
   std::string trace_json_path;
   std::string resume_path;
+  std::string journal_path;
+  std::string metrics_path;
   bool telemetry = false;
   bool profile = false;
   for (std::size_t i = 2; i < args.size(); ++i) {
@@ -209,10 +223,23 @@ int cmd_search(const std::vector<std::string>& args) {
       options.checkpoint_path = value();
     } else if (args[i] == "--resume") {
       resume_path = value();
+    } else if (args[i] == "--journal") {
+      journal_path = value();
+    } else if (args[i] == "--metrics-out") {
+      metrics_path = value();
     } else {
       std::cerr << "unknown option: " << args[i] << "\n";
       return usage();
     }
+  }
+
+  // Every output path is validated before the search starts: a typo'd
+  // directory costs milliseconds and one Error line here instead of a
+  // finished search whose results cannot be written.
+  for (const std::string* path :
+       {&out_path, &profiles_path, &trace_json_path, &journal_path,
+        &metrics_path, &options.checkpoint_path}) {
+    if (!path->empty()) require_writable_path(*path);
   }
 
   if (!resume_path.empty()) {
@@ -241,7 +268,22 @@ int cmd_search(const std::vector<std::string>& args) {
   // Serializing the profiles database costs real time on long searches;
   // only pay for it when --profiles asked to save it.
   options.export_profiles_db = !profiles_path.empty();
-  Simulator sim(machine, graph, {.faults = faults});
+
+  // Observability backends. The journal lives on this frame; the search
+  // keeps only a pointer, and null pointers disable all emission. Raw
+  // simulator run counters are thread-count-dependent (speculative pool
+  // tails), so they are wired only into the final --metrics-out dump,
+  // never into the journal.
+  std::optional<Journal> journal;
+  if (!journal_path.empty()) journal.emplace(journal_path);
+  MetricsRegistry metrics;
+  const bool want_metrics = journal.has_value() || !metrics_path.empty();
+  options.journal = journal.has_value() ? &*journal : nullptr;
+  options.metrics = want_metrics ? &metrics : nullptr;
+
+  Simulator sim(machine, graph,
+                {.faults = faults,
+                 .metrics = metrics_path.empty() ? nullptr : &metrics});
   const SearchResult result = algorithm->run(sim, options);
   if (result.stats.degraded)
     std::cout << "warning: search degraded — finalist protocol was "
@@ -256,13 +298,50 @@ int cmd_search(const std::vector<std::string>& args) {
             << format_fixed(100 * result.stats.evaluation_fraction(), 0)
             << "% evaluating)\n\n"
             << result.best.describe(graph);
-  if (telemetry) std::cout << "\n" << render_search_telemetry(result);
-  emit_observability(machine, graph, result.best, profile, trace_json_path);
+  if (!metrics_path.empty()) save_text(metrics_path, metrics.expose());
+  if (telemetry)
+    std::cout << "\n"
+              << render_search_telemetry(result, journal_path, metrics_path);
+  if (journal.has_value())
+    std::cout << "\nwrote " << journal_path
+              << " (inspect with: automap_cli explain / replay)\n";
+  if (!metrics_path.empty())
+    std::cout << (journal.has_value() ? "" : "\n") << "wrote " << metrics_path
+              << " (Prometheus text format)\n";
+  emit_observability(machine, graph, result.best, profile, trace_json_path,
+                     result.trajectory);
   if (!out_path.empty()) {
     save_text(out_path, result.best.serialize());
     std::cout << "\nwrote " << out_path << "\n";
   }
   return 0;
+}
+
+int cmd_explain(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const TaskGraph graph = load_task_graph(args[0]);
+  std::cout << render_explain(graph, load_text(args[1]));
+  return 0;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const MachineModel machine = load_machine(args[0]);
+  const TaskGraph graph = load_task_graph(args[1]);
+  const std::string journal_text = load_text(args[2]);
+  int threads = 1;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = std::stoi(args[++i]);
+    } else {
+      std::cerr << "unknown option: " << args[i] << "\n";
+      return usage();
+    }
+  }
+  const ReplayOutcome outcome =
+      replay_journal(machine, graph, journal_text, threads);
+  std::cout << outcome.rendering;
+  return outcome.drift ? 1 : 0;
 }
 
 int cmd_visualize(const std::vector<std::string>& args) {
@@ -372,6 +451,8 @@ int main(int argc, char** argv) {
     if (command == "describe") return cmd_describe(args);
     if (command == "search") return cmd_search(args);
     if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "explain") return cmd_explain(args);
+    if (command == "replay") return cmd_replay(args);
     if (command == "visualize") return cmd_visualize(args);
     if (command == "codegen") return cmd_codegen(args);
     if (command == "validate") return cmd_validate(args);

@@ -1,0 +1,35 @@
+#pragma once
+
+// The core automap_cli subcommands (export/describe/search/evaluate/
+// explain/replay/visualize/codegen/validate) as registry rows, plus the
+// shared search-flag vocabulary: `search` and the service client's
+// `submit` accept the same deterministic search/resilience/fault flags,
+// declared once here instead of copy-pasted per subcommand.
+
+#include <string>
+#include <vector>
+
+#include "src/cli/cli.hpp"
+
+namespace automap {
+struct SearchOptions;
+struct FaultModel;
+}  // namespace automap
+
+namespace automap::cli {
+
+/// Registers the one-shot commands on `registry`.
+void register_core_commands(CommandRegistry& registry);
+
+/// The deterministic search configuration flags (algorithm, rotations,
+/// budget, seed, resilience, fault model, --options FILE) shared by
+/// `search` and `client submit`.
+[[nodiscard]] std::vector<FlagSpec> search_option_flags();
+
+/// Applies the shared flags to (algorithm, options, faults): an
+/// `--options` file (canonical SearchOptions JSON) is applied first, then
+/// individual flags override it. Throws Error on bad values.
+void apply_search_flags(const Args& args, std::string& algorithm_name,
+                        SearchOptions& options, FaultModel& faults);
+
+}  // namespace automap::cli

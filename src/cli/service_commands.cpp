@@ -1,0 +1,273 @@
+#include "src/cli/service_commands.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cli/commands.hpp"
+#include "src/io/text_io.hpp"
+#include "src/search/search.hpp"
+#include "src/service/client.hpp"
+#include "src/service/server.hpp"
+#include "src/service/service.hpp"
+#include "src/service/wire.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+
+namespace automap::cli {
+
+namespace {
+
+// The signal handler can only flip the server's stop flag; the accept
+// loop notices within its 200ms poll timeout and joins cleanly.
+ServiceServer* g_server = nullptr;
+
+void stop_on_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+int cmd_serve(const Args& args) {
+  const std::string socket_path = args.value_or("--socket");
+  const std::string store_dir = args.value_or("--store");
+  AM_REQUIRE(!socket_path.empty(), "serve needs --socket PATH");
+  AM_REQUIRE(!store_dir.empty(), "serve needs --store DIR");
+
+  ServiceConfig config;
+  config.store_dir = store_dir;
+  config.eval_threads = args.int_or("--eval-threads", 0);
+  config.job_workers = args.int_or("--workers", 2);
+
+  MappingService service(config);
+  ServiceServer server(service, socket_path);
+  g_server = &server;
+  std::signal(SIGINT, stop_on_signal);
+  std::signal(SIGTERM, stop_on_signal);
+  std::cout << "automap service listening on " << socket_path << " (store "
+            << store_dir << ")\n"
+            << std::flush;
+  server.serve();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_server = nullptr;
+  std::cout << "automap service stopped\n";
+  return 0;
+}
+
+/// One request/response round trip; a `{"type":"error",...}` response
+/// becomes the usual one-line Error diagnostic.
+JsonValue call(const std::string& socket_path, const std::string& request) {
+  const ServiceClient client(socket_path);
+  JsonValue response = parse_json(client.call(request));
+  if (response.str_or("type", "") == "error")
+    throw Error(response.str_or("message", "request failed") + " [" +
+                response.str_or("code", "error") + "]");
+  return response;
+}
+
+/// Positional job id, normalized to the decimal text the wire carries.
+std::string job_id_arg(const Args& args, const std::string& action) {
+  AM_REQUIRE(args.positional().size() == 2,
+             "client " + action + " needs <job>");
+  return std::to_string(std::stoull(args.pos(1)));
+}
+
+/// Fetches and prints a completed job: the summary line and mapping bytes
+/// are exactly what the one-shot `search` command would have produced.
+int print_result(const std::string& socket_path, const std::string& id,
+                 const Args& args) {
+  const JsonValue result =
+      call(socket_path, "{\"op\":\"result\",\"job\":" + id + "}");
+  std::cout << result.str_or("summary", "") << "\n\n"
+            << result.str_or("describe", "");
+  const std::string out_path = args.value_or("-o");
+  if (!out_path.empty()) {
+    save_text(out_path, result.str_or("mapping", ""));
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+  return 0;
+}
+
+int wait_for_result(const std::string& socket_path, const std::string& id,
+                    const Args& args) {
+  const int poll_ms = args.int_or("--poll-ms", 100);
+  for (;;) {
+    const JsonValue status =
+        call(socket_path, "{\"op\":\"status\",\"job\":" + id + "}");
+    const std::string state = status.str_or("status", "");
+    // On failure/cancellation the result op renders the reason as the
+    // one-line error diagnostic (print_result throws).
+    if (state == "done" || state == "failed" || state == "cancelled") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+  return print_result(socket_path, id, args);
+}
+
+int client_submit(const Args& args, const std::string& socket_path) {
+  AM_REQUIRE(args.positional().size() == 3,
+             "client submit needs <machine> <graph>");
+  const std::string machine_text = load_text(args.pos(1));
+  const std::string graph_text = load_text(args.pos(2));
+
+  // Same defaults and flag vocabulary as `search`: a submit with flags F
+  // asks the daemon for exactly what `search F` computes locally.
+  std::string algorithm_name = "ccd";
+  SearchOptions options{.seed = 42};
+  FaultModel faults;
+  apply_search_flags(args, algorithm_name, options, faults);
+
+  std::string request = "{\"op\":\"submit\",\"machine\":\"" +
+                        json_escape(machine_text) + "\",\"graph\":\"" +
+                        json_escape(graph_text) + "\",\"algorithm\":\"" +
+                        json_escape(algorithm_name) +
+                        "\",\"options\":" + search_options_to_json(options) +
+                        ",\"sim\":" +
+                        sim_options_to_json(SimOptions{.faults = faults}) +
+                        ",\"priority\":" +
+                        std::to_string(args.int_or("--priority", 0));
+  request += ",\"journal\":";
+  request += args.has("--journal") ? "true" : "false";
+  request += ",\"reuse_measurements\":";
+  request += args.has("--reuse") ? "true" : "false";
+  request += "}";
+
+  const JsonValue response = call(socket_path, request);
+  const std::string id =
+      std::to_string(static_cast<std::uint64_t>(response.num_or("job", 0)));
+  std::cout << "job " << id << " " << response.str_or("status", "?")
+            << (response.bool_or("cached", false) ? " (cached)" : "")
+            << "\n";
+  if (!args.has("--wait")) return 0;
+  return wait_for_result(socket_path, id, args);
+}
+
+int client_journal(const std::string& socket_path, const std::string& id,
+                   const Args& args) {
+  const JsonValue response =
+      call(socket_path,
+           "{\"op\":\"journal\",\"job\":" + id + ",\"after\":" +
+               std::to_string(args.int_or("--after", -1)) + "}");
+  // Events arrive as the journal's exact JSONL lines; printing one per
+  // line reconstructs the (tail of the) journal file byte-for-byte.
+  if (const JsonValue* events = response.find("events"))
+    for (const JsonValue& event : events->array)
+      std::cout << event.string << "\n";
+  return 0;
+}
+
+int client_jobs(const std::string& socket_path) {
+  const JsonValue response = call(socket_path, "{\"op\":\"jobs\"}");
+  const JsonValue* jobs = response.find("jobs");
+  if (jobs == nullptr || jobs->array.empty()) {
+    std::cout << "no jobs\n";
+    return 0;
+  }
+  for (const JsonValue& job : jobs->array)
+    std::cout << "job "
+              << static_cast<std::uint64_t>(job.num_or("job", 0)) << " "
+              << job.str_or("status", "?") << " "
+              << job.str_or("algorithm", "?") << " priority "
+              << static_cast<int>(job.num_or("priority", 0)) << "\n";
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  const std::string socket_path = args.value_or("--socket");
+  AM_REQUIRE(!socket_path.empty(), "client needs --socket PATH");
+  const std::string& action = args.pos(0);
+
+  if (action == "ping") {
+    const JsonValue response = call(socket_path, "{\"op\":\"ping\"}");
+    std::cout << "pong (wire version "
+              << static_cast<int>(response.num_or("version", 0)) << ")\n";
+    return 0;
+  }
+  if (action == "submit") return client_submit(args, socket_path);
+  if (action == "status") {
+    const std::string id = job_id_arg(args, action);
+    const JsonValue response =
+        call(socket_path, "{\"op\":\"status\",\"job\":" + id + "}");
+    std::cout << "job " << id << " " << response.str_or("status", "?");
+    const std::string message = response.str_or("message", "");
+    if (!message.empty()) std::cout << ": " << message;
+    std::cout << "\n";
+    return 0;
+  }
+  if (action == "result")
+    return print_result(socket_path, job_id_arg(args, action), args);
+  if (action == "wait")
+    return wait_for_result(socket_path, job_id_arg(args, action), args);
+  if (action == "journal")
+    return client_journal(socket_path, job_id_arg(args, action), args);
+  if (action == "cancel") {
+    const std::string id = job_id_arg(args, action);
+    call(socket_path, "{\"op\":\"cancel\",\"job\":" + id + "}");
+    std::cout << "cancelled job " << id << "\n";
+    return 0;
+  }
+  if (action == "jobs") return client_jobs(socket_path);
+  if (action == "stats") {
+    const JsonValue response = call(socket_path, "{\"op\":\"stats\"}");
+    std::cout << response.str_or("metrics", "");
+    return 0;
+  }
+  if (action == "shutdown") {
+    call(socket_path, "{\"op\":\"shutdown\"}");
+    std::cout << "shutdown requested\n";
+    return 0;
+  }
+  throw Error("unknown client action '" + action +
+              "' (expected ping|submit|status|result|wait|journal|cancel|"
+              "jobs|stats|shutdown)");
+}
+
+}  // namespace
+
+void register_service_commands(CommandRegistry& registry) {
+  registry.add(
+      {.name = "serve",
+       .positionals = "",
+       .summary = "run the mapping service daemon (JSON over a Unix socket)",
+       .min_positional = 0,
+       .max_positional = 0,
+       .flags = {{"--socket", "PATH", "Unix socket to listen on (required)"},
+                 {"--store", "DIR", "job-store/cache directory (required; "
+                                    "created if missing)"},
+                 {"--eval-threads", "N", "shared evaluation pool lanes "
+                                         "(0 = hardware threads; results are "
+                                         "bit-identical for every value)"},
+                 {"--workers", "N", "concurrent job workers (default 2)"}},
+       .run = cmd_serve});
+
+  std::vector<FlagSpec> client_flags = {
+      {"--socket", "PATH", "daemon socket path (required)"},
+      {"--priority", "N", "submit: job priority (higher runs first)"},
+      {"--journal", "", "submit: record a provenance journal"},
+      {"--reuse", "", "submit: reuse measurements from the cross-job "
+                      "evaluation cache"},
+      {"--wait", "", "submit: block until the job finishes, then print "
+                     "its result"},
+      {"--poll-ms", "MS", "submit --wait / wait: poll interval "
+                          "(default 100)"},
+      {"-o", "FILE", "result / --wait: write the best mapping"},
+      {"--after", "N", "journal: only events with n > N (default -1: all)"},
+  };
+  const std::vector<FlagSpec> search_flags = search_option_flags();
+  client_flags.insert(client_flags.end(), search_flags.begin(),
+                      search_flags.end());
+  registry.add(
+      {.name = "client",
+       .positionals = "<ping|submit|status|result|wait|journal|cancel|jobs|"
+                      "stats|shutdown> [args]",
+       .summary = "drive a running mapping service daemon",
+       .min_positional = 1,
+       .max_positional = 3,
+       .flags = std::move(client_flags),
+       .run = cmd_client});
+}
+
+}  // namespace automap::cli

@@ -1,0 +1,14 @@
+#pragma once
+
+// The service-mode subcommands: `serve` (the daemon) and `client` (drive
+// a running daemon). They register on the same CommandRegistry as the
+// one-shot commands; tools/automap_client.cpp reuses the `client` row so
+// the standalone binary and `automap_cli client ...` are the same code.
+
+#include "src/cli/cli.hpp"
+
+namespace automap::cli {
+
+void register_service_commands(CommandRegistry& registry);
+
+}  // namespace automap::cli

@@ -26,7 +26,9 @@ namespace automap {
 
 /// Current schema version, written in the header record and bumped on any
 /// incompatible change (see docs/file_formats.md "Versioning policy").
-inline constexpr int kJournalVersion = 1;
+/// Version 2 replaced `search_begin`'s flat option fields with canonical
+/// "options"/"sim" objects (search_options_to_json); readers accept both.
+inline constexpr int kJournalVersion = 2;
 
 class Journal {
  public:

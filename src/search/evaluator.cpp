@@ -36,9 +36,20 @@ Evaluator::Evaluator(const Simulator& sim, const SearchOptions& options)
              "max_retries must be >= 0");
   AM_REQUIRE(options_.resilience.quarantine_after >= 0,
              "quarantine_after must be >= 0");
-  const int threads = options_.threads == 0 ? ThreadPool::hardware_threads()
-                                            : options_.threads;
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.shared_pool != nullptr) {
+    // Service mode: batches ride an externally owned pool shared with
+    // other concurrent searches; `threads` is ignored for pool sizing.
+    if (options_.shared_pool->thread_count() > 1)
+      pool_ = options_.shared_pool;
+  } else {
+    const int threads = options_.threads == 0
+                            ? ThreadPool::hardware_threads()
+                            : options_.threads;
+    if (threads > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(threads);
+      pool_ = owned_pool_.get();
+    }
+  }
   // One reusable simulation arena per pool lane (lane 0 doubles as the
   // serial path's arena), so steady-state evaluation allocates nothing.
   scratches_.resize(
@@ -530,11 +541,13 @@ std::size_t Evaluator::evaluate_batch(
   if (pre_executed) {
     outcomes.resize(exec_plans.size());
     pool_->parallel_for(
-        exec_plans.size(), [&](std::size_t lane, std::size_t i) {
+        exec_plans.size(),
+        [&](std::size_t lane, std::size_t i) {
           const Plan& plan = plans[exec_plans[i]];
           outcomes[i] = run_candidate(*plan.cand, plan.key, threshold,
                                       bound_runs, scratches_[lane]);
-        });
+        },
+        options_.pool_priority);
   }
 
   // Fold serially in submission order; this is the exact serial evaluate()
@@ -702,56 +715,15 @@ void Evaluator::journal_search_begin(std::string_view label,
                                      const Mapping& start,
                                      bool custom_start) {
   if (!journal_) return;
-  const SimOptions& sim = sim_.options();
-  std::string frozen = "[";
-  for (std::size_t i = 0; i < options_.frozen_tasks.size(); ++i) {
-    if (i > 0) frozen += ",";
-    frozen += std::to_string(options_.frozen_tasks[i].index());
-  }
-  frozen += "]";
-  const char* aggregation = "mean";
-  switch (options_.resilience.aggregation) {
-    case Aggregation::kMean:
-      break;
-    case Aggregation::kMedian:
-      aggregation = "median";
-      break;
-    case Aggregation::kTrimmedMean:
-      aggregation = "trimmed_mean";
-      break;
-  }
-  // Everything that determines the deterministic outcome is recorded —
-  // except the thread count, which by contract changes nothing (and would
-  // break journal byte-identity across --threads values). The seed is a
-  // string: JSON numbers above 2^53 lose precision through double parsing.
+  // Everything that determines the deterministic outcome is recorded via
+  // the canonical codec — the same encoding the CLI's --options file and
+  // the service wire protocol speak — except the thread count, which by
+  // contract changes nothing (and would break journal byte-identity
+  // across --threads values).
   journal_->event("search_begin")
       .str("algorithm", label)
-      .str("seed", std::to_string(options_.seed))
-      .integer("rotations", options_.rotations)
-      .integer("repeats", options_.repeats)
-      .num("budget", options_.time_budget_s)
-      .integer("top_k", options_.top_k)
-      .integer("final_repeats", options_.final_repeats)
-      .boolean("prune", options_.prune_candidates)
-      .boolean("fallbacks", options_.memory_fallbacks)
-      .boolean("distribution_strategies",
-               options_.search_distribution_strategies)
-      .str("objective", options_.objective == Objective::kEnergy
-                            ? "energy"
-                            : "time")
-      .integer("max_retries", options_.resilience.max_retries)
-      .integer("quarantine_after", options_.resilience.quarantine_after)
-      .num("retry_backoff_s", options_.resilience.retry_backoff_s)
-      .str("aggregation", aggregation)
-      .integer("sim_iterations", sim.iterations)
-      .num("noise_sigma", sim.noise_sigma)
-      .num("fault_crash", sim.faults.crash_prob)
-      .num("fault_straggler", sim.faults.straggler_prob)
-      .num("fault_straggler_factor", sim.faults.straggler_factor)
-      .num("fault_mem_pressure", sim.faults.mem_pressure_prob)
-      .num("fault_mem_headroom", sim.faults.mem_pressure_headroom)
-      .num("fault_copy", sim.faults.copy_fault_prob)
-      .raw("frozen", frozen)
+      .raw("options", search_options_to_json(options_))
+      .raw("sim", sim_options_to_json(sim_.options()))
       .str("start", start.serialize())
       .boolean("custom_start", custom_start)
       .boolean("resumed", !options_.resume_state.empty())
@@ -970,12 +942,14 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
   if (pre_executed) {
     outcomes.resize(candidates.size() * runs_per);
     pool_->parallel_for(
-        outcomes.size(), [&](std::size_t lane, std::size_t i) {
+        outcomes.size(),
+        [&](std::size_t lane, std::size_t i) {
           const std::size_t e = i / runs_per;
           const int r = static_cast<int>(i % runs_per);
           outcomes[i] =
               execute_run(candidates[e], hashes[e], r, scratches_[lane]);
-        });
+        },
+        options_.pool_priority);
   }
 
   const bool robust = options_.resilience.aggregation != Aggregation::kMean;

@@ -299,7 +299,12 @@ class Evaluator {
 
   const Simulator& sim_;
   SearchOptions options_;
-  std::unique_ptr<ThreadPool> pool_;  // null when options_.threads == 1
+  /// Pool owned by this evaluator (null when options_.threads == 1 or a
+  /// shared pool was injected); `pool_` is the one actually used — the
+  /// owned pool, the injected SearchOptions::shared_pool, or null for the
+  /// zero-synchronization serial path.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
   /// One simulation arena per pool lane (index 0 doubles as the serial
   /// path's arena); lanes are exclusive within a parallel_for, so each
   /// arena is touched by one run at a time.

@@ -17,6 +17,9 @@ namespace automap {
 
 class Journal;
 class MetricsRegistry;
+class ThreadPool;
+struct JsonValue;
+struct SimOptions;
 
 /// What the search minimizes (§3.3: execution time by default, but AutoMap
 /// is suitable for other metrics such as power/energy).
@@ -141,7 +144,44 @@ struct SearchOptions {
   /// appends a deterministic metrics snapshot to the journal; rotation
   /// boundaries always snapshot too. <= 0 disables periodic snapshots.
   int journal_snapshot_every = 256;
+  /// Service mode: schedule candidate batches on this externally owned
+  /// pool instead of constructing a private one (`threads` is then
+  /// ignored for pool sizing). Several concurrent searches may share one
+  /// pool — results stay bit-identical because folding remains serial per
+  /// search. The pool must outlive the search. Runtime wiring, excluded
+  /// from the canonical JSON codec like journal/metrics.
+  ThreadPool* shared_pool = nullptr;
+  /// Priority class for batches submitted to the shared pool (higher
+  /// drains first; FIFO within a class). Only meaningful with
+  /// shared_pool; the service maps job priority onto it.
+  int pool_priority = 0;
 };
+
+/// Canonical JSON codec for the deterministic subset of SearchOptions —
+/// everything that decides the search outcome (seed, rotations, repeats,
+/// budget, objective, resilience, frozen tasks, …) and nothing that is
+/// runtime wiring (threads, pools, journal/metrics pointers, file paths,
+/// profile seeds). One encoding serves three consumers: the CLI
+/// (--options / --dump-options), the journal's `search_begin` fingerprint
+/// and the service wire protocol.
+///
+/// The rendering is deterministic: fixed field order, %.17g doubles with
+/// non-finite values quoted ("inf"), the 64-bit seed as a string. Any
+/// incompatible change bumps the leading "schema" field.
+inline constexpr int kSearchOptionsSchema = 1;
+[[nodiscard]] std::string search_options_to_json(const SearchOptions& o);
+/// Strict inverse: starts from defaults, applies present members, throws
+/// Error on an unknown key, a mistyped value or an unsupported schema —
+/// wire requests are validated by construction.
+[[nodiscard]] SearchOptions search_options_from_json(const JsonValue& v);
+[[nodiscard]] SearchOptions search_options_from_json(const std::string& text);
+
+/// Same codec for the simulator configuration that travels with a search
+/// (iterations, noise, fault model). record_trace / time_bound / metrics
+/// stay out: they are runtime wiring, not search identity.
+[[nodiscard]] std::string sim_options_to_json(const SimOptions& o);
+[[nodiscard]] SimOptions sim_options_from_json(const JsonValue& v);
+[[nodiscard]] SimOptions sim_options_from_json(const std::string& text);
 
 /// Indexed frozen-task lookup (§3.3 subset search), built once per search.
 /// SearchOptions::frozen_tasks is a plain list; scanning it for every task
@@ -250,6 +290,11 @@ struct SearchResult {
   /// via SearchOptions::profiles_seed to resume or refine.
   std::string profiles_db;
 };
+
+/// The one-line search summary the CLI prints ("AM-CCD: best mapping …
+/// (99% evaluating)"). Shared verbatim by the service result payload so a
+/// daemon response is byte-comparable to the one-shot CLI output.
+[[nodiscard]] std::string render_search_summary(const SearchResult& result);
 
 /// The §4.1 starting point: group tasks distributed across all nodes, every
 /// task with a GPU variant on the GPU, collections in the chosen

@@ -1,0 +1,76 @@
+#include "src/service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/service/wire.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+
+namespace {
+
+void read_exact_or_throw(int fd, char* out, std::size_t n,
+                         const char* what) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r < 0 && errno == EINTR) continue;
+    AM_REQUIRE(r > 0, std::string("connection closed while reading ") +
+                          what);
+    got += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+std::string ServiceClient::call(const std::string& request_json) const {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  AM_REQUIRE(!socket_path_.empty() &&
+                 socket_path_.size() < sizeof(addr.sun_path),
+             "bad socket path: " + socket_path_);
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  AM_REQUIRE(fd >= 0,
+             "cannot create socket: " + std::string(std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw Error("cannot connect to " + socket_path_ + ": " + reason +
+                " (is the daemon running? start with: automap_cli serve)");
+  }
+
+  try {
+    const std::string frame = encode_frame(request_json);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t w =
+          ::write(fd, frame.data() + sent, frame.size() - sent);
+      if (w < 0 && errno == EINTR) continue;
+      AM_REQUIRE(w > 0, "connection closed while sending the request");
+      sent += static_cast<std::size_t>(w);
+    }
+
+    char header[kFrameHeaderBytes];
+    read_exact_or_throw(fd, header, sizeof(header), "the response header");
+    const std::size_t length =
+        *decode_frame_length({header, sizeof(header)});
+    std::string response(length, '\0');
+    read_exact_or_throw(fd, response.data(), length, "the response body");
+    ::close(fd);
+    return response;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+}  // namespace automap

@@ -1,0 +1,24 @@
+#pragma once
+
+// Minimal client for the mapping service: one connect per call, one
+// request frame out, one response frame back. Used by `automap_client`
+// and `automap_cli client ...` (the same code registers both).
+
+#include <string>
+
+namespace automap {
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(std::string socket_path)
+      : socket_path_(std::move(socket_path)) {}
+
+  /// Sends one request JSON and returns the response JSON. Throws Error
+  /// when the daemon is unreachable or the connection breaks mid-frame.
+  [[nodiscard]] std::string call(const std::string& request_json) const;
+
+ private:
+  std::string socket_path_;
+};
+
+}  // namespace automap

@@ -1,0 +1,36 @@
+#include "src/service/fingerprint.hpp"
+
+#include "src/io/text_io.hpp"
+
+namespace automap {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t hash_text(std::string_view text, std::uint64_t state) {
+  for (const char c : text) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnvPrime;
+  }
+  // A terminator byte per chunk keeps chained tuples unambiguous:
+  // ("ab", "c") and ("a", "bc") hash differently.
+  state ^= 0xffU;
+  state *= kFnvPrime;
+  return state;
+}
+
+std::uint64_t hash_text(std::string_view text) {
+  return hash_text(text, kFnvOffset);
+}
+
+std::uint64_t fingerprint_machine(const MachineModel& machine) {
+  return hash_text(machine_to_string(machine));
+}
+
+std::uint64_t fingerprint_graph(const TaskGraph& graph) {
+  return hash_text(task_graph_to_string(graph));
+}
+
+}  // namespace automap

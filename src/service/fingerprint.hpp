@@ -1,0 +1,34 @@
+#pragma once
+
+// Stable fingerprints for the service's cross-job caches.
+//
+// The daemon keys its result cache and evaluation-cache buckets by content
+// fingerprints of the request's inputs (machine text, task-graph text,
+// canonical option encodings), so two clients submitting the same search
+// land on the same cache entries regardless of file paths or submission
+// order. FNV-1a over the canonical text serializations is enough: the
+// fingerprints name cache files and index in-memory maps; they are not
+// security boundaries.
+
+#include <cstdint>
+#include <string_view>
+
+namespace automap {
+
+class MachineModel;
+class TaskGraph;
+
+/// FNV-1a 64-bit over raw bytes.
+[[nodiscard]] std::uint64_t hash_text(std::string_view text);
+/// Continues an existing FNV-1a state — chain to fingerprint a tuple of
+/// texts without concatenating them.
+[[nodiscard]] std::uint64_t hash_text(std::string_view text,
+                                      std::uint64_t state);
+
+/// Fingerprint of a machine model / task graph via its canonical text
+/// serialization (machine_to_string / task_graph_to_string), so a model
+/// loaded from a file and one sent over the wire fingerprint identically.
+[[nodiscard]] std::uint64_t fingerprint_machine(const MachineModel& machine);
+[[nodiscard]] std::uint64_t fingerprint_graph(const TaskGraph& graph);
+
+}  // namespace automap

@@ -1,0 +1,121 @@
+#include "src/service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/service/service.hpp"
+#include "src/service/wire.hpp"
+#include "src/support/error.hpp"
+
+namespace automap {
+
+namespace {
+
+/// Reads exactly n bytes; false on EOF/error.
+bool read_exact(int fd, char* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w = ::write(fd, data.data() + sent, data.size() - sent);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(MappingService& service, std::string socket_path)
+    : service_(service), socket_path_(std::move(socket_path)) {
+  AM_REQUIRE(!socket_path_.empty(), "service socket path is empty");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  AM_REQUIRE(socket_path_.size() < sizeof(addr.sun_path),
+             "socket path too long: " + socket_path_);
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  AM_REQUIRE(listen_fd_ >= 0, "cannot create socket: " +
+                                  std::string(std::strerror(errno)));
+  ::unlink(socket_path_.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("cannot bind " + socket_path_ + ": " + reason);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+    throw Error("cannot listen on " + socket_path_ + ": " + reason);
+  }
+}
+
+ServiceServer::~ServiceServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(socket_path_.c_str());
+}
+
+void ServiceServer::serve() {
+  std::vector<std::thread> connections;
+  while (!stop_.load() && !service_.shutdown_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // Short timeout: the loop re-checks the shutdown flags ~5x/second.
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  for (std::thread& connection : connections) connection.join();
+}
+
+void ServiceServer::handle_connection(int fd) {
+  // The handshake cap mirrors the service's request limit: an oversize
+  // frame gets a structured error response, then the connection closes
+  // (its remaining payload bytes cannot be resynchronized).
+  const std::size_t max_frame = kDefaultMaxFrameBytes;
+  for (;;) {
+    char header[kFrameHeaderBytes];
+    if (!read_exact(fd, header, sizeof(header))) break;
+    const std::size_t length =
+        *decode_frame_length({header, sizeof(header)});
+    if (length > max_frame) {
+      write_all(fd, encode_frame(wire_error(
+                        "too_large",
+                        "frame of " + std::to_string(length) +
+                            " bytes exceeds the transport limit")));
+      break;
+    }
+    std::string payload(length, '\0');
+    if (!read_exact(fd, payload.data(), length)) break;
+    if (!write_all(fd, encode_frame(service_.handle(payload)))) break;
+    if (service_.shutdown_requested()) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace automap

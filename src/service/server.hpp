@@ -1,0 +1,49 @@
+#pragma once
+
+// Unix-domain-socket front end for MappingService.
+//
+// One frame in, one frame out (wire.hpp framing), any number of frames
+// per connection. The accept loop polls with a short timeout so a
+// `shutdown` request — or SIGINT/SIGTERM via `stop()` — is honored within
+// a fraction of a second; per-connection handler threads are joined
+// before serve() returns. Oversize frames are answered with a structured
+// `too_large` error before the connection closes, never silently dropped.
+
+#include <atomic>
+#include <string>
+
+namespace automap {
+
+class MappingService;
+
+class ServiceServer {
+ public:
+  /// Binds `socket_path` (an existing stale socket file is replaced).
+  /// Throws Error when the path cannot be bound.
+  ServiceServer(MappingService& service, std::string socket_path);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Accepts and serves connections until the service reports
+  /// shutdown_requested() or stop() is called. Blocks.
+  void serve();
+
+  /// Signal-safe stop flag (call from a signal handler).
+  void stop() { stop_.store(true); }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return socket_path_;
+  }
+
+ private:
+  void handle_connection(int fd);
+
+  MappingService& service_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace automap

@@ -1,0 +1,595 @@
+#include "src/service/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "src/io/text_io.hpp"
+#include "src/report/journal.hpp"
+#include "src/search/algorithms.hpp"
+#include "src/search/search.hpp"
+#include "src/service/fingerprint.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+
+namespace automap {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Everything a submit request carries, decoded once and shared by the
+/// submit handler, the job runner and store recovery.
+struct SubmitSpec {
+  std::string machine_text;
+  std::string graph_text;
+  std::string algorithm = "ccd";
+  SearchOptions options;
+  SimOptions sim;
+  int priority = 0;
+  bool want_journal = false;
+  bool reuse_measurements = false;
+  /// Canonical re-encodings — the fingerprint inputs, so two requests
+  /// spelling the same configuration differently still collide.
+  std::string options_json;
+  std::string sim_json;
+  std::uint64_t fingerprint = 0;
+};
+
+SubmitSpec parse_submit(const JsonValue& request) {
+  SubmitSpec spec;
+  const JsonValue* machine = request.find("machine");
+  AM_REQUIRE(machine != nullptr &&
+                 machine->kind == JsonValue::Kind::kString,
+             "submit needs a 'machine' text field");
+  spec.machine_text = machine->string;
+  const JsonValue* graph = request.find("graph");
+  AM_REQUIRE(graph != nullptr && graph->kind == JsonValue::Kind::kString,
+             "submit needs a 'graph' text field");
+  spec.graph_text = graph->string;
+  spec.algorithm = request.str_or("algorithm", "ccd");
+  if (const JsonValue* options = request.find("options"))
+    spec.options = search_options_from_json(*options);
+  if (const JsonValue* sim = request.find("sim"))
+    spec.sim = sim_options_from_json(*sim);
+  spec.priority = static_cast<int>(request.num_or("priority", 0));
+  spec.want_journal = request.bool_or("journal", false);
+  spec.reuse_measurements = request.bool_or("reuse_measurements", false);
+
+  spec.options_json = search_options_to_json(spec.options);
+  spec.sim_json = sim_options_to_json(spec.sim);
+  std::uint64_t fp = hash_text(spec.machine_text);
+  fp = hash_text(spec.graph_text, fp);
+  fp = hash_text(spec.algorithm, fp);
+  fp = hash_text(spec.options_json, fp);
+  fp = hash_text(spec.sim_json, fp);
+  fp = hash_text(spec.want_journal ? "journal" : "", fp);
+  fp = hash_text(spec.reuse_measurements ? "reuse" : "", fp);
+  spec.fingerprint = fp;
+  return spec;
+}
+
+/// The evaluation-cache bucket key: which measurements are reusable
+/// across jobs. Everything that decides an individual candidate's
+/// recorded mean participates; rotation counts / budgets / top_k do not
+/// (they decide which candidates get proposed, not what a measurement of
+/// one is worth).
+std::uint64_t bucket_key(const SubmitSpec& spec) {
+  std::uint64_t key = hash_text(spec.machine_text);
+  key = hash_text(spec.graph_text, key);
+  key = hash_text(spec.sim_json, key);
+  std::string measure = std::to_string(spec.options.seed);
+  measure += "/" + std::to_string(spec.options.repeats);
+  measure += spec.options.objective == Objective::kEnergy ? "/energy"
+                                                          : "/time";
+  measure += spec.options.memory_fallbacks ? "/fb" : "";
+  measure += "/" + std::to_string(spec.options.resilience.max_retries);
+  measure += "/" +
+             std::to_string(spec.options.resilience.quarantine_after);
+  measure += "/" + json_double(spec.options.resilience.retry_backoff_s);
+  measure += "/" + std::to_string(static_cast<int>(
+                       spec.options.resilience.aggregation));
+  return hash_text(measure, key);
+}
+
+void save_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  save_text(tmp, text);
+  AM_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+             "cannot move " + tmp + " into place");
+}
+
+std::optional<std::string> read_if_exists(const std::string& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return std::nullopt;
+  return load_text(path);
+}
+
+std::string require_job_field(const JsonValue& request) {
+  const JsonValue* job = request.find("job");
+  AM_REQUIRE(job != nullptr && job->kind == JsonValue::Kind::kNumber,
+             "request needs a numeric 'job' field");
+  return std::to_string(
+      static_cast<std::uint64_t>(job->number));
+}
+
+}  // namespace
+
+MappingService::MappingService(const ServiceConfig& config)
+    : config_(config),
+      pool_(config.eval_threads == 0 ? ThreadPool::hardware_threads()
+                                     : config.eval_threads) {
+  AM_REQUIRE(!config_.store_dir.empty(), "service store directory is empty");
+  fs::create_directories(fs::path(config_.store_dir) / "jobs");
+  fs::create_directories(fs::path(config_.store_dir) / "cache");
+  // The existing up-front writability probe, applied to the store before
+  // the daemon accepts anything — a read-only volume fails here with one
+  // Error line instead of on the first completed job.
+  require_writable_path(
+      (fs::path(config_.store_dir) / ".writable-probe").string());
+
+  m_submitted_ = metrics_.counter("automap_service_jobs_submitted_total",
+                                  "Jobs accepted by submit", false);
+  m_completed_ = metrics_.counter("automap_service_jobs_completed_total",
+                                  "Jobs finished successfully", false);
+  m_failed_ = metrics_.counter("automap_service_jobs_failed_total",
+                               "Jobs that ended in an error", false);
+  m_result_cache_hits_ =
+      metrics_.counter("automap_service_result_cache_hits_total",
+                       "Submissions answered from a completed job", false);
+  m_eval_cache_seeded_ =
+      metrics_.counter("automap_service_eval_cache_seeded_total",
+                       "Jobs seeded from an evaluation-cache bucket", false);
+  m_sim_runs_ = metrics_.counter(
+      "automap_sim_runs_total",
+      "Simulator runs across all jobs (includes speculative pool work)",
+      false);
+
+  recover_store();
+
+  for (int i = 0; i < config_.job_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+MappingService::~MappingService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+const char* MappingService::status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kDone:
+      return "done";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+std::string MappingService::job_dir(std::uint64_t id) const {
+  return (fs::path(config_.store_dir) / "jobs" / std::to_string(id))
+      .string();
+}
+
+bool MappingService::shutdown_requested() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
+}
+
+std::string MappingService::expose_metrics() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.expose();
+}
+
+std::string MappingService::handle(const std::string& request_json) {
+  if (request_json.size() > config_.max_request_bytes)
+    return wire_error("too_large",
+                      "request of " + std::to_string(request_json.size()) +
+                          " bytes exceeds the " +
+                          std::to_string(config_.max_request_bytes) +
+                          "-byte limit");
+  try {
+    const JsonValue request = parse_json(request_json);
+    AM_REQUIRE(request.kind == JsonValue::Kind::kObject,
+               "request must be a JSON object");
+    const std::string op = request.str_or("op", "");
+    if (op == "ping")
+      return "{\"type\":\"pong\",\"version\":" +
+             std::to_string(kWireVersion) + "}";
+    if (op == "submit") return handle_submit(request, request_json);
+    if (op == "status") return handle_status(request);
+    if (op == "result") return handle_result(request);
+    if (op == "journal") return handle_journal(request);
+    if (op == "cancel") return handle_cancel(request);
+    if (op == "jobs") return handle_jobs();
+    if (op == "stats")
+      return "{\"type\":\"stats\",\"version\":" +
+             std::to_string(kWireVersion) + ",\"metrics\":\"" +
+             json_escape(expose_metrics()) + "\"}";
+    if (op == "shutdown") {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+      }
+      return "{\"type\":\"shutdown\"}";
+    }
+    return wire_error("unknown_op", "unknown op '" + op + "'");
+  } catch (const Error& e) {
+    return wire_error("bad_request", e.what());
+  } catch (const std::exception& e) {
+    return wire_error("internal", e.what());
+  }
+}
+
+std::string MappingService::handle_submit(const JsonValue& request,
+                                          const std::string& request_json) {
+  const SubmitSpec spec = parse_submit(request);
+  // Validate the full configuration before accepting: a malformed machine
+  // or unknown algorithm is a bad_request now, not a failed job later.
+  (void)machine_from_string(spec.machine_text);
+  (void)task_graph_from_string(spec.graph_text);
+  AM_REQUIRE(find_search_algorithm(spec.algorithm) != nullptr,
+             "unknown algorithm '" + spec.algorithm + "' (expected " +
+                 std::string(search_algorithm_names()) + ")");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Result cache: an identical request maps onto the existing job — done
+  // jobs answer instantly with zero new simulator runs; queued/running
+  // ones dedupe onto the in-flight search.
+  for (const auto& [id, job] : jobs_) {
+    if (job.fingerprint != spec.fingerprint) continue;
+    if (job.status == JobStatus::kFailed ||
+        job.status == JobStatus::kCancelled)
+      continue;
+    const bool done = job.status == JobStatus::kDone;
+    if (done) m_result_cache_hits_->inc();
+    return "{\"type\":\"submitted\",\"job\":" + std::to_string(id) +
+           ",\"status\":\"" + status_name(job.status) +
+           "\",\"cached\":" + (done ? "true" : "false") + "}";
+  }
+
+  Job job;
+  job.id = next_id_++;
+  job.priority = spec.priority;
+  job.request_json = request_json;
+  job.fingerprint = spec.fingerprint;
+  job.algorithm = spec.algorithm;
+  job.want_journal = spec.want_journal;
+  job.reuse_measurements = spec.reuse_measurements;
+  fs::create_directories(job_dir(job.id));
+  save_atomic(job_dir(job.id) + "/request.json", request_json);
+  const std::uint64_t id = job.id;
+  jobs_.emplace(id, std::move(job));
+  m_submitted_->inc();
+  work_cv_.notify_one();
+  return "{\"type\":\"submitted\",\"job\":" + std::to_string(id) +
+         ",\"status\":\"queued\",\"cached\":false}";
+}
+
+std::string MappingService::handle_status(const JsonValue& request) {
+  const std::string id_text = require_job_field(request);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(std::stoull(id_text));
+  if (it == jobs_.end())
+    return wire_error("not_found", "no job " + id_text);
+  std::string out = "{\"type\":\"status\",\"job\":" + id_text +
+                    ",\"status\":\"" + status_name(it->second.status) +
+                    "\"";
+  if (!it->second.error.empty())
+    out += ",\"message\":\"" + json_escape(it->second.error) + "\"";
+  return out + "}";
+}
+
+std::string MappingService::handle_result(const JsonValue& request) {
+  const std::string id_text = require_job_field(request);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(std::stoull(id_text));
+  if (it == jobs_.end())
+    return wire_error("not_found", "no job " + id_text);
+  const Job& job = it->second;
+  if (job.status == JobStatus::kDone) return job.result_json;
+  if (job.status == JobStatus::kFailed)
+    return wire_error("bad_state", "job " + id_text + " failed: " +
+                                       job.error);
+  return wire_error("bad_state", "job " + id_text + " is " +
+                                     status_name(job.status));
+}
+
+std::string MappingService::handle_journal(const JsonValue& request) {
+  const std::string id_text = require_job_field(request);
+  const long long after =
+      static_cast<long long>(request.num_or("after", -1));
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(std::stoull(id_text));
+    if (it == jobs_.end())
+      return wire_error("not_found", "no job " + id_text);
+    if (!it->second.want_journal)
+      return wire_error("bad_state",
+                        "job " + id_text + " was submitted without "
+                        "\"journal\":true");
+    path = job_dir(it->second.id) + "/journal.jsonl";
+  }
+  // Poll-based streaming: return the complete lines past the client's
+  // cursor, each as one escaped string (the exact JSONL line bytes, so a
+  // client can reconstruct the journal file verbatim). Event `n` equals
+  // the line index, so the cursor is just a line count; a mid-write
+  // partial tail line is withheld until complete.
+  std::string out = "{\"type\":\"journal\",\"job\":" + id_text +
+                    ",\"events\":[";
+  long long next = after;
+  if (const std::optional<std::string> text = read_if_exists(path)) {
+    long long n = 0;
+    std::size_t start = 0;
+    bool first = true;
+    while (start < text->size()) {
+      const std::size_t end = text->find('\n', start);
+      if (end == std::string::npos) break;  // partial tail, not yet ours
+      if (n > after) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + json_escape(text->substr(start, end - start)) + "\"";
+        next = n;
+      }
+      ++n;
+      start = end + 1;
+    }
+  }
+  return out + "],\"next\":" + std::to_string(next) + "}";
+}
+
+std::string MappingService::handle_cancel(const JsonValue& request) {
+  const std::string id_text = require_job_field(request);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(std::stoull(id_text));
+  if (it == jobs_.end())
+    return wire_error("not_found", "no job " + id_text);
+  if (it->second.status != JobStatus::kQueued)
+    return wire_error("bad_state",
+                      "only queued jobs can be cancelled; job " + id_text +
+                          " is " + status_name(it->second.status));
+  it->second.status = JobStatus::kCancelled;
+  std::error_code ec;
+  fs::remove_all(job_dir(it->second.id), ec);  // no revival on restart
+  return "{\"type\":\"cancelled\",\"job\":" + id_text + "}";
+}
+
+std::string MappingService::handle_jobs() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"type\":\"jobs\",\"jobs\":[";
+  bool first = true;
+  for (const auto& [id, job] : jobs_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"job\":" + std::to_string(id) + ",\"status\":\"" +
+           status_name(job.status) + "\",\"algorithm\":\"" +
+           json_escape(job.algorithm) +
+           "\",\"priority\":" + std::to_string(job.priority) + "}";
+  }
+  return out + "]}";
+}
+
+std::uint64_t MappingService::claim_next_locked() {
+  std::uint64_t best = 0;
+  int best_priority = 0;
+  for (auto& [id, job] : jobs_) {
+    if (job.status != JobStatus::kQueued) continue;
+    if (best == 0 || job.priority > best_priority) {
+      best = id;  // map iteration is id-ascending: FIFO within a class
+      best_priority = job.priority;
+    }
+  }
+  if (best != 0) jobs_.at(best).status = JobStatus::kRunning;
+  return best;
+}
+
+void MappingService::worker_loop() {
+  for (;;) {
+    std::uint64_t id = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        if (stopping_) return true;
+        for (const auto& [jid, job] : jobs_)
+          if (job.status == JobStatus::kQueued) return true;
+        return false;
+      });
+      if (stopping_) return;
+      id = claim_next_locked();
+    }
+    if (id != 0) run_job(id);
+  }
+}
+
+void MappingService::drain() {
+  for (;;) {
+    std::uint64_t id = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      id = claim_next_locked();
+    }
+    if (id == 0) return;
+    run_job(id);
+  }
+}
+
+void MappingService::run_job(std::uint64_t id) {
+  std::string request_json;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    request_json = jobs_.at(id).request_json;
+  }
+
+  const std::string dir = job_dir(id);
+  try {
+    const SubmitSpec spec = parse_submit(parse_json(request_json));
+    // The simulator keeps references; the job owns machine and graph for
+    // the duration of the search.
+    const MachineModel machine = machine_from_string(spec.machine_text);
+    const TaskGraph graph = task_graph_from_string(spec.graph_text);
+    const SearchAlgorithmInfo* algorithm =
+        find_search_algorithm(spec.algorithm);
+    AM_REQUIRE(algorithm != nullptr,
+               "unknown algorithm '" + spec.algorithm + "'");
+
+    SearchOptions options = spec.options;
+    options.shared_pool = &pool_;
+    options.pool_priority = spec.priority;
+    options.checkpoint_path = dir + "/checkpoint";
+    // Warm restart: a checkpoint left by an interrupted run resumes the
+    // search; byte-identity of the final result is the PR 4 contract.
+    if (const std::optional<std::string> checkpoint =
+            read_if_exists(options.checkpoint_path))
+      options.resume_state = *checkpoint;
+
+    std::optional<Journal> journal;
+    if (spec.want_journal) journal.emplace(dir + "/journal.jsonl");
+    MetricsRegistry job_metrics;
+    options.journal = journal.has_value() ? &*journal : nullptr;
+    options.metrics = &job_metrics;
+
+    std::uint64_t bucket = 0;
+    if (spec.reuse_measurements) {
+      bucket = bucket_key(spec);
+      options.export_profiles_db = true;
+      if (const std::optional<std::string> seeded = read_if_exists(
+              (fs::path(config_.store_dir) / "cache" /
+               (hex_u64(bucket) + ".profiles"))
+                  .string())) {
+        options.profiles_seed = *seeded;
+        m_eval_cache_seeded_->inc();
+      }
+    } else {
+      options.export_profiles_db = false;
+    }
+
+    SimOptions sim_options = spec.sim;
+    sim_options.metrics = &job_metrics;
+    const Simulator sim(machine, graph, sim_options);
+    const SearchResult result = algorithm->run(sim, options);
+
+    // The response payload. `summary` is the CLI's summary line verbatim
+    // and `mapping` the exact bytes `search -o` writes, so daemon answers
+    // are byte-comparable to the one-shot path. wall-clock time is
+    // excluded: responses must be byte-identical across runs.
+    const SearchStats& stats = result.stats;
+    std::string payload = "{\"type\":\"result\",\"job\":" +
+                          std::to_string(id) + ",\"algorithm\":\"" +
+                          json_escape(result.algorithm) + "\"";
+    payload += ",\"summary\":\"" +
+               json_escape(render_search_summary(result)) + "\"";
+    payload += ",\"best\":" + json_double(result.best_seconds);
+    payload += ",\"mapping\":\"" + json_escape(result.best.serialize()) +
+               "\"";
+    payload += ",\"describe\":\"" +
+               json_escape(result.best.describe(graph)) + "\"";
+    payload += ",\"stats\":{";
+    payload += "\"suggested\":" + std::to_string(stats.suggested);
+    payload += ",\"evaluated\":" + std::to_string(stats.evaluated);
+    payload += ",\"invalid\":" + std::to_string(stats.invalid);
+    payload += ",\"oom\":" + std::to_string(stats.oom);
+    payload += ",\"censored\":" + std::to_string(stats.censored);
+    payload += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
+    payload += ",\"transient_failures\":" +
+               std::to_string(stats.transient_failures);
+    payload += ",\"retries\":" + std::to_string(stats.retries);
+    payload += ",\"quarantined\":" + std::to_string(stats.quarantined);
+    payload += ",\"degraded\":";
+    payload += stats.degraded ? "true" : "false";
+    payload += ",\"search_time_s\":" + json_double(stats.search_time_s);
+    payload += ",\"evaluation_time_s\":" +
+               json_double(stats.evaluation_time_s);
+    payload += "}}";
+
+    save_atomic(dir + "/result.json", payload);
+    if (spec.reuse_measurements && !result.profiles_db.empty()) {
+      // The export includes imported entries, so the fresh export IS the
+      // union of the bucket and this job's new measurements.
+      save_atomic((fs::path(config_.store_dir) / "cache" /
+                   (hex_u64(bucket) + ".profiles"))
+                      .string(),
+                  result.profiles_db);
+    }
+
+    const Counter* sim_runs = job_metrics.counter(
+        "automap_sim_runs_total", "Simulator runs executed", false);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Job& job = jobs_.at(id);
+    job.status = JobStatus::kDone;
+    job.result_json = std::move(payload);
+    by_fingerprint_[job.fingerprint] = id;
+    m_completed_->inc();
+    m_sim_runs_->inc(sim_runs->value());
+  } catch (const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Job& job = jobs_.at(id);
+    job.status = JobStatus::kFailed;
+    job.error = e.what();
+    m_failed_->inc();
+  }
+  work_cv_.notify_all();
+}
+
+void MappingService::recover_store() {
+  const fs::path jobs_root = fs::path(config_.store_dir) / "jobs";
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(jobs_root, ec)) {
+    if (!entry.is_directory()) continue;
+    std::uint64_t id = 0;
+    try {
+      std::size_t used = 0;
+      const std::string name = entry.path().filename().string();
+      id = std::stoull(name, &used);
+      if (used != name.size() || id == 0) continue;
+    } catch (const std::exception&) {
+      continue;
+    }
+    const std::optional<std::string> request =
+        read_if_exists((entry.path() / "request.json").string());
+    if (!request) continue;
+    Job job;
+    try {
+      const SubmitSpec spec = parse_submit(parse_json(*request));
+      job.id = id;
+      job.priority = spec.priority;
+      job.request_json = *request;
+      job.fingerprint = spec.fingerprint;
+      job.algorithm = spec.algorithm;
+      job.want_journal = spec.want_journal;
+      job.reuse_measurements = spec.reuse_measurements;
+    } catch (const std::exception&) {
+      continue;  // corrupt store entry; leave it on disk for inspection
+    }
+    if (const std::optional<std::string> result =
+            read_if_exists((entry.path() / "result.json").string())) {
+      job.status = JobStatus::kDone;
+      job.result_json = *result;
+      by_fingerprint_[job.fingerprint] = id;
+    } else {
+      // Interrupted: re-enqueue; run_job resumes from the checkpoint the
+      // interrupted run left (if any).
+      job.status = JobStatus::kQueued;
+    }
+    next_id_ = std::max(next_id_, id + 1);
+    jobs_.emplace(id, std::move(job));
+  }
+}
+
+}  // namespace automap

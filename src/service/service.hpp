@@ -1,0 +1,161 @@
+#pragma once
+
+// MappingService — the daemon's transport-independent core.
+//
+// The service owns the job table, the one shared evaluation thread pool,
+// and the two cross-job caches; the socket server (server.hpp) only moves
+// frames. `handle()` maps one request JSON to one response JSON, so every
+// protocol behavior — including size limits and structured errors — is
+// testable without sockets.
+//
+// Scheduling: each accepted job runs as one search on a job worker; all
+// workers' candidate batches land on the single shared ThreadPool, where
+// SearchOptions::pool_priority (from the request's `priority`) decides
+// which job's batch drains first when they compete. Queued jobs start in
+// priority order (FIFO within a class).
+//
+// Caches, layered on the profiles-db format:
+//  - Result cache: request fingerprint (machine, graph, algorithm,
+//    canonical options/sim JSON, journal + reuse flags) → completed job.
+//    A repeat submission is answered instantly from the finished job —
+//    zero new simulator runs — and bumps
+//    `automap_service_result_cache_hits_total`.
+//  - Evaluation cache: per (machine fp, graph fp, sim, measurement
+//    options) bucket holding a profiles database; the per-mapping-hash,
+//    per-seed run reuse happens inside the evaluator exactly as with the
+//    CLI's --profiles flag. Opt-in per request (`reuse_measurements`),
+//    because seeding measurements changes a search's cache-hit statistics
+//    versus a cold run — the default path stays byte-identical to the
+//    one-shot CLI.
+//
+// Persistence: every job writes store/jobs/<id>/{request.json, checkpoint,
+// journal.jsonl, result.json}; cache buckets live in store/cache/. On
+// construction the service rescans the store — completed jobs re-enter the
+// result cache, interrupted jobs re-enqueue and resume from their PR 4
+// checkpoint — so a daemon restart loses nothing.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/wire.hpp"
+#include "src/support/metrics.hpp"
+#include "src/support/thread_pool.hpp"
+
+namespace automap {
+
+struct JsonValue;
+
+struct ServiceConfig {
+  /// Job-store/cache directory (created if missing; probed with
+  /// require_writable_path before the service accepts anything).
+  std::string store_dir;
+  /// Lanes in the shared evaluation pool (0 = hardware threads). Results
+  /// are bit-identical for every value.
+  int eval_threads = 0;
+  /// Concurrent job workers. 0 = no worker threads: jobs run only via
+  /// drain(), which tests use for deterministic scheduling.
+  int job_workers = 2;
+  /// Maximum accepted request payload; larger requests get a structured
+  /// `too_large` error.
+  std::size_t max_request_bytes = kDefaultMaxFrameBytes;
+};
+
+class MappingService {
+ public:
+  explicit MappingService(const ServiceConfig& config);
+  ~MappingService();
+
+  MappingService(const MappingService&) = delete;
+  MappingService& operator=(const MappingService&) = delete;
+
+  /// Handles one request JSON and returns the response JSON. Thread-safe;
+  /// never throws — every failure becomes a `{"type":"error",...}`
+  /// response. Long-running work (the searches themselves) happens on job
+  /// workers, not here; `handle` only enqueues and reads state.
+  [[nodiscard]] std::string handle(const std::string& request_json);
+
+  /// Runs queued jobs on the calling thread until the queue is empty.
+  /// The job_workers == 0 test mode; safe alongside workers too.
+  void drain();
+
+  /// True once a `shutdown` request was accepted; the socket server polls
+  /// this to exit its accept loop.
+  [[nodiscard]] bool shutdown_requested() const;
+
+  /// Service-level metrics (result-cache hits, jobs by outcome, aggregated
+  /// simulator runs). Exposed over the `stats` op.
+  [[nodiscard]] std::string expose_metrics();
+
+ private:
+  enum class JobStatus { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+  struct Job {
+    std::uint64_t id = 0;
+    int priority = 0;
+    JobStatus status = JobStatus::kQueued;
+    /// The submit payload, kept verbatim for persistence and re-parsing.
+    std::string request_json;
+    /// Request fingerprint — the result-cache key.
+    std::uint64_t fingerprint = 0;
+    std::string algorithm;  // registry label once known, name before
+    bool want_journal = false;
+    bool reuse_measurements = false;
+    /// Completed response payload (op=result body) or failure message.
+    std::string result_json;
+    std::string error;
+  };
+
+  [[nodiscard]] static const char* status_name(JobStatus status);
+  [[nodiscard]] std::string job_dir(std::uint64_t id) const;
+
+  // Request handlers (mutex_ held by caller where noted).
+  [[nodiscard]] std::string handle_submit(const JsonValue& request,
+                                          const std::string& request_json);
+  [[nodiscard]] std::string handle_status(const JsonValue& request);
+  [[nodiscard]] std::string handle_result(const JsonValue& request);
+  [[nodiscard]] std::string handle_journal(const JsonValue& request);
+  [[nodiscard]] std::string handle_cancel(const JsonValue& request);
+  [[nodiscard]] std::string handle_jobs();
+
+  /// Runs one job to completion (no service mutex held during the search)
+  /// and stores + persists its outcome.
+  void run_job(std::uint64_t id);
+  /// Picks the highest-priority queued job (FIFO within a class) and
+  /// marks it running; 0 when none. mutex_ held by caller.
+  [[nodiscard]] std::uint64_t claim_next_locked();
+  void worker_loop();
+
+  /// Rescans the store directory: completed jobs re-enter the result
+  /// cache, interrupted ones re-enqueue (resuming from their checkpoint).
+  void recover_store();
+
+  ServiceConfig config_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::map<std::uint64_t, Job> jobs_;  // ordered: `jobs` lists by id
+  std::uint64_t next_id_ = 1;
+  /// fingerprint → completed job id (the result cache index).
+  std::map<std::uint64_t, std::uint64_t> by_fingerprint_;
+  bool shutdown_ = false;
+  bool stopping_ = false;
+
+  MetricsRegistry metrics_;
+  Counter* m_submitted_ = nullptr;
+  Counter* m_completed_ = nullptr;
+  Counter* m_failed_ = nullptr;
+  Counter* m_result_cache_hits_ = nullptr;
+  Counter* m_eval_cache_seeded_ = nullptr;
+  Counter* m_sim_runs_ = nullptr;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace automap

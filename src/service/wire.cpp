@@ -1,0 +1,39 @@
+#include "src/service/wire.hpp"
+
+#include <limits>
+
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+
+namespace automap {
+
+std::string encode_frame(std::string_view payload) {
+  AM_REQUIRE(payload.size() <= std::numeric_limits<std::uint32_t>::max(),
+             "wire payload exceeds the 32-bit frame length");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xff));
+  frame.push_back(static_cast<char>((n >> 16) & 0xff));
+  frame.push_back(static_cast<char>((n >> 8) & 0xff));
+  frame.push_back(static_cast<char>(n & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+std::optional<std::size_t> decode_frame_length(std::string_view buffer) {
+  if (buffer.size() < kFrameHeaderBytes) return std::nullopt;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer[i]));
+  };
+  return static_cast<std::size_t>((b(0) << 24) | (b(1) << 16) | (b(2) << 8) |
+                                  b(3));
+}
+
+std::string wire_error(std::string_view code, std::string_view message) {
+  return "{\"type\":\"error\",\"code\":\"" + json_escape(code) +
+         "\",\"message\":\"" + json_escape(message) + "\"}";
+}
+
+}  // namespace automap

@@ -67,22 +67,26 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      auto bucket = queue_.begin();  // highest priority class
+      job = std::move(bucket->second.front());
+      bucket->second.pop_front();
+      if (bucket->second.empty()) queue_.erase(bucket);
     }
     job();
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
-  parallel_for(n,
-               [&body](std::size_t, std::size_t index) { body(index); });
+                              const std::function<void(std::size_t)>& body,
+                              int priority) {
+  parallel_for(n, [&body](std::size_t, std::size_t index) { body(index); },
+               priority);
 }
 
 void ThreadPool::parallel_for(
     std::size_t n,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t)>& body,
+    int priority) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(0, i);
@@ -99,8 +103,9 @@ void ThreadPool::parallel_for(
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    std::deque<std::function<void()>>& bucket = queue_[priority];
     for (std::size_t h = 0; h < helpers; ++h) {
-      queue_.emplace_back([state, lane = h + 1] {
+      bucket.emplace_back([state, lane = h + 1] {
         state->drain(lane);
         {
           const std::lock_guard<std::mutex> state_lock(state->mutex);

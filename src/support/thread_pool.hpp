@@ -13,6 +13,7 @@
 #include <functional>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -40,9 +41,15 @@ class ThreadPool {
   /// runtimes may vary freely. Blocks until every index completed. The
   /// first exception thrown by any body is rethrown on the caller (the
   /// remaining indices still run to completion). Not reentrant: bodies
-  /// must not call parallel_for on the same pool.
+  /// must not call parallel_for on the same pool. Concurrent calls from
+  /// *different* threads are safe and share the workers; `priority` picks
+  /// which call's helpers drain first when they compete (higher first,
+  /// FIFO within a class). The caller always participates regardless of
+  /// priority, so a low-priority call makes progress even under a steady
+  /// stream of high-priority work.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    int priority = 0);
 
   /// Lane-indexed variant: body(lane, index) where `lane` identifies the
   /// execution lane running the index — 0 for the calling thread, 1..k for
@@ -52,7 +59,8 @@ class ThreadPool {
   /// mutable scratch state without synchronization.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t lane,
-                                             std::size_t index)>& body);
+                                             std::size_t index)>& body,
+                    int priority = 0);
 
   /// The machine's hardware concurrency, with a floor of 1.
   [[nodiscard]] static int hardware_threads();
@@ -63,7 +71,10 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
+  /// Priority buckets, highest first; FIFO within a bucket. Emptied
+  /// buckets are erased so the common single-priority case stays one
+  /// deque.
+  std::map<int, std::deque<std::function<void()>>, std::greater<int>> queue_;
   bool stop_ = false;
 };
 

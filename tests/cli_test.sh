@@ -44,6 +44,27 @@ fi
       --threads 4 | grep "best mapping" > "$DIR/parallel.txt"
 cmp "$DIR/serial.txt" "$DIR/parallel.txt"
 
+# The canonical options codec round-trips through the CLI: --dump-options
+# emits schema-versioned JSON that, fed back via --options, reproduces
+# the byte-identical summary line.
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      --dump-options > "$DIR/options.json"
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+      assert d['schema'] == 1 and d['rotations'] == 2" "$DIR/options.json"
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --options "$DIR/options.json" \
+      | grep "best mapping" > "$DIR/fromjson.txt"
+cmp "$DIR/serial.txt" "$DIR/fromjson.txt"
+
+# A corrupted options file fails loudly (strict parse: unknown keys are
+# errors), not by silently falling back to defaults.
+sed 's/"rotations"/"rotation_count"/' "$DIR/options.json" > "$DIR/bad-options.json"
+if "$CLI" search "$DIR/m.machine" "$DIR/g.graph" \
+      --options "$DIR/bad-options.json" > /dev/null 2> "$DIR/badopt.txt"; then
+  echo "expected nonzero exit for unknown options key" >&2
+  exit 1
+fi
+grep -q "error" "$DIR/badopt.txt"
+
 "$CLI" evaluate "$DIR/m.machine" "$DIR/g.graph" "$DIR/best.mapping" \
       --repeats 5 | grep -q "speedup"
 

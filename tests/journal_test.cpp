@@ -77,8 +77,13 @@ TEST(Journal, SchemaRoundTripAndMonotoneSequence) {
     if (type == "search_begin") {
       saw_search_begin = true;
       EXPECT_EQ(ev.str_or("algorithm", ""), "AM-CCD");
-      EXPECT_EQ(ev.str_or("seed", ""), "42");
-      EXPECT_FALSE(ev.has("threads"));  // would break byte-identity
+      // Version 2: the configuration travels as canonical codec objects.
+      const JsonValue* opts = ev.find("options");
+      ASSERT_NE(opts, nullptr);
+      EXPECT_EQ(opts->str_or("seed", ""), "42");
+      ASSERT_NE(ev.find("sim"), nullptr);
+      EXPECT_FALSE(ev.has("threads"));        // would break byte-identity
+      EXPECT_FALSE(opts->has("threads"));
     } else if (type == "move") {
       saw_move = true;
       EXPECT_TRUE(ev.has("accepted"));

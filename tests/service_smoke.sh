@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the mapping service: daemon startup, client
+# round trips, byte-identity of daemon answers with the one-shot `search`
+# path, the cross-job result cache (a repeat submission runs zero new
+# simulator runs), journal streaming, warm restart from the persisted
+# store, and clean shutdown.
+# Usage: service_smoke.sh <path-to-automap_cli> <path-to-automap_client>
+set -euo pipefail
+
+CLI="$1"
+CLIENT="$2"
+DIR="$(mktemp -d)"
+SOCK="$DIR/automap.sock"
+STORE="$DIR/store"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+wait_for_daemon() {
+  for _ in $(seq 1 150); do
+    if "$CLIENT" ping --socket "$SOCK" > /dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "daemon did not come up" >&2
+  cat "$DIR"/serve*.log >&2 || true
+  exit 1
+}
+
+sim_runs() {
+  "$CLIENT" stats --socket "$SOCK" \
+    | awk '$1 == "automap_sim_runs_total" { print $2 }'
+}
+
+"$CLI" export-machine shepard 2 "$DIR/m.machine" > /dev/null
+"$CLI" export-app stencil 2 1 "$DIR/g.graph" > /dev/null
+
+"$CLI" serve --socket "$SOCK" --store "$STORE" --eval-threads 2 \
+      --workers 2 > "$DIR/serve.log" 2>&1 &
+SERVER_PID=$!
+wait_for_daemon
+"$CLIENT" ping --socket "$SOCK" | grep -q "pong"
+
+# Submit a job with a journal and wait for its result.
+"$CLIENT" submit "$DIR/m.machine" "$DIR/g.graph" --socket "$SOCK" \
+      --rotations 2 --repeats 3 --journal --wait \
+      -o "$DIR/daemon.mapping" > "$DIR/daemon.txt"
+grep -q "best mapping" "$DIR/daemon.txt"
+
+# The daemon's answer is byte-identical to the one-shot CLI path: the
+# summary line and the mapping file both compare equal.
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 2 --repeats 3 \
+      -o "$DIR/oneshot.mapping" > "$DIR/oneshot.txt"
+grep "best mapping" "$DIR/daemon.txt" > "$DIR/daemon.line"
+grep "best mapping" "$DIR/oneshot.txt" > "$DIR/oneshot.line"
+cmp "$DIR/daemon.line" "$DIR/oneshot.line"
+cmp "$DIR/daemon.mapping" "$DIR/oneshot.mapping"
+
+# The identical submission is answered from the result cache with zero
+# new simulator runs.
+RUNS_BEFORE="$(sim_runs)"
+test -n "$RUNS_BEFORE"
+"$CLIENT" submit "$DIR/m.machine" "$DIR/g.graph" --socket "$SOCK" \
+      --rotations 2 --repeats 3 --journal --wait > "$DIR/cached.txt"
+grep -q "(cached)" "$DIR/cached.txt"
+grep "best mapping" "$DIR/cached.txt" > "$DIR/cached.line"
+cmp "$DIR/cached.line" "$DIR/oneshot.line"
+test "$(sim_runs)" = "$RUNS_BEFORE"
+"$CLIENT" stats --socket "$SOCK" \
+  | awk '$1 == "automap_service_result_cache_hits_total" { exit !($2 >= 1) }'
+
+# Journal streaming reconstructs a well-formed JSONL provenance stream.
+"$CLIENT" journal 1 --socket "$SOCK" > "$DIR/journal.jsonl"
+test -s "$DIR/journal.jsonl"
+python3 - "$DIR/journal.jsonl" << 'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert lines[0]["type"] == "journal" and lines[0]["version"] >= 1
+assert [l["n"] for l in lines] == list(range(len(lines)))
+assert any(l["type"] == "search_begin" for l in lines)
+assert any(l["type"] == "finalize" for l in lines)
+EOF
+
+"$CLIENT" jobs --socket "$SOCK" | grep -q "job 1 done"
+
+# A bad submission gets a structured one-line error, not a hang or a
+# dropped connection.
+if "$CLIENT" submit /dev/null "$DIR/g.graph" --socket "$SOCK" \
+      > /dev/null 2> "$DIR/bad.txt"; then
+  echo "expected nonzero exit for a bad submit" >&2
+  exit 1
+fi
+grep -qi "error" "$DIR/bad.txt"
+
+# Clean shutdown over the wire.
+"$CLIENT" shutdown --socket "$SOCK" > /dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+grep -q "service stopped" "$DIR/serve.log"
+
+# Warm restart on the same store: the finished job is served from disk —
+# still byte-identical — without a single new simulator run.
+"$CLI" serve --socket "$SOCK" --store "$STORE" --eval-threads 2 \
+      --workers 2 > "$DIR/serve2.log" 2>&1 &
+SERVER_PID=$!
+wait_for_daemon
+"$CLIENT" result 1 --socket "$SOCK" -o "$DIR/revived.mapping" \
+      > "$DIR/revived.txt"
+grep "best mapping" "$DIR/revived.txt" > "$DIR/revived.line"
+cmp "$DIR/revived.line" "$DIR/oneshot.line"
+cmp "$DIR/revived.mapping" "$DIR/oneshot.mapping"
+test "$(sim_runs)" = "0"
+
+"$CLIENT" shutdown --socket "$SOCK" > /dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "service smoke test passed"

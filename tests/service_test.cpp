@@ -1,0 +1,388 @@
+// Tests for the mapping service (src/service/): the wire framing, the
+// transport-independent MappingService protocol, byte-identity of daemon
+// answers versus the one-shot search path, the cross-job result cache
+// (zero new simulator runs on a repeat submission), journal streaming,
+// and warm restart from a persisted store.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/apps/registry.hpp"
+#include "src/io/text_io.hpp"
+#include "src/machine/machine.hpp"
+#include "src/search/algorithms.hpp"
+#include "src/search/search.hpp"
+#include "src/service/service.hpp"
+#include "src/service/wire.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/json.hpp"
+
+namespace automap {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh store directory per test; gtest's TempDir persists across the
+/// binary's lifetime, so each test namespaces itself.
+std::string fresh_store(const std::string& name) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / ("automap-service-" + name))
+          .string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string stencil_machine_text() {
+  return machine_to_string(make_shepard(2));
+}
+
+std::string stencil_graph_text() {
+  return task_graph_to_string(make_app_by_name("stencil", 2, 1).graph);
+}
+
+/// Small-but-real search configuration used throughout: two rotations of
+/// CCD over the 2-node stencil.
+SearchOptions small_options(std::uint64_t seed) {
+  SearchOptions options;
+  options.rotations = 2;
+  options.repeats = 2;
+  options.seed = seed;
+  return options;
+}
+
+std::string submit_request(const SearchOptions& options,
+                           const std::string& extra = "") {
+  return "{\"op\":\"submit\",\"machine\":\"" +
+         json_escape(stencil_machine_text()) + "\",\"graph\":\"" +
+         json_escape(stencil_graph_text()) +
+         "\",\"options\":" + search_options_to_json(options) + extra + "}";
+}
+
+JsonValue handle_json(MappingService& service, const std::string& request) {
+  return parse_json(service.handle(request));
+}
+
+std::string job_id_of(const JsonValue& response) {
+  return std::to_string(
+      static_cast<std::uint64_t>(response.num_or("job", 0)));
+}
+
+std::string wait_for(MappingService& service, const std::string& id) {
+  for (int i = 0; i < 1200; ++i) {
+    const JsonValue status =
+        handle_json(service, "{\"op\":\"status\",\"job\":" + id + "}");
+    const std::string state = status.str_or("status", "");
+    if (state == "done" || state == "failed") return state;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return "timeout";
+}
+
+/// Value of one counter in a Prometheus-format exposition; -1 if absent.
+double metric_value(const std::string& exposition, const std::string& name) {
+  std::istringstream is(exposition);
+  std::string line;
+  while (std::getline(is, line))
+    if (line.rfind(name + " ", 0) == 0)
+      return std::stod(line.substr(name.size() + 1));
+  return -1.0;
+}
+
+/// The one-shot reference: the exact search the CLI's `search` command
+/// runs for these options, reduced to the response fields the daemon
+/// serves (summary line and serialized mapping).
+struct OneShot {
+  std::string summary;
+  std::string mapping;
+};
+
+OneShot one_shot_reference(const SearchOptions& options) {
+  const MachineModel machine = make_shepard(2);
+  const TaskGraph graph = make_app_by_name("stencil", 2, 1).graph;
+  const Simulator sim(machine, graph, {});
+  SearchOptions local = options;
+  local.threads = 1;
+  local.export_profiles_db = false;
+  const SearchResult result =
+      find_search_algorithm("ccd")->run(sim, local);
+  return {render_search_summary(result), result.best.serialize()};
+}
+
+TEST(Wire, FrameRoundTripAndShortHeader) {
+  const std::string frame = encode_frame("{\"op\":\"ping\"}");
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 13u);
+  const auto length = decode_frame_length(frame);
+  ASSERT_TRUE(length.has_value());
+  EXPECT_EQ(*length, 13u);
+  EXPECT_EQ(frame.substr(kFrameHeaderBytes), "{\"op\":\"ping\"}");
+  EXPECT_FALSE(decode_frame_length("ab").has_value());
+}
+
+TEST(Service, PingAndUnknownOp) {
+  MappingService service({.store_dir = fresh_store("ping"),
+                          .eval_threads = 1,
+                          .job_workers = 0});
+  const JsonValue pong = handle_json(service, "{\"op\":\"ping\"}");
+  EXPECT_EQ(pong.str_or("type", ""), "pong");
+  EXPECT_EQ(static_cast<int>(pong.num_or("version", 0)), kWireVersion);
+
+  const JsonValue err = handle_json(service, "{\"op\":\"frobnicate\"}");
+  EXPECT_EQ(err.str_or("type", ""), "error");
+  EXPECT_EQ(err.str_or("code", ""), "unknown_op");
+}
+
+TEST(Service, StructuredErrorsNotDroppedConnections) {
+  MappingService service({.store_dir = fresh_store("errors"),
+                          .eval_threads = 1,
+                          .job_workers = 0,
+                          .max_request_bytes = 128});
+  // Oversize request: a structured too_large error, not a disconnect.
+  const JsonValue big = handle_json(
+      service, "{\"op\":\"ping\",\"pad\":\"" + std::string(256, 'x') +
+                   "\"}");
+  EXPECT_EQ(big.str_or("type", ""), "error");
+  EXPECT_EQ(big.str_or("code", ""), "too_large");
+
+  // Malformed JSON and missing fields are bad_request.
+  EXPECT_EQ(handle_json(service, "{nope").str_or("code", ""),
+            "bad_request");
+  EXPECT_EQ(handle_json(service, "{\"op\":\"submit\"}").str_or("code", ""),
+            "bad_request");
+  // A bad machine text is rejected at submit time, not as a failed job.
+  const JsonValue bad_machine = handle_json(
+      service,
+      "{\"op\":\"submit\",\"machine\":\"bogus\",\"graph\":\"bogus\"}");
+  EXPECT_EQ(bad_machine.str_or("code", ""), "bad_request");
+
+  // Job-keyed ops on a missing job are not_found.
+  EXPECT_EQ(
+      handle_json(service, "{\"op\":\"result\",\"job\":7}").str_or("code",
+                                                                   ""),
+      "not_found");
+}
+
+TEST(Service, ConcurrentJobsMatchOneShotSearch) {
+  // Two jobs with different seeds run concurrently on two workers that
+  // share one evaluation pool; each answer must be byte-identical to the
+  // serial one-shot search path for its options.
+  MappingService service({.store_dir = fresh_store("concurrent"),
+                          .eval_threads = 4,
+                          .job_workers = 2});
+  const SearchOptions a = small_options(7);
+  const SearchOptions b = small_options(1234);
+  const std::string id_a =
+      job_id_of(handle_json(service, submit_request(a)));
+  const std::string id_b = job_id_of(
+      handle_json(service, submit_request(b, ",\"priority\":3")));
+  ASSERT_NE(id_a, id_b);
+  ASSERT_EQ(wait_for(service, id_a), "done");
+  ASSERT_EQ(wait_for(service, id_b), "done");
+
+  const JsonValue result_a =
+      handle_json(service, "{\"op\":\"result\",\"job\":" + id_a + "}");
+  const JsonValue result_b =
+      handle_json(service, "{\"op\":\"result\",\"job\":" + id_b + "}");
+  const OneShot ref_a = one_shot_reference(a);
+  const OneShot ref_b = one_shot_reference(b);
+  EXPECT_EQ(result_a.str_or("summary", ""), ref_a.summary);
+  EXPECT_EQ(result_a.str_or("mapping", ""), ref_a.mapping);
+  EXPECT_EQ(result_b.str_or("summary", ""), ref_b.summary);
+  EXPECT_EQ(result_b.str_or("mapping", ""), ref_b.mapping);
+}
+
+TEST(Service, RepeatSubmissionAnsweredFromResultCache) {
+  MappingService service({.store_dir = fresh_store("cache"),
+                          .eval_threads = 2,
+                          .job_workers = 0});
+  const SearchOptions options = small_options(42);
+  const JsonValue first = handle_json(service, submit_request(options));
+  EXPECT_EQ(first.str_or("status", ""), "queued");
+  EXPECT_FALSE(first.bool_or("cached", false));
+  service.drain();
+
+  const double runs_after_first =
+      metric_value(service.expose_metrics(), "automap_sim_runs_total");
+  ASSERT_GT(runs_after_first, 0.0);
+
+  // The identical request maps onto the finished job: same id, cached,
+  // and — after another drain — zero new simulator runs.
+  const JsonValue second = handle_json(service, submit_request(options));
+  EXPECT_EQ(job_id_of(second), job_id_of(first));
+  EXPECT_EQ(second.str_or("status", ""), "done");
+  EXPECT_TRUE(second.bool_or("cached", false));
+  service.drain();
+
+  const std::string exposition = service.expose_metrics();
+  EXPECT_EQ(metric_value(exposition, "automap_sim_runs_total"),
+            runs_after_first);
+  EXPECT_EQ(
+      metric_value(exposition, "automap_service_result_cache_hits_total"),
+      1.0);
+  EXPECT_EQ(
+      metric_value(exposition, "automap_service_jobs_submitted_total"),
+      1.0);
+
+  // A different seed is a different fingerprint: queued, not cached.
+  const JsonValue third =
+      handle_json(service, submit_request(small_options(43)));
+  EXPECT_EQ(third.str_or("status", ""), "queued");
+  EXPECT_FALSE(third.bool_or("cached", false));
+}
+
+TEST(Service, JournalStreamingReconstructsFileBytes) {
+  const std::string store = fresh_store("journal");
+  MappingService service(
+      {.store_dir = store, .eval_threads = 1, .job_workers = 0});
+  const JsonValue submitted = handle_json(
+      service, submit_request(small_options(42), ",\"journal\":true"));
+  const std::string id = job_id_of(submitted);
+  service.drain();
+
+  const JsonValue response = handle_json(
+      service, "{\"op\":\"journal\",\"job\":" + id + ",\"after\":-1}");
+  const JsonValue* events = response.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->array.empty());
+  std::string reconstructed;
+  for (const JsonValue& event : events->array)
+    reconstructed += event.string + "\n";
+  EXPECT_EQ(reconstructed,
+            load_text(store + "/jobs/" + id + "/journal.jsonl"));
+
+  // The cursor: nothing new past the last served event.
+  const long long next =
+      static_cast<long long>(response.num_or("next", -99));
+  EXPECT_EQ(next + 1, static_cast<long long>(events->array.size()));
+  const JsonValue tail = handle_json(
+      service, "{\"op\":\"journal\",\"job\":" + id + ",\"after\":" +
+                   std::to_string(next) + "}");
+  const JsonValue* tail_events = tail.find("events");
+  ASSERT_NE(tail_events, nullptr);
+  EXPECT_TRUE(tail_events->array.empty());
+
+  // Journal access requires the job to have asked for one.
+  const JsonValue plain =
+      handle_json(service, submit_request(small_options(5)));
+  EXPECT_EQ(handle_json(service, "{\"op\":\"journal\",\"job\":" +
+                                     job_id_of(plain) + "}")
+                .str_or("code", ""),
+            "bad_state");
+}
+
+TEST(Service, WarmRestartServesPersistedResults) {
+  const std::string store = fresh_store("restart");
+  const SearchOptions options = small_options(42);
+  std::string id;
+  std::string payload;
+  {
+    MappingService service(
+        {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+    id = job_id_of(handle_json(service, submit_request(options)));
+    service.drain();
+    payload = service.handle("{\"op\":\"result\",\"job\":" + id + "}");
+    ASSERT_EQ(parse_json(payload).str_or("type", ""), "result");
+  }
+  // A new daemon on the same store serves the identical bytes without
+  // running anything (zero simulator runs since construction).
+  MappingService revived(
+      {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+  EXPECT_EQ(revived.handle("{\"op\":\"result\",\"job\":" + id + "}"),
+            payload);
+  EXPECT_EQ(metric_value(revived.expose_metrics(),
+                         "automap_sim_runs_total"),
+            0.0);
+  // And the repeat submission is a result-cache hit across the restart.
+  const JsonValue again = handle_json(revived, submit_request(options));
+  EXPECT_EQ(job_id_of(again), id);
+  EXPECT_TRUE(again.bool_or("cached", false));
+}
+
+TEST(Service, WarmRestartResumesInterruptedJobToIdenticalResult) {
+  const std::string store = fresh_store("resume");
+  const SearchOptions options = small_options(42);
+  std::string id;
+  std::string payload;
+  {
+    MappingService service(
+        {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+    id = job_id_of(handle_json(service, submit_request(options)));
+    service.drain();
+    payload = service.handle("{\"op\":\"result\",\"job\":" + id + "}");
+  }
+  // Simulate a daemon killed after checkpointing but before the result
+  // was persisted: the checkpoint survives, the result does not.
+  ASSERT_TRUE(fs::exists(store + "/jobs/" + id + "/checkpoint"));
+  fs::remove(store + "/jobs/" + id + "/result.json");
+
+  MappingService revived(
+      {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+  EXPECT_EQ(handle_json(revived, "{\"op\":\"status\",\"job\":" + id + "}")
+                .str_or("status", ""),
+            "queued");
+  revived.drain();
+  // Resuming from the checkpoint lands on the byte-identical result.
+  EXPECT_EQ(revived.handle("{\"op\":\"result\",\"job\":" + id + "}"),
+            payload);
+}
+
+TEST(Service, CancelOnlyTouchesQueuedJobs) {
+  MappingService service({.store_dir = fresh_store("cancel"),
+                          .eval_threads = 1,
+                          .job_workers = 0});
+  const std::string id =
+      job_id_of(handle_json(service, submit_request(small_options(9))));
+  const JsonValue cancelled =
+      handle_json(service, "{\"op\":\"cancel\",\"job\":" + id + "}");
+  EXPECT_EQ(cancelled.str_or("type", ""), "cancelled");
+  EXPECT_EQ(handle_json(service, "{\"op\":\"status\",\"job\":" + id + "}")
+                .str_or("status", ""),
+            "cancelled");
+  // Draining after the cancel runs nothing.
+  service.drain();
+  EXPECT_EQ(metric_value(service.expose_metrics(),
+                         "automap_sim_runs_total"),
+            0.0);
+  // A finished job cannot be cancelled.
+  const std::string done_id =
+      job_id_of(handle_json(service, submit_request(small_options(10))));
+  service.drain();
+  EXPECT_EQ(handle_json(service,
+                        "{\"op\":\"cancel\",\"job\":" + done_id + "}")
+                .str_or("code", ""),
+            "bad_state");
+}
+
+TEST(Service, EvalCacheSeedsRepeatMeasurements) {
+  // Opt-in measurement reuse: the first job fills a bucket; a second job
+  // over the same measurement configuration (different rotation budget,
+  // so a different fingerprint) seeds from it and reports evaluator
+  // cache hits.
+  MappingService service({.store_dir = fresh_store("evalcache"),
+                          .eval_threads = 2,
+                          .job_workers = 0});
+  const SearchOptions first = small_options(42);
+  handle_json(service, submit_request(first, ",\"reuse_measurements\":true"));
+  service.drain();
+
+  SearchOptions second = first;
+  second.rotations = 3;  // new fingerprint, same measurement bucket
+  const std::string id = job_id_of(handle_json(
+      service, submit_request(second, ",\"reuse_measurements\":true")));
+  service.drain();
+  EXPECT_EQ(metric_value(service.expose_metrics(),
+                         "automap_service_eval_cache_seeded_total"),
+            1.0);
+  const JsonValue result =
+      handle_json(service, "{\"op\":\"result\",\"job\":" + id + "}");
+  const JsonValue* stats = result.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->num_or("cache_hits", 0), 0.0);
+}
+
+}  // namespace
+}  // namespace automap

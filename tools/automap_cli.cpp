@@ -6,457 +6,25 @@
 // (simulated) application to evaluate candidates — and writes the best
 // mapping found, which the application's mapper replays in production runs.
 //
-// Commands:
-//   export-machine <shepard|lassen> <nodes> <out.machine>
-//   export-app <circuit|stencil|pennant|htr|maestro> <nodes> <step>
-//              <out.graph>
-//   describe <machine file> <graph file>
-//   search <machine file> <graph file> [options] [-o mapping.txt]
-//       --algorithm ccd|cd|ot     (default ccd)
-//       --rotations N             (default 5)
-//       --repeats N               (default 7)
-//       --budget SECONDS          (simulated; default unlimited)
-//       --seed N                  (default 42)
-//       --fallbacks               (enable §3.1 memory priority lists)
-//   evaluate <machine file> <graph file> <mapping file> [--repeats N]
-//   explain <graph file> <journal.jsonl>        (decision provenance)
-//   replay <machine file> <graph file> <journal.jsonl>  (drift cross-check)
+// The subcommands live in src/cli (one registry row each — run
+// `automap_cli help` for the list); the service-mode commands (`serve`,
+// `client`) register through the same table. This file is only the
+// entry point and the top-level error boundary.
 
-#include <cstring>
+#include <exception>
 #include <iostream>
-#include <string>
-#include <vector>
 
-#include <optional>
-
-#include "src/apps/registry.hpp"
-#include "src/automap/automap.hpp"
-#include "src/io/text_io.hpp"
-#include "src/report/analysis.hpp"
-#include "src/report/codegen.hpp"
-#include "src/report/explain.hpp"
-#include "src/report/journal.hpp"
-#include "src/report/profile.hpp"
-#include "src/report/visualize.hpp"
-#include "src/support/metrics.hpp"
-#include "src/search/algorithms.hpp"
-#include "src/machine/machine.hpp"
-#include "src/runtime/mapper.hpp"
-#include "src/sim/simulator.hpp"
+#include "src/cli/cli.hpp"
+#include "src/cli/commands.hpp"
+#include "src/cli/service_commands.hpp"
 #include "src/support/error.hpp"
-#include "src/support/format.hpp"
-
-namespace {
-using namespace automap;
-
-int usage() {
-  std::cerr
-      << "usage:\n"
-         "  automap_cli export-machine <shepard|lassen|cpu-cluster> "
-         "<nodes> <out>\n"
-         "  automap_cli export-app <app> <nodes> <step> <out>\n"
-         "  automap_cli describe <machine> <graph>\n"
-         "  automap_cli search <machine> <graph>\n"
-         "              [--algorithm "
-      << search_algorithm_names()
-      << "]\n"
-         "              [--rotations N] [--repeats N] [--budget S]\n"
-         "              [--seed N] [--threads N] [--no-prune] "
-         "[--fallbacks]\n"
-         "              [-o mapping.txt] [--profiles db.txt]\n"
-         "              [--telemetry] [--profile] [--trace-json out.json]\n"
-         "              [--fault-crash P] [--fault-straggler P]\n"
-         "              [--fault-straggler-factor X] [--fault-oom P]\n"
-         "              [--fault-copy P] [--retries N] [--quarantine K]\n"
-         "              [--backoff S] [--aggregate mean|median|trimmed]\n"
-         "              [--checkpoint file] [--resume file]\n"
-         "              [--journal out.jsonl] [--metrics-out out.txt]\n"
-         "  automap_cli evaluate <machine> <graph> <mapping> [--repeats N]\n"
-         "              [--profile] [--trace-json out.json]\n"
-         "  automap_cli explain <graph> <journal.jsonl>\n"
-         "  automap_cli replay <machine> <graph> <journal.jsonl> "
-         "[--threads N]\n"
-         "  automap_cli visualize <machine> <graph> <mapping>\n"
-         "              [--dot out.dot] [--trace out.json]\n"
-         "  automap_cli codegen <graph> <mapping> <ClassName> <out.cpp>\n"
-         "  automap_cli validate <machine> <graph> <mapping>\n";
-  return 2;
-}
-
-int cmd_export_machine(const std::vector<std::string>& args) {
-  if (args.size() != 3) return usage();
-  const int nodes = std::stoi(args[1]);
-  const MachineModel machine = args[0] == "lassen"        ? make_lassen(nodes)
-                               : args[0] == "cpu-cluster" ? make_cpu_cluster(
-                                                                nodes)
-                                                          : make_shepard(nodes);
-  save_machine(args[2], machine);
-  std::cout << "wrote " << args[2] << "\n" << machine.describe();
-  return 0;
-}
-
-int cmd_export_app(const std::vector<std::string>& args) {
-  if (args.size() != 4) return usage();
-  const std::string& name = args[0];
-  AM_REQUIRE(is_app_name(name), "unknown application: " + name);
-  const int nodes = std::stoi(args[1]);
-  const int step = std::stoi(args[2]);
-  const BenchmarkApp app = make_app_by_name(name, nodes, step);
-  save_task_graph(args[3], app.graph);
-  std::cout << "wrote " << args[3] << " (" << app.name << " " << app.input
-            << ": " << app.graph.num_tasks() << " tasks, "
-            << app.graph.num_collection_args() << " collection args)\n";
-  return 0;
-}
-
-int cmd_describe(const std::vector<std::string>& args) {
-  if (args.size() != 2) return usage();
-  const MachineModel machine = load_machine(args[0]);
-  const TaskGraph graph = load_task_graph(args[1]);
-  std::cout << machine.describe() << "\n" << graph.describe();
-  return 0;
-}
-
-/// Reruns `mapping` noise-free with trace recording and emits the requested
-/// observability outputs: the profile digest to stdout and/or Chrome-trace
-/// JSON to `trace_json_path`.
-void emit_observability(const MachineModel& machine, const TaskGraph& graph,
-                        const Mapping& mapping, bool profile,
-                        const std::string& trace_json_path,
-                        const std::vector<TrajectoryPoint>& trajectory = {}) {
-  if (!profile && trace_json_path.empty()) return;
-  Simulator sim(machine, graph,
-                {.iterations = 10, .noise_sigma = 0.0, .record_trace = true});
-  const ExecutionReport report = sim.run(mapping, 1);
-  AM_REQUIRE(report.ok, "mapping failed to execute: " + report.failure);
-  if (profile) {
-    std::cout << "\n" << render_profile(graph, compute_profile(graph, report));
-  }
-  if (!trace_json_path.empty()) {
-    save_text(trace_json_path, render_chrome_trace(report, trajectory));
-    std::cout << "\nwrote " << trace_json_path
-              << " (open in a Chrome-tracing / Perfetto viewer)\n";
-  }
-}
-
-int cmd_search(const std::vector<std::string>& args) {
-  if (args.size() < 2) return usage();
-  const MachineModel machine = load_machine(args[0]);
-  const TaskGraph graph = load_task_graph(args[1]);
-
-  std::string algorithm_name = "ccd";
-  SearchOptions options{.seed = 42};
-  FaultModel faults;
-  std::string out_path;
-  std::string profiles_path;
-  std::string trace_json_path;
-  std::string resume_path;
-  std::string journal_path;
-  std::string metrics_path;
-  bool telemetry = false;
-  bool profile = false;
-  for (std::size_t i = 2; i < args.size(); ++i) {
-    auto value = [&]() -> const std::string& {
-      AM_REQUIRE(i + 1 < args.size(), args[i] + " needs a value");
-      return args[++i];
-    };
-    if (args[i] == "--algorithm") {
-      algorithm_name = value();
-    } else if (args[i] == "--rotations") {
-      options.rotations = std::stoi(value());
-    } else if (args[i] == "--repeats") {
-      options.repeats = std::stoi(value());
-    } else if (args[i] == "--budget") {
-      options.time_budget_s = std::stod(value());
-    } else if (args[i] == "--seed") {
-      options.seed = std::stoull(value());
-    } else if (args[i] == "--threads") {
-      // 0 = one evaluation lane per hardware thread. Results are
-      // bit-identical for every value; only wall-clock time changes.
-      options.threads = std::stoi(value());
-    } else if (args[i] == "--no-prune") {
-      // Disable incumbent-bounded candidate pruning. Results are
-      // bit-identical with or without it; only wall-clock time changes.
-      options.prune_candidates = false;
-    } else if (args[i] == "--fallbacks") {
-      options.memory_fallbacks = true;
-    } else if (args[i] == "-o") {
-      out_path = value();
-    } else if (args[i] == "--profiles") {
-      profiles_path = value();
-    } else if (args[i] == "--trace-json") {
-      trace_json_path = value();
-    } else if (args[i] == "--telemetry") {
-      telemetry = true;
-    } else if (args[i] == "--profile") {
-      profile = true;
-    } else if (args[i] == "--fault-crash") {
-      faults.crash_prob = std::stod(value());
-    } else if (args[i] == "--fault-straggler") {
-      faults.straggler_prob = std::stod(value());
-    } else if (args[i] == "--fault-straggler-factor") {
-      faults.straggler_factor = std::stod(value());
-    } else if (args[i] == "--fault-oom") {
-      faults.mem_pressure_prob = std::stod(value());
-    } else if (args[i] == "--fault-copy") {
-      faults.copy_fault_prob = std::stod(value());
-    } else if (args[i] == "--retries") {
-      options.resilience.max_retries = std::stoi(value());
-    } else if (args[i] == "--quarantine") {
-      options.resilience.quarantine_after = std::stoi(value());
-    } else if (args[i] == "--backoff") {
-      options.resilience.retry_backoff_s = std::stod(value());
-    } else if (args[i] == "--aggregate") {
-      const std::string& name = value();
-      if (name == "mean") {
-        options.resilience.aggregation = Aggregation::kMean;
-      } else if (name == "median") {
-        options.resilience.aggregation = Aggregation::kMedian;
-      } else if (name == "trimmed") {
-        options.resilience.aggregation = Aggregation::kTrimmedMean;
-      } else {
-        std::cerr << "unknown aggregation: " << name
-                  << " (expected mean|median|trimmed)\n";
-        return usage();
-      }
-    } else if (args[i] == "--checkpoint") {
-      options.checkpoint_path = value();
-    } else if (args[i] == "--resume") {
-      resume_path = value();
-    } else if (args[i] == "--journal") {
-      journal_path = value();
-    } else if (args[i] == "--metrics-out") {
-      metrics_path = value();
-    } else {
-      std::cerr << "unknown option: " << args[i] << "\n";
-      return usage();
-    }
-  }
-
-  // Every output path is validated before the search starts: a typo'd
-  // directory costs milliseconds and one Error line here instead of a
-  // finished search whose results cannot be written.
-  for (const std::string* path :
-       {&out_path, &profiles_path, &trace_json_path, &journal_path,
-        &metrics_path, &options.checkpoint_path}) {
-    if (!path->empty()) require_writable_path(*path);
-  }
-
-  if (!resume_path.empty()) {
-    options.resume_state = load_text(resume_path);
-    std::cout << "resuming from checkpoint " << resume_path << "\n";
-  }
-
-  if (!profiles_path.empty()) {
-    // Resume from a previous search's profiles database if present.
-    try {
-      options.profiles_seed = load_text(profiles_path);
-      std::cout << "seeded profiles database from " << profiles_path << "\n";
-    } catch (const Error&) {
-      // First run: the file does not exist yet.
-    }
-  }
-
-  const SearchAlgorithmInfo* algorithm =
-      find_search_algorithm(algorithm_name);
-  if (algorithm == nullptr) {
-    std::cerr << "unknown algorithm: " << algorithm_name << " (expected "
-              << search_algorithm_names() << ")\n";
-    return usage();
-  }
-
-  // Serializing the profiles database costs real time on long searches;
-  // only pay for it when --profiles asked to save it.
-  options.export_profiles_db = !profiles_path.empty();
-
-  // Observability backends. The journal lives on this frame; the search
-  // keeps only a pointer, and null pointers disable all emission. Raw
-  // simulator run counters are thread-count-dependent (speculative pool
-  // tails), so they are wired only into the final --metrics-out dump,
-  // never into the journal.
-  std::optional<Journal> journal;
-  if (!journal_path.empty()) journal.emplace(journal_path);
-  MetricsRegistry metrics;
-  const bool want_metrics = journal.has_value() || !metrics_path.empty();
-  options.journal = journal.has_value() ? &*journal : nullptr;
-  options.metrics = want_metrics ? &metrics : nullptr;
-
-  Simulator sim(machine, graph,
-                {.faults = faults,
-                 .metrics = metrics_path.empty() ? nullptr : &metrics});
-  const SearchResult result = algorithm->run(sim, options);
-  if (result.stats.degraded)
-    std::cout << "warning: search degraded — finalist protocol was "
-                 "unprofilable under the fault rate; reporting the "
-                 "best-known incumbent\n";
-  if (!profiles_path.empty()) save_text(profiles_path, result.profiles_db);
-  std::cout << result.algorithm << ": best mapping "
-            << format_seconds(result.best_seconds) << " after "
-            << result.stats.suggested << " suggested / "
-            << result.stats.evaluated << " evaluated mappings, simulated "
-            << format_seconds(result.stats.search_time_s) << " of search ("
-            << format_fixed(100 * result.stats.evaluation_fraction(), 0)
-            << "% evaluating)\n\n"
-            << result.best.describe(graph);
-  if (!metrics_path.empty()) save_text(metrics_path, metrics.expose());
-  if (telemetry)
-    std::cout << "\n"
-              << render_search_telemetry(result, journal_path, metrics_path);
-  if (journal.has_value())
-    std::cout << "\nwrote " << journal_path
-              << " (inspect with: automap_cli explain / replay)\n";
-  if (!metrics_path.empty())
-    std::cout << (journal.has_value() ? "" : "\n") << "wrote " << metrics_path
-              << " (Prometheus text format)\n";
-  emit_observability(machine, graph, result.best, profile, trace_json_path,
-                     result.trajectory);
-  if (!out_path.empty()) {
-    save_text(out_path, result.best.serialize());
-    std::cout << "\nwrote " << out_path << "\n";
-  }
-  return 0;
-}
-
-int cmd_explain(const std::vector<std::string>& args) {
-  if (args.size() != 2) return usage();
-  const TaskGraph graph = load_task_graph(args[0]);
-  std::cout << render_explain(graph, load_text(args[1]));
-  return 0;
-}
-
-int cmd_replay(const std::vector<std::string>& args) {
-  if (args.size() < 3) return usage();
-  const MachineModel machine = load_machine(args[0]);
-  const TaskGraph graph = load_task_graph(args[1]);
-  const std::string journal_text = load_text(args[2]);
-  int threads = 1;
-  for (std::size_t i = 3; i < args.size(); ++i) {
-    if (args[i] == "--threads" && i + 1 < args.size()) {
-      threads = std::stoi(args[++i]);
-    } else {
-      std::cerr << "unknown option: " << args[i] << "\n";
-      return usage();
-    }
-  }
-  const ReplayOutcome outcome =
-      replay_journal(machine, graph, journal_text, threads);
-  std::cout << outcome.rendering;
-  return outcome.drift ? 1 : 0;
-}
-
-int cmd_visualize(const std::vector<std::string>& args) {
-  if (args.size() < 3) return usage();
-  const MachineModel machine = load_machine(args[0]);
-  const TaskGraph graph = load_task_graph(args[1]);
-  const Mapping mapping = Mapping::parse(load_text(args[2]), graph);
-
-  std::string dot_path, trace_path;
-  for (std::size_t i = 3; i + 1 < args.size(); ++i) {
-    if (args[i] == "--dot") dot_path = args[i + 1];
-    if (args[i] == "--trace") trace_path = args[i + 1];
-  }
-
-  std::cout << render_mapping(graph, mapping);
-  if (!dot_path.empty()) {
-    save_text(dot_path, render_mapping_dot(graph, mapping));
-    std::cout << "\nwrote " << dot_path << " (render with: dot -Tsvg)\n";
-  }
-  if (!trace_path.empty()) {
-    Simulator sim(machine, graph,
-                  {.iterations = 10, .noise_sigma = 0.0, .record_trace = true});
-    const ExecutionReport report = sim.run(mapping, 1);
-    AM_REQUIRE(report.ok, "mapping failed to execute: " + report.failure);
-    save_text(trace_path, render_chrome_trace(report));
-    std::cout << "wrote " << trace_path
-              << " (open in a Chrome-tracing / Perfetto viewer)\n";
-  }
-  return 0;
-}
-
-int cmd_validate(const std::vector<std::string>& args) {
-  if (args.size() != 3) return usage();
-  const MachineModel machine = load_machine(args[0]);
-  const TaskGraph graph = load_task_graph(args[1]);
-  const Mapping mapping = Mapping::parse(load_text(args[2]), graph);
-
-  const auto violations = mapping.violations(graph, machine);
-  for (const auto& v : violations) std::cout << "constraint: " << v << "\n";
-  if (!violations.empty()) return 1;
-
-  // Capacity dry run: detect out-of-memory without timing anything.
-  Simulator sim(machine, graph, {.iterations = 1, .noise_sigma = 0.0});
-  const ExecutionReport report = sim.run(mapping, 1);
-  if (!report.ok) {
-    std::cout << "capacity: " << report.failure << "\n";
-    return 1;
-  }
-  std::cout << "mapping is valid and executable; peak footprints:\n";
-  for (const auto& fp : report.footprints) {
-    std::cout << "  " << to_string(fp.kind) << ": "
-              << format_bytes(fp.peak_instance_bytes) << " / "
-              << format_bytes(fp.capacity_bytes) << " per allocation\n";
-  }
-  return 0;
-}
-
-int cmd_codegen(const std::vector<std::string>& args) {
-  if (args.size() != 4) return usage();
-  const TaskGraph graph = load_task_graph(args[0]);
-  const Mapping mapping = Mapping::parse(load_text(args[1]), graph);
-  save_text(args[3], generate_mapper_source(graph, mapping, args[2]));
-  std::cout << "wrote " << args[3] << " (class " << args[2] << ")\n";
-  return 0;
-}
-
-int cmd_evaluate(const std::vector<std::string>& args) {
-  if (args.size() < 3) return usage();
-  const MachineModel machine = load_machine(args[0]);
-  const TaskGraph graph = load_task_graph(args[1]);
-  const Mapping mapping = Mapping::parse(load_text(args[2]), graph);
-  int repeats = 31;
-  bool profile = false;
-  std::string trace_json_path;
-  for (std::size_t i = 3; i < args.size(); ++i) {
-    if (args[i] == "--repeats" && i + 1 < args.size())
-      repeats = std::stoi(args[++i]);
-    else if (args[i] == "--trace-json" && i + 1 < args.size())
-      trace_json_path = args[++i];
-    else if (args[i] == "--profile")
-      profile = true;
-  }
-
-  Simulator sim(machine, graph, {});
-  const double mean = measure_mapping(sim, mapping, repeats, 1);
-  std::cout << "mean over " << repeats
-            << " runs: " << format_seconds(mean) << "\n";
-
-  DefaultMapper dm;
-  const double def =
-      measure_mapping(sim, dm.map_all(graph, machine), repeats, 1);
-  std::cout << "default mapper: " << format_seconds(def) << " ("
-            << format_speedup(def / mean) << " speedup)\n";
-  emit_observability(machine, graph, mapping, profile, trace_json_path);
-  return 0;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  automap::cli::CommandRegistry registry("automap_cli");
+  automap::cli::register_core_commands(registry);
+  automap::cli::register_service_commands(registry);
   try {
-    if (command == "export-machine") return cmd_export_machine(args);
-    if (command == "export-app") return cmd_export_app(args);
-    if (command == "describe") return cmd_describe(args);
-    if (command == "search") return cmd_search(args);
-    if (command == "evaluate") return cmd_evaluate(args);
-    if (command == "explain") return cmd_explain(args);
-    if (command == "replay") return cmd_replay(args);
-    if (command == "visualize") return cmd_visualize(args);
-    if (command == "codegen") return cmd_codegen(args);
-    if (command == "validate") return cmd_validate(args);
-    return usage();
+    return registry.run(argc, argv);
   } catch (const automap::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,35 @@
+// Standalone client for the mapping service daemon. `automap_client
+// <action> ...` is exactly `automap_cli client <action> ...` — the same
+// registry row runs in both binaries, so the flag vocabulary and output
+// never drift apart.
+
+#include <exception>
+#include <iostream>
+#include <vector>
+
+#include "src/cli/cli.hpp"
+#include "src/cli/service_commands.hpp"
+#include "src/support/error.hpp"
+
+int main(int argc, char** argv) {
+  automap::cli::CommandRegistry registry("automap_client");
+  automap::cli::register_service_commands(registry);
+
+  // Forward argv as if the user had typed `automap_cli client ...`.
+  static char client_command[] = "client";
+  std::vector<char*> forwarded;
+  forwarded.push_back(argv[0]);
+  forwarded.push_back(client_command);
+  for (int i = 1; i < argc; ++i) forwarded.push_back(argv[i]);
+
+  try {
+    return registry.run(static_cast<int>(forwarded.size()),
+                        forwarded.data());
+  } catch (const automap::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

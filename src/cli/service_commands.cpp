@@ -41,6 +41,12 @@ int cmd_serve(const Args& args) {
   config.store_dir = store_dir;
   config.eval_threads = args.int_or("--eval-threads", 0);
   config.job_workers = args.int_or("--workers", 2);
+  config.max_store_bytes =
+      static_cast<std::size_t>(args.u64_or("--max-store-bytes", 0));
+  config.max_result_cache =
+      static_cast<std::size_t>(args.u64_or("--max-result-cache", 0));
+  config.max_eval_cache =
+      static_cast<std::size_t>(args.u64_or("--max-eval-cache", 0));
 
   MappingService service(config);
   ServiceServer server(service, socket_path);
@@ -240,7 +246,16 @@ void register_service_commands(CommandRegistry& registry) {
                  {"--eval-threads", "N", "shared evaluation pool lanes "
                                          "(0 = hardware threads; results are "
                                          "bit-identical for every value)"},
-                 {"--workers", "N", "concurrent job workers (default 2)"}},
+                 {"--workers", "N", "concurrent job workers (default 2)"},
+                 {"--max-store-bytes", "N",
+                  "byte budget for the job store; finished jobs are "
+                  "evicted LRU first (default 0 = unbounded)"},
+                 {"--max-result-cache", "N",
+                  "max completed jobs kept answerable by fingerprint "
+                  "(default 0 = unbounded)"},
+                 {"--max-eval-cache", "N",
+                  "max cross-job profiles-db buckets kept under cache/ "
+                  "(default 0 = unbounded)"}},
        .run = cmd_serve});
 
   std::vector<FlagSpec> client_flags = {

@@ -547,7 +547,7 @@ std::size_t Evaluator::evaluate_batch(
           outcomes[i] = run_candidate(*plan.cand, plan.key, threshold,
                                       bound_runs, scratches_[lane]);
         },
-        options_.pool_priority);
+        options_.pool_priority, options_.pool_stream);
   }
 
   // Fold serially in submission order; this is the exact serial evaluate()
@@ -760,7 +760,12 @@ void Evaluator::note_rotation(int rotation, double best_before_s) {
 }
 
 bool Evaluator::budget_exhausted() const {
-  return stats_.search_time_s >= options_.time_budget_s;
+  return cancelled() || stats_.search_time_s >= options_.time_budget_s;
+}
+
+bool Evaluator::cancelled() const {
+  return options_.cancel != nullptr &&
+         options_.cancel->load(std::memory_order_relaxed);
 }
 
 void Evaluator::mark_degraded() {
@@ -923,6 +928,26 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
   // The finalist protocol runs outside any rotation/coordinate scope.
   if (journal_) journal_->clear_cursor();
 
+  // Cancellation cuts the finalist protocol too: the caller is about to
+  // discard the result, so rerunning top-k x final_repeats would only
+  // delay the cancel landing. The incumbent (when any) comes back as a
+  // partial result with no finalize journal record. Budget exhaustion
+  // alone does NOT take this path — a budget-cut search still verifies
+  // its finalists exactly as before, preserving byte-identity.
+  if (cancelled()) {
+    if (!top_.empty()) {
+      result.best = top_.front().mapping;
+      result.best_seconds = top_.front().mean_seconds;
+    }
+    stats_.wall_time_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wall_start_)
+                             .count();
+    result.stats = stats_;
+    result.trajectory = trajectory_;
+    if (journal_) journal_->flush();
+    return result;
+  }
+
   // All (finalist, repeat) reruns are independent under derived seeds, so
   // they fan out across the pool as one batch and fold back in top-k order.
   const int repeats = options_.final_repeats;
@@ -949,7 +974,7 @@ SearchResult Evaluator::finalize(std::string algorithm_name) {
           outcomes[i] =
               execute_run(candidates[e], hashes[e], r, scratches_[lane]);
         },
-        options_.pool_priority);
+        options_.pool_priority, options_.pool_stream);
   }
 
   const bool robust = options_.resilience.aggregation != Aggregation::kMean;

@@ -119,8 +119,16 @@ class Evaluator {
   /// given the folded statistics, so thread-count invariance is preserved.
   void note_rotation(int rotation, double best_before_s);
 
-  /// True once the simulated search clock passed the configured budget.
+  /// True once the simulated search clock passed the configured budget —
+  /// or the SearchOptions::cancel token fired (cancellation is delivered
+  /// as a budget cut, so every algorithm's existing budget checks double
+  /// as cancellation points).
   [[nodiscard]] bool budget_exhausted() const;
+
+  /// True iff the SearchOptions::cancel token is set and fired. Callers
+  /// that must distinguish a cancel from a genuine budget cut (e.g. the
+  /// service discarding a cancelled job's result) ask this directly.
+  [[nodiscard]] bool cancelled() const;
 
   /// The finalist protocol (§5): re-runs the top-k mappings
   /// `final_repeats` times each (fanned across the pool) and returns the

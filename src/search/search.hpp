@@ -3,6 +3,7 @@
 // Common search-layer types: options, statistics, results, and the starting
 // point shared by the coordinate-descent algorithms (§4.1).
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -152,9 +153,25 @@ struct SearchOptions {
   /// from the canonical JSON codec like journal/metrics.
   ThreadPool* shared_pool = nullptr;
   /// Priority class for batches submitted to the shared pool (higher
-  /// drains first; FIFO within a class). Only meaningful with
-  /// shared_pool; the service maps job priority onto it.
+  /// drains first; deficit-round-robin across streams within a class).
+  /// Only meaningful with shared_pool; the service maps job priority onto
+  /// it.
   int pool_priority = 0;
+  /// Fair-share stream id for batches submitted to the shared pool: the
+  /// pool interleaves equal-priority batches from different streams
+  /// deficit-round-robin instead of draining them in arrival order. The
+  /// service uses the job id; 0 (the default) is fine for searches that
+  /// never compete. Runtime wiring, excluded from the canonical codec.
+  std::uint64_t pool_stream = 0;
+  /// Cooperative cancellation token (runtime wiring, excluded from the
+  /// canonical JSON codec like shared_pool). When non-null and set, the
+  /// evaluator reports the budget as exhausted: the search cuts at the
+  /// next fold boundary exactly like a simulated-budget cut, the CCD/CD
+  /// loops skip the post-cut checkpoint (leaving the last task-boundary
+  /// checkpoint on disk, from which a resume is byte-identical to an
+  /// uninterrupted run), and finalize() skips the finalist reruns — the
+  /// returned result is partial and meant to be discarded.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Canonical JSON codec for the deterministic subset of SearchOptions —

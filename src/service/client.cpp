@@ -52,8 +52,10 @@ std::string ServiceClient::call(const std::string& request_json) const {
     const std::string frame = encode_frame(request_json);
     std::size_t sent = 0;
     while (sent < frame.size()) {
-      const ssize_t w =
-          ::write(fd, frame.data() + sent, frame.size() - sent);
+      // MSG_NOSIGNAL: a daemon that dies mid-send becomes a clean Error
+      // (EPIPE) instead of a SIGPIPE that kills the client process.
+      const ssize_t w = ::send(fd, frame.data() + sent,
+                               frame.size() - sent, MSG_NOSIGNAL);
       if (w < 0 && errno == EINTR) continue;
       AM_REQUIRE(w > 0, "connection closed while sending the request");
       sent += static_cast<std::size_t>(w);

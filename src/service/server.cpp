@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -33,12 +34,30 @@ bool read_exact(int fd, char* out, std::size_t n) {
 bool write_all(int fd, std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t w = ::write(fd, data.data() + sent, data.size() - sent);
+    // MSG_NOSIGNAL: a client that disconnected mid-response must surface
+    // as EPIPE on this connection's thread, not as a process-wide SIGPIPE
+    // that kills the daemon (and every other job with it).
+    const ssize_t w = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
     if (w < 0 && errno == EINTR) continue;
-    if (w <= 0) return false;
+    if (w <= 0) return false;  // EPIPE/ECONNRESET: peer gone, drop frame
     sent += static_cast<std::size_t>(w);
   }
   return true;
+}
+
+/// True when a daemon is actually listening on `path` — i.e. a connect()
+/// succeeds. A leftover socket file from a crashed daemon refuses the
+/// connection and is safe to replace.
+bool socket_is_live(const std::string& path, const sockaddr_un& addr) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const bool live = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                              sizeof(addr)) == 0;
+  ::close(fd);
+  return live;
 }
 
 }  // namespace
@@ -53,10 +72,20 @@ ServiceServer::ServiceServer(MappingService& service, std::string socket_path)
   std::strncpy(addr.sun_path, socket_path_.c_str(),
                sizeof(addr.sun_path) - 1);
 
+  // Probe before replacing: unconditionally unlinking would let a second
+  // `serve` silently hijack a running daemon's socket — existing clients
+  // would keep talking to the old daemon while new ones reach the
+  // usurper, each with a different job table. Only a *dead* socket file
+  // (connect refused: a crashed daemon's leftover) is replaced.
+  if (socket_is_live(socket_path_, addr))
+    throw Error("socket " + socket_path_ +
+                " is in use by a running daemon (stop it first, or pass "
+                "a different --socket)");
+
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   AM_REQUIRE(listen_fd_ >= 0, "cannot create socket: " +
                                   std::string(std::strerror(errno)));
-  ::unlink(socket_path_.c_str());  // replace a stale socket file
+  ::unlink(socket_path_.c_str());  // replace the stale socket file
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     const std::string reason = std::strerror(errno);

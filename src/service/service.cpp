@@ -118,6 +118,40 @@ std::string require_job_field(const JsonValue& request) {
       static_cast<std::uint64_t>(job->number));
 }
 
+/// Bytes of regular files under `dir` (0 when absent) — the store's
+/// byte-budget accounting unit.
+std::size_t dir_bytes(const std::string& dir) {
+  std::size_t total = 0;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(dir, ec);
+  const fs::recursive_directory_iterator end;
+  while (!ec && it != end) {
+    std::error_code fec;
+    if (it->is_regular_file(fec) && !fec) {
+      const auto size = it->file_size(fec);
+      if (!fec) total += static_cast<std::size_t>(size);
+    }
+    it.increment(ec);
+  }
+  return total;
+}
+
+/// The cancellation tombstone: written into a job dir *before* any
+/// destructive step so a crash mid-delete cannot revive a corrupt job on
+/// restart. "purge" marks a dir whose deletion is pending (restart
+/// finishes the cleanup); "keep" marks a cancelled-while-running job whose
+/// checkpoint is deliberately retained for a later resume.
+constexpr const char* kTombstoneName = "cancelled";
+
+void write_tombstone(const std::string& dir, const char* mode) {
+  try {
+    save_text(dir + "/" + kTombstoneName, std::string(mode) + "\n");
+  } catch (const std::exception&) {
+    // Best effort: a missing tombstone only costs a spurious re-run after
+    // a crash, never corruption.
+  }
+}
+
 }  // namespace
 
 MappingService::MappingService(const ServiceConfig& config)
@@ -139,18 +173,45 @@ MappingService::MappingService(const ServiceConfig& config)
                                   "Jobs finished successfully", false);
   m_failed_ = metrics_.counter("automap_service_jobs_failed_total",
                                "Jobs that ended in an error", false);
+  m_cancelled_ = metrics_.counter("automap_service_jobs_cancelled_total",
+                                  "Jobs cancelled (queued or running)",
+                                  false);
   m_result_cache_hits_ =
       metrics_.counter("automap_service_result_cache_hits_total",
                        "Submissions answered from a completed job", false);
+  m_result_cache_misses_ = metrics_.counter(
+      "automap_service_result_cache_misses_total",
+      "Submissions that had to compute (no completed job matched)", false);
+  m_result_cache_evictions_ = metrics_.counter(
+      "automap_service_result_cache_evictions_total",
+      "Completed jobs evicted from the result cache", false);
+  m_result_cache_entries_ =
+      metrics_.gauge("automap_service_result_cache_entries",
+                     "Completed jobs indexed by fingerprint", false);
   m_eval_cache_seeded_ =
       metrics_.counter("automap_service_eval_cache_seeded_total",
                        "Jobs seeded from an evaluation-cache bucket", false);
+  m_eval_cache_misses_ = metrics_.counter(
+      "automap_service_eval_cache_misses_total",
+      "Measurement-reuse jobs that found no bucket to seed from", false);
+  m_eval_cache_evictions_ =
+      metrics_.counter("automap_service_eval_cache_evictions_total",
+                       "Evaluation-cache buckets evicted", false);
+  m_eval_cache_entries_ =
+      metrics_.gauge("automap_service_eval_cache_entries",
+                     "Evaluation-cache buckets on disk", false);
+  m_store_bytes_ = metrics_.gauge("automap_service_store_bytes",
+                                  "Bytes under the job store", false);
   m_sim_runs_ = metrics_.counter(
       "automap_sim_runs_total",
       "Simulator runs across all jobs (includes speculative pool work)",
       false);
 
   recover_store();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    enforce_budgets_locked();
+  }
 
   for (int i = 0; i < config_.job_workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -186,6 +247,12 @@ std::string MappingService::job_dir(std::uint64_t id) const {
       .string();
 }
 
+std::string MappingService::bucket_path(std::uint64_t bucket) const {
+  return (fs::path(config_.store_dir) / "cache" /
+          (hex_u64(bucket) + ".profiles"))
+      .string();
+}
+
 bool MappingService::shutdown_requested() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return shutdown_;
@@ -194,6 +261,92 @@ bool MappingService::shutdown_requested() const {
 std::string MappingService::expose_metrics() {
   const std::lock_guard<std::mutex> lock(mutex_);
   return metrics_.expose();
+}
+
+void MappingService::touch_locked(Job& job) {
+  job.last_served = ++serve_tick_;
+}
+
+void MappingService::update_cache_gauges_locked() {
+  m_result_cache_entries_->set(
+      static_cast<double>(by_fingerprint_.size()));
+  m_eval_cache_entries_->set(static_cast<double>(eval_buckets_.size()));
+  m_store_bytes_->set(static_cast<double>(store_bytes_total_));
+}
+
+void MappingService::evict_job_locked(std::uint64_t id) {
+  Job& job = jobs_.at(id);
+  const std::string dir = job_dir(id);
+  // Tombstone before deleting: a crash mid-removal leaves a dir that
+  // restart scanning recognizes and finishes cleaning, instead of a
+  // partial job it would try to revive.
+  write_tombstone(dir, "purge");
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  store_bytes_total_ -= std::min(job.store_bytes, store_bytes_total_);
+  if (const auto it = by_fingerprint_.find(job.fingerprint);
+      it != by_fingerprint_.end() && it->second == id) {
+    by_fingerprint_.erase(it);
+    m_result_cache_evictions_->inc();
+  }
+  jobs_.erase(id);
+}
+
+void MappingService::touch_bucket_locked(std::uint64_t bucket) {
+  eval_buckets_[bucket] = ++serve_tick_;
+}
+
+void MappingService::enforce_budgets_locked() {
+  // Result-cache entry budget: evict the least-recently-served completed
+  // job (the whole job — an evicted fingerprint simply recomputes later).
+  while (config_.max_result_cache > 0 &&
+         by_fingerprint_.size() > config_.max_result_cache) {
+    std::uint64_t victim = 0;
+    std::uint64_t oldest = 0;
+    for (const auto& [fp, id] : by_fingerprint_) {
+      const Job& job = jobs_.at(id);
+      if (victim == 0 || job.last_served < oldest) {
+        victim = id;
+        oldest = job.last_served;
+      }
+    }
+    if (victim == 0) break;
+    evict_job_locked(victim);
+  }
+
+  // Store byte budget: evict least-recently-served *finished* jobs
+  // (done, failed or cancelled — never queued/running work) until the
+  // accounted total fits.
+  while (config_.max_store_bytes > 0 &&
+         store_bytes_total_ > config_.max_store_bytes) {
+    std::uint64_t victim = 0;
+    std::uint64_t oldest = 0;
+    for (const auto& [id, job] : jobs_) {
+      if (job.status == JobStatus::kQueued ||
+          job.status == JobStatus::kRunning)
+        continue;
+      if (victim == 0 || job.last_served < oldest) {
+        victim = id;
+        oldest = job.last_served;
+      }
+    }
+    if (victim == 0) break;  // only active jobs left: cannot evict
+    evict_job_locked(victim);
+  }
+
+  // Evaluation-cache entry budget, least-recently-served buckets first.
+  while (config_.max_eval_cache > 0 &&
+         eval_buckets_.size() > config_.max_eval_cache) {
+    auto victim = eval_buckets_.begin();
+    for (auto it = eval_buckets_.begin(); it != eval_buckets_.end(); ++it)
+      if (it->second < victim->second) victim = it;
+    std::error_code ec;
+    fs::remove(bucket_path(victim->first), ec);
+    eval_buckets_.erase(victim);
+    m_eval_cache_evictions_->inc();
+  }
+
+  update_cache_gauges_locked();
 }
 
 std::string MappingService::handle(const std::string& request_json) {
@@ -250,14 +403,35 @@ std::string MappingService::handle_submit(const JsonValue& request,
   std::lock_guard<std::mutex> lock(mutex_);
   // Result cache: an identical request maps onto the existing job — done
   // jobs answer instantly with zero new simulator runs; queued/running
-  // ones dedupe onto the in-flight search.
-  for (const auto& [id, job] : jobs_) {
+  // ones dedupe onto the in-flight search; a cancelled one re-enqueues
+  // and resumes from whatever checkpoint its cancelled run left behind.
+  for (auto& [id, job] : jobs_) {
     if (job.fingerprint != spec.fingerprint) continue;
-    if (job.status == JobStatus::kFailed ||
-        job.status == JobStatus::kCancelled)
-      continue;
+    if (job.status == JobStatus::kFailed) continue;
+    if (job.status == JobStatus::kCancelled) {
+      job.status = JobStatus::kQueued;
+      job.cancel = std::make_shared<std::atomic<bool>>(false);
+      job.error.clear();
+      fs::create_directories(job_dir(id));
+      std::error_code ec;
+      fs::remove(job_dir(id) + "/" + kTombstoneName, ec);
+      save_atomic(job_dir(id) + "/request.json", job.request_json);
+      const std::size_t bytes = dir_bytes(job_dir(id));
+      store_bytes_total_ += bytes;
+      store_bytes_total_ -= std::min(job.store_bytes, store_bytes_total_);
+      job.store_bytes = bytes;
+      m_result_cache_misses_->inc();
+      m_submitted_->inc();
+      update_cache_gauges_locked();
+      work_cv_.notify_one();
+      return "{\"type\":\"submitted\",\"job\":" + std::to_string(id) +
+             ",\"status\":\"queued\",\"cached\":false}";
+    }
     const bool done = job.status == JobStatus::kDone;
-    if (done) m_result_cache_hits_->inc();
+    if (done) {
+      touch_locked(job);
+      m_result_cache_hits_->inc();
+    }
     return "{\"type\":\"submitted\",\"job\":" + std::to_string(id) +
            ",\"status\":\"" + status_name(job.status) +
            "\",\"cached\":" + (done ? "true" : "false") + "}";
@@ -271,11 +445,16 @@ std::string MappingService::handle_submit(const JsonValue& request,
   job.algorithm = spec.algorithm;
   job.want_journal = spec.want_journal;
   job.reuse_measurements = spec.reuse_measurements;
+  job.cancel = std::make_shared<std::atomic<bool>>(false);
   fs::create_directories(job_dir(job.id));
   save_atomic(job_dir(job.id) + "/request.json", request_json);
+  job.store_bytes = dir_bytes(job_dir(job.id));
+  store_bytes_total_ += job.store_bytes;
   const std::uint64_t id = job.id;
   jobs_.emplace(id, std::move(job));
   m_submitted_->inc();
+  m_result_cache_misses_->inc();
+  enforce_budgets_locked();
   work_cv_.notify_one();
   return "{\"type\":\"submitted\",\"job\":" + std::to_string(id) +
          ",\"status\":\"queued\",\"cached\":false}";
@@ -301,8 +480,11 @@ std::string MappingService::handle_result(const JsonValue& request) {
   const auto it = jobs_.find(std::stoull(id_text));
   if (it == jobs_.end())
     return wire_error("not_found", "no job " + id_text);
-  const Job& job = it->second;
-  if (job.status == JobStatus::kDone) return job.result_json;
+  Job& job = it->second;
+  if (job.status == JobStatus::kDone) {
+    touch_locked(job);
+    return job.result_json;
+  }
   if (job.status == JobStatus::kFailed)
     return wire_error("bad_state", "job " + id_text + " failed: " +
                                        job.error);
@@ -360,14 +542,37 @@ std::string MappingService::handle_cancel(const JsonValue& request) {
   const auto it = jobs_.find(std::stoull(id_text));
   if (it == jobs_.end())
     return wire_error("not_found", "no job " + id_text);
-  if (it->second.status != JobStatus::kQueued)
-    return wire_error("bad_state",
-                      "only queued jobs can be cancelled; job " + id_text +
-                          " is " + status_name(it->second.status));
-  it->second.status = JobStatus::kCancelled;
-  std::error_code ec;
-  fs::remove_all(job_dir(it->second.id), ec);  // no revival on restart
-  return "{\"type\":\"cancelled\",\"job\":" + id_text + "}";
+  Job& job = it->second;
+  if (job.status == JobStatus::kQueued) {
+    job.status = JobStatus::kCancelled;
+    m_cancelled_->inc();
+    // Tombstone, then delete: if remove_all fails partway, restart
+    // scanning finds the tombstone and finishes the cleanup instead of
+    // reviving a half-deleted job.
+    const std::string dir = job_dir(job.id);
+    write_tombstone(dir, "purge");
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    const std::size_t remaining = fs::exists(dir, ec) ? dir_bytes(dir) : 0;
+    store_bytes_total_ += remaining;
+    store_bytes_total_ -=
+        std::min(job.store_bytes, store_bytes_total_);
+    job.store_bytes = remaining;
+    update_cache_gauges_locked();
+    return "{\"type\":\"cancelled\",\"job\":" + id_text +
+           ",\"status\":\"cancelled\"}";
+  }
+  if (job.status == JobStatus::kRunning) {
+    // Cooperative: the worker's search observes the token as a budget cut
+    // at its next task boundary, then marks the job cancelled. The last
+    // task-boundary checkpoint stays on disk for a later resume.
+    job.cancel->store(true);
+    return "{\"type\":\"cancelled\",\"job\":" + id_text +
+           ",\"status\":\"cancelling\"}";
+  }
+  return wire_error("bad_state",
+                    "only queued or running jobs can be cancelled; job " +
+                        id_text + " is " + status_name(job.status));
 }
 
 std::string MappingService::handle_jobs() {
@@ -431,12 +636,40 @@ void MappingService::drain() {
 
 void MappingService::run_job(std::uint64_t id) {
   std::string request_json;
+  std::shared_ptr<std::atomic<bool>> cancel;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    request_json = jobs_.at(id).request_json;
+    const Job& job = jobs_.at(id);
+    request_json = job.request_json;
+    cancel = job.cancel;
   }
 
   const std::string dir = job_dir(id);
+  // Re-measures the job dir and lands the final status under the mutex;
+  // shared by the done / cancelled / failed outcomes.
+  const auto settle = [&](JobStatus status, const char* error,
+                          std::string payload, bool index_result,
+                          std::uint64_t bucket_written,
+                          std::uint64_t sim_runs) {
+    const std::size_t bytes = dir_bytes(dir);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Job& job = jobs_.at(id);
+    job.status = status;
+    if (error != nullptr) job.error = error;
+    store_bytes_total_ += bytes;
+    store_bytes_total_ -= std::min(job.store_bytes, store_bytes_total_);
+    job.store_bytes = bytes;
+    if (index_result) {
+      job.result_json = std::move(payload);
+      by_fingerprint_[job.fingerprint] = id;
+      touch_locked(job);
+      m_completed_->inc();
+    }
+    if (bucket_written != 0) touch_bucket_locked(bucket_written);
+    m_sim_runs_->inc(sim_runs);
+    enforce_budgets_locked();
+  };
+
   try {
     const SubmitSpec spec = parse_submit(parse_json(request_json));
     // The simulator keeps references; the job owns machine and graph for
@@ -451,6 +684,10 @@ void MappingService::run_job(std::uint64_t id) {
     SearchOptions options = spec.options;
     options.shared_pool = &pool_;
     options.pool_priority = spec.priority;
+    // Fair share: batches from different jobs at equal priority
+    // interleave deficit-round-robin on the shared pool, keyed by job id.
+    options.pool_stream = id;
+    options.cancel = cancel.get();
     options.checkpoint_path = dir + "/checkpoint";
     // Warm restart: a checkpoint left by an interrupted run resumes the
     // search; byte-identity of the final result is the PR 4 contract.
@@ -468,12 +705,16 @@ void MappingService::run_job(std::uint64_t id) {
     if (spec.reuse_measurements) {
       bucket = bucket_key(spec);
       options.export_profiles_db = true;
-      if (const std::optional<std::string> seeded = read_if_exists(
-              (fs::path(config_.store_dir) / "cache" /
-               (hex_u64(bucket) + ".profiles"))
-                  .string())) {
+      if (const std::optional<std::string> seeded =
+              read_if_exists(bucket_path(bucket))) {
         options.profiles_seed = *seeded;
+        const std::lock_guard<std::mutex> lock(mutex_);
         m_eval_cache_seeded_->inc();
+        touch_bucket_locked(bucket);
+        update_cache_gauges_locked();
+      } else {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        m_eval_cache_misses_->inc();
       }
     } else {
       options.export_profiles_db = false;
@@ -483,6 +724,26 @@ void MappingService::run_job(std::uint64_t id) {
     sim_options.metrics = &job_metrics;
     const Simulator sim(machine, graph, sim_options);
     const SearchResult result = algorithm->run(sim, options);
+
+    const Counter* sim_runs = job_metrics.counter(
+        "automap_sim_runs_total", "Simulator runs executed", false);
+
+    if (cancel->load()) {
+      // Cancelled mid-run: the search cut at a task boundary and its last
+      // task-boundary checkpoint is on disk. Keep the dir (tombstoned
+      // "keep" so a restart recovers the job as cancelled instead of
+      // re-running it) and poison nothing: no result payload, no
+      // fingerprint index entry, no eval-cache bucket write.
+      write_tombstone(dir, "keep");
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        m_cancelled_->inc();
+      }
+      settle(JobStatus::kCancelled, nullptr, {}, /*index_result=*/false,
+             /*bucket_written=*/0, sim_runs->value());
+      work_cv_.notify_all();
+      return;
+    }
 
     // The response payload. `summary` is the CLI's summary line verbatim
     // and `mapping` the exact bytes `search -o` writes, so daemon answers
@@ -518,30 +779,36 @@ void MappingService::run_job(std::uint64_t id) {
     payload += "}}";
 
     save_atomic(dir + "/result.json", payload);
+    std::uint64_t bucket_written = 0;
     if (spec.reuse_measurements && !result.profiles_db.empty()) {
       // The export includes imported entries, so the fresh export IS the
       // union of the bucket and this job's new measurements.
-      save_atomic((fs::path(config_.store_dir) / "cache" /
-                   (hex_u64(bucket) + ".profiles"))
-                      .string(),
-                  result.profiles_db);
+      save_atomic(bucket_path(bucket), result.profiles_db);
+      bucket_written = bucket;
     }
 
-    const Counter* sim_runs = job_metrics.counter(
-        "automap_sim_runs_total", "Simulator runs executed", false);
-    const std::lock_guard<std::mutex> lock(mutex_);
-    Job& job = jobs_.at(id);
-    job.status = JobStatus::kDone;
-    job.result_json = std::move(payload);
-    by_fingerprint_[job.fingerprint] = id;
-    m_completed_->inc();
-    m_sim_runs_->inc(sim_runs->value());
+    settle(JobStatus::kDone, nullptr, std::move(payload),
+           /*index_result=*/true, bucket_written, sim_runs->value());
   } catch (const std::exception& e) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    Job& job = jobs_.at(id);
-    job.status = JobStatus::kFailed;
-    job.error = e.what();
-    m_failed_->inc();
+    if (cancel->load()) {
+      // A cancel can surface as an exception (e.g. the cut left no
+      // profilable finalist); the user asked for cancellation, so report
+      // that, not a failure.
+      write_tombstone(dir, "keep");
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        m_cancelled_->inc();
+      }
+      settle(JobStatus::kCancelled, nullptr, {}, /*index_result=*/false,
+             /*bucket_written=*/0, /*sim_runs=*/0);
+    } else {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        m_failed_->inc();
+      }
+      settle(JobStatus::kFailed, e.what(), {}, /*index_result=*/false,
+             /*bucket_written=*/0, /*sim_runs=*/0);
+    }
   }
   work_cv_.notify_all();
 }
@@ -561,6 +828,21 @@ void MappingService::recover_store() {
     } catch (const std::exception&) {
       continue;
     }
+    // Tombstones first: a "purge" tombstone marks a deletion that did not
+    // finish — complete it and skip the dir. A "keep" tombstone marks a
+    // job cancelled while running; it recovers as cancelled below, with
+    // its checkpoint intact for a later resubmit-and-resume.
+    bool keep_cancelled = false;
+    if (const std::optional<std::string> tombstone = read_if_exists(
+            (entry.path() / kTombstoneName).string())) {
+      if (tombstone->rfind("keep", 0) == 0) {
+        keep_cancelled = true;
+      } else {
+        std::error_code rec;
+        fs::remove_all(entry.path(), rec);
+        continue;
+      }
+    }
     const std::optional<std::string> request =
         read_if_exists((entry.path() / "request.json").string());
     if (!request) continue;
@@ -577,8 +859,12 @@ void MappingService::recover_store() {
     } catch (const std::exception&) {
       continue;  // corrupt store entry; leave it on disk for inspection
     }
-    if (const std::optional<std::string> result =
-            read_if_exists((entry.path() / "result.json").string())) {
+    job.cancel = std::make_shared<std::atomic<bool>>(false);
+    job.store_bytes = dir_bytes(entry.path().string());
+    if (keep_cancelled) {
+      job.status = JobStatus::kCancelled;
+    } else if (const std::optional<std::string> result =
+                   read_if_exists((entry.path() / "result.json").string())) {
       job.status = JobStatus::kDone;
       job.result_json = *result;
       by_fingerprint_[job.fingerprint] = id;
@@ -587,9 +873,36 @@ void MappingService::recover_store() {
       // interrupted run left (if any).
       job.status = JobStatus::kQueued;
     }
+    store_bytes_total_ += job.store_bytes;
     next_id_ = std::max(next_id_, id + 1);
     jobs_.emplace(id, std::move(job));
   }
+  // Deterministic LRU seed: recovered jobs rank oldest-first by id, so
+  // eviction order after a restart does not depend on directory iteration
+  // order.
+  for (auto& [id, job] : jobs_) job.last_served = ++serve_tick_;
+
+  // Re-index the evaluation-cache buckets already on disk (oldest-first
+  // by key — a deterministic, if arbitrary, restart order).
+  const fs::path cache_root = fs::path(config_.store_dir) / "cache";
+  std::error_code cec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(cache_root, cec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    try {
+      std::size_t used = 0;
+      const std::uint64_t key =
+          std::stoull(entry.path().stem().string(), &used, 16);
+      // Only files our own bucket naming produced participate in the
+      // budget; anything else in cache/ is left alone.
+      if (hex_u64(key) + ".profiles" != name) continue;
+      eval_buckets_.emplace(key, 0);
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  for (auto& [key, tick] : eval_buckets_) tick = ++serve_tick_;
 }
 
 }  // namespace automap

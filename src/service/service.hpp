@@ -11,8 +11,20 @@
 // Scheduling: each accepted job runs as one search on a job worker; all
 // workers' candidate batches land on the single shared ThreadPool, where
 // SearchOptions::pool_priority (from the request's `priority`) decides
-// which job's batch drains first when they compete. Queued jobs start in
-// priority order (FIFO within a class).
+// which job's batch drains first when they compete — and within one
+// priority class the pool runs deficit-round-robin across job ids
+// (SearchOptions::pool_stream), so a huge submission cannot starve later
+// equal-priority ones. Queued jobs start in priority order (FIFO within a
+// class).
+//
+// Cancellation: a queued job cancels immediately (its store dir is
+// tombstoned and purged). A *running* job cancels cooperatively — the
+// worker's search observes the job's cancel token as a budget cut at the
+// next task boundary, leaves the last task-boundary checkpoint on disk,
+// and the job lands in `cancelled` without touching the result cache or
+// the profiles-db buckets. Re-submitting the identical request re-enqueues
+// the cancelled job, which resumes from that checkpoint to the
+// byte-identical result.
 //
 // Caches, layered on the profiles-db format:
 //  - Result cache: request fingerprint (machine, graph, algorithm,
@@ -34,6 +46,7 @@
 // result cache, interrupted jobs re-enqueue and resume from their PR 4
 // checkpoint — so a daemon restart loses nothing.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -64,6 +77,19 @@ struct ServiceConfig {
   /// Maximum accepted request payload; larger requests get a structured
   /// `too_large` error.
   std::size_t max_request_bytes = kDefaultMaxFrameBytes;
+  /// Byte budget for the job store (the jobs/ tree). When the total
+  /// exceeds it, finished (done/failed/cancelled) job dirs are evicted
+  /// least-recently-served first; queued and running jobs are never
+  /// evicted, so a budget smaller than the active working set is exceeded
+  /// until those jobs finish. 0 = unbounded.
+  std::size_t max_store_bytes = 0;
+  /// Entry budget for the result cache (completed jobs answerable by
+  /// fingerprint). Evicting an entry deletes the whole job — a later
+  /// identical submission simply recomputes. 0 = unbounded.
+  std::size_t max_result_cache = 0;
+  /// Entry budget for the cross-job evaluation cache (profiles-db buckets
+  /// under cache/), least-recently-served eviction. 0 = unbounded.
+  std::size_t max_eval_cache = 0;
 };
 
 class MappingService {
@@ -109,6 +135,16 @@ class MappingService {
     /// Completed response payload (op=result body) or failure message.
     std::string result_json;
     std::string error;
+    /// Cooperative cancel token, shared with the search running the job
+    /// (SearchOptions::cancel). Fresh per enqueue — a revived cancelled
+    /// job gets a new one.
+    std::shared_ptr<std::atomic<bool>> cancel;
+    /// Last tick this job's result was served (completion, result-cache
+    /// hit, or result fetch) — the LRU key for eviction.
+    std::uint64_t last_served = 0;
+    /// Bytes this job's store dir currently holds (request, checkpoint,
+    /// journal, result). Re-measured when the job finishes.
+    std::size_t store_bytes = 0;
   };
 
   [[nodiscard]] static const char* status_name(JobStatus status);
@@ -132,8 +168,25 @@ class MappingService {
   void worker_loop();
 
   /// Rescans the store directory: completed jobs re-enter the result
-  /// cache, interrupted ones re-enqueue (resuming from their checkpoint).
+  /// cache, interrupted ones re-enqueue (resuming from their checkpoint),
+  /// tombstoned dirs are cleaned up or recovered as cancelled.
   void recover_store();
+
+  /// Bumps a job's LRU clock. mutex_ held by caller.
+  void touch_locked(Job& job);
+  /// Deletes one finished job entirely — tombstone, dir, maps, byte
+  /// accounting. mutex_ held by caller.
+  void evict_job_locked(std::uint64_t id);
+  /// Records that the eval-cache bucket `bucket` was just read or written
+  /// and evicts over-budget buckets. mutex_ held by caller.
+  void touch_bucket_locked(std::uint64_t bucket);
+  /// Enforces max_result_cache and max_store_bytes by evicting
+  /// least-recently-served finished jobs. mutex_ held by caller.
+  void enforce_budgets_locked();
+  /// Refreshes the entries gauges after any cache mutation. mutex_ held.
+  void update_cache_gauges_locked();
+
+  [[nodiscard]] std::string bucket_path(std::uint64_t bucket) const;
 
   ServiceConfig config_;
   ThreadPool pool_;
@@ -144,6 +197,12 @@ class MappingService {
   std::uint64_t next_id_ = 1;
   /// fingerprint → completed job id (the result cache index).
   std::map<std::uint64_t, std::uint64_t> by_fingerprint_;
+  /// Monotone LRU clock for jobs and eval-cache buckets.
+  std::uint64_t serve_tick_ = 0;
+  /// Total bytes under jobs/ per the jobs_ accounting.
+  std::size_t store_bytes_total_ = 0;
+  /// eval-cache bucket key → last-served tick (files under cache/).
+  std::map<std::uint64_t, std::uint64_t> eval_buckets_;
   bool shutdown_ = false;
   bool stopping_ = false;
 
@@ -151,8 +210,16 @@ class MappingService {
   Counter* m_submitted_ = nullptr;
   Counter* m_completed_ = nullptr;
   Counter* m_failed_ = nullptr;
+  Counter* m_cancelled_ = nullptr;
   Counter* m_result_cache_hits_ = nullptr;
+  Counter* m_result_cache_misses_ = nullptr;
+  Counter* m_result_cache_evictions_ = nullptr;
   Counter* m_eval_cache_seeded_ = nullptr;
+  Counter* m_eval_cache_misses_ = nullptr;
+  Counter* m_eval_cache_evictions_ = nullptr;
+  Gauge* m_result_cache_entries_ = nullptr;
+  Gauge* m_eval_cache_entries_ = nullptr;
+  Gauge* m_store_bytes_ = nullptr;
   Counter* m_sim_runs_ = nullptr;
 
   std::vector<std::thread> workers_;

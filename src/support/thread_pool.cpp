@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <utility>
 
 namespace automap {
 
@@ -60,6 +61,48 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadPool::post_locked(std::function<void()>&& task, int priority,
+                             std::uint64_t stream) {
+  ClassQueue& cls = queue_[priority];
+  for (StreamQueue& sq : cls.rotation) {
+    if (sq.stream == stream) {
+      sq.tasks.push_back(std::move(task));
+      return;
+    }
+  }
+  StreamQueue sq;
+  sq.stream = stream;
+  sq.tasks.push_back(std::move(task));
+  cls.rotation.push_back(std::move(sq));
+}
+
+std::function<void()> ThreadPool::pop_locked() {
+  // Deficit-round-robin within the highest priority class: each pop visits
+  // the front stream, deposits one quantum, serves one unit-cost task, and
+  // rotates the stream to the back once its deficit runs dry — so
+  // concurrent equal-priority streams alternate instead of draining in
+  // arrival order. An emptied stream leaves the rotation and forfeits any
+  // residual deficit (DRR's no-credit-while-idle rule).
+  constexpr std::size_t kQuantum = 1;  // task units deposited per visit
+  constexpr std::size_t kTaskCost = 1;
+  const auto bucket = queue_.begin();  // highest priority class
+  ClassQueue& cls = bucket->second;
+  StreamQueue& sq = cls.rotation.front();
+  sq.deficit += kQuantum;
+  std::function<void()> task = std::move(sq.tasks.front());
+  sq.tasks.pop_front();
+  sq.deficit -= kTaskCost;
+  if (sq.tasks.empty()) {
+    cls.rotation.pop_front();
+  } else if (sq.deficit < kTaskCost && cls.rotation.size() > 1) {
+    sq.deficit = 0;
+    cls.rotation.splice(cls.rotation.end(), cls.rotation,
+                        cls.rotation.begin());
+  }
+  if (cls.rotation.empty()) queue_.erase(bucket);
+  return task;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
@@ -67,26 +110,36 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
-      auto bucket = queue_.begin();  // highest priority class
-      job = std::move(bucket->second.front());
-      bucket->second.pop_front();
-      if (bucket->second.empty()) queue_.erase(bucket);
+      job = pop_locked();
     }
     job();
   }
 }
 
+void ThreadPool::post(std::function<void()> task, int priority,
+                      std::uint64_t stream) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    post_locked(std::move(task), priority, stream);
+  }
+  work_cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body,
-                              int priority) {
+                              int priority, std::uint64_t stream) {
   parallel_for(n, [&body](std::size_t, std::size_t index) { body(index); },
-               priority);
+               priority, stream);
 }
 
 void ThreadPool::parallel_for(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& body,
-    int priority) {
+    int priority, std::uint64_t stream) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(0, i);
@@ -103,16 +156,17 @@ void ThreadPool::parallel_for(
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    std::deque<std::function<void()>>& bucket = queue_[priority];
     for (std::size_t h = 0; h < helpers; ++h) {
-      bucket.emplace_back([state, lane = h + 1] {
-        state->drain(lane);
-        {
-          const std::lock_guard<std::mutex> state_lock(state->mutex);
-          --state->remaining_helpers;
-        }
-        state->done_cv.notify_one();
-      });
+      post_locked(
+          [state, lane = h + 1] {
+            state->drain(lane);
+            {
+              const std::lock_guard<std::mutex> state_lock(state->mutex);
+              --state->remaining_helpers;
+            }
+            state->done_cv.notify_one();
+          },
+          priority, stream);
     }
   }
   work_cv_.notify_all();

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -63,6 +65,51 @@ TEST(ThreadPool, PropagatesBodyExceptions) {
   std::atomic<int> again{0};
   pool.parallel_for(10, [&](std::size_t) { ++again; });
   EXPECT_EQ(again.load(), 10);
+}
+
+TEST(ThreadPool, EqualPriorityStreamsInterleaveDeficitRoundRobin) {
+  // One worker drains the queue serially, so the pop order is observable.
+  // A gate task blocks it while the stream queues build up: stream 1's
+  // three tasks arrive strictly before stream 2's, so strict FIFO would
+  // drain 1,1,1,2,2,2 — deficit-round-robin must alternate them instead.
+  // A higher-priority stream posted last still preempts both.
+  ThreadPool pool(2);
+  std::mutex m;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::vector<int> order;
+
+  pool.post([&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return gate_open; });
+  });
+  const auto record = [&](int tag) {
+    return [&, tag] {
+      const std::lock_guard<std::mutex> lock(m);
+      order.push_back(tag);
+      cv.notify_all();
+    };
+  };
+  for (int i = 0; i < 3; ++i) pool.post(record(100 + i), 0, 1);
+  for (int i = 0; i < 3; ++i) pool.post(record(200 + i), 0, 2);
+  for (int i = 0; i < 2; ++i) pool.post(record(300 + i), 5, 9);
+  {
+    const std::lock_guard<std::mutex> lock(m);
+    gate_open = true;
+  }
+  cv.notify_all();
+
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return order.size() == 8; });
+  EXPECT_EQ(order,
+            (std::vector<int>{300, 301, 100, 200, 101, 201, 102, 202}));
+}
+
+TEST(ThreadPool, WorkerlessPoolRunsPostedTasksInline) {
+  ThreadPool pool(1);
+  int ran = 0;
+  pool.post([&] { ++ran; }, 3, 42);
+  EXPECT_EQ(ran, 1);
 }
 
 // --- evaluate_batch fold semantics -----------------------------------------

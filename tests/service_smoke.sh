@@ -94,6 +94,57 @@ if "$CLIENT" submit /dev/null "$DIR/g.graph" --socket "$SOCK" \
 fi
 grep -qi "error" "$DIR/bad.txt"
 
+# A second daemon must refuse to hijack the live daemon's socket.
+if "$CLI" serve --socket "$SOCK" --store "$DIR/store2" \
+      > "$DIR/hijack.txt" 2>&1; then
+  echo "expected second serve on a live socket to fail" >&2
+  exit 1
+fi
+grep -q "in use by a running daemon" "$DIR/hijack.txt"
+
+# A client that disconnects mid-response must not take the daemon down:
+# the EPIPE stays on that connection instead of killing the process with
+# SIGPIPE. Five rounds of send-then-reset, then the daemon still answers.
+python3 - "$SOCK" << 'EOF'
+import socket, struct, sys
+for _ in range(5):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(sys.argv[1])
+    req = b'{"op":"journal","job":1,"after":-1}'
+    s.sendall(struct.pack(">I", len(req)) + req)
+    s.shutdown(socket.SHUT_RDWR)  # response write now hits a dead peer
+    s.close()
+EOF
+sleep 0.2
+"$CLIENT" ping --socket "$SOCK" | grep -q "pong"
+
+# Cooperative cancel of a *running* job, then resume by resubmission: the
+# cancel lands at a task boundary once a checkpoint exists, and the
+# revived job resumes from that checkpoint to the byte-identical one-shot
+# answer.
+"$CLIENT" submit "$DIR/m.machine" "$DIR/g.graph" --socket "$SOCK" \
+      --rotations 60 --repeats 3 > "$DIR/long.txt"
+LONG_ID="$(awk '{ print $2 }' "$DIR/long.txt")"
+for _ in $(seq 1 300); do
+  [ -f "$STORE/jobs/$LONG_ID/checkpoint" ] && break
+  sleep 0.02
+done
+test -f "$STORE/jobs/$LONG_ID/checkpoint"
+"$CLIENT" cancel "$LONG_ID" --socket "$SOCK" | grep -q "cancelled"
+for _ in $(seq 1 300); do
+  "$CLIENT" status "$LONG_ID" --socket "$SOCK" | grep -q "cancelled" \
+    && break
+  sleep 0.02
+done
+"$CLIENT" status "$LONG_ID" --socket "$SOCK" | grep -q "cancelled"
+"$CLIENT" submit "$DIR/m.machine" "$DIR/g.graph" --socket "$SOCK" \
+      --rotations 60 --repeats 3 --wait -o "$DIR/resumed.mapping" \
+      > "$DIR/resumed.txt"
+grep -q "job $LONG_ID queued" "$DIR/resumed.txt"
+"$CLI" search "$DIR/m.machine" "$DIR/g.graph" --rotations 60 --repeats 3 \
+      -o "$DIR/long-oneshot.mapping" > /dev/null
+cmp "$DIR/resumed.mapping" "$DIR/long-oneshot.mapping"
+
 # Clean shutdown over the wire.
 "$CLIENT" shutdown --socket "$SOCK" > /dev/null
 wait "$SERVER_PID"

@@ -77,7 +77,8 @@ std::string wait_for(MappingService& service, const std::string& id) {
     const JsonValue status =
         handle_json(service, "{\"op\":\"status\",\"job\":" + id + "}");
     const std::string state = status.str_or("status", "");
-    if (state == "done" || state == "failed") return state;
+    if (state == "done" || state == "failed" || state == "cancelled")
+      return state;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   return "timeout";
@@ -330,19 +331,21 @@ TEST(Service, WarmRestartResumesInterruptedJobToIdenticalResult) {
             payload);
 }
 
-TEST(Service, CancelOnlyTouchesQueuedJobs) {
-  MappingService service({.store_dir = fresh_store("cancel"),
-                          .eval_threads = 1,
-                          .job_workers = 0});
+TEST(Service, CancelQueuedJobPurgesItsStoreDir) {
+  const std::string store = fresh_store("cancel");
+  MappingService service(
+      {.store_dir = store, .eval_threads = 1, .job_workers = 0});
   const std::string id =
       job_id_of(handle_json(service, submit_request(small_options(9))));
+  ASSERT_TRUE(fs::exists(store + "/jobs/" + id));
   const JsonValue cancelled =
       handle_json(service, "{\"op\":\"cancel\",\"job\":" + id + "}");
   EXPECT_EQ(cancelled.str_or("type", ""), "cancelled");
   EXPECT_EQ(handle_json(service, "{\"op\":\"status\",\"job\":" + id + "}")
                 .str_or("status", ""),
             "cancelled");
-  // Draining after the cancel runs nothing.
+  // The store dir is gone (tombstone and all) and draining runs nothing.
+  EXPECT_FALSE(fs::exists(store + "/jobs/" + id));
   service.drain();
   EXPECT_EQ(metric_value(service.expose_metrics(),
                          "automap_sim_runs_total"),
@@ -355,6 +358,282 @@ TEST(Service, CancelOnlyTouchesQueuedJobs) {
                         "{\"op\":\"cancel\",\"job\":" + done_id + "}")
                 .str_or("code", ""),
             "bad_state");
+}
+
+TEST(Service, RestartCleansTombstonedDirs) {
+  // A "purge" tombstone marks a deletion that did not finish (e.g. the
+  // daemon died mid-remove_all). Restart scanning completes the cleanup
+  // instead of reviving the half-deleted job.
+  const std::string store = fresh_store("tombstone");
+  std::string id;
+  {
+    MappingService service(
+        {.store_dir = store, .eval_threads = 1, .job_workers = 0});
+    id = job_id_of(handle_json(service, submit_request(small_options(3))));
+  }
+  const std::string dir = store + "/jobs/" + id;
+  ASSERT_TRUE(fs::exists(dir + "/request.json"));
+  save_text(dir + "/cancelled", "purge\n");
+
+  MappingService revived(
+      {.store_dir = store, .eval_threads = 1, .job_workers = 0});
+  EXPECT_FALSE(fs::exists(dir));
+  EXPECT_EQ(handle_json(revived, "{\"op\":\"status\",\"job\":" + id + "}")
+                .str_or("code", ""),
+            "not_found");
+  revived.drain();
+  EXPECT_EQ(metric_value(revived.expose_metrics(),
+                         "automap_sim_runs_total"),
+            0.0);
+}
+
+TEST(Service, CancelRunningJobCheckpointsAndResumesByteIdentically) {
+  // The full cooperative-cancel story: a cancel against a *running* job
+  // lands at the next task boundary, leaves the last task-boundary
+  // checkpoint on disk, pollutes no cache, survives a daemon restart as
+  // `cancelled`, and an identical resubmission resumes from the
+  // checkpoint to the byte-identical result.
+  const std::string store = fresh_store("cancelrun");
+  SearchOptions options = small_options(42);
+  options.rotations = 64;  // long enough to reliably cancel mid-run
+  std::string id;
+  {
+    MappingService service(
+        {.store_dir = store, .eval_threads = 2, .job_workers = 1});
+    id = job_id_of(handle_json(service, submit_request(options)));
+    // Wait for the first task-boundary checkpoint, so the cancel provably
+    // lands mid-search.
+    const std::string checkpoint = store + "/jobs/" + id + "/checkpoint";
+    for (int i = 0; i < 3000 && !fs::exists(checkpoint); ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(fs::exists(checkpoint));
+    const JsonValue cancelled =
+        handle_json(service, "{\"op\":\"cancel\",\"job\":" + id + "}");
+    ASSERT_EQ(cancelled.str_or("type", ""), "cancelled");
+    ASSERT_EQ(wait_for(service, id), "cancelled");
+
+    // The checkpoint survives; no result was produced or cached.
+    EXPECT_TRUE(fs::exists(checkpoint));
+    EXPECT_FALSE(fs::exists(store + "/jobs/" + id + "/result.json"));
+    EXPECT_EQ(handle_json(service, "{\"op\":\"result\",\"job\":" + id + "}")
+                  .str_or("code", ""),
+              "bad_state");
+    const std::string exposition = service.expose_metrics();
+    EXPECT_EQ(metric_value(exposition,
+                           "automap_service_jobs_cancelled_total"),
+              1.0);
+    EXPECT_EQ(metric_value(exposition,
+                           "automap_service_result_cache_entries"),
+              0.0);
+  }
+
+  // Restart: the tombstoned job recovers as cancelled — not re-enqueued.
+  MappingService revived(
+      {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+  EXPECT_EQ(handle_json(revived, "{\"op\":\"status\",\"job\":" + id + "}")
+                .str_or("status", ""),
+            "cancelled");
+  revived.drain();
+  EXPECT_EQ(metric_value(revived.expose_metrics(),
+                         "automap_sim_runs_total"),
+            0.0);
+
+  // Resubmitting the identical request revives the same job, which
+  // resumes from the persisted checkpoint...
+  const JsonValue again = handle_json(revived, submit_request(options));
+  EXPECT_EQ(job_id_of(again), id);
+  EXPECT_EQ(again.str_or("status", ""), "queued");
+  EXPECT_FALSE(again.bool_or("cached", false));
+  revived.drain();
+  ASSERT_EQ(handle_json(revived, "{\"op\":\"status\",\"job\":" + id + "}")
+                .str_or("status", ""),
+            "done");
+  const std::string resumed =
+      revived.handle("{\"op\":\"result\",\"job\":" + id + "}");
+
+  // ...to the exact bytes an uninterrupted daemon produces.
+  MappingService reference({.store_dir = fresh_store("cancelref"),
+                            .eval_threads = 2,
+                            .job_workers = 0});
+  const std::string ref_id =
+      job_id_of(handle_json(reference, submit_request(options)));
+  reference.drain();
+  ASSERT_EQ(ref_id, id);  // both stores number jobs from 1
+  EXPECT_EQ(resumed,
+            reference.handle("{\"op\":\"result\",\"job\":" + ref_id + "}"));
+}
+
+TEST(Service, ResultCacheEvictsLeastRecentlyServed) {
+  const std::string store = fresh_store("lru");
+  std::string payload_1;
+  std::string id_1;
+  {
+    MappingService service({.store_dir = store,
+                            .eval_threads = 2,
+                            .job_workers = 0,
+                            .max_result_cache = 2});
+    id_1 = job_id_of(handle_json(service, submit_request(small_options(1))));
+    service.drain();
+    const std::string id_2 =
+        job_id_of(handle_json(service, submit_request(small_options(2))));
+    service.drain();
+    // Serve job 1 so job 2 becomes the least-recently-served entry.
+    payload_1 = service.handle("{\"op\":\"result\",\"job\":" + id_1 + "}");
+    ASSERT_EQ(parse_json(payload_1).str_or("type", ""), "result");
+
+    const std::string id_3 =
+        job_id_of(handle_json(service, submit_request(small_options(3))));
+    service.drain();
+
+    // Job 2 — not job 1 — was evicted, whole store dir included.
+    EXPECT_EQ(handle_json(service, "{\"op\":\"status\",\"job\":" + id_2 + "}")
+                  .str_or("code", ""),
+              "not_found");
+    EXPECT_FALSE(fs::exists(store + "/jobs/" + id_2));
+    const std::string exposition = service.expose_metrics();
+    EXPECT_EQ(metric_value(exposition,
+                           "automap_service_result_cache_evictions_total"),
+              1.0);
+    EXPECT_EQ(metric_value(exposition,
+                           "automap_service_result_cache_entries"),
+              2.0);
+
+    // Survivors still answer byte-identically; the evicted fingerprint
+    // recomputes under a fresh job id.
+    EXPECT_EQ(service.handle("{\"op\":\"result\",\"job\":" + id_1 + "}"),
+              payload_1);
+    const JsonValue recompute =
+        handle_json(service, submit_request(small_options(2)));
+    EXPECT_NE(job_id_of(recompute), id_2);
+    EXPECT_EQ(recompute.str_or("status", ""), "queued");
+    EXPECT_FALSE(recompute.bool_or("cached", false));
+    (void)id_3;
+  }
+  // Retained entries re-serve the identical bytes across a warm restart.
+  MappingService revived({.store_dir = store,
+                          .eval_threads = 2,
+                          .job_workers = 0,
+                          .max_result_cache = 2});
+  EXPECT_EQ(revived.handle("{\"op\":\"result\",\"job\":" + id_1 + "}"),
+            payload_1);
+}
+
+/// Bytes of regular files under `dir` — the soak assertion's measure.
+std::size_t tree_bytes(const std::string& dir) {
+  std::size_t total = 0;
+  for (auto it = fs::recursive_directory_iterator(dir);
+       it != fs::recursive_directory_iterator(); ++it)
+    if (it->is_regular_file()) total += it->file_size();
+  return total;
+}
+
+TEST(Service, StoreByteBudgetHoldsAcrossManyJobs) {
+  // Calibrate: one finished job's dir size sets the budget scale, so the
+  // test does not hard-code file sizes.
+  std::size_t one_job = 0;
+  {
+    const std::string probe_store = fresh_store("soakprobe");
+    MappingService probe(
+        {.store_dir = probe_store, .eval_threads = 2, .job_workers = 0});
+    handle_json(probe, submit_request(small_options(100)));
+    probe.drain();
+    one_job = tree_bytes(probe_store + "/jobs");
+    ASSERT_GT(one_job, 0u);
+  }
+
+  const std::string store = fresh_store("soak");
+  const std::size_t budget = 3 * one_job + one_job / 2;
+  MappingService service({.store_dir = store,
+                          .eval_threads = 2,
+                          .job_workers = 0,
+                          .max_store_bytes = budget});
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    handle_json(service, submit_request(small_options(seed)));
+    service.drain();
+    // The invariant: with no queued/running work outstanding, the on-disk
+    // store never exceeds the budget.
+    EXPECT_LE(tree_bytes(store + "/jobs"), budget) << "after seed " << seed;
+  }
+  // Ten jobs cannot fit in ~3.5 job-sizes: eviction actually happened,
+  // oldest-first, and the newest job is still servable.
+  const JsonValue jobs = handle_json(service, "{\"op\":\"jobs\"}");
+  const JsonValue* list = jobs.find("jobs");
+  ASSERT_NE(list, nullptr);
+  EXPECT_LT(list->array.size(), 10u);
+  EXPECT_GT(metric_value(service.expose_metrics(),
+                         "automap_service_store_bytes"),
+            0.0);
+}
+
+TEST(Service, EvalCacheBucketsEvictLeastRecentlyServed) {
+  const std::string store = fresh_store("evalevict");
+  MappingService service({.store_dir = store,
+                          .eval_threads = 2,
+                          .job_workers = 0,
+                          .max_eval_cache = 1});
+  // Two different seeds measure under two different buckets; with a
+  // one-bucket budget the older one is evicted.
+  handle_json(service,
+              submit_request(small_options(42), ",\"reuse_measurements\":true"));
+  service.drain();
+  handle_json(service,
+              submit_request(small_options(43), ",\"reuse_measurements\":true"));
+  service.drain();
+  std::size_t bucket_files = 0;
+  for (auto it = fs::directory_iterator(store + "/cache");
+       it != fs::directory_iterator(); ++it)
+    if (it->is_regular_file()) ++bucket_files;
+  EXPECT_EQ(bucket_files, 1u);
+  std::string exposition = service.expose_metrics();
+  EXPECT_EQ(metric_value(exposition,
+                         "automap_service_eval_cache_evictions_total"),
+            1.0);
+  EXPECT_EQ(metric_value(exposition,
+                         "automap_service_eval_cache_entries"),
+            1.0);
+
+  // Seed 42's bucket is the one that went: a new job in that measurement
+  // configuration records an eval-cache miss and recomputes fine.
+  SearchOptions more = small_options(42);
+  more.rotations = 3;  // different fingerprint, same bucket
+  const std::string id = job_id_of(handle_json(
+      service, submit_request(more, ",\"reuse_measurements\":true")));
+  service.drain();
+  EXPECT_EQ(wait_for(service, id), "done");
+  exposition = service.expose_metrics();
+  EXPECT_EQ(metric_value(exposition,
+                         "automap_service_eval_cache_misses_total"),
+            3.0);  // both cold starts above, plus this one
+  EXPECT_EQ(metric_value(exposition,
+                         "automap_service_eval_cache_seeded_total"),
+            0.0);
+}
+
+TEST(Service, EqualPriorityJobsShareThePoolAndStayByteIdentical) {
+  // Two equal-priority jobs whose batches interleave deficit-round-robin
+  // on the shared pool: fair-share scheduling must not leak into results —
+  // each answer stays byte-identical to the serial one-shot search.
+  MappingService service({.store_dir = fresh_store("fairshare"),
+                          .eval_threads = 4,
+                          .job_workers = 2});
+  const SearchOptions a = small_options(7);
+  const SearchOptions b = small_options(1234);
+  const std::string id_a =
+      job_id_of(handle_json(service, submit_request(a)));
+  const std::string id_b =
+      job_id_of(handle_json(service, submit_request(b)));
+  ASSERT_EQ(wait_for(service, id_a), "done");
+  ASSERT_EQ(wait_for(service, id_b), "done");
+  const JsonValue result_a =
+      handle_json(service, "{\"op\":\"result\",\"job\":" + id_a + "}");
+  const JsonValue result_b =
+      handle_json(service, "{\"op\":\"result\",\"job\":" + id_b + "}");
+  const OneShot ref_a = one_shot_reference(a);
+  const OneShot ref_b = one_shot_reference(b);
+  EXPECT_EQ(result_a.str_or("summary", ""), ref_a.summary);
+  EXPECT_EQ(result_a.str_or("mapping", ""), ref_a.mapping);
+  EXPECT_EQ(result_b.str_or("summary", ""), ref_b.summary);
+  EXPECT_EQ(result_b.str_or("mapping", ""), ref_b.mapping);
 }
 
 TEST(Service, EvalCacheSeedsRepeatMeasurements) {

@@ -151,13 +151,15 @@ BENCHMARK(BM_JournalEmitCandidate);
 // bounds how many candidates a search can afford. The CI perf-smoke job
 // runs these with
 //
-//   bench_micro --benchmark_filter=SimThroughput \
+//   bench_micro "--benchmark_filter=SimThroughput|SimRepeats" \
 //               --benchmark_out=BENCH_sim.json --benchmark_out_format=json
 //
-// and fails on a >2x regression of any entry versus the committed baseline
+// and fails on a >1.3x regression of any entry versus the committed baseline
 // (bench/BENCH_sim_baseline.json, checked by tools/check_bench_sim.py).
-// Counters: runs_per_s (simulated runs per wall second) and ns_per_event
-// (wall nanoseconds per scheduled task execution).
+// Counters: runs_per_s (simulated runs per wall second), events_per_second
+// (scheduling events — task executions plus copy legs — per wall second;
+// the roadmap's ~10M events/s goal tracks this number directly) and
+// ns_per_event (its inverse in wall nanoseconds).
 void sim_throughput(benchmark::State& state, const BenchmarkApp& app) {
   Simulator sim(shepard1(), app.graph, app.sim);
   DefaultMapper dm;
@@ -168,23 +170,62 @@ void sim_throughput(benchmark::State& state, const BenchmarkApp& app) {
     return;
   }
   std::uint64_t seed = 0;
+  std::uint64_t events = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sim.run_prepared(m, ++seed, scratch,
-                         std::numeric_limits<double>::infinity()));
+    const ExecutionReport& rep = sim.run_prepared(
+        m, ++seed, scratch, std::numeric_limits<double>::infinity());
+    // True event count from the run itself: one per task execution plus one
+    // per copy leg — the denominator of the ~10M events/s roadmap goal.
+    events += rep.events;
+    benchmark::DoNotOptimize(&rep);
   }
   const double runs = static_cast<double>(state.iterations());
-  // One "event" = one task execution in the event loop: tasks x iterations
-  // per simulated run.
-  const double events = runs *
-                        static_cast<double>(app.graph.num_tasks()) *
-                        static_cast<double>(sim.options().iterations);
+  const double ev = static_cast<double>(events);
   state.counters["runs_per_s"] =
       benchmark::Counter(runs, benchmark::Counter::kIsRate);
+  state.counters["events_per_second"] =
+      benchmark::Counter(ev, benchmark::Counter::kIsRate);
   // kIsRate|kInvert reports elapsed/value; with value = events * 1e-9 that
   // is wall nanoseconds per event.
   state.counters["ns_per_event"] = benchmark::Counter(
-      events * 1e-9,
+      ev * 1e-9,
+      benchmark::Counter::Flags(benchmark::Counter::kIsRate |
+                                benchmark::Counter::kInvert));
+}
+
+/// Batch-interleaved variant: all `lanes` repeats of the candidate in one
+/// pass over the plan (Simulator::run_repeats) — the shape the evaluator's
+/// repeat loop uses, where graph-traversal overhead amortizes across lanes.
+void sim_repeats_throughput(benchmark::State& state, const BenchmarkApp& app,
+                            std::size_t lanes) {
+  Simulator sim(shepard1(), app.graph, app.sim);
+  DefaultMapper dm;
+  const Mapping m = dm.map_all(app.graph, shepard1());
+  SimScratch scratch;
+  if (!sim.begin_runs(m, scratch)) {
+    state.SkipWithError("default mapping failed to resolve");
+    return;
+  }
+  std::vector<std::uint64_t>& seeds = scratch.seed_buffer();
+  seeds.resize(lanes);
+  std::uint64_t seed = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    for (std::uint64_t& s : seeds) s = ++seed;
+    const auto reports = sim.run_repeats(
+        m, seeds, scratch, std::numeric_limits<double>::infinity());
+    for (const ExecutionReport& rep : reports) events += rep.events;
+    benchmark::DoNotOptimize(reports.data());
+  }
+  const double runs =
+      static_cast<double>(state.iterations()) * static_cast<double>(lanes);
+  const double ev = static_cast<double>(events);
+  state.counters["runs_per_s"] =
+      benchmark::Counter(runs, benchmark::Counter::kIsRate);
+  state.counters["events_per_second"] =
+      benchmark::Counter(ev, benchmark::Counter::kIsRate);
+  state.counters["ns_per_event"] = benchmark::Counter(
+      ev * 1e-9,
       benchmark::Counter::Flags(benchmark::Counter::kIsRate |
                                 benchmark::Counter::kInvert));
 }
@@ -205,6 +246,17 @@ void BM_SimThroughputHtr(benchmark::State& state) {
   sim_throughput(state, app);
 }
 BENCHMARK(BM_SimThroughputHtr);
+
+void BM_SimRepeatsThroughputStencil(benchmark::State& state) {
+  const BenchmarkApp app = make_stencil(stencil_config_for(1, 1));
+  sim_repeats_throughput(state, app, 7);
+}
+BENCHMARK(BM_SimRepeatsThroughputStencil);
+
+void BM_SimRepeatsThroughputPennant(benchmark::State& state) {
+  sim_repeats_throughput(state, pennant_app(), 7);
+}
+BENCHMARK(BM_SimRepeatsThroughputPennant);
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "src/sim/ready_wheel.hpp"
 #include "src/support/error.hpp"
 #include "src/support/format.hpp"
 #include "src/support/table.hpp"
@@ -25,13 +26,18 @@ bool is_pool_resource(const std::string& resource) {
 /// which are some earlier event's end (or 0), so the chain is gap-free.
 std::vector<CriticalPathStep> extract_critical_path(
     const std::vector<TraceEvent>& trace, double makespan) {
-  std::vector<std::size_t> by_end(trace.size());
-  for (std::size_t i = 0; i < by_end.size(); ++i) by_end[i] = i;
-  std::stable_sort(by_end.begin(), by_end.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return trace[a].start_s + trace[a].duration_s <
-                            trace[b].start_s + trace[b].duration_s;
-                   });
+  // Order events by end time through the bucketed wheel: end times cluster
+  // around the iteration cadence, so distributing them into ~one bucket per
+  // event and stable-sorting within buckets beats a global comparison sort —
+  // and the wheel's drain is guaranteed byte-identical to the
+  // std::stable_sort it replaces.
+  BucketedWheel wheel;
+  wheel.reset(0.0, makespan, trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    wheel.push(trace[i].start_s + trace[i].duration_s,
+               static_cast<std::uint32_t>(i));
+  std::vector<std::uint32_t> by_end;
+  wheel.drain(by_end);
 
   const double eps = 1e-9 * std::max(makespan, 1e-12);
   auto end_of = [&](std::size_t i) {
@@ -52,7 +58,7 @@ std::vector<CriticalPathStep> extract_critical_path(
     // longest one is the binding predecessor (ties broken by trace order
     // for determinism).
     auto lo = std::lower_bound(by_end.begin(), by_end.end(), target - eps,
-                               [&](std::size_t i, double v) {
+                               [&](std::uint32_t i, double v) {
                                  return end_of(i) < v;
                                });
     std::size_t best = trace.size();

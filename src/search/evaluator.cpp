@@ -226,6 +226,31 @@ Evaluator::CandOutcome Evaluator::run_candidate(const Mapping& candidate,
   // interpret; the robust aggregations need every survivor's value, so
   // censoring is disabled for them (every repeat runs to completion).
   const double race_threshold_s = robust ? kInf : threshold_s;
+  if (!inject && !std::isfinite(race_threshold_s)) {
+    // Batch-interleaved fast path: with faults off and censoring disabled
+    // (robust aggregation, or no finite threshold yet) every repeat is an
+    // independent unbounded run that always succeeds — OOM already surfaced
+    // at begin_runs and nothing transient can occur. The racing fold then
+    // degenerates to plain accumulation in repeat order, which is exactly
+    // what folding run_repeats' lane reports reproduces bit for bit, while
+    // the simulator walks the graph once instead of once per repeat.
+    std::vector<std::uint64_t>& seeds = scratch.seed_buffer();
+    seeds.resize(static_cast<std::size_t>(options_.repeats));
+    for (int r = 0; r < options_.repeats; ++r)
+      seeds[static_cast<std::size_t>(r)] = run_seed(key, r, 0, kEvalSalt);
+    for (const ExecutionReport& report :
+         sim_.run_repeats(candidate, seeds, scratch, kInf)) {
+      const double objective = options_.objective == Objective::kEnergy
+                                   ? report.energy_joules
+                                   : report.total_seconds;
+      out.objective_sum += objective;
+      out.charge_s += report.total_seconds;
+      ++out.survivors;
+      if (robust) out.objectives.push_back(objective);
+    }
+    if (out.survivors == 0) out.failed = true;
+    return out;
+  }
   const double repeats_d = static_cast<double>(options_.repeats);
   const double slack = 3.0 * sim_.options().noise_sigma;
   double sum = 0.0;

@@ -1,0 +1,155 @@
+#pragma once
+
+// Resource-timeline structures for the simulator's hot path.
+//
+// Two components live here:
+//
+//  * ResourceClocks — the per-(lane, resource) busy-until table behind every
+//    serialized resource in the simulator (processor pools, intra-node copy
+//    channels, the shared network serialization point). Each resource
+//    executes its activities back to back, so its whole timeline reduces to
+//    one scalar "busy until" clock; ResourceClocks packs those scalars into
+//    one flat array so a multi-repeat simulation (Simulator::run_repeats)
+//    keeps all R lanes of all resources in a few cache lines and acquiring
+//    a resource is one max + one add — no comparison structure at all.
+//    This is the degenerate single-rung case of a time wheel: because
+//    activities are *committed* in dependency order, nothing ever needs to
+//    be parked and re-ordered, and the censored-abort predicate
+//    (finish > bound at commit time) stays exact.
+//
+//  * BucketedWheel — a calendar-queue-style bucketed ordering structure
+//    with a sorted-overflow rung, for the places that *do* need events in
+//    time order after the fact (the profile module orders trace events by
+//    end time to extract critical paths). Keys are distributed into
+//    equal-width buckets across a horizon in O(1) per insert; keys at or
+//    past the horizon land in the overflow rung (the last bucket), which is
+//    sorted on drain. Draining concatenates the per-bucket runs after a
+//    stable within-bucket ordering, so the output is exactly what a global
+//    std::stable_sort by key would produce — callers can swap one for the
+//    other without changing a byte of output — at O(n + B + Σ n_b log n_b)
+//    instead of O(n log n) comparisons for time-clustered keys.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace automap {
+
+/// Flat busy-until clocks for `lanes` independent simulations over
+/// `resources` serialized resources. Layout is [lane][resource], so one
+/// lane's 14-ish clocks share a cache line and a multi-lane pass touches a
+/// contiguous block.
+class ResourceClocks {
+ public:
+  /// (Re)sizes to lanes x resources and zeroes every clock. Reuses capacity.
+  void reset(std::size_t lanes, std::size_t resources) {
+    resources_ = resources;
+    clocks_.assign(lanes * resources, 0.0);
+  }
+
+  /// Serializes an activity of length `elapsed` arriving at `arrival` on
+  /// `resource`: it starts when both the data and the resource are ready
+  /// and occupies the resource until it ends. Returns the start time.
+  double acquire(std::size_t lane, std::size_t resource, double arrival,
+                 double elapsed) {
+    double& busy = clocks_[lane * resources_ + resource];
+    const double start = std::max(arrival, busy);
+    busy = start + elapsed;
+    return start;
+  }
+
+  [[nodiscard]] double busy_until(std::size_t lane,
+                                  std::size_t resource) const {
+    return clocks_[lane * resources_ + resource];
+  }
+  void set(std::size_t lane, std::size_t resource, double busy) {
+    clocks_[lane * resources_ + resource] = busy;
+  }
+
+ private:
+  std::vector<double> clocks_;
+  std::size_t resources_ = 0;
+};
+
+/// Bucketed time wheel over (key, id) pairs with a sorted-overflow rung.
+/// push() is O(1); drain() emits ids in stable ascending-key order —
+/// byte-identical to a std::stable_sort of the pairs by key. Keys must be
+/// totally ordered (no NaN); keys below the horizon start clamp into the
+/// first bucket and keys at or past the horizon end clamp into the overflow
+/// rung, both of which preserve global ordering because clamping is
+/// monotone.
+class BucketedWheel {
+ public:
+  /// Configures the horizon [t0, t1) split into `buckets` equal rungs
+  /// (at least one; the last doubles as the overflow rung) and clears any
+  /// held items. Reuses capacity across uses.
+  void reset(double t0, double t1, std::size_t buckets) {
+    num_buckets_ = std::max<std::size_t>(1, buckets);
+    t0_ = t0;
+    const double width = (t1 - t0) / static_cast<double>(num_buckets_);
+    inv_width_ = width > 0.0 ? 1.0 / width : 0.0;
+    items_.clear();
+    counts_.assign(num_buckets_ + 1, 0);
+  }
+
+  void push(double key, std::uint32_t id) {
+    const std::size_t b = bucket_of(key);
+    ++counts_[b + 1];
+    items_.push_back({key, id, static_cast<std::uint32_t>(b)});
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  /// Appends every held id to `out` in stable ascending-key order and
+  /// leaves the wheel empty (reset() must precede the next use).
+  void drain(std::vector<std::uint32_t>& out) {
+    // Stable counting pass: items land in their rung in insertion order.
+    for (std::size_t b = 1; b <= num_buckets_; ++b)
+      counts_[b] += counts_[b - 1];
+    sorted_.resize(items_.size());
+    {
+      std::vector<std::size_t> cursor(counts_.begin(), counts_.end() - 1);
+      for (const Item& it : items_) sorted_[cursor[it.bucket]++] = it;
+    }
+    // Each rung holds keys from one interval of the horizon (overflow rung
+    // included), so a stable within-rung ordering makes the concatenation
+    // globally stable-sorted.
+    for (std::size_t b = 0; b < num_buckets_; ++b) {
+      const auto lo = sorted_.begin() + static_cast<std::ptrdiff_t>(counts_[b]);
+      const auto hi =
+          sorted_.begin() + static_cast<std::ptrdiff_t>(counts_[b + 1]);
+      if (hi - lo > 1)
+        std::stable_sort(lo, hi, [](const Item& a, const Item& b2) {
+          return a.key < b2.key;
+        });
+    }
+    out.reserve(out.size() + sorted_.size());
+    for (const Item& it : sorted_) out.push_back(it.id);
+    items_.clear();
+  }
+
+ private:
+  struct Item {
+    double key;
+    std::uint32_t id;
+    std::uint32_t bucket;
+  };
+
+  [[nodiscard]] std::size_t bucket_of(double key) const {
+    if (!(key > t0_)) return 0;  // below-horizon rung (clamped, monotone)
+    const double rel = (key - t0_) * inv_width_;
+    if (!(rel < static_cast<double>(num_buckets_)))
+      return num_buckets_ - 1;  // sorted-overflow rung
+    return static_cast<std::size_t>(rel);
+  }
+
+  std::vector<Item> items_;
+  std::vector<Item> sorted_;
+  std::vector<std::size_t> counts_;
+  std::size_t num_buckets_ = 1;
+  double t0_ = 0.0;
+  double inv_width_ = 0.0;
+};
+
+}  // namespace automap

@@ -106,6 +106,12 @@ struct ExecutionReport {
   double total_seconds = 0.0;
   /// Main-loop iterations executed.
   int iterations = 0;
+  /// Scheduling events the run processed: one per task execution (crashed
+  /// and bound-crossing tasks included — their work was performed) plus one
+  /// per copy leg. The true denominator of simulator throughput
+  /// (events/second), reported by the BM_SimThroughput* benchmarks and the
+  /// automap_sim_events_total counter.
+  std::uint64_t events = 0;
   /// total_seconds / iterations — the per-iteration metric of Figure 9.
   [[nodiscard]] double seconds_per_iteration() const {
     return iterations > 0 ? total_seconds / iterations : total_seconds;

@@ -47,6 +47,7 @@ void clear_report(ExecutionReport& report, int iterations,
   report.intra_node_copy_bytes = 0;
   report.inter_node_copy_bytes = 0;
   report.energy_joules = 0.0;
+  report.events = 0;
   report.tasks.clear();
   report.footprints.clear();
   report.demoted_args = 0;
@@ -93,6 +94,10 @@ Simulator::Simulator(const MachineModel& machine, const TaskGraph& graph,
     runs_failed_ = options_.metrics->counter(
         "automap_sim_runs_failed_total",
         "Simulated runs that failed (OOM or transient fault)",
+        /*deterministic=*/false);
+    events_total_ = options_.metrics->counter(
+        "automap_sim_events_total",
+        "Scheduling events processed (task executions + copy legs)",
         /*deterministic=*/false);
   }
 
@@ -277,6 +282,7 @@ void Simulator::resolve_memories(const Mapping& mapping,
                                  SimScratch& scratch) const {
   scratch.resolve_ok_ = false;
   scratch.demoted_args_ = 0;
+  scratch.failure_kind_ = SimScratch::ResolveFailure::kNone;
   scratch.footprints_.clear();
 
   // Per (node, mem kind): bytes committed to the *fullest single instance*
@@ -356,12 +362,12 @@ void Simulator::resolve_memories(const Mapping& mapping,
       }
 
       if (!placed) {
-        std::ostringstream os;
-        os << "out of memory: no memory kind in the priority list of task "
-           << task.name << " argument "
-           << graph_.collection(cid).name << " ("
-           << format_bytes(total_bytes) << ") has capacity left";
-        scratch.failure_ = os.str();
+        // Record only the offending ids: the message is built lazily by
+        // begin_runs, so the resolve pass — probed on every candidate —
+        // stays allocation-free.
+        scratch.failure_kind_ = SimScratch::ResolveFailure::kOutOfMemory;
+        scratch.failure_task_ = static_cast<std::uint32_t>(task.id.index());
+        scratch.failure_collection_ = static_cast<std::uint32_t>(cid.value());
         return;
       }
     }
@@ -381,100 +387,39 @@ void Simulator::resolve_memories(const Mapping& mapping,
   scratch.resolve_ok_ = true;
 }
 
-void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
-                         double time_bound, SimScratch& scratch) const {
-  ExecutionReport& report = scratch.report_;
-  clear_report(report, options_.iterations, time_bound);
-  report.footprints = scratch.footprints_;
-  report.demoted_args = scratch.demoted_args_;
-
-  const std::size_t num_tasks = graph_.num_tasks();
-  report.tasks.resize(num_tasks);
-  for (std::size_t i = 0; i < num_tasks; ++i)
-    report.tasks[i] = TaskReport{.task = TaskId(i)};
-  if (options_.record_trace) report.trace.reserve(trace_reserve_);
-
-  Rng rng(mix64(seed) ^ mapping.hash());
+void Simulator::build_plan(const Mapping& mapping,
+                           SimScratch& scratch) const {
+  // Every mapping-dependent quantity of the event loop, flattened into
+  // parallel arrays in topo visit order. All derived doubles are computed
+  // with the exact expressions (and operand order) the historical per-run
+  // loop used, so a plan-driven run is bit-identical to the original.
+  scratch.plan_hash_ = mapping.hash();
+  scratch.plan_tasks_.clear();
+  scratch.plan_edges_.clear();
+  scratch.plan_legs_.clear();
+  scratch.leg_names_.clear();
+  scratch.leg_resources_.clear();
+  scratch.plan_tasks_.reserve(graph_.num_tasks());
+  scratch.plan_edges_.reserve(in_edges_.size());
   const bool multi = num_nodes_ > 1;
 
-  // Fault injection draws come from a *separate* derived stream: the noise
-  // sequence above is untouched whether faults are on or off, and a
-  // disabled model makes no draws at all, so fault-free configs reproduce
-  // the pre-fault-layer results bit for bit at any thread count.
-  const FaultModel& faults = options_.faults;
-  const bool inject = faults.enabled();
-  Rng fault_rng(inject ? (mix64(seed ^ kFaultSalt) ^ mapping.hash()) : 0);
+  for (const TaskId tid : topo_order_) {
+    const std::size_t ti = tid.index();
+    const TaskMapping& tm = mapping.at(tid);
+    const bool c_dist = tm.distribute && multi;
 
-  // Transient memory pressure: for this run every allocation's usable
-  // capacity shrinks to the headroom share of nominal (co-tenant runtime
-  // services, fragmentation). The placement itself is cached and
-  // deterministic, so the check reduces to comparing the mapping's peak
-  // footprints against the reduced capacities.
-  if (inject && faults.mem_pressure_prob > 0.0 &&
-      fault_rng.bernoulli(faults.mem_pressure_prob)) {
-    ++report.faults.mem_pressure;
-    for (const MemoryFootprint& fp : scratch.footprints_) {
-      const double usable = faults.mem_pressure_headroom *
-                            static_cast<double>(fp.capacity_bytes);
-      if (static_cast<double>(fp.peak_instance_bytes) > usable) {
-        std::ostringstream os;
-        os << "transient memory pressure: " << to_string(fp.kind) << " peak "
-           << format_bytes(fp.peak_instance_bytes) << " exceeds reduced "
-           << "capacity " << format_bytes(static_cast<std::uint64_t>(usable));
-        report.failure = os.str();
-        report.transient = true;
-        return;
-      }
-    }
-  }
+    SimScratch::PlanTask pt;
+    pt.task = static_cast<std::uint32_t>(ti);
+    pt.edge_begin = static_cast<std::uint32_t>(scratch.plan_edges_.size());
 
-  // Resource state, carried across iterations.
-  // Processor pools: busy-until per (proc kind, leader node / other nodes).
-  // Two clocks per kind suffice: a non-distributed task runs on the leader
-  // node alone and a distributed task occupies every node at once, so
-  // nodes 1..N-1 always share one busy-until value.
-  std::array<double, kNumProcKinds * 2> pool_busy{};
-  // Intra-node copy channels: busy-until per (src kind, dst kind). All
-  // inter-node legs share one interconnect busy-state instead: the machine
-  // has one NIC, so System->System and FB->FB network transfers contend
-  // with each other even though their bandwidths (machine_.channel) differ
-  // per kind pair.
-  std::array<double, kNumMemKinds * kNumMemKinds> channel_busy{};
-  double interconnect_busy = 0.0;
+    for (std::uint32_t ei = in_off_[ti]; ei < in_off_[ti + 1]; ++ei) {
+      const EdgeIn& e = in_edges_[ei];
+      SimScratch::PlanEdge pe;
+      pe.producer = e.producer;
+      pe.cross_iteration = e.cross_iteration ? 1 : 0;
+      pe.leg_begin = static_cast<std::uint32_t>(scratch.plan_legs_.size());
 
-  // Never read before written within a run (topological order guarantees
-  // producers precede consumers; cross-iteration edges skip iteration 0),
-  // so no per-run clearing is needed.
-  std::vector<double>& finish_prev = scratch.finish_prev_;
-  std::vector<double>& finish_cur = scratch.finish_cur_;
-
-  const double copy_noise_sigma = options_.noise_sigma * 0.5;
-  double makespan = 0.0;
-
-  for (int iter = 0; iter < options_.iterations; ++iter) {
-    for (const TaskId tid : topo_order_) {
-      const std::size_t ti = tid.index();
-      const TaskMapping& tm = mapping.at(tid);
-      const bool c_dist = tm.distribute && multi;
-
-      // 1. Data arrival: producers' finish plus any inferred copies.
-      double ready = 0.0;
-      for (std::uint32_t ei = in_off_[ti]; ei < in_off_[ti + 1]; ++ei) {
-        const EdgeIn& e = in_edges_[ei];
-        double produced_at;
-        if (e.cross_iteration) {
-          if (iter == 0) continue;  // initial data is in place
-          produced_at = finish_prev[e.producer];
-        } else {
-          produced_at = finish_cur[e.producer];
-        }
-
-        if (!e.carries_data) {
-          // Pure ordering dependence (WAR/WAW): serializes, moves nothing.
-          ready = std::max(ready, produced_at);
-          continue;
-        }
-
+      if (e.carries_data) {
         const TaskMapping& ptm = mapping.at(TaskId(e.producer));
         const MemKind src = scratch.resolved_[e.producer_arg].memory;
         const MemKind dst = scratch.resolved_[e.consumer_arg].memory;
@@ -529,17 +474,172 @@ void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
                                                           false};
         }
 
-        double arrival = produced_at;
         for (int li = 0; li < num_legs; ++li) {
           const Leg& leg = legs[static_cast<std::size_t>(li)];
-          const Chan& ch =
-              chan_[index_of(src)][index_of(dst)][leg.inter ? 1 : 0];
-          if (!ch.present) {
-            // Raises the standard missing-channel error.
-            (void)machine_.channel(src, dst, leg.inter);
+          const std::size_t si = index_of(src);
+          const std::size_t di = index_of(dst);
+          const Chan& ch = chan_[si][di][leg.inter ? 1 : 0];
+          SimScratch::PlanLeg pl;
+          pl.bytes = leg.bytes;
+          pl.bytes_u64 = static_cast<std::uint64_t>(leg.bytes);
+          pl.inter = leg.inter ? 1 : 0;
+          pl.src = static_cast<std::uint8_t>(si);
+          pl.dst = static_cast<std::uint8_t>(di);
+          pl.energy = leg.inter ? leg.bytes * 0.5e-9   // NIC + switches
+                                : leg.bytes * 20e-12;  // DMA engines
+          if (ch.present) {
+            pl.resource =
+                leg.inter ? kNetClock
+                          : kChanClockBase +
+                                static_cast<std::uint32_t>(
+                                    si * kNumMemKinds + di);
+            pl.elapsed =
+                ch.latency + leg.bytes / leg.parallelism / ch.bandwidth;
+          } else {
+            // Raised at execution time: a leg on a cross-iteration edge of
+            // a 1-iteration run never executes and must not throw here.
+            pl.resource = kMissingChannel;
           }
-          double elapsed =
-              ch.latency + leg.bytes / leg.parallelism / ch.bandwidth;
+          scratch.plan_legs_.push_back(pl);
+          if (options_.record_trace) {
+            scratch.leg_names_.push_back(
+                std::string(to_string(src)) + "->" +
+                std::string(to_string(dst)) + " for " + graph_.task(tid).name);
+            scratch.leg_resources_.push_back(
+                leg.inter ? "network"
+                          : "channel " + std::string(to_string(src)) + "-" +
+                                std::string(to_string(dst)));
+          }
+        }
+      }
+      pe.leg_end = static_cast<std::uint32_t>(scratch.plan_legs_.size());
+      scratch.plan_edges_.push_back(pe);
+    }
+    pt.edge_end = static_cast<std::uint32_t>(scratch.plan_edges_.size());
+
+    const std::size_t pk = index_of(tm.proc);
+    const std::size_t dist = c_dist ? 1 : 0;
+    const std::size_t di = dur_index(ti, pk, dist);
+    double mem_time = 0.0;
+    for (std::uint32_t a = arg_off_[ti]; a < arg_off_[ti + 1]; ++a) {
+      mem_time += arg_sec_[arg_sec_index(
+          a, pk, dist, index_of(scratch.resolved_[a].memory))];
+    }
+    pt.base_dur = dur_compute_[di] + mem_time;
+    pt.launch = dur_launch_[di];
+    pt.energy_coeff = energy_coeff_[di];
+    pt.pool = kPoolClockBase + static_cast<std::uint32_t>(pk * 2);
+    pt.dist = c_dist ? 1 : 0;
+    pt.proc = tm.proc;
+    scratch.plan_tasks_.push_back(pt);
+  }
+}
+
+void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
+                         double time_bound, SimScratch& scratch) const {
+  // Everything mapping-dependent was flattened into the plan by
+  // begin_runs; the loop below never touches the Mapping again.
+  (void)mapping;
+  ExecutionReport& report = scratch.report_;
+  clear_report(report, options_.iterations, time_bound);
+  report.footprints = scratch.footprints_;
+  report.demoted_args = scratch.demoted_args_;
+
+  const std::size_t num_tasks = graph_.num_tasks();
+  report.tasks.resize(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i)
+    report.tasks[i] = TaskReport{.task = TaskId(i)};
+  if (options_.record_trace) report.trace.reserve(trace_reserve_);
+
+  Rng rng(mix64(seed) ^ scratch.plan_hash_);
+
+  // Fault injection draws come from a *separate* derived stream: the noise
+  // sequence above is untouched whether faults are on or off, and a
+  // disabled model makes no draws at all, so fault-free configs reproduce
+  // the pre-fault-layer results bit for bit at any thread count.
+  const FaultModel& faults = options_.faults;
+  const bool inject = faults.enabled();
+  Rng fault_rng(inject ? (mix64(seed ^ kFaultSalt) ^ scratch.plan_hash_) : 0);
+
+  // Transient memory pressure: for this run every allocation's usable
+  // capacity shrinks to the headroom share of nominal (co-tenant runtime
+  // services, fragmentation). The placement itself is cached and
+  // deterministic, so the check reduces to comparing the mapping's peak
+  // footprints against the reduced capacities.
+  if (inject && faults.mem_pressure_prob > 0.0 &&
+      fault_rng.bernoulli(faults.mem_pressure_prob)) {
+    ++report.faults.mem_pressure;
+    for (const MemoryFootprint& fp : scratch.footprints_) {
+      const double usable = faults.mem_pressure_headroom *
+                            static_cast<double>(fp.capacity_bytes);
+      if (static_cast<double>(fp.peak_instance_bytes) > usable) {
+        std::ostringstream os;
+        os << "transient memory pressure: " << to_string(fp.kind) << " peak "
+           << format_bytes(fp.peak_instance_bytes) << " exceeds reduced "
+           << "capacity " << format_bytes(static_cast<std::uint64_t>(usable));
+        report.failure = os.str();
+        report.transient = true;
+        return;
+      }
+    }
+  }
+
+  // Resource state, carried across iterations: one busy-until clock per
+  // serialized resource (pool leader/others per proc kind, intra-node
+  // channel per (src, dst), and the shared network serialization point —
+  // the machine has one NIC, so System->System and FB->FB network
+  // transfers contend even though their bandwidths differ per kind pair).
+  ResourceClocks& clocks = scratch.clocks_;
+  clocks.reset(1, kNumResClocks);
+
+  // Never read before written within a run (topological order guarantees
+  // producers precede consumers; cross-iteration edges skip iteration 0),
+  // so no per-run clearing is needed.
+  std::vector<double>& finish_prev = scratch.finish_prev_;
+  std::vector<double>& finish_cur = scratch.finish_cur_;
+
+  const double copy_noise_sigma = options_.noise_sigma * 0.5;
+  const bool record_trace = options_.record_trace;
+  double makespan = 0.0;
+  // Run totals accumulated in locals (registers) and flushed into the
+  // report at every exit; the addition order matches the historical
+  // in-place accumulation, so the flushed doubles are bit-identical.
+  double energy = 0.0;
+  std::uint64_t intra_bytes = 0;
+  std::uint64_t inter_bytes = 0;
+  std::uint64_t events = 0;
+
+  const SimScratch::PlanTask* const tasks = scratch.plan_tasks_.data();
+  const SimScratch::PlanEdge* const edges = scratch.plan_edges_.data();
+  const SimScratch::PlanLeg* const legs = scratch.plan_legs_.data();
+  const std::size_t num_rows = scratch.plan_tasks_.size();
+
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    for (std::size_t row = 0; row < num_rows; ++row) {
+      const SimScratch::PlanTask& pt = tasks[row];
+
+      // 1. Data arrival: producers' finish plus any inferred copies.
+      double ready = 0.0;
+      for (std::uint32_t ei = pt.edge_begin; ei < pt.edge_end; ++ei) {
+        const SimScratch::PlanEdge& e = edges[ei];
+        double produced_at;
+        if (e.cross_iteration != 0) {
+          if (iter == 0) continue;  // initial data is in place
+          produced_at = finish_prev[e.producer];
+        } else {
+          produced_at = finish_cur[e.producer];
+        }
+
+        double arrival = produced_at;
+        for (std::uint32_t li = e.leg_begin; li < e.leg_end; ++li) {
+          const SimScratch::PlanLeg& leg = legs[li];
+          if (leg.resource == kMissingChannel) {
+            // Raises the standard missing-channel error.
+            (void)machine_.channel(static_cast<MemKind>(leg.src),
+                                   static_cast<MemKind>(leg.dst),
+                                   leg.inter != 0);
+          }
+          double elapsed = leg.elapsed;
           if (copy_noise_sigma > 0.0)
             elapsed *= rng.lognormal_factor(copy_noise_sigma);
           // Channel fault: the first attempt is lost at completion and the
@@ -552,69 +652,51 @@ void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
             report.faults.lost_seconds += elapsed;
             elapsed *= 2.0;
           }
-          double& busy = leg.inter
-                             ? interconnect_busy
-                             : channel_busy[index_of(src) * kNumMemKinds +
-                                            index_of(dst)];
-          const double start = std::max(arrival, busy);
-          busy = start + elapsed;
-          arrival = busy;
-          if (options_.record_trace) {
-            report.trace.push_back(
-                {.kind = TraceEvent::Kind::kCopy,
-                 .name = std::string(to_string(src)) + "->" +
-                         std::string(to_string(dst)) + " for " +
-                         graph_.task(tid).name,
-                 .resource = leg.inter
-                                 ? "network"
-                                 : "channel " + std::string(to_string(src)) +
-                                       "-" + std::string(to_string(dst)),
-                 .iteration = iter,
-                 .start_s = start,
-                 .duration_s = elapsed,
-                 .bytes = static_cast<std::uint64_t>(leg.bytes)});
+          const double start =
+              clocks.acquire(0, leg.resource, arrival, elapsed);
+          arrival = start + elapsed;
+          ++events;
+          if (record_trace) {
+            report.trace.push_back({.kind = TraceEvent::Kind::kCopy,
+                                    .name = scratch.leg_names_[li],
+                                    .resource = scratch.leg_resources_[li],
+                                    .iteration = iter,
+                                    .start_s = start,
+                                    .duration_s = elapsed,
+                                    .bytes = leg.bytes_u64});
             if (copy_faulted) {
               // Annotate the lost first attempt so the profile can
               // attribute the re-issue time to faults.
               report.trace.push_back(
                   {.kind = TraceEvent::Kind::kFault,
-                   .name = "copy fault: " + report.trace.back().name,
-                   .resource = report.trace.back().resource,
+                   .name = "copy fault: " + scratch.leg_names_[li],
+                   .resource = scratch.leg_resources_[li],
                    .iteration = iter,
                    .start_s = start,
                    .duration_s = elapsed * 0.5});
             }
           }
-          if (leg.inter) {
-            report.inter_node_copy_bytes +=
-                static_cast<std::uint64_t>(leg.bytes);
-            report.energy_joules += leg.bytes * 0.5e-9;  // NIC + switches
+          if (leg.inter != 0) {
+            inter_bytes += leg.bytes_u64;
           } else {
-            report.intra_node_copy_bytes +=
-                static_cast<std::uint64_t>(leg.bytes);
-            report.energy_joules += leg.bytes * 20e-12;  // DMA engines
+            intra_bytes += leg.bytes_u64;
           }
+          energy += leg.energy;
         }
         ready = std::max(ready, arrival);
       }
 
       // 2. Processor pool availability on every node the task occupies.
-      const std::size_t pk = index_of(tm.proc);
+      const double lead = clocks.busy_until(0, pt.pool);
       const double pool_free =
-          c_dist ? std::max(pool_busy[pk * 2], pool_busy[pk * 2 + 1])
-                 : pool_busy[pk * 2];
+          pt.dist != 0 ? std::max(lead, clocks.busy_until(0, pt.pool + 1))
+                       : lead;
 
       const double start = std::max(ready, pool_free);
-      const std::size_t di = dur_index(ti, pk, c_dist ? 1 : 0);
-      double mem_time = 0.0;
-      for (std::uint32_t a = arg_off_[ti]; a < arg_off_[ti + 1]; ++a) {
-        mem_time +=
-            arg_sec_[arg_sec_index(a, pk, c_dist ? 1 : 0,
-                                   index_of(scratch.resolved_[a].memory))];
-      }
-      double duration = dur_compute_[di] + mem_time;
+      double duration = pt.base_dur;
       if (options_.noise_sigma > 0.0)
         duration *= rng.lognormal_factor(options_.noise_sigma);
+      ++events;
 
       if (inject) {
         // Straggler: the task's wave runs on a slow/contended instance and
@@ -625,11 +707,11 @@ void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
           duration += inflation;
           ++report.faults.stragglers;
           report.faults.lost_seconds += inflation;
-          if (options_.record_trace) {
+          if (record_trace) {
             report.trace.push_back(
                 {.kind = TraceEvent::Kind::kFault,
-                 .name = "straggler: " + graph_.task(tid).name,
-                 .resource = std::string(to_string(tm.proc)) + " pool",
+                 .name = "straggler: " + graph_.task(TaskId(pt.task)).name,
+                 .resource = std::string(to_string(pt.proc)) + " pool",
                  .iteration = iter,
                  .start_s = start,
                  .duration_s = inflation});
@@ -643,29 +725,33 @@ void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
           const double lost = fault_rng.uniform() * duration;
           ++report.faults.crashes;
           report.faults.lost_seconds += lost;
-          if (options_.record_trace) {
+          if (record_trace) {
             report.trace.push_back(
                 {.kind = TraceEvent::Kind::kFault,
-                 .name = "crash: " + graph_.task(tid).name,
-                 .resource = std::string(to_string(tm.proc)) + " pool",
+                 .name = "crash: " + graph_.task(TaskId(pt.task)).name,
+                 .resource = std::string(to_string(pt.proc)) + " pool",
                  .iteration = iter,
                  .start_s = start,
                  .duration_s = lost});
           }
           report.transient = true;
           report.failure = "transient crash in task " +
-                           graph_.task(tid).name + " (iteration " +
-                           std::to_string(iter) + ")";
+                           graph_.task(TaskId(pt.task)).name +
+                           " (iteration " + std::to_string(iter) + ")";
           report.total_seconds = std::max(makespan, start + lost);
+          report.energy_joules = energy;
+          report.intra_node_copy_bytes = intra_bytes;
+          report.inter_node_copy_bytes = inter_bytes;
+          report.events = events;
           return;
         }
       }
 
       const double finish = start + duration;
 
-      pool_busy[pk * 2] = finish;
-      if (c_dist) pool_busy[pk * 2 + 1] = finish;
-      finish_cur[ti] = finish;
+      clocks.set(0, pt.pool, finish);
+      if (pt.dist != 0) clocks.set(0, pt.pool + 1, finish);
+      finish_cur[pt.task] = finish;
       makespan = std::max(makespan, finish);
 
       // Incumbent-bounded abort: the makespan is the maximum task finish,
@@ -676,27 +762,31 @@ void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
         report.ok = true;
         report.censored = true;
         report.total_seconds = finish;
+        report.energy_joules = energy;
+        report.intra_node_copy_bytes = intra_bytes;
+        report.inter_node_copy_bytes = inter_bytes;
+        report.events = events;
         return;
       }
 
       // Energy: busy instances x busy time (per-instance power), across
       // the nodes the group occupies.
-      report.energy_joules += duration * energy_coeff_[di];
-      if (options_.record_trace) {
+      energy += duration * pt.energy_coeff;
+      if (record_trace) {
         report.trace.push_back(
             {.kind = TraceEvent::Kind::kTask,
-             .name = graph_.task(tid).name,
-             .resource = std::string(to_string(tm.proc)) + " pool",
+             .name = graph_.task(TaskId(pt.task)).name,
+             .resource = std::string(to_string(pt.proc)) + " pool",
              .iteration = iter,
              .start_s = start,
              .duration_s = duration});
       }
 
-      TaskReport& tr = report.tasks[ti];
-      tr.proc = tm.proc;
+      TaskReport& tr = report.tasks[pt.task];
+      tr.proc = pt.proc;
       tr.compute_seconds += duration;
       tr.copy_wait_seconds += std::max(0.0, ready - pool_free);
-      tr.launch_overhead_seconds += dur_launch_[di];
+      tr.launch_overhead_seconds += pt.launch;
       tr.runtime_overhead_seconds += runtime_overhead_;
     }
     std::swap(finish_prev, finish_cur);
@@ -709,10 +799,12 @@ void Simulator::simulate(const Mapping& mapping, std::uint64_t seed,
     tr.launch_overhead_seconds /= options_.iterations;
     tr.runtime_overhead_seconds /= options_.iterations;
   }
-  report.intra_node_copy_bytes /=
-      static_cast<std::uint64_t>(options_.iterations);
-  report.inter_node_copy_bytes /=
-      static_cast<std::uint64_t>(options_.iterations);
+  report.intra_node_copy_bytes =
+      intra_bytes / static_cast<std::uint64_t>(options_.iterations);
+  report.inter_node_copy_bytes =
+      inter_bytes / static_cast<std::uint64_t>(options_.iterations);
+  report.energy_joules = energy;
+  report.events = events;
 
   report.ok = true;
   report.total_seconds = makespan;
@@ -735,13 +827,26 @@ bool Simulator::begin_runs(const Mapping& mapping,
   resolve_memories(mapping, scratch);
   if (!scratch.resolve_ok_) {
     clear_report(scratch.report_, options_.iterations, options_.time_bound);
-    scratch.report_.failure = scratch.failure_;
+    // The resolve pass records only ids; the human-readable message is
+    // built here, on the (cold) failure path.
+    if (scratch.failure_kind_ == SimScratch::ResolveFailure::kOutOfMemory) {
+      const CollectionId cid(scratch.failure_collection_);
+      std::ostringstream os;
+      os << "out of memory: no memory kind in the priority list of task "
+         << graph_.task(TaskId(scratch.failure_task_)).name << " argument "
+         << graph_.collection(cid).name << " ("
+         << format_bytes(graph_.collection_bytes(cid))
+         << ") has capacity left";
+      scratch.report_.failure = os.str();
+    }
     return false;
   }
+  build_plan(mapping, scratch);
   return true;
 }
 
 void Simulator::count_run(const ExecutionReport& report) const {
+  if (events_total_) events_total_->inc(report.events);
   if (!runs_total_) return;
   runs_total_->inc();
   if (report.censored) {
@@ -758,6 +863,283 @@ const ExecutionReport& Simulator::run_prepared(const Mapping& mapping,
   simulate(mapping, seed, time_bound, scratch);
   count_run(scratch.report_);
   return scratch.report_;
+}
+
+std::span<const ExecutionReport> Simulator::run_repeats(
+    const Mapping& mapping, std::span<const std::uint64_t> seeds,
+    SimScratch& scratch, double time_bound) const {
+  // The plan from begin_runs carries every mapping-dependent quantity.
+  (void)mapping;
+  const std::size_t R = seeds.size();
+  scratch.lane_reports_.resize(R);
+  if (R == 0) return {};
+
+  const std::size_t num_tasks = graph_.num_tasks();
+  const FaultModel& faults = options_.faults;
+  const bool inject = faults.enabled();
+  const bool record_trace = options_.record_trace;
+  const double copy_noise_sigma = options_.noise_sigma * 0.5;
+
+  // Per-lane state. Lane r replays exactly the draw/clock sequence of a
+  // sequential run_prepared(seeds[r]): each lane owns its RNG streams and
+  // its row of resource clocks, and a lane that exits early (crash, bound
+  // crossing, memory pressure) is flagged done and skipped everywhere
+  // after, so it makes no further draws — just like its sequential run.
+  scratch.lane_rng_.resize(R);
+  scratch.lane_fault_rng_.resize(R);
+  scratch.lane_ready_.resize(R);
+  scratch.lane_arrival_.resize(R);
+  scratch.lane_makespan_.assign(R, 0.0);
+  scratch.lane_done_.assign(R, 0);
+  scratch.clocks_.reset(R, kNumResClocks);
+  // Finish times laid out [task][lane] so the lane-inner loops stream a
+  // contiguous row per producer. Never read before written per live lane
+  // (topological order; cross-iteration edges skip iteration 0).
+  scratch.lane_finish_a_.resize(num_tasks * R);
+  scratch.lane_finish_b_.resize(num_tasks * R);
+  double* fin_prev = scratch.lane_finish_a_.data();
+  double* fin_cur = scratch.lane_finish_b_.data();
+
+  std::size_t live = R;
+  for (std::size_t r = 0; r < R; ++r) {
+    ExecutionReport& rep = scratch.lane_reports_[r];
+    clear_report(rep, options_.iterations, time_bound);
+    rep.footprints = scratch.footprints_;
+    rep.demoted_args = scratch.demoted_args_;
+    rep.tasks.resize(num_tasks);
+    for (std::size_t i = 0; i < num_tasks; ++i)
+      rep.tasks[i] = TaskReport{.task = TaskId(i)};
+    if (record_trace) rep.trace.reserve(trace_reserve_);
+
+    scratch.lane_rng_[r] = Rng(mix64(seeds[r]) ^ scratch.plan_hash_);
+    scratch.lane_fault_rng_[r] =
+        Rng(inject ? (mix64(seeds[r] ^ kFaultSalt) ^ scratch.plan_hash_) : 0);
+
+    // Transient memory pressure (see simulate()): a per-run pre-pass.
+    if (inject && faults.mem_pressure_prob > 0.0 &&
+        scratch.lane_fault_rng_[r].bernoulli(faults.mem_pressure_prob)) {
+      ++rep.faults.mem_pressure;
+      for (const MemoryFootprint& fp : scratch.footprints_) {
+        const double usable = faults.mem_pressure_headroom *
+                              static_cast<double>(fp.capacity_bytes);
+        if (static_cast<double>(fp.peak_instance_bytes) > usable) {
+          std::ostringstream os;
+          os << "transient memory pressure: " << to_string(fp.kind)
+             << " peak " << format_bytes(fp.peak_instance_bytes)
+             << " exceeds reduced " << "capacity "
+             << format_bytes(static_cast<std::uint64_t>(usable));
+          rep.failure = os.str();
+          rep.transient = true;
+          scratch.lane_done_[r] = 1;
+          --live;
+          break;
+        }
+      }
+    }
+  }
+
+  const SimScratch::PlanTask* const tasks = scratch.plan_tasks_.data();
+  const SimScratch::PlanEdge* const edges = scratch.plan_edges_.data();
+  const SimScratch::PlanLeg* const legs = scratch.plan_legs_.data();
+  const std::size_t num_rows = scratch.plan_tasks_.size();
+  double* const ready = scratch.lane_ready_.data();
+  double* const arrival = scratch.lane_arrival_.data();
+  std::uint8_t* const done = scratch.lane_done_.data();
+
+  for (int iter = 0; live > 0 && iter < options_.iterations; ++iter) {
+    for (std::size_t row = 0; live > 0 && row < num_rows; ++row) {
+      const SimScratch::PlanTask& pt = tasks[row];
+
+      // 1. Data arrival per lane: producers' finish plus inferred copies.
+      for (std::size_t r = 0; r < R; ++r) ready[r] = 0.0;
+      for (std::uint32_t ei = pt.edge_begin; ei < pt.edge_end; ++ei) {
+        const SimScratch::PlanEdge& e = edges[ei];
+        if (e.cross_iteration != 0 && iter == 0)
+          continue;  // initial data is in place
+        const double* const prod =
+            (e.cross_iteration != 0 ? fin_prev : fin_cur) + e.producer * R;
+        for (std::size_t r = 0; r < R; ++r) arrival[r] = prod[r];
+
+        for (std::uint32_t li = e.leg_begin; li < e.leg_end; ++li) {
+          const SimScratch::PlanLeg& leg = legs[li];
+          if (leg.resource == kMissingChannel && live > 0) {
+            // Raises the standard missing-channel error.
+            (void)machine_.channel(static_cast<MemKind>(leg.src),
+                                   static_cast<MemKind>(leg.dst),
+                                   leg.inter != 0);
+          }
+          for (std::size_t r = 0; r < R; ++r) {
+            if (done[r] != 0) continue;
+            ExecutionReport& rep = scratch.lane_reports_[r];
+            double elapsed = leg.elapsed;
+            if (copy_noise_sigma > 0.0)
+              elapsed *=
+                  scratch.lane_rng_[r].lognormal_factor(copy_noise_sigma);
+            bool copy_faulted = false;
+            if (inject && faults.copy_fault_prob > 0.0 &&
+                scratch.lane_fault_rng_[r].bernoulli(
+                    faults.copy_fault_prob)) {
+              copy_faulted = true;
+              ++rep.faults.copy_retries;
+              rep.faults.lost_seconds += elapsed;
+              elapsed *= 2.0;
+            }
+            const double start =
+                scratch.clocks_.acquire(r, leg.resource, arrival[r], elapsed);
+            arrival[r] = start + elapsed;
+            ++rep.events;
+            if (record_trace) {
+              rep.trace.push_back({.kind = TraceEvent::Kind::kCopy,
+                                   .name = scratch.leg_names_[li],
+                                   .resource = scratch.leg_resources_[li],
+                                   .iteration = iter,
+                                   .start_s = start,
+                                   .duration_s = elapsed,
+                                   .bytes = leg.bytes_u64});
+              if (copy_faulted) {
+                rep.trace.push_back(
+                    {.kind = TraceEvent::Kind::kFault,
+                     .name = "copy fault: " + scratch.leg_names_[li],
+                     .resource = scratch.leg_resources_[li],
+                     .iteration = iter,
+                     .start_s = start,
+                     .duration_s = elapsed * 0.5});
+              }
+            }
+            if (leg.inter != 0) {
+              rep.inter_node_copy_bytes += leg.bytes_u64;
+            } else {
+              rep.intra_node_copy_bytes += leg.bytes_u64;
+            }
+            rep.energy_joules += leg.energy;
+          }
+        }
+        for (std::size_t r = 0; r < R; ++r)
+          if (done[r] == 0) ready[r] = std::max(ready[r], arrival[r]);
+      }
+
+      // 2. Pool availability, duration, faults, commit — per lane.
+      for (std::size_t r = 0; r < R; ++r) {
+        if (done[r] != 0) continue;
+        ExecutionReport& rep = scratch.lane_reports_[r];
+        const double lead = scratch.clocks_.busy_until(r, pt.pool);
+        const double pool_free =
+            pt.dist != 0
+                ? std::max(lead, scratch.clocks_.busy_until(r, pt.pool + 1))
+                : lead;
+        const double start = std::max(ready[r], pool_free);
+        double duration = pt.base_dur;
+        if (options_.noise_sigma > 0.0)
+          duration *=
+              scratch.lane_rng_[r].lognormal_factor(options_.noise_sigma);
+        ++rep.events;
+
+        if (inject) {
+          if (faults.straggler_prob > 0.0 &&
+              scratch.lane_fault_rng_[r].bernoulli(faults.straggler_prob)) {
+            const double inflation =
+                duration * (faults.straggler_factor - 1.0);
+            duration += inflation;
+            ++rep.faults.stragglers;
+            rep.faults.lost_seconds += inflation;
+            if (record_trace) {
+              rep.trace.push_back(
+                  {.kind = TraceEvent::Kind::kFault,
+                   .name = "straggler: " + graph_.task(TaskId(pt.task)).name,
+                   .resource = std::string(to_string(pt.proc)) + " pool",
+                   .iteration = iter,
+                   .start_s = start,
+                   .duration_s = inflation});
+            }
+          }
+          if (faults.crash_prob > 0.0 &&
+              scratch.lane_fault_rng_[r].bernoulli(faults.crash_prob)) {
+            const double lost =
+                scratch.lane_fault_rng_[r].uniform() * duration;
+            ++rep.faults.crashes;
+            rep.faults.lost_seconds += lost;
+            if (record_trace) {
+              rep.trace.push_back(
+                  {.kind = TraceEvent::Kind::kFault,
+                   .name = "crash: " + graph_.task(TaskId(pt.task)).name,
+                   .resource = std::string(to_string(pt.proc)) + " pool",
+                   .iteration = iter,
+                   .start_s = start,
+                   .duration_s = lost});
+            }
+            rep.transient = true;
+            rep.failure = "transient crash in task " +
+                          graph_.task(TaskId(pt.task)).name +
+                          " (iteration " + std::to_string(iter) + ")";
+            rep.total_seconds =
+                std::max(scratch.lane_makespan_[r], start + lost);
+            done[r] = 1;
+            --live;
+            continue;
+          }
+        }
+
+        const double finish = start + duration;
+        scratch.clocks_.set(r, pt.pool, finish);
+        if (pt.dist != 0) scratch.clocks_.set(r, pt.pool + 1, finish);
+        fin_cur[pt.task * R + r] = finish;
+        scratch.lane_makespan_[r] =
+            std::max(scratch.lane_makespan_[r], finish);
+
+        if (finish > time_bound) {
+          // Censored exactly like the sequential run: the partial report
+          // keeps whatever accumulated so far and the lane stops drawing.
+          rep.ok = true;
+          rep.censored = true;
+          rep.total_seconds = finish;
+          done[r] = 1;
+          --live;
+          continue;
+        }
+
+        rep.energy_joules += duration * pt.energy_coeff;
+        if (record_trace) {
+          rep.trace.push_back(
+              {.kind = TraceEvent::Kind::kTask,
+               .name = graph_.task(TaskId(pt.task)).name,
+               .resource = std::string(to_string(pt.proc)) + " pool",
+               .iteration = iter,
+               .start_s = start,
+               .duration_s = duration});
+        }
+
+        TaskReport& tr = rep.tasks[pt.task];
+        tr.proc = pt.proc;
+        tr.compute_seconds += duration;
+        tr.copy_wait_seconds += std::max(0.0, ready[r] - pool_free);
+        tr.launch_overhead_seconds += pt.launch;
+        tr.runtime_overhead_seconds += runtime_overhead_;
+      }
+    }
+    std::swap(fin_prev, fin_cur);
+  }
+
+  for (std::size_t r = 0; r < R; ++r) {
+    ExecutionReport& rep = scratch.lane_reports_[r];
+    if (done[r] == 0) {
+      // Lane ran to completion: per-iteration averages and totals, exactly
+      // as the sequential run finalizes.
+      for (auto& tr : rep.tasks) {
+        tr.compute_seconds /= options_.iterations;
+        tr.copy_wait_seconds /= options_.iterations;
+        tr.launch_overhead_seconds /= options_.iterations;
+        tr.runtime_overhead_seconds /= options_.iterations;
+      }
+      rep.intra_node_copy_bytes /=
+          static_cast<std::uint64_t>(options_.iterations);
+      rep.inter_node_copy_bytes /=
+          static_cast<std::uint64_t>(options_.iterations);
+      rep.ok = true;
+      rep.total_seconds = scratch.lane_makespan_[r];
+    }
+    count_run(rep);
+  }
+  return {scratch.lane_reports_.data(), R};
 }
 
 const ExecutionReport& Simulator::run(const Mapping& mapping,

@@ -38,11 +38,13 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/machine/machine.hpp"
 #include "src/mapping/mapping.hpp"
+#include "src/sim/ready_wheel.hpp"
 #include "src/sim/report.hpp"
 #include "src/support/rng.hpp"
 #include "src/taskgraph/task_graph.hpp"
@@ -125,6 +127,13 @@ class SimScratch {
   SimScratch(SimScratch&&) = default;
   SimScratch& operator=(SimScratch&&) = default;
 
+  /// Reusable caller-side buffer for Simulator::run_repeats seed spans —
+  /// lives in the arena so steady-state multi-repeat evaluation allocates
+  /// nothing (the evaluator fills it per candidate and passes it back in).
+  [[nodiscard]] std::vector<std::uint64_t>& seed_buffer() {
+    return seed_buffer_;
+  }
+
  private:
   friend class Simulator;
 
@@ -133,21 +142,97 @@ class SimScratch {
     bool demoted = false;
   };
 
+  // --- Execution plan, built by Simulator::begin_runs: every mapping-
+  // dependent quantity of the event loop (durations with resolved memory
+  // access folded in, copy legs with precomputed elapsed times and flat
+  // resource-clock ids), laid out as parallel flat arrays in topo_order_
+  // visit order. The per-repeat pass then streams through these rows and
+  // never touches the Mapping, the TaskGraph or the lookup tables again.
+
+  /// One task row, in topo visit order.
+  struct PlanTask {
+    std::uint32_t task = 0;        // task index (report/finish slot)
+    std::uint32_t edge_begin = 0;  // [edge_begin, edge_end) into plan_edges_
+    std::uint32_t edge_end = 0;
+    /// Pre-noise duration: runtime overhead + wave compute + resolved
+    /// memory-access time, summed in the exact order the event loop
+    /// historically used (bit-identical doubles).
+    double base_dur = 0.0;
+    double launch = 0.0;        // launch-overhead share of base_dur
+    double energy_coeff = 0.0;  // energy per busy-second
+    std::uint32_t pool = 0;     // leader-node pool clock (ResourceClocks id)
+    std::uint8_t dist = 0;      // occupies every node (second pool clock)
+    ProcKind proc = ProcKind::kCpu;
+  };
+  /// One incoming edge row; legs are contiguous in plan_legs_. An ordering
+  /// (no-data) edge is simply an edge with zero legs.
+  struct PlanEdge {
+    std::uint32_t producer = 0;
+    std::uint32_t leg_begin = 0;
+    std::uint32_t leg_end = 0;
+    std::uint8_t cross_iteration = 0;
+  };
+  /// One copy leg row: elapsed time and byte/energy charges precomputed,
+  /// channel resolved to a flat resource-clock id.
+  struct PlanLeg {
+    double elapsed = 0.0;  // pre-noise channel time
+    double bytes = 0.0;
+    double energy = 0.0;  // per-byte copy energy charge
+    std::uint64_t bytes_u64 = 0;
+    /// ResourceClocks id, or Simulator::kMissingChannel when the machine
+    /// lacks the channel — raised lazily at execution time, because a leg
+    /// on a cross-iteration edge may never execute.
+    std::uint32_t resource = 0;
+    std::uint8_t inter = 0;
+    std::uint8_t src = 0;  // MemKind indices, for traces and errors
+    std::uint8_t dst = 0;
+  };
+
   /// Identity of the simulator the buffers are currently sized for.
   const Simulator* prepared_for_ = nullptr;
 
   // Memory-resolution state (valid between resolve and the runs using it).
+  // Failures are recorded as an enum plus the offending ids; the message
+  // string is built lazily by begin_runs so the resolve pass itself stays
+  // allocation-free.
+  enum class ResolveFailure : std::uint8_t { kNone, kOutOfMemory };
   bool resolve_ok_ = false;
   int demoted_args_ = 0;
-  std::string failure_;
+  ResolveFailure failure_kind_ = ResolveFailure::kNone;
+  std::uint32_t failure_task_ = 0;
+  std::uint32_t failure_collection_ = 0;
   std::vector<ResolvedArg> resolved_;       // flat, Simulator::arg_off_
   std::vector<MemoryFootprint> footprints_;
   std::vector<std::uint64_t> used_;         // [node][mem kind]
   std::vector<std::uint8_t> instantiated_;  // [collection][kind][distributed]
 
+  // The plan (see above), rebuilt by each begin_runs.
+  std::vector<PlanTask> plan_tasks_;
+  std::vector<PlanEdge> plan_edges_;
+  std::vector<PlanLeg> plan_legs_;
+  /// Precomputed trace strings per leg (record_trace only; empty otherwise).
+  std::vector<std::string> leg_names_;
+  std::vector<std::string> leg_resources_;
+  /// mapping.hash() cached at begin_runs — every run's RNG seeding reuses it.
+  std::uint64_t plan_hash_ = 0;
+
   // Event-loop state.
+  ResourceClocks clocks_;
   std::vector<double> finish_prev_;
   std::vector<double> finish_cur_;
+
+  // Interleaved multi-repeat lane state (run_repeats). Finish arrays are
+  // [task][lane] so the lane-inner loops stream contiguously.
+  std::vector<double> lane_finish_a_;
+  std::vector<double> lane_finish_b_;
+  std::vector<double> lane_ready_;
+  std::vector<double> lane_arrival_;
+  std::vector<double> lane_makespan_;
+  std::vector<Rng> lane_rng_;
+  std::vector<Rng> lane_fault_rng_;
+  std::vector<std::uint8_t> lane_done_;
+  std::vector<ExecutionReport> lane_reports_;
+  std::vector<std::uint64_t> seed_buffer_;
 
   ExecutionReport report_;
 };
@@ -199,6 +284,22 @@ class Simulator {
                                       std::uint64_t seed, SimScratch& scratch,
                                       double time_bound) const;
 
+  /// Batch-interleaved multi-repeat simulation: simulates one run per seed
+  /// in a *single* pass over the task graph — one traversal of the
+  /// precomputed plan with seeds.size() parallel clock lanes, instead of
+  /// re-walking the graph per repeat. Each lane r is bit-identical to
+  /// run_prepared(mapping, seeds[r], scratch, time_bound): per-lane RNG
+  /// streams draw in the same order, per-lane resource clocks evolve
+  /// identically, and a lane that crosses the bound (or crashes under fault
+  /// injection) terminates exactly where its sequential run would, making
+  /// no further draws. Requires a successful begin_runs(mapping, scratch);
+  /// the returned span (one report per seed, in seed order) stays valid
+  /// until the next run on the same arena.
+  std::span<const ExecutionReport> run_repeats(
+      const Mapping& mapping, std::span<const std::uint64_t> seeds,
+      SimScratch& scratch,
+      double time_bound = std::numeric_limits<double>::infinity()) const;
+
   /// Convenience: runs `repeats` times with derived seeds and returns the
   /// mean total time, or infinity if any run fails (OOM). Memory resolution
   /// is noise-independent, so it is performed once and shared by all
@@ -239,13 +340,33 @@ class Simulator {
     bool present = false;
   };
 
+  // Flat resource-clock id space (ResourceClocks): two pool clocks per
+  // processor kind (leader node / other nodes), one clock per intra-node
+  // (src, dst) channel, and the shared network serialization point.
+  static constexpr std::uint32_t kPoolClockBase = 0;
+  static constexpr std::uint32_t kChanClockBase =
+      kPoolClockBase + kNumProcKinds * 2;
+  static constexpr std::uint32_t kNetClock =
+      kChanClockBase + kNumMemKinds * kNumMemKinds;
+  static constexpr std::uint32_t kNumResClocks = kNetClock + 1;
+  /// PlanLeg::resource sentinel: the machine lacks the leg's channel; the
+  /// standard missing-channel error is raised if the leg ever executes.
+  static constexpr std::uint32_t kMissingChannel = 0xffffffffu;
+
   /// Allocation pass: picks a concrete memory kind per argument from its
   /// priority list under per-instance capacity accounting. Fills the
   /// resolution state of `scratch`.
   void resolve_memories(const Mapping& mapping, SimScratch& scratch) const;
 
-  /// The event loop proper: one simulated run against the resolution held
-  /// in `scratch`. Fills scratch.report_.
+  /// Builds the scratch-held execution plan (SimScratch::PlanTask/PlanEdge/
+  /// PlanLeg) for a resolved mapping: one row per task/edge/copy-leg in
+  /// topo visit order, every duration and channel time precomputed with the
+  /// exact operation order of the historical event loop (bit-identical
+  /// doubles). Called by begin_runs after resolve_memories succeeds.
+  void build_plan(const Mapping& mapping, SimScratch& scratch) const;
+
+  /// The event loop proper: one simulated run against the plan held in
+  /// `scratch`. Fills scratch.report_.
   void simulate(const Mapping& mapping, std::uint64_t seed,
                 double time_bound, SimScratch& scratch) const;
 
@@ -308,6 +429,7 @@ class Simulator {
   Counter* runs_total_ = nullptr;
   Counter* runs_censored_ = nullptr;
   Counter* runs_failed_ = nullptr;
+  Counter* events_total_ = nullptr;
 };
 
 }  // namespace automap

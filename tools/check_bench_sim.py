@@ -5,16 +5,20 @@ Usage: check_bench_sim.py BASELINE.json CURRENT.json [MAX_SLOWDOWN]
 
 Both files are google-benchmark JSON exports (--benchmark_out_format=json).
 For every benchmark present in the baseline, the current per-iteration
-real_time must not exceed MAX_SLOWDOWN (default 2.0) times the baseline
-value. The wide margin absorbs hardware differences between the machine
-that recorded the baseline and the CI runner; a genuine fast-path
-regression (lost precomputation, per-run allocation creep) overshoots it.
+real_time must not exceed MAX_SLOWDOWN (default 1.3) times the baseline
+value. The margin absorbs run-to-run noise on comparable hardware; a
+genuine fast-path regression (lost precomputation, per-run allocation
+creep) overshoots it. On CI hosts whose hardware differs materially from
+the machine that recorded the baseline, loosen the gate with the
+BENCH_SIM_MAX_SLOWDOWN environment variable (the positional argument, when
+given, takes precedence).
 
 Exit code 0 when every benchmark passes, 1 on any regression or missing
 benchmark.
 """
 
 import json
+import os
 import sys
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -38,7 +42,10 @@ def main(argv):
         return 2
     baseline = load(argv[1])
     current = load(argv[2])
-    max_slowdown = float(argv[3]) if len(argv) > 3 else 2.0
+    if len(argv) > 3:
+        max_slowdown = float(argv[3])
+    else:
+        max_slowdown = float(os.environ.get("BENCH_SIM_MAX_SLOWDOWN", "1.3"))
 
     if not baseline:
         print(f"error: no benchmarks in baseline {argv[1]}")

@@ -18,6 +18,7 @@
 #include "src/runtime/mapper.hpp"
 #include "src/search/algorithms.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/support/durable.hpp"
 #include "src/support/error.hpp"
 #include "src/support/format.hpp"
 #include "src/support/metrics.hpp"
@@ -119,7 +120,16 @@ int cmd_search(const Args& args) {
   }
 
   if (!resume_path.empty()) {
-    options.resume_state = load_text(resume_path);
+    // Checkpoints carry a checksum trailer; verify before resuming so a
+    // torn file (crash mid-write, partial copy) fails with one clear line
+    // instead of a confusing parse error deep in the search.
+    DurableLoad checkpoint = load_checksummed(resume_path);
+    AM_REQUIRE(checkpoint.status != DurableLoad::Status::kMissing,
+               "no checkpoint at " + resume_path);
+    AM_REQUIRE(checkpoint.status == DurableLoad::Status::kOk,
+               "checkpoint " + resume_path +
+                   " is torn or corrupt (checksum trailer mismatch)");
+    options.resume_state = std::move(checkpoint.payload);
     std::cout << "resuming from checkpoint " << resume_path << "\n";
   }
 

@@ -1,5 +1,6 @@
 #include "src/cli/service_commands.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include "src/service/service.hpp"
 #include "src/service/wire.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/support/crash_points.hpp"
 #include "src/support/error.hpp"
 #include "src/support/json.hpp"
 
@@ -47,9 +49,17 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(args.u64_or("--max-result-cache", 0));
   config.max_eval_cache =
       static_cast<std::size_t>(args.u64_or("--max-eval-cache", 0));
+  config.max_queued_jobs =
+      static_cast<std::size_t>(args.u64_or("--max-queued-jobs", 0));
+  config.max_inflight =
+      static_cast<std::size_t>(args.u64_or("--max-inflight", 0));
+
+  ServerConfig server_config;
+  server_config.io_timeout_ms = args.int_or("--io-timeout-ms", 10000);
+  server_config.idle_timeout_ms = args.int_or("--idle-timeout-ms", 60000);
 
   MappingService service(config);
-  ServiceServer server(service, socket_path);
+  ServiceServer server(service, socket_path, server_config);
   g_server = &server;
   std::signal(SIGINT, stop_on_signal);
   std::signal(SIGTERM, stop_on_signal);
@@ -64,11 +74,24 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
-/// One request/response round trip; a `{"type":"error",...}` response
-/// becomes the usual one-line Error diagnostic.
-JsonValue call(const std::string& socket_path, const std::string& request) {
+/// The deterministic client retry policy from the shared --retry* flags.
+/// --retries counts *extra* attempts, so the default 0 keeps the old
+/// fail-fast behavior.
+RetryPolicy retry_policy_from_args(const Args& args) {
+  RetryPolicy policy;
+  policy.max_attempts = std::max(1, args.int_or("--retries", 0) + 1);
+  policy.base_ms = args.int_or("--retry-base-ms", 50);
+  policy.cap_ms = args.int_or("--retry-cap-ms", 2000);
+  policy.seed = args.u64_or("--retry-seed", 1);
+  return policy;
+}
+
+/// One request/response round trip (with the policy's retries); a
+/// `{"type":"error",...}` response becomes the one-line Error diagnostic.
+JsonValue call(const std::string& socket_path, const RetryPolicy& retry,
+               const std::string& request) {
   const ServiceClient client(socket_path);
-  JsonValue response = parse_json(client.call(request));
+  JsonValue response = parse_json(client.call_with_retry(request, retry));
   if (response.str_or("type", "") == "error")
     throw Error(response.str_or("message", "request failed") + " [" +
                 response.str_or("code", "error") + "]");
@@ -84,10 +107,10 @@ std::string job_id_arg(const Args& args, const std::string& action) {
 
 /// Fetches and prints a completed job: the summary line and mapping bytes
 /// are exactly what the one-shot `search` command would have produced.
-int print_result(const std::string& socket_path, const std::string& id,
-                 const Args& args) {
+int print_result(const std::string& socket_path, const RetryPolicy& retry,
+                 const std::string& id, const Args& args) {
   const JsonValue result =
-      call(socket_path, "{\"op\":\"result\",\"job\":" + id + "}");
+      call(socket_path, retry, "{\"op\":\"result\",\"job\":" + id + "}");
   std::cout << result.str_or("summary", "") << "\n\n"
             << result.str_or("describe", "");
   const std::string out_path = args.value_or("-o");
@@ -98,22 +121,24 @@ int print_result(const std::string& socket_path, const std::string& id,
   return 0;
 }
 
-int wait_for_result(const std::string& socket_path, const std::string& id,
+int wait_for_result(const std::string& socket_path,
+                    const RetryPolicy& retry, const std::string& id,
                     const Args& args) {
   const int poll_ms = args.int_or("--poll-ms", 100);
   for (;;) {
     const JsonValue status =
-        call(socket_path, "{\"op\":\"status\",\"job\":" + id + "}");
+        call(socket_path, retry, "{\"op\":\"status\",\"job\":" + id + "}");
     const std::string state = status.str_or("status", "");
     // On failure/cancellation the result op renders the reason as the
     // one-line error diagnostic (print_result throws).
     if (state == "done" || state == "failed" || state == "cancelled") break;
     std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
   }
-  return print_result(socket_path, id, args);
+  return print_result(socket_path, retry, id, args);
 }
 
-int client_submit(const Args& args, const std::string& socket_path) {
+int client_submit(const Args& args, const std::string& socket_path,
+                  const RetryPolicy& retry) {
   AM_REQUIRE(args.positional().size() == 3,
              "client submit needs <machine> <graph>");
   const std::string machine_text = load_text(args.pos(1));
@@ -139,22 +164,26 @@ int client_submit(const Args& args, const std::string& socket_path) {
   request += args.has("--journal") ? "true" : "false";
   request += ",\"reuse_measurements\":";
   request += args.has("--reuse") ? "true" : "false";
+  if (const int deadline_ms = args.int_or("--deadline-ms", 0);
+      deadline_ms > 0)
+    request += ",\"deadline_ms\":" + std::to_string(deadline_ms);
   request += "}";
 
-  const JsonValue response = call(socket_path, request);
+  const JsonValue response = call(socket_path, retry, request);
   const std::string id =
       std::to_string(static_cast<std::uint64_t>(response.num_or("job", 0)));
   std::cout << "job " << id << " " << response.str_or("status", "?")
             << (response.bool_or("cached", false) ? " (cached)" : "")
             << "\n";
   if (!args.has("--wait")) return 0;
-  return wait_for_result(socket_path, id, args);
+  return wait_for_result(socket_path, retry, id, args);
 }
 
-int client_journal(const std::string& socket_path, const std::string& id,
+int client_journal(const std::string& socket_path,
+                   const RetryPolicy& retry, const std::string& id,
                    const Args& args) {
   const JsonValue response =
-      call(socket_path,
+      call(socket_path, retry,
            "{\"op\":\"journal\",\"job\":" + id + ",\"after\":" +
                std::to_string(args.int_or("--after", -1)) + "}");
   // Events arrive as the journal's exact JSONL lines; printing one per
@@ -165,8 +194,8 @@ int client_journal(const std::string& socket_path, const std::string& id,
   return 0;
 }
 
-int client_jobs(const std::string& socket_path) {
-  const JsonValue response = call(socket_path, "{\"op\":\"jobs\"}");
+int client_jobs(const std::string& socket_path, const RetryPolicy& retry) {
+  const JsonValue response = call(socket_path, retry, "{\"op\":\"jobs\"}");
   const JsonValue* jobs = response.find("jobs");
   if (jobs == nullptr || jobs->array.empty()) {
     std::cout << "no jobs\n";
@@ -184,51 +213,65 @@ int client_jobs(const std::string& socket_path) {
 int cmd_client(const Args& args) {
   const std::string socket_path = args.value_or("--socket");
   AM_REQUIRE(!socket_path.empty(), "client needs --socket PATH");
+  const RetryPolicy retry = retry_policy_from_args(args);
   const std::string& action = args.pos(0);
 
   if (action == "ping") {
-    const JsonValue response = call(socket_path, "{\"op\":\"ping\"}");
+    const JsonValue response = call(socket_path, retry, "{\"op\":\"ping\"}");
     std::cout << "pong (wire version "
               << static_cast<int>(response.num_or("version", 0)) << ")\n";
     return 0;
   }
-  if (action == "submit") return client_submit(args, socket_path);
+  if (action == "submit") return client_submit(args, socket_path, retry);
   if (action == "status") {
     const std::string id = job_id_arg(args, action);
     const JsonValue response =
-        call(socket_path, "{\"op\":\"status\",\"job\":" + id + "}");
+        call(socket_path, retry, "{\"op\":\"status\",\"job\":" + id + "}");
     std::cout << "job " << id << " " << response.str_or("status", "?");
+    const std::string reason = response.str_or("reason", "");
+    if (!reason.empty()) std::cout << " (" << reason << ")";
     const std::string message = response.str_or("message", "");
     if (!message.empty()) std::cout << ": " << message;
     std::cout << "\n";
     return 0;
   }
   if (action == "result")
-    return print_result(socket_path, job_id_arg(args, action), args);
+    return print_result(socket_path, retry, job_id_arg(args, action), args);
   if (action == "wait")
-    return wait_for_result(socket_path, job_id_arg(args, action), args);
+    return wait_for_result(socket_path, retry, job_id_arg(args, action),
+                           args);
   if (action == "journal")
-    return client_journal(socket_path, job_id_arg(args, action), args);
+    return client_journal(socket_path, retry, job_id_arg(args, action),
+                          args);
   if (action == "cancel") {
     const std::string id = job_id_arg(args, action);
-    call(socket_path, "{\"op\":\"cancel\",\"job\":" + id + "}");
+    call(socket_path, retry, "{\"op\":\"cancel\",\"job\":" + id + "}");
     std::cout << "cancelled job " << id << "\n";
     return 0;
   }
-  if (action == "jobs") return client_jobs(socket_path);
+  if (action == "jobs") return client_jobs(socket_path, retry);
   if (action == "stats") {
-    const JsonValue response = call(socket_path, "{\"op\":\"stats\"}");
+    const JsonValue response = call(socket_path, retry, "{\"op\":\"stats\"}");
     std::cout << response.str_or("metrics", "");
     return 0;
   }
   if (action == "shutdown") {
-    call(socket_path, "{\"op\":\"shutdown\"}");
+    call(socket_path, retry, "{\"op\":\"shutdown\"}");
     std::cout << "shutdown requested\n";
     return 0;
   }
   throw Error("unknown client action '" + action +
               "' (expected ping|submit|status|result|wait|journal|cancel|"
               "jobs|stats|shutdown)");
+}
+
+/// Enumerates the crash-point registry, one name per line — the chaos
+/// harness (tools/chaos_soak.py) drives its kill matrix off this list so
+/// it never goes stale against the code.
+int cmd_crash_points(const Args&) {
+  for (const std::string& name : crash_point_names())
+    std::cout << name << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -255,7 +298,19 @@ void register_service_commands(CommandRegistry& registry) {
                   "(default 0 = unbounded)"},
                  {"--max-eval-cache", "N",
                   "max cross-job profiles-db buckets kept under cache/ "
-                  "(default 0 = unbounded)"}},
+                  "(default 0 = unbounded)"},
+                 {"--max-queued-jobs", "N",
+                  "admission cap on queued jobs; excess submits get a "
+                  "structured `overloaded` error (default 0 = unbounded)"},
+                 {"--max-inflight", "N",
+                  "admission cap on queued+running jobs (default 0 = "
+                  "unbounded)"},
+                 {"--io-timeout-ms", "MS",
+                  "per-frame I/O deadline; a slower peer is dropped "
+                  "(default 10000, 0 = unbounded)"},
+                 {"--idle-timeout-ms", "MS",
+                  "idle-connection reap deadline between frames "
+                  "(default 60000, 0 = unbounded)"}},
        .run = cmd_serve});
 
   std::vector<FlagSpec> client_flags = {
@@ -270,6 +325,16 @@ void register_service_commands(CommandRegistry& registry) {
                           "(default 100)"},
       {"-o", "FILE", "result / --wait: write the best mapping"},
       {"--after", "N", "journal: only events with n > N (default -1: all)"},
+      {"--deadline-ms", "MS", "submit: cancel the job (reason `deadline`) "
+                              "if not done within MS; resubmitting resumes "
+                              "from its checkpoint"},
+      {"--retries", "N", "extra attempts on connect failure or an "
+                         "`overloaded` answer (default 0: fail fast)"},
+      {"--retry-base-ms", "MS", "first full-jitter backoff ceiling "
+                                "(default 50; doubles per attempt)"},
+      {"--retry-cap-ms", "MS", "max single backoff delay (default 2000)"},
+      {"--retry-seed", "N", "retry-jitter RNG seed (default 1; a fixed "
+                            "seed replays a fixed schedule)"},
   };
   const std::vector<FlagSpec> search_flags = search_option_flags();
   client_flags.insert(client_flags.end(), search_flags.begin(),
@@ -283,6 +348,16 @@ void register_service_commands(CommandRegistry& registry) {
        .max_positional = 3,
        .flags = std::move(client_flags),
        .run = cmd_client});
+
+  registry.add(
+      {.name = "crash-points",
+       .positionals = "",
+       .summary = "list the store-write crash points AUTOMAP_CRASH_POINT "
+                  "accepts (chaos-testing hooks)",
+       .min_positional = 0,
+       .max_positional = 0,
+       .flags = {},
+       .run = cmd_crash_points});
 }
 
 }  // namespace automap::cli

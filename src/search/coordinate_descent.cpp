@@ -12,6 +12,7 @@
 
 #include "src/io/text_io.hpp"
 #include "src/report/journal.hpp"
+#include "src/support/durable.hpp"
 #include "src/support/error.hpp"
 #include "src/support/json.hpp"
 #include "src/support/metrics.hpp"
@@ -472,10 +473,12 @@ struct ResumePoint {
   std::string evaluator_state;
 };
 
-/// Atomically publishes a checkpoint: rotation/position cursor, the
+/// Durably publishes a checkpoint: rotation/position cursor, the
 /// rotation's coordinate order (mid-rotation), the incumbent mapping, and
-/// the evaluator's full state. Write-to-temp + rename keeps the previous
-/// checkpoint intact if the process dies mid-write.
+/// the evaluator's full state. save_checksummed gives write-temp + fsync
+/// + rename + dir fsync (the previous checkpoint survives a mid-write
+/// death, even across power loss) and appends the checksum trailer that
+/// lets a resuming reader tell a torn checkpoint from a complete one.
 void write_checkpoint(const std::string& path, const char* algorithm,
                       int rotation, std::size_t position, double best_before,
                       double incumbent_mean,
@@ -495,10 +498,7 @@ void write_checkpoint(const std::string& path, const char* algorithm,
   os << "\n";
   os << f.serialize();
   os << eval.serialize_state();
-  const std::string tmp = path + ".tmp";
-  save_text(tmp, os.str());
-  AM_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
-           "failed to publish checkpoint file '" + path + "'");
+  save_checksummed(path, os.str(), "checkpoint");
 }
 
 /// Parses a checkpoint produced by write_checkpoint. The mapping is parsed

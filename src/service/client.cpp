@@ -4,11 +4,15 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/service/wire.hpp"
 #include "src/support/error.hpp"
+#include "src/support/json.hpp"
 
 namespace automap {
 
@@ -44,8 +48,9 @@ std::string ServiceClient::call(const std::string& request_json) const {
                 sizeof(addr)) != 0) {
     const std::string reason = std::strerror(errno);
     ::close(fd);
-    throw Error("cannot connect to " + socket_path_ + ": " + reason +
-                " (is the daemon running? start with: automap_cli serve)");
+    throw Unreachable(
+        "cannot connect to " + socket_path_ + ": " + reason +
+        " (is the daemon running? start with: automap_cli serve)");
   }
 
   try {
@@ -72,6 +77,70 @@ std::string ServiceClient::call(const std::string& request_json) const {
   } catch (...) {
     ::close(fd);
     throw;
+  }
+}
+
+namespace {
+
+/// splitmix64 step — small, seedable, and good enough for jitter.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// True for an `{"type":"error","code":"overloaded",...}` response;
+/// copies out its retry_after_ms hint. Unparseable responses are not
+/// overloaded — they surface to the caller unchanged.
+bool is_overloaded(const std::string& response, double* retry_after_ms) {
+  try {
+    const JsonValue value = parse_json(response);
+    if (value.kind != JsonValue::Kind::kObject) return false;
+    if (value.str_or("type", "") != "error") return false;
+    if (value.str_or("code", "") != "overloaded") return false;
+    *retry_after_ms = value.num_or("retry_after_ms", 0);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+double retry_delay_ms(const RetryPolicy& policy, int attempt,
+                      std::uint64_t& rng_state) {
+  double ceiling = std::max(0.0, policy.base_ms);
+  for (int i = 0; i < attempt && ceiling < policy.cap_ms; ++i)
+    ceiling *= 2;
+  ceiling = std::min(ceiling, std::max(0.0, policy.cap_ms));
+  // Full jitter: uniform in [0, ceiling). The 53-bit mantissa path keeps
+  // the mapping exact and platform-independent.
+  const double unit =
+      static_cast<double>(splitmix64(rng_state) >> 11) / 9007199254740992.0;
+  return ceiling * unit;
+}
+
+std::string ServiceClient::call_with_retry(const std::string& request_json,
+                                           const RetryPolicy& policy) const {
+  std::uint64_t rng_state = policy.seed;
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 0;; ++attempt) {
+    double floor_ms = 0;
+    try {
+      std::string response = call(request_json);
+      if (!is_overloaded(response, &floor_ms)) return response;
+      // Exhausted: hand the overloaded response to the caller — it holds
+      // the structured code and hint, which beats inventing an error.
+      if (attempt + 1 >= attempts) return response;
+    } catch (const Unreachable&) {
+      if (attempt + 1 >= attempts) throw;
+    }
+    const double delay_ms =
+        std::max(floor_ms, retry_delay_ms(policy, attempt, rng_state));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
   }
 }
 

@@ -3,19 +3,65 @@
 // Minimal client for the mapping service: one connect per call, one
 // request frame out, one response frame back. Used by `automap_client`
 // and `automap_cli client ...` (the same code registers both).
+//
+// call() is single-shot. call_with_retry() layers a deterministic retry
+// loop on top for the two transient failure shapes a well-behaved client
+// should absorb: the daemon is unreachable (not up yet, restarting), or
+// it answered `{"type":"error","code":"overloaded",...}` from admission
+// control. Delays use exponential backoff with *full jitter* — uniform in
+// [0, min(cap, base * 2^attempt)] — from a seeded RNG, so a retrying
+// fleet decorrelates instead of stampeding in lockstep, while any given
+// seed replays the exact same schedule (testable, reproducible). A
+// server-provided `retry_after_ms` acts as the floor for that delay.
 
+#include <cstdint>
 #include <string>
 
+#include "src/support/error.hpp"
+
 namespace automap {
+
+/// Thrown by call() when the daemon cannot be reached at all (connect
+/// failure) — the retryable counterpart to a mid-conversation Error.
+class Unreachable : public Error {
+ public:
+  using Error::Error;
+};
+
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = no retries (call()'s
+  /// existing behavior).
+  int max_attempts = 1;
+  /// First backoff ceiling in milliseconds; doubles every attempt.
+  double base_ms = 50.0;
+  /// Upper bound on any single backoff delay.
+  double cap_ms = 2000.0;
+  /// RNG seed for the jitter; a fixed seed replays a fixed schedule.
+  std::uint64_t seed = 1;
+};
+
+/// The backoff schedule primitive, exposed for tests: full-jitter delay
+/// for 0-based `attempt`, advancing `rng_state` (splitmix64). Pure given
+/// (policy, attempt, state) — no wall clock involved.
+[[nodiscard]] double retry_delay_ms(const RetryPolicy& policy, int attempt,
+                                    std::uint64_t& rng_state);
 
 class ServiceClient {
  public:
   explicit ServiceClient(std::string socket_path)
       : socket_path_(std::move(socket_path)) {}
 
-  /// Sends one request JSON and returns the response JSON. Throws Error
-  /// when the daemon is unreachable or the connection breaks mid-frame.
+  /// Sends one request JSON and returns the response JSON. Throws
+  /// Unreachable when the daemon cannot be connected to, Error when the
+  /// connection breaks mid-frame.
   [[nodiscard]] std::string call(const std::string& request_json) const;
+
+  /// call() plus deterministic retries on Unreachable and `overloaded`
+  /// responses. Exhausted attempts surface the last outcome unchanged:
+  /// the final Unreachable is rethrown, a final `overloaded` response is
+  /// returned for the caller to inspect.
+  [[nodiscard]] std::string call_with_retry(const std::string& request_json,
+                                            const RetryPolicy& policy) const;
 
  private:
   std::string socket_path_;

@@ -1,15 +1,17 @@
 #include "src/service/server.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <thread>
-#include <vector>
 
 #include "src/service/service.hpp"
 #include "src/service/wire.hpp"
@@ -19,32 +21,15 @@ namespace automap {
 
 namespace {
 
-/// Reads exactly n bytes; false on EOF/error.
-bool read_exact(int fd, char* out, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, out + got, n - got);
-    if (r < 0 && errno == EINTR) continue;
-    if (r <= 0) return false;
-    got += static_cast<std::size_t>(r);
-  }
-  return true;
-}
+using Clock = std::chrono::steady_clock;
 
-bool write_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    // MSG_NOSIGNAL: a client that disconnected mid-response must surface
-    // as EPIPE on this connection's thread, not as a process-wide SIGPIPE
-    // that kills the daemon (and every other job with it).
-    const ssize_t w = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (w < 0 && errno == EINTR) continue;
-    if (w <= 0) return false;  // EPIPE/ECONNRESET: peer gone, drop frame
-    sent += static_cast<std::size_t>(w);
-  }
-  return true;
-}
+/// Outcome of one deadline-bounded I/O step.
+enum class Io {
+  kOk,
+  kClosed,   ///< peer EOF/reset — normal end of a connection
+  kTimeout,  ///< deadline exceeded — slow or stalled peer
+  kStopped,  ///< server shutting down
+};
 
 /// True when a daemon is actually listening on `path` — i.e. a connect()
 /// succeeds. A leftover socket file from a crashed daemon refuses the
@@ -62,8 +47,16 @@ bool socket_is_live(const std::string& path, const sockaddr_un& addr) {
 
 }  // namespace
 
-ServiceServer::ServiceServer(MappingService& service, std::string socket_path)
-    : service_(service), socket_path_(std::move(socket_path)) {
+struct ServiceServer::Connection {
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+ServiceServer::ServiceServer(MappingService& service, std::string socket_path,
+                             ServerConfig config)
+    : service_(service),
+      socket_path_(std::move(socket_path)),
+      config_(config) {
   AM_REQUIRE(!socket_path_.empty(), "service socket path is empty");
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -107,41 +100,176 @@ ServiceServer::~ServiceServer() {
   ::unlink(socket_path_.c_str());
 }
 
+bool ServiceServer::stopping() const {
+  return stop_.load() || service_.shutdown_requested();
+}
+
 void ServiceServer::serve() {
-  std::vector<std::thread> connections;
-  while (!stop_.load() && !service_.shutdown_requested()) {
+  std::vector<std::unique_ptr<Connection>> connections;
+  while (!stopping()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     // Short timeout: the loop re-checks the shutdown flags ~5x/second.
     const int ready = ::poll(&pfd, 1, 200);
+    // Reap finished connection threads each tick, so a long-lived daemon
+    // holds threads proportional to *live* connections, not to history.
+    connections.erase(
+        std::remove_if(connections.begin(), connections.end(),
+                       [](const std::unique_ptr<Connection>& connection) {
+                         if (!connection->done.load()) return false;
+                         connection->thread.join();
+                         return true;
+                       }),
+        connections.end());
     if (ready < 0 && errno == EINTR) continue;
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    connections.emplace_back([this, fd] { handle_connection(fd); });
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->thread = std::thread([this, fd, raw] {
+      handle_connection(fd);
+      raw->done.store(true);
+    });
+    connections.push_back(std::move(connection));
   }
-  for (std::thread& connection : connections) connection.join();
+  for (const std::unique_ptr<Connection>& connection : connections)
+    connection->thread.join();
 }
 
 void ServiceServer::handle_connection(int fd) {
+  // Non-blocking plus poll-with-deadline: every read/write below returns
+  // to wait_ready on EAGAIN, so a stalled peer can never park this thread
+  // past its deadline (a *blocking* send could stall indefinitely against
+  // a peer that stops reading).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  // Polls in <=200ms slices until fd is ready for `events`, the deadline
+  // passes, or the server starts stopping — so idle connections wake for
+  // shutdown instead of pinning serve() in its join loop.
+  const auto wait_ready = [&](short events, Clock::time_point deadline) {
+    for (;;) {
+      if (stopping()) return Io::kStopped;
+      int slice = 200;
+      if (deadline != kNoDeadline) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+        if (left <= 0) return Io::kTimeout;
+        slice = static_cast<int>(std::min<long long>(left, 200));
+      }
+      pollfd pfd{fd, events, 0};
+      const int ready = ::poll(&pfd, 1, slice);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) return Io::kClosed;
+      if (ready == 0) continue;
+      // Readiness for reads includes HUP/ERR: the read() observes EOF and
+      // reports kClosed with whatever buffered bytes remained.
+      if (events == POLLIN) return Io::kOk;
+      if ((pfd.revents & POLLOUT) != 0) return Io::kOk;
+      return Io::kClosed;
+    }
+  };
+
+  const auto read_exact = [&](char* out, std::size_t n,
+                              Clock::time_point deadline) {
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::read(fd, out + got, n - got);
+      if (r > 0) {
+        got += static_cast<std::size_t>(r);
+        continue;
+      }
+      if (r == 0) return Io::kClosed;
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return Io::kClosed;
+      if (const Io status = wait_ready(POLLIN, deadline);
+          status != Io::kOk)
+        return status;
+    }
+    return Io::kOk;
+  };
+
+  const auto write_all = [&](std::string_view data,
+                             Clock::time_point deadline) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      // MSG_NOSIGNAL: a client that disconnected mid-response must
+      // surface as EPIPE on this connection's thread, not as a
+      // process-wide SIGPIPE that kills the daemon (and every other job
+      // with it).
+      const ssize_t w = ::send(fd, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w > 0) {
+        sent += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (const Io status = wait_ready(POLLOUT, deadline);
+            status != Io::kOk)
+          return status;
+        continue;
+      }
+      return Io::kClosed;  // EPIPE/ECONNRESET: peer gone, drop frame
+    }
+    return Io::kOk;
+  };
+
   // The handshake cap mirrors the service's request limit: an oversize
   // frame gets a structured error response, then the connection closes
   // (its remaining payload bytes cannot be resynchronized).
   const std::size_t max_frame = kDefaultMaxFrameBytes;
   for (;;) {
+    // Idle phase: wait for the next request to *start*. A peer that holds
+    // the connection open without sending is reaped after idle_timeout_ms.
+    const Clock::time_point idle_deadline =
+        config_.idle_timeout_ms > 0
+            ? Clock::now() +
+                  std::chrono::milliseconds(config_.idle_timeout_ms)
+            : kNoDeadline;
+    if (const Io status = wait_ready(POLLIN, idle_deadline);
+        status != Io::kOk) {
+      if (status == Io::kTimeout) service_.note_idle_reaped();
+      break;
+    }
+    // Frame phase: once a request starts, its header, payload, and the
+    // response write must all finish within io_timeout_ms.
+    const Clock::time_point frame_deadline =
+        config_.io_timeout_ms > 0
+            ? Clock::now() + std::chrono::milliseconds(config_.io_timeout_ms)
+            : kNoDeadline;
     char header[kFrameHeaderBytes];
-    if (!read_exact(fd, header, sizeof(header))) break;
+    Io status = read_exact(header, sizeof(header), frame_deadline);
+    if (status != Io::kOk) {
+      if (status == Io::kTimeout) service_.note_io_timeout();
+      break;
+    }
     const std::size_t length =
         *decode_frame_length({header, sizeof(header)});
     if (length > max_frame) {
-      write_all(fd, encode_frame(wire_error(
-                        "too_large",
-                        "frame of " + std::to_string(length) +
-                            " bytes exceeds the transport limit")));
+      write_all(encode_frame(wire_error(
+                    "too_large",
+                    "frame of " + std::to_string(length) +
+                        " bytes exceeds the transport limit")),
+                frame_deadline);
       break;
     }
     std::string payload(length, '\0');
-    if (!read_exact(fd, payload.data(), length)) break;
-    if (!write_all(fd, encode_frame(service_.handle(payload)))) break;
+    status = read_exact(payload.data(), length, frame_deadline);
+    if (status != Io::kOk) {
+      if (status == Io::kTimeout) service_.note_io_timeout();
+      break;
+    }
+    status = write_all(encode_frame(service_.handle(payload)),
+                       frame_deadline);
+    if (status != Io::kOk) {
+      if (status == Io::kTimeout) service_.note_io_timeout();
+      break;
+    }
     if (service_.shutdown_requested()) break;
   }
   ::close(fd);

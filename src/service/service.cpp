@@ -1,6 +1,7 @@
 #include "src/service/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -14,6 +15,7 @@
 #include "src/search/search.hpp"
 #include "src/service/fingerprint.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/support/durable.hpp"
 #include "src/support/error.hpp"
 #include "src/support/json.hpp"
 
@@ -34,6 +36,11 @@ struct SubmitSpec {
   int priority = 0;
   bool want_journal = false;
   bool reuse_measurements = false;
+  /// Wall-clock deadline for the job (0 = none). Deliberately OUTSIDE the
+  /// fingerprint — like `priority`, it decides how a job runs, not what
+  /// it computes, so a resubmission with a different deadline still maps
+  /// onto the existing job (and resumes its checkpoint byte-identically).
+  double deadline_ms = 0;
   /// Canonical re-encodings — the fingerprint inputs, so two requests
   /// spelling the same configuration differently still collide.
   std::string options_json;
@@ -60,6 +67,8 @@ SubmitSpec parse_submit(const JsonValue& request) {
   spec.priority = static_cast<int>(request.num_or("priority", 0));
   spec.want_journal = request.bool_or("journal", false);
   spec.reuse_measurements = request.bool_or("reuse_measurements", false);
+  spec.deadline_ms = request.num_or("deadline_ms", 0);
+  AM_REQUIRE(spec.deadline_ms >= 0, "deadline_ms must be >= 0");
 
   spec.options_json = search_options_to_json(spec.options);
   spec.sim_json = sim_options_to_json(spec.sim);
@@ -95,13 +104,6 @@ std::uint64_t bucket_key(const SubmitSpec& spec) {
   measure += "/" + std::to_string(static_cast<int>(
                        spec.options.resilience.aggregation));
   return hash_text(measure, key);
-}
-
-void save_atomic(const std::string& path, const std::string& text) {
-  const std::string tmp = path + ".tmp";
-  save_text(tmp, text);
-  AM_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-             "cannot move " + tmp + " into place");
 }
 
 std::optional<std::string> read_if_exists(const std::string& path) {
@@ -145,11 +147,20 @@ constexpr const char* kTombstoneName = "cancelled";
 
 void write_tombstone(const std::string& dir, const char* mode) {
   try {
-    save_text(dir + "/" + kTombstoneName, std::string(mode) + "\n");
+    // Durable but trailer-less: tombstones are a one-word sentinel whose
+    // presence is the signal, so recovery reads them as plain text.
+    save_durable(dir + "/" + kTombstoneName, std::string(mode) + "\n",
+                 "tombstone");
   } catch (const std::exception&) {
     // Best effort: a missing tombstone only costs a spurious re-run after
     // a crash, never corruption.
   }
+}
+
+/// Milliseconds cast for the deadline wheel (deadline_ms is validated
+/// non-negative at parse time).
+std::chrono::milliseconds deadline_delay(double deadline_ms) {
+  return std::chrono::milliseconds(static_cast<std::int64_t>(deadline_ms));
 }
 
 }  // namespace
@@ -206,6 +217,27 @@ MappingService::MappingService(const ServiceConfig& config)
       "automap_sim_runs_total",
       "Simulator runs across all jobs (includes speculative pool work)",
       false);
+  m_overloaded_ = metrics_.counter(
+      "automap_service_overloaded_total",
+      "Submits refused by admission control (queue/inflight caps)", false);
+  m_deadline_expired_ = metrics_.counter(
+      "automap_service_deadline_expired_total",
+      "Jobs whose per-submit deadline_ms expired", false);
+  m_quarantined_ = metrics_.counter(
+      "automap_service_store_quarantined_total",
+      "Torn or corrupt store artifacts renamed to *.corrupt", false);
+  m_io_timeouts_ = metrics_.counter(
+      "automap_service_io_timeouts_total",
+      "Connections dropped for exceeding the per-frame I/O deadline",
+      false);
+  m_idle_reaped_ = metrics_.counter(
+      "automap_service_idle_reaped_total",
+      "Idle connections reaped by the server", false);
+
+  // The wheel must exist before recover_store: recovered queued jobs with
+  // a deadline re-arm a fresh window.
+  wheel_ = std::make_unique<DeadlineWheel>(
+      [this](std::uint64_t id) { on_deadline(id); });
 
   recover_store();
   {
@@ -224,6 +256,9 @@ MappingService::~MappingService() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // After the workers: an expiry callback may touch jobs_ until the last
+  // worker settles, so the wheel outlives them and dies here.
+  wheel_.reset();
 }
 
 const char* MappingService::status_name(JobStatus status) {
@@ -276,6 +311,7 @@ void MappingService::update_cache_gauges_locked() {
 
 void MappingService::evict_job_locked(std::uint64_t id) {
   Job& job = jobs_.at(id);
+  wheel_->disarm(id);
   const std::string dir = job_dir(id);
   // Tombstone before deleting: a crash mid-removal leaves a dir that
   // restart scanning recognizes and finishes cleaning, instead of a
@@ -349,6 +385,79 @@ void MappingService::enforce_budgets_locked() {
   update_cache_gauges_locked();
 }
 
+void MappingService::note_io_timeout() { m_io_timeouts_->inc(); }
+
+void MappingService::note_idle_reaped() { m_idle_reaped_->inc(); }
+
+std::string MappingService::admission_error_locked() {
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.status == JobStatus::kQueued) ++queued;
+    if (job.status == JobStatus::kRunning) ++running;
+  }
+  const std::size_t inflight = queued + running;
+  const bool over_queued =
+      config_.max_queued_jobs > 0 && queued >= config_.max_queued_jobs;
+  const bool over_inflight =
+      config_.max_inflight > 0 && inflight >= config_.max_inflight;
+  if (!over_queued && !over_inflight) return {};
+  m_overloaded_->inc();
+  // Deterministic hint scaled to backlog depth; retrying clients honor it
+  // as their minimum wait, so a deeper queue spreads retries out further.
+  const std::size_t retry_after_ms =
+      std::min<std::size_t>(5000, 100 * (inflight + 1));
+  const std::string message =
+      over_queued ? "queue full (" + std::to_string(queued) + "/" +
+                        std::to_string(config_.max_queued_jobs) +
+                        " queued jobs)"
+                  : "at capacity (" + std::to_string(inflight) + "/" +
+                        std::to_string(config_.max_inflight) +
+                        " jobs in flight)";
+  return wire_error("overloaded", message,
+                    "\"retry_after_ms\":" + std::to_string(retry_after_ms));
+}
+
+void MappingService::on_deadline(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  if (job.status == JobStatus::kQueued) {
+    // Expire in place: the dir (request + any checkpoint) is kept under a
+    // "keep" tombstone, so resubmitting the identical request revives the
+    // job and resumes to the byte-identical result.
+    job.status = JobStatus::kCancelled;
+    if (job.cancel_reason.empty()) job.cancel_reason = "deadline";
+    write_tombstone(job_dir(id), "keep");
+    const std::size_t bytes = dir_bytes(job_dir(id));
+    store_bytes_total_ += bytes;
+    store_bytes_total_ -= std::min(job.store_bytes, store_bytes_total_);
+    job.store_bytes = bytes;
+    m_cancelled_->inc();
+    m_deadline_expired_->inc();
+    update_cache_gauges_locked();
+  } else if (job.status == JobStatus::kRunning) {
+    // Same cooperative path as a client cancel: the search observes the
+    // token as a budget cut at the next task boundary and run_job settles
+    // the job as cancelled with its checkpoint on disk.
+    if (job.cancel_reason.empty()) job.cancel_reason = "deadline";
+    job.cancel->store(true);
+    m_deadline_expired_->inc();
+  }
+}
+
+bool MappingService::quarantine_path(const std::string& path) {
+  std::error_code ec;
+  std::string target = path + ".corrupt";
+  for (int n = 1; fs::exists(target, ec); ++n)
+    target = path + ".corrupt." + std::to_string(n);
+  fs::rename(path, target, ec);
+  if (ec) return false;
+  m_quarantined_->inc();
+  return true;
+}
+
 std::string MappingService::handle(const std::string& request_json) {
   if (request_json.size() > config_.max_request_bytes)
     return wire_error("too_large",
@@ -409,13 +518,21 @@ std::string MappingService::handle_submit(const JsonValue& request,
     if (job.fingerprint != spec.fingerprint) continue;
     if (job.status == JobStatus::kFailed) continue;
     if (job.status == JobStatus::kCancelled) {
+      if (std::string overloaded = admission_error_locked();
+          !overloaded.empty())
+        return overloaded;
       job.status = JobStatus::kQueued;
       job.cancel = std::make_shared<std::atomic<bool>>(false);
       job.error.clear();
+      job.cancel_reason.clear();
+      // The revival's deadline (if any) replaces the expired one — a
+      // fresh window, armed below once the job is queued again.
+      job.deadline_ms = spec.deadline_ms;
       fs::create_directories(job_dir(id));
       std::error_code ec;
       fs::remove(job_dir(id) + "/" + kTombstoneName, ec);
-      save_atomic(job_dir(id) + "/request.json", job.request_json);
+      save_checksummed(job_dir(id) + "/request.json", job.request_json,
+                       "request");
       const std::size_t bytes = dir_bytes(job_dir(id));
       store_bytes_total_ += bytes;
       store_bytes_total_ -= std::min(job.store_bytes, store_bytes_total_);
@@ -423,6 +540,7 @@ std::string MappingService::handle_submit(const JsonValue& request,
       m_result_cache_misses_->inc();
       m_submitted_->inc();
       update_cache_gauges_locked();
+      if (job.deadline_ms > 0) wheel_->arm(id, deadline_delay(job.deadline_ms));
       work_cv_.notify_one();
       return "{\"type\":\"submitted\",\"job\":" + std::to_string(id) +
              ",\"status\":\"queued\",\"cached\":false}";
@@ -437,6 +555,10 @@ std::string MappingService::handle_submit(const JsonValue& request,
            "\",\"cached\":" + (done ? "true" : "false") + "}";
   }
 
+  if (std::string overloaded = admission_error_locked();
+      !overloaded.empty())
+    return overloaded;
+
   Job job;
   job.id = next_id_++;
   job.priority = spec.priority;
@@ -445,9 +567,11 @@ std::string MappingService::handle_submit(const JsonValue& request,
   job.algorithm = spec.algorithm;
   job.want_journal = spec.want_journal;
   job.reuse_measurements = spec.reuse_measurements;
+  job.deadline_ms = spec.deadline_ms;
   job.cancel = std::make_shared<std::atomic<bool>>(false);
   fs::create_directories(job_dir(job.id));
-  save_atomic(job_dir(job.id) + "/request.json", request_json);
+  save_checksummed(job_dir(job.id) + "/request.json", request_json,
+                   "request");
   job.store_bytes = dir_bytes(job_dir(job.id));
   store_bytes_total_ += job.store_bytes;
   const std::uint64_t id = job.id;
@@ -455,6 +579,7 @@ std::string MappingService::handle_submit(const JsonValue& request,
   m_submitted_->inc();
   m_result_cache_misses_->inc();
   enforce_budgets_locked();
+  if (spec.deadline_ms > 0) wheel_->arm(id, deadline_delay(spec.deadline_ms));
   work_cv_.notify_one();
   return "{\"type\":\"submitted\",\"job\":" + std::to_string(id) +
          ",\"status\":\"queued\",\"cached\":false}";
@@ -469,6 +594,9 @@ std::string MappingService::handle_status(const JsonValue& request) {
   std::string out = "{\"type\":\"status\",\"job\":" + id_text +
                     ",\"status\":\"" + status_name(it->second.status) +
                     "\"";
+  if (it->second.status == JobStatus::kCancelled &&
+      !it->second.cancel_reason.empty())
+    out += ",\"reason\":\"" + json_escape(it->second.cancel_reason) + "\"";
   if (!it->second.error.empty())
     out += ",\"message\":\"" + json_escape(it->second.error) + "\"";
   return out + "}";
@@ -545,6 +673,8 @@ std::string MappingService::handle_cancel(const JsonValue& request) {
   Job& job = it->second;
   if (job.status == JobStatus::kQueued) {
     job.status = JobStatus::kCancelled;
+    if (job.cancel_reason.empty()) job.cancel_reason = "client";
+    wheel_->disarm(job.id);
     m_cancelled_->inc();
     // Tombstone, then delete: if remove_all fails partway, restart
     // scanning finds the tombstone and finishes the cleanup instead of
@@ -566,6 +696,8 @@ std::string MappingService::handle_cancel(const JsonValue& request) {
     // Cooperative: the worker's search observes the token as a budget cut
     // at its next task boundary, then marks the job cancelled. The last
     // task-boundary checkpoint stays on disk for a later resume.
+    if (job.cancel_reason.empty()) job.cancel_reason = "client";
+    wheel_->disarm(job.id);
     job.cancel->store(true);
     return "{\"type\":\"cancelled\",\"job\":" + id_text +
            ",\"status\":\"cancelling\"}";
@@ -653,6 +785,7 @@ void MappingService::run_job(std::uint64_t id) {
                           std::uint64_t sim_runs) {
     const std::size_t bytes = dir_bytes(dir);
     const std::lock_guard<std::mutex> lock(mutex_);
+    wheel_->disarm(id);
     Job& job = jobs_.at(id);
     job.status = status;
     if (error != nullptr) job.error = error;
@@ -690,10 +823,16 @@ void MappingService::run_job(std::uint64_t id) {
     options.cancel = cancel.get();
     options.checkpoint_path = dir + "/checkpoint";
     // Warm restart: a checkpoint left by an interrupted run resumes the
-    // search; byte-identity of the final result is the PR 4 contract.
-    if (const std::optional<std::string> checkpoint =
-            read_if_exists(options.checkpoint_path))
-      options.resume_state = *checkpoint;
+    // search; byte-identity of the final result is the PR 4 contract. A
+    // torn checkpoint (bad checksum trailer) is quarantined and the
+    // search starts fresh — same final bytes, just more work.
+    {
+      DurableLoad checkpoint = load_checksummed(options.checkpoint_path);
+      if (checkpoint.status == DurableLoad::Status::kOk)
+        options.resume_state = std::move(checkpoint.payload);
+      else if (checkpoint.status == DurableLoad::Status::kCorrupt)
+        quarantine_path(options.checkpoint_path);
+    }
 
     std::optional<Journal> journal;
     if (spec.want_journal) journal.emplace(dir + "/journal.jsonl");
@@ -705,14 +844,18 @@ void MappingService::run_job(std::uint64_t id) {
     if (spec.reuse_measurements) {
       bucket = bucket_key(spec);
       options.export_profiles_db = true;
-      if (const std::optional<std::string> seeded =
-              read_if_exists(bucket_path(bucket))) {
-        options.profiles_seed = *seeded;
+      DurableLoad seeded = load_checksummed(bucket_path(bucket));
+      if (seeded.status == DurableLoad::Status::kOk) {
+        options.profiles_seed = std::move(seeded.payload);
         const std::lock_guard<std::mutex> lock(mutex_);
         m_eval_cache_seeded_->inc();
         touch_bucket_locked(bucket);
         update_cache_gauges_locked();
       } else {
+        // A torn bucket is a cache miss, never poison: quarantine it and
+        // let this job rebuild the bucket from scratch.
+        if (seeded.status == DurableLoad::Status::kCorrupt)
+          quarantine_path(bucket_path(bucket));
         const std::lock_guard<std::mutex> lock(mutex_);
         m_eval_cache_misses_->inc();
       }
@@ -778,12 +921,12 @@ void MappingService::run_job(std::uint64_t id) {
                json_double(stats.evaluation_time_s);
     payload += "}}";
 
-    save_atomic(dir + "/result.json", payload);
+    save_checksummed(dir + "/result.json", payload, "result");
     std::uint64_t bucket_written = 0;
     if (spec.reuse_measurements && !result.profiles_db.empty()) {
       // The export includes imported entries, so the fresh export IS the
       // union of the bucket and this job's new measurements.
-      save_atomic(bucket_path(bucket), result.profiles_db);
+      save_checksummed(bucket_path(bucket), result.profiles_db, "bucket");
       bucket_written = bucket;
     }
 
@@ -843,38 +986,61 @@ void MappingService::recover_store() {
         continue;
       }
     }
-    const std::optional<std::string> request =
-        read_if_exists((entry.path() / "request.json").string());
-    if (!request) continue;
+    DurableLoad request =
+        load_checksummed((entry.path() / "request.json").string());
+    if (request.status == DurableLoad::Status::kMissing) continue;
+    if (request.status == DurableLoad::Status::kCorrupt) {
+      // A torn request means nothing else in the dir is attributable to a
+      // known submission: quarantine the whole job dir. Startup proceeds;
+      // the quarantined copy stays for inspection, outside the budget.
+      quarantine_path(entry.path().string());
+      continue;
+    }
     Job job;
     try {
-      const SubmitSpec spec = parse_submit(parse_json(*request));
+      const SubmitSpec spec = parse_submit(parse_json(request.payload));
       job.id = id;
       job.priority = spec.priority;
-      job.request_json = *request;
+      job.request_json = request.payload;
       job.fingerprint = spec.fingerprint;
       job.algorithm = spec.algorithm;
       job.want_journal = spec.want_journal;
       job.reuse_measurements = spec.reuse_measurements;
+      job.deadline_ms = spec.deadline_ms;
     } catch (const std::exception&) {
-      continue;  // corrupt store entry; leave it on disk for inspection
+      // Checksum intact but not a valid submit (e.g. hand-edited):
+      // quarantine rather than abort the daemon.
+      quarantine_path(entry.path().string());
+      continue;
     }
     job.cancel = std::make_shared<std::atomic<bool>>(false);
-    job.store_bytes = dir_bytes(entry.path().string());
     if (keep_cancelled) {
       job.status = JobStatus::kCancelled;
-    } else if (const std::optional<std::string> result =
-                   read_if_exists((entry.path() / "result.json").string())) {
-      job.status = JobStatus::kDone;
-      job.result_json = *result;
-      by_fingerprint_[job.fingerprint] = id;
     } else {
-      // Interrupted: re-enqueue; run_job resumes from the checkpoint the
-      // interrupted run left (if any).
-      job.status = JobStatus::kQueued;
+      DurableLoad result =
+          load_checksummed((entry.path() / "result.json").string());
+      if (result.status == DurableLoad::Status::kOk) {
+        job.status = JobStatus::kDone;
+        job.result_json = std::move(result.payload);
+        by_fingerprint_[job.fingerprint] = id;
+      } else {
+        // Missing: interrupted before completing — re-enqueue; run_job
+        // resumes from the checkpoint the interrupted run left (if any).
+        // Corrupt: quarantine just the torn result and recompute the same
+        // way; the checkpoint makes the re-run byte-identical and cheap.
+        if (result.status == DurableLoad::Status::kCorrupt)
+          quarantine_path((entry.path() / "result.json").string());
+        job.status = JobStatus::kQueued;
+      }
     }
+    job.store_bytes = dir_bytes(entry.path().string());
     store_bytes_total_ += job.store_bytes;
     next_id_ = std::max(next_id_, id + 1);
+    // A recovered queued job re-arms a fresh deadline window from daemon
+    // start — the original submission instant is gone with the crash, and
+    // expiring everything immediately would punish the restart itself.
+    if (job.status == JobStatus::kQueued && job.deadline_ms > 0)
+      wheel_->arm(id, deadline_delay(job.deadline_ms));
     jobs_.emplace(id, std::move(job));
   }
   // Deterministic LRU seed: recovered jobs rank oldest-first by id, so

@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "src/service/wire.hpp"
+#include "src/support/deadline_wheel.hpp"
 #include "src/support/metrics.hpp"
 #include "src/support/thread_pool.hpp"
 
@@ -90,6 +91,14 @@ struct ServiceConfig {
   /// Entry budget for the cross-job evaluation cache (profiles-db buckets
   /// under cache/), least-recently-served eviction. 0 = unbounded.
   std::size_t max_eval_cache = 0;
+  /// Admission control: maximum jobs waiting in `queued`. A submit that
+  /// would exceed it is answered with a structured
+  /// `{"type":"error","code":"overloaded","retry_after_ms":N}` instead of
+  /// silently growing the queue. 0 = unbounded.
+  std::size_t max_queued_jobs = 0;
+  /// Admission control: maximum queued + running jobs. Same `overloaded`
+  /// answer when exceeded. 0 = unbounded.
+  std::size_t max_inflight = 0;
 };
 
 class MappingService {
@@ -118,6 +127,11 @@ class MappingService {
   /// simulator runs). Exposed over the `stats` op.
   [[nodiscard]] std::string expose_metrics();
 
+  // Transport-side incident counters, bumped by the socket server so
+  // slow-client defenses show up in `stats`.
+  void note_io_timeout();
+  void note_idle_reaped();
+
  private:
   enum class JobStatus { kQueued, kRunning, kDone, kFailed, kCancelled };
 
@@ -139,6 +153,13 @@ class MappingService {
     /// (SearchOptions::cancel). Fresh per enqueue — a revived cancelled
     /// job gets a new one.
     std::shared_ptr<std::atomic<bool>> cancel;
+    /// Why the job was (or is being) cancelled: "client" for an explicit
+    /// cancel op, "deadline" for an expired per-submit deadline_ms.
+    /// Reported in the `status` response's "reason" field.
+    std::string cancel_reason;
+    /// Per-submit wall-clock deadline; 0 = none. Armed on the deadline
+    /// wheel at enqueue (and re-armed fresh on recovery/revival).
+    double deadline_ms = 0;
     /// Last tick this job's result was served (completion, result-cache
     /// hit, or result fetch) — the LRU key for eviction.
     std::uint64_t last_served = 0;
@@ -169,8 +190,24 @@ class MappingService {
 
   /// Rescans the store directory: completed jobs re-enter the result
   /// cache, interrupted ones re-enqueue (resuming from their checkpoint),
-  /// tombstoned dirs are cleaned up or recovered as cancelled.
+  /// tombstoned dirs are cleaned up or recovered as cancelled. Torn or
+  /// corrupt artifacts (bad checksum trailer) are quarantined — renamed
+  /// to `*.corrupt`, counted — never a startup failure.
   void recover_store();
+
+  /// Admission control: when the queued/inflight caps are exceeded,
+  /// returns the structured `overloaded` response; empty string when the
+  /// submit may proceed. mutex_ held by caller.
+  [[nodiscard]] std::string admission_error_locked();
+
+  /// Deadline-wheel expiry callback: flips the job's cancel token (running)
+  /// or lands it in `cancelled` with reason "deadline" (queued),
+  /// checkpoint and store dir kept for a byte-identical resume.
+  void on_deadline(std::uint64_t id);
+
+  /// Renames a torn/corrupt file or dir to a fresh `*.corrupt[.N]` path
+  /// and counts it. Returns false when the rename itself failed.
+  bool quarantine_path(const std::string& path);
 
   /// Bumps a job's LRU clock. mutex_ held by caller.
   void touch_locked(Job& job);
@@ -221,6 +258,16 @@ class MappingService {
   Gauge* m_eval_cache_entries_ = nullptr;
   Gauge* m_store_bytes_ = nullptr;
   Counter* m_sim_runs_ = nullptr;
+  Counter* m_overloaded_ = nullptr;
+  Counter* m_deadline_expired_ = nullptr;
+  Counter* m_quarantined_ = nullptr;
+  Counter* m_io_timeouts_ = nullptr;
+  Counter* m_idle_reaped_ = nullptr;
+
+  /// Arms per-job deadline_ms; expiry calls on_deadline. Constructed
+  /// before recover_store (recovered queued jobs re-arm) and torn down
+  /// after the workers join.
+  std::unique_ptr<DeadlineWheel> wheel_;
 
   std::vector<std::thread> workers_;
 };

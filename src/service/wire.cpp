@@ -36,4 +36,14 @@ std::string wire_error(std::string_view code, std::string_view message) {
          "\",\"message\":\"" + json_escape(message) + "\"}";
 }
 
+std::string wire_error(std::string_view code, std::string_view message,
+                       std::string_view extra_fields) {
+  std::string out = wire_error(code, message);
+  out.pop_back();  // strip the closing brace
+  out += ',';
+  out += extra_fields;
+  out += '}';
+  return out;
+}
+
 }  // namespace automap

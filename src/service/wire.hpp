@@ -44,4 +44,12 @@ inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
 [[nodiscard]] std::string wire_error(std::string_view code,
                                      std::string_view message);
 
+/// wire_error with extra top-level fields appended verbatim — e.g.
+/// `"retry_after_ms":250` for the `overloaded` admission-control error.
+/// `extra_fields` must be valid `"key":value[,...]` JSON text, without
+/// the surrounding braces or a leading comma.
+[[nodiscard]] std::string wire_error(std::string_view code,
+                                     std::string_view message,
+                                     std::string_view extra_fields);
+
 }  // namespace automap

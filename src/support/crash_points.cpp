@@ -1,0 +1,57 @@
+#include "src/support/crash_points.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace automap {
+
+namespace detail {
+
+const char* armed_crash_point() {
+  static const char* armed = [] {
+    const char* value = std::getenv("AUTOMAP_CRASH_POINT");
+    return (value != nullptr && value[0] != '\0') ? value : nullptr;
+  }();
+  return armed;
+}
+
+}  // namespace detail
+
+namespace {
+
+// The durable-save step sequence (src/support/durable.cpp) and the
+// artifact kinds routed through it. crash_point_names() is the cross
+// product; a kind/step pair not listed here will never fire.
+constexpr const char* kKinds[] = {"request", "result", "checkpoint",
+                                  "bucket", "tombstone"};
+constexpr const char* kSteps[] = {"begin", "tmp_written", "tmp_synced",
+                                  "renamed", "dir_synced"};
+
+}  // namespace
+
+void crash_point(const char* kind, const char* step) {
+  const char* armed = detail::armed_crash_point();
+  if (armed == nullptr) return;
+  // Compose lazily: the composition cost is only paid when a crash point
+  // is armed, i.e. under the chaos harness.
+  std::string name = "save.";
+  name += kind;
+  name += '.';
+  name += step;
+  if (name == armed) ::_exit(kCrashExitCode);
+}
+
+const std::vector<std::string>& crash_point_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all;
+    for (const char* kind : kKinds)
+      for (const char* step : kSteps)
+        all.push_back(std::string("save.") + kind + "." + step);
+    return all;
+  }();
+  return names;
+}
+
+}  // namespace automap

@@ -1,0 +1,43 @@
+#pragma once
+
+// Deterministic crash-point registry for crash-consistency testing.
+//
+// Every durable store write (src/support/durable.hpp) is bracketed by
+// named crash points: when the AUTOMAP_CRASH_POINT environment variable
+// names one of them, the process calls _exit(kCrashExitCode) the first
+// time execution reaches that point — simulating a power loss at exactly
+// that instant, with no destructors, no flushes, no atexit handlers.
+// tools/chaos_soak.py iterates the full matrix (every name returned by
+// crash_point_names()) and asserts that a kill → restart → resubmit cycle
+// lands on a result byte-identical to an uninterrupted run.
+//
+// With the variable unset the cost is one cached getenv per process and
+// one pointer compare per site, so crash points stay compiled in
+// unconditionally.
+
+#include <string>
+#include <vector>
+
+namespace automap {
+
+/// Exit code used by fired crash points, distinct from ordinary failure
+/// exits so harnesses can tell "crashed on purpose" from "crashed".
+inline constexpr int kCrashExitCode = 42;
+
+namespace detail {
+/// Cached AUTOMAP_CRASH_POINT value; nullptr when unset.
+[[nodiscard]] const char* armed_crash_point();
+}  // namespace detail
+
+/// Fires (_exit) when AUTOMAP_CRASH_POINT equals "save.<kind>.<step>".
+/// `kind` names the artifact family ("request", "result", "checkpoint",
+/// "bucket", "tombstone"); `step` the position inside the durable-save
+/// sequence ("begin", "tmp_written", "tmp_synced", "renamed",
+/// "dir_synced").
+void crash_point(const char* kind, const char* step);
+
+/// Every crash-point name the store write path can reach — the chaos
+/// matrix. Printed by `automap_cli crash-points` for tools/chaos_soak.py.
+[[nodiscard]] const std::vector<std::string>& crash_point_names();
+
+}  // namespace automap

@@ -1,0 +1,75 @@
+#include "src/support/deadline_wheel.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace automap {
+
+DeadlineWheel::DeadlineWheel(std::function<void(std::uint64_t)> on_expire)
+    : on_expire_(std::move(on_expire)), thread_([this] { loop(); }) {}
+
+DeadlineWheel::~DeadlineWheel() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void DeadlineWheel::arm(std::uint64_t id, std::chrono::milliseconds delay) {
+  const Clock::time_point when = Clock::now() + delay;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = by_id_.find(id); it != by_id_.end()) {
+      queue_.erase(it->second);
+      by_id_.erase(it);
+    }
+    by_id_.emplace(id, queue_.emplace(when, id));
+  }
+  cv_.notify_all();
+}
+
+void DeadlineWheel::disarm(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = by_id_.find(id); it != by_id_.end()) {
+    queue_.erase(it->second);
+    by_id_.erase(it);
+  }
+}
+
+std::size_t DeadlineWheel::armed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void DeadlineWheel::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const Clock::time_point next = queue_.begin()->first;
+    if (Clock::now() < next) {
+      cv_.wait_until(lock, next);
+      continue;
+    }
+    // Collect everything due, release the lock, then fire: the callback
+    // may take the caller's locks, and the caller may call arm/disarm
+    // concurrently (the wheel lock is never held across foreign code).
+    std::vector<std::uint64_t> due;
+    const Clock::time_point now = Clock::now();
+    while (!queue_.empty() && queue_.begin()->first <= now) {
+      due.push_back(queue_.begin()->second);
+      by_id_.erase(queue_.begin()->second);
+      queue_.erase(queue_.begin());
+    }
+    lock.unlock();
+    for (const std::uint64_t id : due) on_expire_(id);
+    lock.lock();
+  }
+}
+
+}  // namespace automap

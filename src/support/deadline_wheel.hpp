@@ -1,0 +1,73 @@
+#pragma once
+
+// Deadline wheel: arms per-job wall-clock deadlines and fires a callback
+// when one expires.
+//
+// One timer thread sleeps until the earliest armed deadline (or until a
+// new arm/disarm changes the horizon) and invokes the expiry callback
+// *outside* the wheel's own lock — so a callback is free to take the
+// caller's locks, and the caller is free to arm/disarm while holding them
+// (the wheel's lock is a leaf: it is never held across foreign code).
+//
+// The mapping service uses this for per-submit `deadline_ms`: expiry flips
+// the job's cooperative cancel token, so an expired search cuts at its
+// next task boundary exactly like a client cancel — checkpoint kept,
+// resubmission resumes byte-identically (docs/file_formats.md,
+// "Deadlines").
+//
+// At service scale (thousands of armed deadlines) an ordered multimap is
+// the degenerate single-rung wheel and is already O(log n) per operation;
+// the bucketed rungs of a classical timing wheel would only matter at
+// millions of timers.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace automap {
+
+class DeadlineWheel {
+ public:
+  /// `on_expire` runs on the wheel's timer thread with no wheel lock
+  /// held. It must not call back into arm/disarm for the same id it is
+  /// being fired for (the entry is already removed) — other ids are fine.
+  explicit DeadlineWheel(std::function<void(std::uint64_t)> on_expire);
+
+  /// Stops the timer thread; armed-but-unexpired deadlines never fire.
+  ~DeadlineWheel();
+
+  DeadlineWheel(const DeadlineWheel&) = delete;
+  DeadlineWheel& operator=(const DeadlineWheel&) = delete;
+
+  /// Arms (or re-arms) `id` to expire `delay` from now.
+  void arm(std::uint64_t id, std::chrono::milliseconds delay);
+
+  /// Disarms `id`; a no-op when it is not armed (already fired or never
+  /// armed).
+  void disarm(std::uint64_t id);
+
+  /// Armed-and-unexpired entries (test/introspection hook).
+  [[nodiscard]] std::size_t armed() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void loop();
+
+  std::function<void(std::uint64_t)> on_expire_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multimap<Clock::time_point, std::uint64_t> queue_;
+  std::unordered_map<std::uint64_t,
+                     std::multimap<Clock::time_point, std::uint64_t>::iterator>
+      by_id_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace automap

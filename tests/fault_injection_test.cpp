@@ -21,6 +21,7 @@
 #include "src/search/evaluator.hpp"
 #include "src/search/search.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/support/durable.hpp"
 #include "src/support/error.hpp"
 
 namespace automap {
@@ -435,11 +436,14 @@ TEST(Checkpoint, ResumedSearchMatchesTheUninterruptedRun) {
   truncated.checkpoint_path = path;
   truncated.time_budget_s = reference.stats.search_time_s * 0.5;
   (void)run_ccd(sim, truncated);
-  const std::string checkpoint = load_text(path);
-  ASSERT_FALSE(checkpoint.empty());
+  // Checkpoints carry a checksum trailer on disk; load them the way the
+  // CLI's --resume does.
+  const DurableLoad checkpoint = load_checksummed(path);
+  ASSERT_EQ(checkpoint.status, DurableLoad::Status::kOk);
+  ASSERT_FALSE(checkpoint.payload.empty());
 
   SearchOptions resumed = options;
-  resumed.resume_state = checkpoint;
+  resumed.resume_state = checkpoint.payload;
   expect_identical(run_ccd(sim, resumed), reference, "resumed run");
   std::remove(path.c_str());
 }
@@ -456,7 +460,7 @@ TEST(Checkpoint, ResumeRejectsAlgorithmMismatch) {
   (void)run_ccd(sim, options);
 
   SearchOptions wrong{.rotations = 2, .repeats = 2, .seed = 3};
-  wrong.resume_state = load_text(path);
+  wrong.resume_state = load_checksummed(path).payload;
   EXPECT_THROW((void)run_cd(sim, wrong), Error);
   std::remove(path.c_str());
 }

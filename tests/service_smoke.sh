@@ -168,4 +168,80 @@ test "$(sim_runs)" = "0"
 wait "$SERVER_PID"
 SERVER_PID=""
 
+# --- Protocol fuzz + overload/deadline, on a daemon with a short frame
+# deadline, no workers, and a one-job queue. ---------------------------
+"$CLI" serve --socket "$SOCK" --store "$DIR/store3" --eval-threads 2 \
+      --workers 0 --max-queued-jobs 1 --io-timeout-ms 300 \
+      > "$DIR/serve3.log" 2>&1 &
+SERVER_PID=$!
+wait_for_daemon
+
+# The crash-point registry the chaos harness iterates is published.
+test "$("$CLI" crash-points | wc -l)" = "25"
+
+# Garbage length prefix, truncated frame, and a slow-loris stall: each
+# costs exactly that connection — answered or reaped — never the daemon.
+python3 - "$SOCK" << 'EOF'
+import socket, struct, sys
+
+def conn():
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(sys.argv[1])
+    return s
+
+# A 4GB length prefix: a structured too_large error, then disconnect.
+s = conn()
+s.sendall(b"\xff\xff\xff\xff")
+(n,) = struct.unpack(">I", s.recv(4, socket.MSG_WAITALL))
+body = b""
+while len(body) < n:
+    chunk = s.recv(n - len(body))
+    assert chunk, "server closed before finishing the error frame"
+    body += chunk
+assert b"too_large" in body, body
+assert s.recv(1) == b"", "server should close after too_large"
+s.close()
+
+# A header promising 100 bytes, 10 delivered, then gone.
+s = conn()
+s.sendall(struct.pack(">I", 100) + b"0123456789")
+s.close()
+
+# Slow-loris: two header bytes, then silence. The frame deadline
+# (--io-timeout-ms 300) must reap the connection, not park a thread.
+s = conn()
+s.sendall(b"\x00\x00")
+s.settimeout(10)
+assert s.recv(1) == b"", "stalled connection was not reaped"
+s.close()
+EOF
+"$CLIENT" ping --socket "$SOCK" | grep -q "pong"
+"$CLIENT" stats --socket "$SOCK" \
+  | awk '$1 == "automap_service_io_timeouts_total" { exit !($2 >= 1) }'
+
+# Backpressure + request deadline: the queue holds one job (workers 0),
+# so a second distinct submission is refused with the structured
+# `overloaded` error; once the first job's deadline expires it frees the
+# slot and the refused submission is accepted.
+"$CLIENT" submit "$DIR/m.machine" "$DIR/g.graph" --socket "$SOCK" \
+      --rotations 2 --repeats 3 --deadline-ms 400 \
+      | grep -q "job 1 queued"
+if "$CLIENT" submit "$DIR/m.machine" "$DIR/g.graph" --socket "$SOCK" \
+      --rotations 3 --repeats 3 > /dev/null 2> "$DIR/overloaded.txt"; then
+  echo "expected the second submit to be refused as overloaded" >&2
+  exit 1
+fi
+grep -q "overloaded" "$DIR/overloaded.txt"
+for _ in $(seq 1 300); do
+  "$CLIENT" status 1 --socket "$SOCK" | grep -q "cancelled" && break
+  sleep 0.02
+done
+"$CLIENT" status 1 --socket "$SOCK" | grep -q "cancelled (deadline)"
+"$CLIENT" submit "$DIR/m.machine" "$DIR/g.graph" --socket "$SOCK" \
+      --rotations 3 --repeats 3 | grep -q "queued"
+
+"$CLIENT" shutdown --socket "$SOCK" > /dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+
 echo "service smoke test passed"

@@ -6,17 +6,30 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/apps/registry.hpp"
 #include "src/io/text_io.hpp"
 #include "src/machine/machine.hpp"
 #include "src/search/algorithms.hpp"
 #include "src/search/search.hpp"
+#include "src/service/client.hpp"
+#include "src/service/server.hpp"
 #include "src/service/service.hpp"
 #include "src/service/wire.hpp"
 #include "src/sim/simulator.hpp"
@@ -661,6 +674,506 @@ TEST(Service, EvalCacheSeedsRepeatMeasurements) {
   const JsonValue* stats = result.find("stats");
   ASSERT_NE(stats, nullptr);
   EXPECT_GT(stats->num_or("cache_hits", 0), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Admission control, request deadlines, and store quarantine.
+
+TEST(Service, OverloadedWhenQueueFullButDedupeStillAnswered) {
+  MappingService service({.store_dir = fresh_store("overload-queue"),
+                          .eval_threads = 1,
+                          .job_workers = 0,
+                          .max_queued_jobs = 1});
+  const SearchOptions a = small_options(1);
+  const JsonValue first = handle_json(service, submit_request(a));
+  ASSERT_EQ(first.str_or("status", ""), "queued");
+
+  // A *new* fingerprint is refused with a structured, retryable error.
+  const JsonValue refused =
+      handle_json(service, submit_request(small_options(2)));
+  EXPECT_EQ(refused.str_or("type", ""), "error");
+  EXPECT_EQ(refused.str_or("code", ""), "overloaded");
+  EXPECT_GT(refused.num_or("retry_after_ms", 0), 0.0);
+
+  // Deduplication beats admission: re-submitting the queued job's exact
+  // request is answered from the existing job, never refused.
+  const JsonValue repeat = handle_json(service, submit_request(a));
+  EXPECT_EQ(job_id_of(repeat), job_id_of(first));
+  EXPECT_EQ(repeat.str_or("status", ""), "queued");
+
+  service.drain();
+  // Capacity freed: the previously refused request is accepted now.
+  EXPECT_EQ(handle_json(service, submit_request(small_options(2)))
+                .str_or("status", ""),
+            "queued");
+  EXPECT_EQ(metric_value(service.expose_metrics(),
+                         "automap_service_overloaded_total"),
+            1.0);
+}
+
+TEST(Service, MaxInflightGatesRevivalOfCancelledJobs) {
+  MappingService service({.store_dir = fresh_store("overload-revive"),
+                          .eval_threads = 1,
+                          .job_workers = 0,
+                          .max_inflight = 1});
+  const SearchOptions a = small_options(1);
+  const std::string id_a =
+      job_id_of(handle_json(service, submit_request(a)));
+  handle_json(service, "{\"op\":\"cancel\",\"job\":" + id_a + "}");
+  // The slot freed by the cancel goes to a new job...
+  ASSERT_EQ(handle_json(service, submit_request(small_options(2)))
+                .str_or("status", ""),
+            "queued");
+  // ...so reviving the cancelled job must pass admission like any other
+  // enqueue — and is refused at capacity.
+  EXPECT_EQ(handle_json(service, submit_request(a)).str_or("code", ""),
+            "overloaded");
+  service.drain();
+  const JsonValue revived = handle_json(service, submit_request(a));
+  EXPECT_EQ(revived.str_or("status", ""), "queued");
+  service.drain();
+  const JsonValue result = handle_json(
+      service, "{\"op\":\"result\",\"job\":" + job_id_of(revived) + "}");
+  const OneShot ref = one_shot_reference(a);
+  EXPECT_EQ(result.str_or("summary", ""), ref.summary);
+  EXPECT_EQ(result.str_or("mapping", ""), ref.mapping);
+}
+
+TEST(Service, DeadlineExpiresQueuedJobAndResubmitRecovers) {
+  const std::string store = fresh_store("deadline-queued");
+  MappingService service(
+      {.store_dir = store, .eval_threads = 1, .job_workers = 0});
+  const SearchOptions options = small_options(42);
+  const std::string id = job_id_of(handle_json(
+      service, submit_request(options, ",\"deadline_ms\":25")));
+  // No workers: the job sits queued until the deadline wheel fires.
+  ASSERT_EQ(wait_for(service, id), "cancelled");
+  const JsonValue status =
+      handle_json(service, "{\"op\":\"status\",\"job\":" + id + "}");
+  EXPECT_EQ(status.str_or("reason", ""), "deadline");
+  EXPECT_EQ(metric_value(service.expose_metrics(),
+                         "automap_service_deadline_expired_total"),
+            1.0);
+  // Deadline expiry keeps the job dir (tombstone "keep"), so resubmission
+  // revives it in place rather than starting a new store entry.
+  ASSERT_TRUE(fs::exists(store + "/jobs/" + id));
+
+  // deadline_ms is not part of the fingerprint: the same search without a
+  // deadline revives the expired job and runs to the one-shot answer.
+  const JsonValue revived = handle_json(service, submit_request(options));
+  ASSERT_EQ(job_id_of(revived), id);
+  ASSERT_EQ(revived.str_or("status", ""), "queued");
+  service.drain();
+  const JsonValue result =
+      handle_json(service, "{\"op\":\"result\",\"job\":" + id + "}");
+  const OneShot ref = one_shot_reference(options);
+  EXPECT_EQ(result.str_or("summary", ""), ref.summary);
+  EXPECT_EQ(result.str_or("mapping", ""), ref.mapping);
+}
+
+TEST(Service, DeadlineCancelsRunningJobAndResumeIsByteIdentical) {
+  const std::string store = fresh_store("deadline-running");
+  MappingService service(
+      {.store_dir = store, .eval_threads = 2, .job_workers = 1});
+  SearchOptions options = small_options(42);
+  options.rotations = 64;  // long enough that a 1ms deadline lands mid-run
+  const std::string id = job_id_of(handle_json(
+      service, submit_request(options, ",\"deadline_ms\":1")));
+  ASSERT_EQ(wait_for(service, id), "cancelled");
+  EXPECT_EQ(handle_json(service, "{\"op\":\"status\",\"job\":" + id + "}")
+                .str_or("reason", ""),
+            "deadline");
+
+  // Resubmitting without a deadline resumes from whatever checkpoint the
+  // interrupted run reached — or from scratch — and must land on the
+  // byte-identical one-shot answer either way.
+  const JsonValue revived = handle_json(service, submit_request(options));
+  ASSERT_EQ(job_id_of(revived), id);
+  ASSERT_EQ(wait_for(service, id), "done");
+  const JsonValue result =
+      handle_json(service, "{\"op\":\"result\",\"job\":" + id + "}");
+  const OneShot ref = one_shot_reference(options);
+  EXPECT_EQ(result.str_or("summary", ""), ref.summary);
+  EXPECT_EQ(result.str_or("mapping", ""), ref.mapping);
+}
+
+TEST(Service, CorruptRequestFileQuarantinedAtRestart) {
+  const std::string store = fresh_store("quarantine-request");
+  std::string id;
+  {
+    MappingService service(
+        {.store_dir = store, .eval_threads = 1, .job_workers = 0});
+    id = job_id_of(handle_json(service, submit_request(small_options(9))));
+  }
+  // Garble the persisted request: the trailer no longer matches.
+  const std::string dir = store + "/jobs/" + id;
+  save_text(dir + "/request.json", "{\"torn\":");
+
+  // Recovery quarantines the whole job dir and starts clean — a corrupt
+  // store entry must never wedge daemon startup.
+  MappingService revived(
+      {.store_dir = store, .eval_threads = 1, .job_workers = 0});
+  EXPECT_EQ(
+      handle_json(revived, "{\"op\":\"status\",\"job\":" + id + "}")
+          .str_or("code", ""),
+      "not_found");
+  EXPECT_TRUE(fs::exists(dir + ".corrupt"));
+  EXPECT_FALSE(fs::exists(dir));
+  EXPECT_EQ(metric_value(revived.expose_metrics(),
+                         "automap_service_store_quarantined_total"),
+            1.0);
+}
+
+TEST(Service, CorruptResultQuarantinedAndRecomputedByteIdentically) {
+  const std::string store = fresh_store("quarantine-result");
+  const SearchOptions options = small_options(42);
+  std::string id;
+  std::string payload;
+  {
+    MappingService service(
+        {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+    id = job_id_of(handle_json(service, submit_request(options)));
+    service.drain();
+    payload = service.handle("{\"op\":\"result\",\"job\":" + id + "}");
+  }
+  // Flip one byte mid-file: a bit-rotted or torn result.
+  const std::string result_path = store + "/jobs/" + id + "/result.json";
+  std::string raw = load_text(result_path);
+  raw[raw.size() / 2] ^= 0x01;
+  save_text(result_path, raw);
+
+  // Recovery quarantines the bad result and re-enqueues the job; the
+  // surviving checkpoint resumes it to the byte-identical payload.
+  MappingService revived(
+      {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+  EXPECT_EQ(
+      handle_json(revived, "{\"op\":\"status\",\"job\":" + id + "}")
+          .str_or("status", ""),
+      "queued");
+  EXPECT_TRUE(fs::exists(result_path + ".corrupt"));
+  EXPECT_EQ(metric_value(revived.expose_metrics(),
+                         "automap_service_store_quarantined_total"),
+            1.0);
+  revived.drain();
+  EXPECT_EQ(revived.handle("{\"op\":\"result\",\"job\":" + id + "}"),
+            payload);
+}
+
+TEST(Service, CorruptCheckpointQuarantinedAndJobRunsFresh) {
+  const std::string store = fresh_store("quarantine-checkpoint");
+  const SearchOptions options = small_options(42);
+  std::string id;
+  {
+    MappingService service(
+        {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+    id = job_id_of(handle_json(service, submit_request(options)));
+    service.drain();
+  }
+  // Daemon "died" before the result landed, and the checkpoint is torn.
+  const std::string dir = store + "/jobs/" + id;
+  fs::remove(dir + "/result.json");
+  const std::string checkpoint = load_text(dir + "/checkpoint");
+  save_text(dir + "/checkpoint", checkpoint.substr(0, checkpoint.size() / 2));
+
+  MappingService revived(
+      {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+  revived.drain();
+  // The torn checkpoint was quarantined, not trusted: the job re-ran from
+  // scratch and still matches the one-shot answer.
+  EXPECT_TRUE(fs::exists(dir + "/checkpoint.corrupt"));
+  EXPECT_EQ(metric_value(revived.expose_metrics(),
+                         "automap_service_store_quarantined_total"),
+            1.0);
+  const JsonValue result =
+      handle_json(revived, "{\"op\":\"result\",\"job\":" + id + "}");
+  const OneShot ref = one_shot_reference(options);
+  EXPECT_EQ(result.str_or("summary", ""), ref.summary);
+  EXPECT_EQ(result.str_or("mapping", ""), ref.mapping);
+}
+
+// ---------------------------------------------------------------------
+// Protocol-level tests: a real ServiceServer on a Unix socket, attacked
+// by raw misbehaving clients while well-behaved ones keep working.
+
+/// A MappingService + ServiceServer pair with serve() on its own thread;
+/// the destructor stops and joins, so a test that returns while rogue
+/// connections are still open also exercises clean shutdown.
+struct LiveServer {
+  MappingService service;
+  ServiceServer server;
+  std::thread thread;
+
+  LiveServer(const std::string& name, ServerConfig server_config,
+             ServiceConfig service_config = {})
+      : service([&] {
+          service_config.store_dir = fresh_store("proto-" + name);
+          if (service_config.eval_threads == 0)
+            service_config.eval_threads = 2;
+          return service_config;
+        }()),
+        server(service, socket_path(name), server_config),
+        thread([this] { server.serve(); }) {}
+
+  ~LiveServer() {
+    server.stop();
+    thread.join();
+  }
+
+  static std::string socket_path(const std::string& name) {
+    const std::string path =
+        (fs::path(::testing::TempDir()) / ("automap-" + name + ".sock"))
+            .string();
+    fs::remove(path);
+    return path;
+  }
+};
+
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_bytes(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `n` bytes into `out`; false on EOF or `timeout_ms`.
+bool recv_exact(int fd, std::size_t n, std::string& out,
+                int timeout_ms = 5000) {
+  out.clear();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (out.size() < n) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 50) <= 0) continue;
+    char buffer[512];
+    const ssize_t got =
+        ::recv(fd, buffer, std::min(sizeof(buffer), n - out.size()), 0);
+    if (got <= 0) return false;
+    out.append(buffer, static_cast<std::size_t>(got));
+  }
+  return true;
+}
+
+/// True when the peer closes the connection within `timeout_ms`
+/// (any data still in flight is drained and discarded).
+bool recv_eof(int fd, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() <= deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 50) <= 0) continue;
+    char buffer[512];
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got == 0) return true;
+    if (got < 0) return false;
+  }
+  return false;
+}
+
+/// Reads one response frame (header + payload) off a raw socket.
+bool recv_frame(int fd, std::string& payload) {
+  std::string header;
+  if (!recv_exact(fd, kFrameHeaderBytes, header)) return false;
+  const auto length = decode_frame_length(header);
+  if (!length.has_value()) return false;
+  return recv_exact(fd, *length, payload);
+}
+
+TEST(Protocol, GarbageLengthPrefixAnsweredThenClosed) {
+  LiveServer live("garbage", {});
+  const int fd = raw_connect(live.server.socket_path());
+  ASSERT_GE(fd, 0);
+  // A 4GB length prefix: structured too_large error, then disconnect.
+  ASSERT_TRUE(send_bytes(fd, std::string("\xff\xff\xff\xff", 4)));
+  std::string payload;
+  ASSERT_TRUE(recv_frame(fd, payload));
+  EXPECT_EQ(parse_json(payload).str_or("code", ""), "too_large");
+  EXPECT_TRUE(recv_eof(fd, 5000));
+  ::close(fd);
+
+  // The daemon is unharmed: a well-behaved ping succeeds.
+  const ServiceClient client(live.server.socket_path());
+  EXPECT_EQ(parse_json(client.call("{\"op\":\"ping\"}")).str_or("type", ""),
+            "pong");
+}
+
+TEST(Protocol, TruncatedFrameDisconnectLeavesDaemonServing) {
+  LiveServer live("truncated", {});
+  const int fd = raw_connect(live.server.socket_path());
+  ASSERT_GE(fd, 0);
+  // Header promises 100 bytes; the client sends 10 and vanishes.
+  ASSERT_TRUE(send_bytes(fd, std::string("\x00\x00\x00\x64", 4)));
+  ASSERT_TRUE(send_bytes(fd, "0123456789"));
+  ::close(fd);
+
+  const ServiceClient client(live.server.socket_path());
+  EXPECT_EQ(parse_json(client.call("{\"op\":\"ping\"}")).str_or("type", ""),
+            "pong");
+}
+
+TEST(Protocol, StalledClientHitsFrameDeadlineWhileOthersProceed) {
+  // Slow-loris: a peer starts a frame and stalls. The frame deadline must
+  // reap it — one dropped connection — while a concurrent well-behaved
+  // client is served normally.
+  LiveServer live("stalled", {.io_timeout_ms = 150, .idle_timeout_ms = 0});
+  const int staller = raw_connect(live.server.socket_path());
+  ASSERT_GE(staller, 0);
+  ASSERT_TRUE(send_bytes(staller, std::string("\x00\x00", 2)));  // ...stall
+
+  const ServiceClient client(live.server.socket_path());
+  EXPECT_EQ(parse_json(client.call("{\"op\":\"ping\"}")).str_or("type", ""),
+            "pong");
+
+  EXPECT_TRUE(recv_eof(staller, 5000));
+  ::close(staller);
+  EXPECT_GE(metric_value(live.service.expose_metrics(),
+                         "automap_service_io_timeouts_total"),
+            1.0);
+}
+
+TEST(Protocol, IdleConnectionReapedBetweenFrames) {
+  LiveServer live("idle", {.io_timeout_ms = 0, .idle_timeout_ms = 100});
+  const int idler = raw_connect(live.server.socket_path());
+  ASSERT_GE(idler, 0);
+  // Sends nothing at all: reaped by the idle deadline.
+  EXPECT_TRUE(recv_eof(idler, 5000));
+  ::close(idler);
+  EXPECT_GE(metric_value(live.service.expose_metrics(),
+                         "automap_service_idle_reaped_total"),
+            1.0);
+  const ServiceClient client(live.server.socket_path());
+  EXPECT_EQ(parse_json(client.call("{\"op\":\"ping\"}")).str_or("type", ""),
+            "pong");
+}
+
+TEST(Protocol, StopUnblocksOpenConnections) {
+  // Unbounded timeouts + a silent open connection: stop() must still wind
+  // the server down promptly (the ctest timeout is the failure detector).
+  int fd = -1;
+  {
+    LiveServer live("stop", {.io_timeout_ms = 0, .idle_timeout_ms = 0});
+    fd = raw_connect(live.server.socket_path());
+    ASSERT_GE(fd, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }  // ~LiveServer: stop() + join while the connection is still open
+  EXPECT_TRUE(recv_eof(fd, 5000));
+  ::close(fd);
+}
+
+/// A scripted one-frame-per-connection wire server: each accepted
+/// connection gets the next canned response. Lets retry tests control
+/// exactly what the "daemon" answers without standing up a real one.
+struct ScriptedServer {
+  std::string path;
+  std::vector<std::string> responses;
+  int listen_fd = -1;
+  std::atomic<bool> stop{false};
+  std::atomic<int> served{0};
+  std::thread thread;
+
+  explicit ScriptedServer(std::string sock_path,
+                          std::vector<std::string> canned)
+      : path(std::move(sock_path)), responses(std::move(canned)) {
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    ::unlink(path.c_str());
+    ::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr));
+    ::listen(listen_fd, 8);
+    const int flags = ::fcntl(listen_fd, F_GETFL, 0);
+    ::fcntl(listen_fd, F_SETFL, flags | O_NONBLOCK);
+    thread = std::thread([this] { serve(); });
+  }
+
+  void serve() {
+    for (std::size_t next = 0; next < responses.size() && !stop;) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 50) <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      std::string header;
+      std::string request;
+      // `served` ticks *before* the response goes out, so once a client
+      // has response N in hand the counter already reads N.
+      if (recv_exact(fd, kFrameHeaderBytes, header) &&
+          recv_exact(fd, *decode_frame_length(header), request)) {
+        ++served;
+        send_bytes(fd, encode_frame(responses[next]));
+      }
+      ::close(fd);
+      ++next;
+    }
+  }
+
+  ~ScriptedServer() {
+    stop = true;
+    thread.join();
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+  }
+};
+
+TEST(Protocol, ClientRetriesThroughOverloadToSuccess) {
+  const std::string sock = LiveServer::socket_path("scripted-ok");
+  ScriptedServer scripted(
+      sock,
+      {"{\"type\":\"error\",\"code\":\"overloaded\",\"message\":\"busy\","
+       "\"retry_after_ms\":5}",
+       "{\"type\":\"pong\",\"version\":1}"});
+  const ServiceClient client(sock);
+  const RetryPolicy policy{
+      .max_attempts = 3, .base_ms = 1, .cap_ms = 4, .seed = 7};
+  const std::string response =
+      client.call_with_retry("{\"op\":\"ping\"}", policy);
+  EXPECT_EQ(parse_json(response).str_or("type", ""), "pong");
+  EXPECT_EQ(scripted.served.load(), 2);
+}
+
+TEST(Protocol, ClientSurfacesFinalOverloadedAfterExhaustion) {
+  const std::string sock = LiveServer::socket_path("scripted-busy");
+  const std::string busy =
+      "{\"type\":\"error\",\"code\":\"overloaded\",\"message\":\"busy\","
+      "\"retry_after_ms\":1}";
+  ScriptedServer scripted(sock, {busy, busy});
+  const ServiceClient client(sock);
+  const RetryPolicy policy{
+      .max_attempts = 2, .base_ms = 1, .cap_ms = 2, .seed = 7};
+  // Attempts exhausted: the last overloaded response comes back verbatim
+  // for the caller to inspect (not an exception).
+  const std::string response =
+      client.call_with_retry("{\"op\":\"ping\"}", policy);
+  EXPECT_EQ(parse_json(response).str_or("code", ""), "overloaded");
+  EXPECT_EQ(scripted.served.load(), 2);
+}
+
+TEST(Protocol, ClientThrowsUnreachableAfterRetries) {
+  const ServiceClient client(
+      LiveServer::socket_path("nobody-listening"));
+  const RetryPolicy policy{
+      .max_attempts = 3, .base_ms = 1, .cap_ms = 2, .seed = 7};
+  EXPECT_THROW(
+      { (void)client.call_with_retry("{\"op\":\"ping\"}", policy); },
+      Unreachable);
 }
 
 }  // namespace

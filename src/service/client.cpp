@@ -95,6 +95,10 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 /// copies out its retry_after_ms hint. Unparseable responses are not
 /// overloaded — they surface to the caller unchanged.
 bool is_overloaded(const std::string& response, double* retry_after_ms) {
+  // Cheap pre-filter: every daemon error starts with these exact bytes
+  // (wire_error emits no whitespace), so successful responses — which
+  // may carry multi-megabyte result payloads — skip the full JSON parse.
+  if (response.rfind("{\"type\":\"error\"", 0) != 0) return false;
   try {
     const JsonValue value = parse_json(response);
     if (value.kind != JsonValue::Kind::kObject) return false;

@@ -8,6 +8,7 @@
 #include <optional>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "src/io/text_io.hpp"
 #include "src/report/journal.hpp"
@@ -27,6 +28,9 @@ namespace fs = std::filesystem;
 
 /// Everything a submit request carries, decoded once and shared by the
 /// submit handler, the job runner and store recovery.
+/// Largest accepted per-submit deadline (~366 days in milliseconds).
+constexpr double kMaxDeadlineMs = 31622400000.0;
+
 struct SubmitSpec {
   std::string machine_text;
   std::string graph_text;
@@ -68,7 +72,12 @@ SubmitSpec parse_submit(const JsonValue& request) {
   spec.want_journal = request.bool_or("journal", false);
   spec.reuse_measurements = request.bool_or("reuse_measurements", false);
   spec.deadline_ms = request.num_or("deadline_ms", 0);
-  AM_REQUIRE(spec.deadline_ms >= 0, "deadline_ms must be >= 0");
+  // The upper bound keeps the later int64 cast and steady_clock addition
+  // well-defined for any wire-supplied double (1e300 is valid JSON); NaN
+  // fails both comparisons. ~A year is far beyond any real deadline.
+  AM_REQUIRE(spec.deadline_ms >= 0 && spec.deadline_ms <= kMaxDeadlineMs,
+             "deadline_ms must be between 0 and " +
+                 std::to_string(static_cast<std::int64_t>(kMaxDeadlineMs)));
 
   spec.options_json = search_options_to_json(spec.options);
   spec.sim_json = sim_options_to_json(spec.sim);
@@ -158,7 +167,7 @@ void write_tombstone(const std::string& dir, const char* mode) {
 }
 
 /// Milliseconds cast for the deadline wheel (deadline_ms is validated
-/// non-negative at parse time).
+/// into [0, kMaxDeadlineMs] at parse time, so the cast is exact).
 std::chrono::milliseconds deadline_delay(double deadline_ms) {
   return std::chrono::milliseconds(static_cast<std::int64_t>(deadline_ms));
 }
@@ -239,9 +248,12 @@ MappingService::MappingService(const ServiceConfig& config)
   wheel_ = std::make_unique<DeadlineWheel>(
       [this](std::uint64_t id) { on_deadline(id); });
 
-  recover_store();
   {
+    // The wheel thread is already live and its expiry callback locks
+    // mutex_, so recovery must hold it too: an expiry racing the rebuild
+    // of jobs_ would otherwise be concurrent unordered_map access.
     const std::lock_guard<std::mutex> lock(mutex_);
+    recover_store_locked();
     enforce_budgets_locked();
   }
 
@@ -437,11 +449,15 @@ void MappingService::on_deadline(std::uint64_t id) {
     m_cancelled_->inc();
     m_deadline_expired_->inc();
     update_cache_gauges_locked();
-  } else if (job.status == JobStatus::kRunning) {
+  } else if (job.status == JobStatus::kRunning &&
+             job.cancel_reason.empty()) {
     // Same cooperative path as a client cancel: the search observes the
     // token as a budget cut at the next task boundary and run_job settles
-    // the job as cancelled with its checkpoint on disk.
-    if (job.cancel_reason.empty()) job.cancel_reason = "deadline";
+    // the job as cancelled with its checkpoint on disk. A non-empty
+    // reason means a client cancel raced ahead of the wheel's disarm —
+    // that cancellation already owns the job, so neither the token nor
+    // the expiry metric is touched.
+    job.cancel_reason = "deadline";
     job.cancel->store(true);
     m_deadline_expired_->inc();
   }
@@ -526,8 +542,13 @@ std::string MappingService::handle_submit(const JsonValue& request,
       job.error.clear();
       job.cancel_reason.clear();
       // The revival's deadline (if any) replaces the expired one — a
-      // fresh window, armed below once the job is queued again.
+      // fresh window, armed below once the job is queued again. The new
+      // request text also replaces the persisted one: after a crash,
+      // recover_store_locked must re-arm the deadline this client was
+      // told was accepted, not the stale one from the first submission.
       job.deadline_ms = spec.deadline_ms;
+      job.priority = spec.priority;
+      job.request_json = request_json;
       fs::create_directories(job_dir(id));
       std::error_code ec;
       fs::remove(job_dir(id) + "/" + kTombstoneName, ec);
@@ -956,8 +977,12 @@ void MappingService::run_job(std::uint64_t id) {
   work_cv_.notify_all();
 }
 
-void MappingService::recover_store() {
+void MappingService::recover_store_locked() {
   const fs::path jobs_root = fs::path(config_.store_dir) / "jobs";
+  // Deadlines are armed only after the recovery loop finishes: arming a
+  // job before (or in the same statement as) its jobs_.emplace leaves a
+  // window where the expiry finds no job and is dropped forever.
+  std::vector<std::pair<std::uint64_t, std::chrono::milliseconds>> arms;
   std::error_code ec;
   for (const fs::directory_entry& entry :
        fs::directory_iterator(jobs_root, ec)) {
@@ -1040,9 +1065,10 @@ void MappingService::recover_store() {
     // start — the original submission instant is gone with the crash, and
     // expiring everything immediately would punish the restart itself.
     if (job.status == JobStatus::kQueued && job.deadline_ms > 0)
-      wheel_->arm(id, deadline_delay(job.deadline_ms));
+      arms.emplace_back(id, deadline_delay(job.deadline_ms));
     jobs_.emplace(id, std::move(job));
   }
+  for (const auto& [id, delay] : arms) wheel_->arm(id, delay);
   // Deterministic LRU seed: recovered jobs rank oldest-first by id, so
   // eviction order after a restart does not depend on directory iteration
   // order.

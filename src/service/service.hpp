@@ -192,8 +192,9 @@ class MappingService {
   /// cache, interrupted ones re-enqueue (resuming from their checkpoint),
   /// tombstoned dirs are cleaned up or recovered as cancelled. Torn or
   /// corrupt artifacts (bad checksum trailer) are quarantined — renamed
-  /// to `*.corrupt`, counted — never a startup failure.
-  void recover_store();
+  /// to `*.corrupt`, counted — never a startup failure. mutex_ held by
+  /// caller (the deadline-wheel thread is already live during recovery).
+  void recover_store_locked();
 
   /// Admission control: when the queued/inflight caps are exceeded,
   /// returns the structured `overloaded` response; empty string when the
@@ -265,8 +266,8 @@ class MappingService {
   Counter* m_idle_reaped_ = nullptr;
 
   /// Arms per-job deadline_ms; expiry calls on_deadline. Constructed
-  /// before recover_store (recovered queued jobs re-arm) and torn down
-  /// after the workers join.
+  /// before recover_store_locked (recovered queued jobs re-arm) and torn
+  /// down after the workers join.
   std::unique_ptr<DeadlineWheel> wheel_;
 
   std::vector<std::thread> workers_;

@@ -33,6 +33,7 @@
 #include "src/service/service.hpp"
 #include "src/service/wire.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/support/durable.hpp"
 #include "src/support/json.hpp"
 
 namespace automap {
@@ -769,6 +770,42 @@ TEST(Service, DeadlineExpiresQueuedJobAndResubmitRecovers) {
   const OneShot ref = one_shot_reference(options);
   EXPECT_EQ(result.str_or("summary", ""), ref.summary);
   EXPECT_EQ(result.str_or("mapping", ""), ref.mapping);
+}
+
+TEST(Service, AbsurdDeadlineIsRejectedAtParseTime) {
+  MappingService service({.store_dir = fresh_store("deadline-clamp"),
+                          .eval_threads = 1,
+                          .job_workers = 0});
+  // 1e300 is valid JSON; accepting it would make the int64 cast and the
+  // steady_clock addition inside the wheel undefined. It must bounce as a
+  // bad_request, not crash or arm anything.
+  const JsonValue refused = handle_json(
+      service, submit_request(small_options(7), ",\"deadline_ms\":1e300"));
+  EXPECT_EQ(refused.str_or("type", ""), "error");
+  EXPECT_EQ(refused.str_or("code", ""), "bad_request");
+  EXPECT_TRUE(
+      handle_json(service, "{\"op\":\"jobs\"}").find("jobs")->array.empty());
+}
+
+TEST(Service, RevivalPersistsTheAcceptedDeadline) {
+  const std::string store = fresh_store("deadline-revive-persist");
+  MappingService service(
+      {.store_dir = store, .eval_threads = 1, .job_workers = 0});
+  const SearchOptions options = small_options(42);
+  const std::string id = job_id_of(handle_json(
+      service, submit_request(options, ",\"deadline_ms\":25")));
+  ASSERT_EQ(wait_for(service, id), "cancelled");
+  // Revive without a deadline. The on-disk request must now match the
+  // accepted (deadline-free) submission: after a crash, recovery re-arms
+  // from the persisted request, and a stale 25ms window would cancel a
+  // job whose reviving client was told it had no deadline.
+  ASSERT_EQ(
+      handle_json(service, submit_request(options)).str_or("status", ""),
+      "queued");
+  const DurableLoad persisted =
+      load_checksummed(store + "/jobs/" + id + "/request.json");
+  ASSERT_EQ(persisted.status, DurableLoad::Status::kOk);
+  EXPECT_EQ(persisted.payload.find("deadline_ms"), std::string::npos);
 }
 
 TEST(Service, DeadlineCancelsRunningJobAndResumeIsByteIdentical) {

@@ -19,7 +19,9 @@
 #include "src/sim/simulator.hpp"
 #include "src/support/crash_points.hpp"
 #include "src/support/error.hpp"
+#include "src/support/format.hpp"
 #include "src/support/json.hpp"
+#include "src/support/table.hpp"
 
 namespace automap::cli {
 
@@ -58,6 +60,11 @@ int cmd_serve(const Args& args) {
   server_config.io_timeout_ms = args.int_or("--io-timeout-ms", 10000);
   server_config.idle_timeout_ms = args.int_or("--idle-timeout-ms", 60000);
 
+  // Probe the trace destination before serving anything: a bad path fails
+  // now with one Error line, not after hours of uptime at shutdown.
+  const std::string trace_path = args.value_or("--service-trace");
+  if (!trace_path.empty()) require_writable_path(trace_path);
+
   MappingService service(config);
   ServiceServer server(service, socket_path, server_config);
   g_server = &server;
@@ -70,6 +77,10 @@ int cmd_serve(const Args& args) {
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   g_server = nullptr;
+  if (!trace_path.empty()) {
+    save_text(trace_path, service.render_service_trace());
+    std::cout << "wrote service trace to " << trace_path << "\n";
+  }
   std::cout << "automap service stopped\n";
   return 0;
 }
@@ -194,6 +205,173 @@ int client_journal(const std::string& socket_path,
   return 0;
 }
 
+/// Renders a span attrs object as "k=v k=v" for the trace table.
+std::string render_attrs(const JsonValue& span) {
+  const JsonValue* attrs = span.find("attrs");
+  if (attrs == nullptr) return {};
+  std::string out;
+  for (const auto& [key, value] : attrs->object) {
+    if (!out.empty()) out += " ";
+    out += key + "=";
+    if (value.kind == JsonValue::Kind::kString)
+      out += value.string;
+    else if (value.kind == JsonValue::Kind::kBool)
+      out += value.boolean ? "true" : "false";
+    else
+      out += json_double(value.number);
+  }
+  return out;
+}
+
+int client_trace(const std::string& socket_path, const RetryPolicy& retry,
+                 const std::string& id) {
+  const JsonValue response =
+      call(socket_path, retry, "{\"op\":\"trace\",\"job\":" + id + "}");
+  const JsonValue* spans = response.find("spans");
+  std::cout << "job " << id << " trace"
+            << (response.bool_or("terminal", false) ? " (terminal)" : "")
+            << "\n";
+  if (const auto dropped =
+          static_cast<std::uint64_t>(response.num_or("dropped", 0));
+      dropped > 0)
+    std::cout << dropped << " spans dropped to the per-job bound\n";
+  if (spans == nullptr || spans->array.empty()) {
+    std::cout << "no spans recorded\n";
+    return 0;
+  }
+  const double origin = spans->array.front().num_or("start_ms", 0);
+  Table table({"span", "at", "duration", "worker", "attrs"});
+  for (const JsonValue& span : spans->array) {
+    const double start = span.num_or("start_ms", 0);
+    const JsonValue* end = span.find("end_ms");
+    const bool open =
+        end == nullptr || end->kind != JsonValue::Kind::kNumber;
+    std::string duration = "open";
+    if (span.bool_or("instant", false))
+      duration = "-";
+    else if (!open)
+      duration = format_seconds((end->number - start) / 1000.0);
+    const double worker = span.num_or("worker", -1);
+    table.add_row({span.str_or("name", "?"),
+                   "+" + format_seconds((start - origin) / 1000.0),
+                   duration,
+                   worker < 0 ? "-" : std::to_string(static_cast<int>(worker)),
+                   render_attrs(span)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+/// First sample value for `name` in a Prometheus exposition ("name 42").
+double exposition_value(const std::string& text, const std::string& name) {
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    if (line.rfind(name + " ", 0) == 0) {
+      try {
+        return std::stod(line.substr(name.size() + 1));
+      } catch (const std::exception&) {
+        return 0;
+      }
+    }
+    start = end + 1;
+  }
+  return 0;
+}
+
+/// One `top` frame: queue/inflight summary from `jobs`, cache hit rates
+/// and uptime from `stats`, and the latency quantiles.
+void print_top_frame(const std::string& socket_path,
+                     const RetryPolicy& retry) {
+  const JsonValue jobs_response =
+      call(socket_path, retry, "{\"op\":\"jobs\"}");
+  const JsonValue stats_response =
+      call(socket_path, retry, "{\"op\":\"stats\"}");
+  const std::string metrics = stats_response.str_or("metrics", "");
+
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t finished = 0;
+  const JsonValue* jobs = jobs_response.find("jobs");
+  if (jobs != nullptr) {
+    for (const JsonValue& job : jobs->array) {
+      const std::string status = job.str_or("status", "");
+      if (status == "queued")
+        ++queued;
+      else if (status == "running")
+        ++running;
+      else
+        ++finished;
+    }
+  }
+  std::cout << "automap service — uptime "
+            << format_seconds(
+                   exposition_value(metrics,
+                                    "automap_service_uptime_seconds"))
+            << " — " << queued << " queued, " << running << " running, "
+            << finished << " finished\n";
+  const double hits = exposition_value(
+      metrics, "automap_service_result_cache_hits_total");
+  const double misses = exposition_value(
+      metrics, "automap_service_result_cache_misses_total");
+  std::cout << "result cache: " << hits << " hits / " << hits + misses
+            << " lookups; store "
+            << format_bytes(static_cast<std::uint64_t>(exposition_value(
+                   metrics, "automap_service_store_bytes")))
+            << "\n\n";
+
+  Table inflight({"job", "status", "span", "age", "wait", "pri", "algo"});
+  if (jobs != nullptr) {
+    for (const JsonValue& job : jobs->array) {
+      const std::string status = job.str_or("status", "");
+      if (status != "queued" && status != "running") continue;
+      inflight.add_row(
+          {std::to_string(static_cast<std::uint64_t>(job.num_or("job", 0))),
+           status, job.str_or("span", "?"),
+           format_seconds(job.num_or("age_ms", 0) / 1000.0),
+           format_seconds(job.num_or("queue_wait_ms", 0) / 1000.0),
+           std::to_string(static_cast<int>(job.num_or("priority", 0))),
+           job.str_or("algorithm", "?")});
+    }
+  }
+  if (inflight.num_rows() > 0)
+    inflight.print(std::cout);
+  else
+    std::cout << "no inflight jobs\n";
+
+  if (const JsonValue* quantiles = stats_response.find("quantiles");
+      quantiles != nullptr && !quantiles->object.empty()) {
+    std::cout << "\n";
+    Table latency({"histogram", "p50", "p95", "p99", "count"});
+    for (const auto& [name, q] : quantiles->object)
+      latency.add_row({name, format_seconds(q.num_or("p50", 0)),
+                       format_seconds(q.num_or("p95", 0)),
+                       format_seconds(q.num_or("p99", 0)),
+                       std::to_string(static_cast<std::uint64_t>(
+                           q.num_or("count", 0)))});
+    latency.print(std::cout);
+  }
+}
+
+int client_top(const std::string& socket_path, const RetryPolicy& retry,
+               const Args& args) {
+  const int interval_ms = args.int_or("--interval-ms", 1000);
+  if (args.has("--once")) {
+    print_top_frame(socket_path, retry);
+    return 0;
+  }
+  for (;;) {
+    // Home the cursor and clear: a cheap full-screen refresh that avoids
+    // a curses dependency. ^C exits through the default handler.
+    std::cout << "\x1b[H\x1b[2J";
+    print_top_frame(socket_path, retry);
+    std::cout << std::flush;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 int client_jobs(const std::string& socket_path, const RetryPolicy& retry) {
   const JsonValue response = call(socket_path, retry, "{\"op\":\"jobs\"}");
   const JsonValue* jobs = response.find("jobs");
@@ -249,6 +427,9 @@ int cmd_client(const Args& args) {
     std::cout << "cancelled job " << id << "\n";
     return 0;
   }
+  if (action == "trace")
+    return client_trace(socket_path, retry, job_id_arg(args, action));
+  if (action == "top") return client_top(socket_path, retry, args);
   if (action == "jobs") return client_jobs(socket_path, retry);
   if (action == "stats") {
     const JsonValue response = call(socket_path, retry, "{\"op\":\"stats\"}");
@@ -262,7 +443,7 @@ int cmd_client(const Args& args) {
   }
   throw Error("unknown client action '" + action +
               "' (expected ping|submit|status|result|wait|journal|cancel|"
-              "jobs|stats|shutdown)");
+              "trace|top|jobs|stats|shutdown)");
 }
 
 /// Enumerates the crash-point registry, one name per line — the chaos
@@ -310,7 +491,11 @@ void register_service_commands(CommandRegistry& registry) {
                   "(default 10000, 0 = unbounded)"},
                  {"--idle-timeout-ms", "MS",
                   "idle-connection reap deadline between frames "
-                  "(default 60000, 0 = unbounded)"}},
+                  "(default 60000, 0 = unbounded)"},
+                 {"--service-trace", "FILE",
+                  "write the flight recorder's Chrome trace (job lanes "
+                  "per worker, service-event instants; loadable in "
+                  "Perfetto) here on shutdown"}},
        .run = cmd_serve});
 
   std::vector<FlagSpec> client_flags = {
@@ -335,14 +520,16 @@ void register_service_commands(CommandRegistry& registry) {
       {"--retry-cap-ms", "MS", "max single backoff delay (default 2000)"},
       {"--retry-seed", "N", "retry-jitter RNG seed (default 1; a fixed "
                             "seed replays a fixed schedule)"},
+      {"--once", "", "top: print a single frame and exit (for scripts)"},
+      {"--interval-ms", "MS", "top: refresh interval (default 1000)"},
   };
   const std::vector<FlagSpec> search_flags = search_option_flags();
   client_flags.insert(client_flags.end(), search_flags.begin(),
                       search_flags.end());
   registry.add(
       {.name = "client",
-       .positionals = "<ping|submit|status|result|wait|journal|cancel|jobs|"
-                      "stats|shutdown> [args]",
+       .positionals = "<ping|submit|status|result|wait|journal|cancel|trace|"
+                      "top|jobs|stats|shutdown> [args]",
        .summary = "drive a running mapping service daemon",
        .min_positional = 1,
        .max_positional = 3,

@@ -60,7 +60,52 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Default iostream formatting (up to 6 significant digits) — the
+/// formatting the trace exporter has always used for timestamps.
+std::string trace_number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
 }  // namespace
+
+void ChromeTraceBuilder::separator() {
+  if (!first_) events_ += ",";
+  first_ = false;
+}
+
+void ChromeTraceBuilder::lane(int tid, const std::string& name) {
+  separator();
+  events_ += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+             std::to_string(tid) + ",\"args\":{\"name\":\"" +
+             json_escape(name) + "\"}}";
+}
+
+void ChromeTraceBuilder::complete(int tid, const std::string& name,
+                                  double ts_us, double dur_us,
+                                  const std::string& args_json) {
+  separator();
+  events_ += "{\"name\":\"" + json_escape(name) +
+             "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+             ",\"ts\":" + trace_number(ts_us) +
+             ",\"dur\":" + trace_number(dur_us) + ",\"args\":{" + args_json +
+             "}}";
+}
+
+void ChromeTraceBuilder::instant(int tid, const std::string& name,
+                                 double ts_us,
+                                 const std::string& args_json) {
+  separator();
+  events_ += "{\"name\":\"" + json_escape(name) +
+             "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" +
+             std::to_string(tid) + ",\"ts\":" + trace_number(ts_us) +
+             ",\"args\":{" + args_json + "}}";
+}
+
+std::string ChromeTraceBuilder::str() const {
+  return "{\"traceEvents\":[" + events_ + "],\"displayTimeUnit\":\"ms\"}\n";
+}
 
 std::string render_mapping(const TaskGraph& graph, const Mapping& mapping) {
   std::uint64_t largest = 1;
@@ -153,48 +198,37 @@ std::string render_chrome_trace(
   for (const TraceEvent& e : report.trace)
     rows.emplace(e.resource, static_cast<int>(rows.size()) + 1);
 
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  bool first = true;
-  for (const auto& [resource, tid] : rows) {
-    if (!first) os << ",";
-    first = false;
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-       << ",\"args\":{\"name\":\"" << json_escape(resource) << "\"}}";
-  }
+  ChromeTraceBuilder trace;
+  for (const auto& [resource, tid] : rows) trace.lane(tid, resource);
   for (const TraceEvent& e : report.trace) {
-    os << ",{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"X\","
-       << "\"pid\":1,\"tid\":" << rows.at(e.resource) << ","
-       << "\"ts\":" << e.start_s * 1e6 << ","
-       << "\"dur\":" << e.duration_s * 1e6 << ","
-       << "\"args\":{\"iteration\":" << e.iteration << ",\"kind\":\""
-       << (e.kind == TraceEvent::Kind::kTask   ? "task"
-           : e.kind == TraceEvent::Kind::kCopy ? "copy"
-                                               : "fault")
-       << "\"";
-    if (e.kind == TraceEvent::Kind::kCopy) os << ",\"bytes\":" << e.bytes;
-    os << "}}";
+    std::string args = "\"iteration\":" + std::to_string(e.iteration) +
+                       ",\"kind\":\"" +
+                       (e.kind == TraceEvent::Kind::kTask   ? "task"
+                        : e.kind == TraceEvent::Kind::kCopy ? "copy"
+                                                            : "fault") +
+                       "\"";
+    if (e.kind == TraceEvent::Kind::kCopy)
+      args += ",\"bytes\":" + std::to_string(e.bytes);
+    trace.complete(rows.at(e.resource), e.name, e.start_s * 1e6,
+                   e.duration_s * 1e6, args);
   }
   if (!trajectory.empty()) {
     // The search clock (simulated hours of candidate evaluation) and the
     // rendered run (one execution, milliseconds) live on different time
     // axes, so incumbent markers are placed proportionally: an improvement
     // at 40% of the search lands at 40% of the rendered run.
-    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
-          "\"args\":{\"name\":\"search\"}}";
+    trace.lane(0, "search");
     const double span = trajectory.back().search_time_s;
     for (const TrajectoryPoint& point : trajectory) {
-      const double fraction =
-          span > 0.0 ? point.search_time_s / span : 1.0;
-      os << ",{\"name\":\"incumbent " << format_seconds(point.best_exec_s)
-         << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":0,"
-         << "\"ts\":" << fraction * report.total_seconds * 1e6 << ","
-         << "\"args\":{\"best_s\":" << point.best_exec_s
-         << ",\"search_time_s\":" << point.search_time_s << "}}";
+      const double fraction = span > 0.0 ? point.search_time_s / span : 1.0;
+      trace.instant(0, "incumbent " + format_seconds(point.best_exec_s),
+                    fraction * report.total_seconds * 1e6,
+                    "\"best_s\":" + trace_number(point.best_exec_s) +
+                        ",\"search_time_s\":" +
+                        trace_number(point.search_time_s));
     }
   }
-  os << "],\"displayTimeUnit\":\"ms\"}\n";
-  return os.str();
+  return trace.str();
 }
 
 }  // namespace automap

@@ -19,6 +19,34 @@
 
 namespace automap {
 
+/// Incremental builder for Chrome tracing JSON ("traceEvents" array,
+/// displayTimeUnit ms). Callers declare lanes (thread_name metadata rows),
+/// then append complete ("X") and instant ("i") events in any order —
+/// Perfetto sorts by timestamp. Event names are JSON-escaped by the
+/// builder; `args_json` is spliced verbatim as the contents of the event's
+/// "args" object, so it must already be valid JSON key/value pairs.
+/// Shared by the simulator's execution-trace export and the mapping
+/// service's flight-recorder export, so both load side by side.
+class ChromeTraceBuilder {
+ public:
+  /// Names row `tid` in the viewer (emits a thread_name metadata event).
+  void lane(int tid, const std::string& name);
+  /// Complete event: a bar on row `tid` from ts_us lasting dur_us (µs).
+  void complete(int tid, const std::string& name, double ts_us, double dur_us,
+                const std::string& args_json = "");
+  /// Instant event: a thread-scoped marker on row `tid` at ts_us (µs).
+  void instant(int tid, const std::string& name, double ts_us,
+               const std::string& args_json = "");
+  /// The complete JSON document (single trailing newline).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void separator();
+
+  std::string events_;
+  bool first_ = true;
+};
+
 /// Fig. 3-style text rendering: one block per task with processor kind,
 /// per-argument memory kind letters (S/Z/F) and relative-size bars.
 [[nodiscard]] std::string render_mapping(const TaskGraph& graph,

@@ -732,6 +732,8 @@ SearchResult run_coordinate_descent(const Simulator& sim,
               .integer("at_rotation", rotation)
               .integer("at_position", static_cast<long long>(pos + 1));
         }
+        if (options.on_checkpoint)
+          options.on_checkpoint(rotation, static_cast<int>(pos + 1));
       }
     }
     if (ins.journal != nullptr) ins.journal->clear_coordinate();
@@ -754,6 +756,7 @@ SearchResult run_coordinate_descent(const Simulator& sim,
             .integer("at_rotation", rotation + 1)
             .integer("at_position", 0);
       }
+      if (options.on_checkpoint) options.on_checkpoint(rotation + 1, 0);
     }
 
     // Graceful-degradation circuit breaker (fault injection only): when

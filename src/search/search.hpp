@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -172,6 +173,11 @@ struct SearchOptions {
   /// uninterrupted run), and finalize() skips the finalist reruns — the
   /// returned result is partial and meant to be discarded.
   const std::atomic<bool>* cancel = nullptr;
+  /// Called right after each checkpoint write with the (rotation,
+  /// position) the checkpoint resumes at. Runtime wiring, excluded from
+  /// the canonical codec; the service's flight recorder hangs
+  /// "checkpointed" markers on a running job's span timeline through it.
+  std::function<void(int rotation, int position)> on_checkpoint;
 };
 
 /// Canonical JSON codec for the deterministic subset of SearchOptions —

@@ -172,13 +172,35 @@ std::chrono::milliseconds deadline_delay(double deadline_ms) {
   return std::chrono::milliseconds(static_cast<std::int64_t>(deadline_ms));
 }
 
+double steady_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The fixed op label set for the per-op latency histograms and error
+/// counters. Unrecognized ops (and unparseable requests) land under
+/// "other" so client-controlled strings can never mint new label values.
+constexpr const char* kOpLabels[] = {"ping",   "submit", "status",
+                                     "result", "journal", "cancel",
+                                     "trace",  "jobs",   "stats",
+                                     "shutdown", "other"};
+
 }  // namespace
 
 MappingService::MappingService(const ServiceConfig& config)
     : config_(config),
       pool_(config.eval_threads == 0 ? ThreadPool::hardware_threads()
-                                     : config.eval_threads) {
+                                     : config.eval_threads),
+      recorder_([&config] {
+        FlightRecorderOptions options;
+        options.clock_ms = config.clock_ms;
+        return options;
+      }()) {
   AM_REQUIRE(!config_.store_dir.empty(), "service store directory is empty");
+  clock_ms_ = config_.clock_ms ? config_.clock_ms
+                               : std::function<double()>(&steady_ms);
+  start_ms_ = clock_ms_();
   fs::create_directories(fs::path(config_.store_dir) / "jobs");
   fs::create_directories(fs::path(config_.store_dir) / "cache");
   // The existing up-front writability probe, applied to the store before
@@ -242,6 +264,32 @@ MappingService::MappingService(const ServiceConfig& config)
   m_idle_reaped_ = metrics_.counter(
       "automap_service_idle_reaped_total",
       "Idle connections reaped by the server", false);
+  m_uptime_ = metrics_.gauge("automap_service_uptime_seconds",
+                             "Seconds since the service was constructed",
+                             false);
+  // Job latencies span milliseconds (cache hits, tiny searches) to many
+  // minutes (deep searches behind a backlog).
+  const std::vector<double> job_buckets = {0.001, 0.01, 0.05, 0.25, 1,
+                                           5,     30,   120,  600};
+  m_queue_wait_ = metrics_.histogram(
+      "automap_service_queue_wait_seconds",
+      "Submit-to-running wait per job (the queued span)", job_buckets,
+      false);
+  m_job_duration_ = metrics_.histogram(
+      "automap_service_job_duration_seconds",
+      "Submit-to-terminal latency per job", job_buckets, false);
+  // handle() never runs a search; its latencies are parse + persist.
+  const std::vector<double> handle_buckets = {0.0005, 0.002, 0.01, 0.05,
+                                              0.25,   1,     5};
+  for (const char* op : kOpLabels) {
+    const std::string label = std::string("{op=\"") + op + "\"}";
+    op_metrics_[op] = {
+        metrics_.histogram("automap_service_handle_seconds" + label,
+                           "handle() latency per op", handle_buckets,
+                           false),
+        metrics_.counter("automap_service_op_errors_total" + label,
+                         "Error responses per op", false)};
+  }
 
   // The wheel must exist before recover_store: recovered queued jobs with
   // a deadline re-arm a fresh window.
@@ -258,7 +306,7 @@ MappingService::MappingService(const ServiceConfig& config)
   }
 
   for (int i = 0; i < config_.job_workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 MappingService::~MappingService() {
@@ -307,7 +355,17 @@ bool MappingService::shutdown_requested() const {
 
 std::string MappingService::expose_metrics() {
   const std::lock_guard<std::mutex> lock(mutex_);
+  m_uptime_->set((clock_ms_() - start_ms_) / 1000.0);
   return metrics_.expose();
+}
+
+std::string MappingService::latency_quantiles() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.quantiles_json();
+}
+
+std::string MappingService::render_service_trace() const {
+  return recorder_.chrome_trace();
 }
 
 void MappingService::touch_locked(Job& job) {
@@ -337,6 +395,10 @@ void MappingService::evict_job_locked(std::uint64_t id) {
     by_fingerprint_.erase(it);
     m_result_cache_evictions_->inc();
   }
+  // Post-terminal marker; the recorder keeps the timeline (bounded
+  // separately), so `trace` still answers for a just-evicted job.
+  recorder_.instant(id, "evicted");
+  recorder_.service_event("evicted", {{"job", std::to_string(id)}});
   jobs_.erase(id);
 }
 
@@ -415,6 +477,9 @@ std::string MappingService::admission_error_locked() {
       config_.max_inflight > 0 && inflight >= config_.max_inflight;
   if (!over_queued && !over_inflight) return {};
   m_overloaded_->inc();
+  recorder_.service_event("admission_rejected",
+                          {{"queued", std::to_string(queued)},
+                           {"inflight", std::to_string(inflight)}});
   // Deterministic hint scaled to backlog depth; retrying clients honor it
   // as their minimum wait, so a deeper queue spreads retries out further.
   const std::size_t retry_after_ms =
@@ -442,6 +507,15 @@ void MappingService::on_deadline(std::uint64_t id) {
     job.status = JobStatus::kCancelled;
     if (job.cancel_reason.empty()) job.cancel_reason = "deadline";
     write_tombstone(job_dir(id), "keep");
+    const double age_ms = recorder_.terminal(id, "expired", {});
+    m_job_duration_->observe(age_ms / 1000.0);
+    recorder_.service_event("deadline_expired",
+                            {{"job", std::to_string(id)}});
+    try {
+      save_checksummed(job_dir(id) + "/spans.json",
+                       recorder_.serialize(id), "spans");
+    } catch (const std::exception&) {
+    }
     const std::size_t bytes = dir_bytes(job_dir(id));
     store_bytes_total_ += bytes;
     store_bytes_total_ -= std::min(job.store_bytes, store_bytes_total_);
@@ -460,6 +534,8 @@ void MappingService::on_deadline(std::uint64_t id) {
     job.cancel_reason = "deadline";
     job.cancel->store(true);
     m_deadline_expired_->inc();
+    recorder_.service_event("deadline_expired",
+                            {{"job", std::to_string(id)}});
   }
 }
 
@@ -471,10 +547,31 @@ bool MappingService::quarantine_path(const std::string& path) {
   fs::rename(path, target, ec);
   if (ec) return false;
   m_quarantined_->inc();
+  recorder_.service_event(
+      "quarantined", {{"path", "\"" + json_escape(path) + "\""}});
   return true;
 }
 
 std::string MappingService::handle(const std::string& request_json) {
+  const double start = clock_ms_();
+  std::string op_label = "other";
+  std::string response = dispatch(request_json, op_label);
+  const double elapsed_s = (clock_ms_() - start) / 1000.0;
+  const bool is_error = response.rfind("{\"type\":\"error\"", 0) == 0;
+  {
+    // Histogram is not thread-safe and handle() runs on concurrent
+    // connection threads, so observations land under mutex_ — after the
+    // handler released it, never while holding it twice.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto& [histogram, errors] = op_metrics_.at(op_label);
+    histogram->observe(elapsed_s);
+    if (is_error) errors->inc();
+  }
+  return response;
+}
+
+std::string MappingService::dispatch(const std::string& request_json,
+                                     std::string& op_label) {
   if (request_json.size() > config_.max_request_bytes)
     return wire_error("too_large",
                       "request of " + std::to_string(request_json.size()) +
@@ -486,6 +583,7 @@ std::string MappingService::handle(const std::string& request_json) {
     AM_REQUIRE(request.kind == JsonValue::Kind::kObject,
                "request must be a JSON object");
     const std::string op = request.str_or("op", "");
+    if (op_metrics_.count(op) != 0) op_label = op;
     if (op == "ping")
       return "{\"type\":\"pong\",\"version\":" +
              std::to_string(kWireVersion) + "}";
@@ -494,11 +592,13 @@ std::string MappingService::handle(const std::string& request_json) {
     if (op == "result") return handle_result(request);
     if (op == "journal") return handle_journal(request);
     if (op == "cancel") return handle_cancel(request);
+    if (op == "trace") return handle_trace(request);
     if (op == "jobs") return handle_jobs();
     if (op == "stats")
       return "{\"type\":\"stats\",\"version\":" +
              std::to_string(kWireVersion) + ",\"metrics\":\"" +
-             json_escape(expose_metrics()) + "\"}";
+             json_escape(expose_metrics()) + "\",\"quantiles\":" +
+             latency_quantiles() + "}";
     if (op == "shutdown") {
       {
         const std::lock_guard<std::mutex> lock(mutex_);
@@ -561,6 +661,14 @@ std::string MappingService::handle_submit(const JsonValue& request,
       m_result_cache_misses_->inc();
       m_submitted_->inc();
       update_cache_gauges_locked();
+      std::size_t queued = 0;
+      for (const auto& [jid, j] : jobs_)
+        if (j.status == JobStatus::kQueued) ++queued;
+      // Reopens the sealed timeline: the revival rides the same spans as
+      // a fresh submission, flagged so traces show the job came back.
+      recorder_.transition(id, "queued", -1,
+                           {{"revived", "true"},
+                            {"queue_depth", std::to_string(queued)}});
       if (job.deadline_ms > 0) wheel_->arm(id, deadline_delay(job.deadline_ms));
       work_cv_.notify_one();
       return "{\"type\":\"submitted\",\"job\":" + std::to_string(id) +
@@ -600,6 +708,14 @@ std::string MappingService::handle_submit(const JsonValue& request,
   m_submitted_->inc();
   m_result_cache_misses_->inc();
   enforce_budgets_locked();
+  std::size_t queued = 0;
+  for (const auto& [jid, j] : jobs_)
+    if (j.status == JobStatus::kQueued) ++queued;
+  recorder_.transition(
+      id, "submitted", -1,
+      {{"fingerprint", "\"" + hex_u64(spec.fingerprint) + "\""}});
+  recorder_.transition(id, "queued", -1,
+                       {{"queue_depth", std::to_string(queued)}});
   if (spec.deadline_ms > 0) wheel_->arm(id, deadline_delay(spec.deadline_ms));
   work_cv_.notify_one();
   return "{\"type\":\"submitted\",\"job\":" + std::to_string(id) +
@@ -620,7 +736,28 @@ std::string MappingService::handle_status(const JsonValue& request) {
     out += ",\"reason\":\"" + json_escape(it->second.cancel_reason) + "\"";
   if (!it->second.error.empty())
     out += ",\"message\":\"" + json_escape(it->second.error) + "\"";
+  if (recorder_.has(it->first)) {
+    out += ",\"span\":\"" +
+           json_escape(recorder_.current_span(it->first)) + "\"";
+    out += ",\"spans\":" + recorder_.spans_array_json(it->first);
+  }
   return out + "}";
+}
+
+std::string MappingService::handle_trace(const JsonValue& request) {
+  const std::string id_text = require_job_field(request);
+  const std::uint64_t id = std::stoull(id_text);
+  bool known = recorder_.has(id);
+  if (!known) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    known = jobs_.count(id) != 0;
+  }
+  // The recorder outlives eviction (its timeline map is bounded
+  // separately from jobs_), so a just-evicted job still answers here.
+  if (!known) return wire_error("not_found", "no job " + id_text);
+  // serialize() is {"job":N,"dropped":D,"terminal":B,"spans":[...]} —
+  // splice the type on front.
+  return "{\"type\":\"trace\"," + recorder_.serialize(id).substr(1);
 }
 
 std::string MappingService::handle_result(const JsonValue& request) {
@@ -697,6 +834,9 @@ std::string MappingService::handle_cancel(const JsonValue& request) {
     if (job.cancel_reason.empty()) job.cancel_reason = "client";
     wheel_->disarm(job.id);
     m_cancelled_->inc();
+    const double age_ms =
+        recorder_.terminal(job.id, "cancelled", {{"queued", "true"}});
+    m_job_duration_->observe(age_ms / 1000.0);
     // Tombstone, then delete: if remove_all fails partway, restart
     // scanning finds the tombstone and finishes the cleanup instead of
     // reviving a half-deleted job.
@@ -738,7 +878,11 @@ std::string MappingService::handle_jobs() {
     out += "{\"job\":" + std::to_string(id) + ",\"status\":\"" +
            status_name(job.status) + "\",\"algorithm\":\"" +
            json_escape(job.algorithm) +
-           "\",\"priority\":" + std::to_string(job.priority) + "}";
+           "\",\"priority\":" + std::to_string(job.priority) +
+           ",\"age_ms\":" + json_double(recorder_.age_ms(id)) +
+           ",\"queue_wait_ms\":" +
+           json_double(recorder_.queue_wait_ms(id)) + ",\"span\":\"" +
+           json_escape(recorder_.current_span(id)) + "\"}";
   }
   return out + "]}";
 }
@@ -757,7 +901,7 @@ std::uint64_t MappingService::claim_next_locked() {
   return best;
 }
 
-void MappingService::worker_loop() {
+void MappingService::worker_loop(int worker) {
   for (;;) {
     std::uint64_t id = 0;
     {
@@ -771,7 +915,7 @@ void MappingService::worker_loop() {
       if (stopping_) return;
       id = claim_next_locked();
     }
-    if (id != 0) run_job(id);
+    if (id != 0) run_job(id, worker);
   }
 }
 
@@ -783,11 +927,13 @@ void MappingService::drain() {
       id = claim_next_locked();
     }
     if (id == 0) return;
-    run_job(id);
+    // drain() shares lane 0 with the first worker thread; the two never
+    // run together outside tests, and lanes are cosmetic.
+    run_job(id, 0);
   }
 }
 
-void MappingService::run_job(std::uint64_t id) {
+void MappingService::run_job(std::uint64_t id, int worker) {
   std::string request_json;
   std::shared_ptr<std::atomic<bool>> cancel;
   {
@@ -795,6 +941,15 @@ void MappingService::run_job(std::uint64_t id) {
     const Job& job = jobs_.at(id);
     request_json = job.request_json;
     cancel = job.cancel;
+    std::size_t queued = 0;
+    for (const auto& [jid, j] : jobs_)
+      if (j.status == JobStatus::kQueued) ++queued;
+    // Closing the "queued" span IS the queue-wait measurement.
+    const double waited_ms = recorder_.transition(
+        id, "admitted", worker,
+        {{"queue_depth", std::to_string(queued)}});
+    m_queue_wait_->observe(waited_ms / 1000.0);
+    recorder_.transition(id, "running", worker);
   }
 
   const std::string dir = job_dir(id);
@@ -804,8 +959,34 @@ void MappingService::run_job(std::uint64_t id) {
                           std::string payload, bool index_result,
                           std::uint64_t bucket_written,
                           std::uint64_t sim_runs) {
+    // Terminal span: how the job ended, finer-grained than JobStatus —
+    // cancellation splits into client "cancelled" vs deadline "expired".
+    const char* span_name = "finished";
+    if (status == JobStatus::kFailed) span_name = "failed";
+    if (status == JobStatus::kCancelled) {
+      std::string reason;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        reason = jobs_.at(id).cancel_reason;
+      }
+      span_name = reason == "deadline" ? "expired" : "cancelled";
+    }
+    const double age_ms = recorder_.terminal(
+        id, span_name,
+        {{"store_bytes", std::to_string(dir_bytes(dir))}});
+    // Persist the sealed timeline next to the job's other artifacts so a
+    // restarted daemon still answers `trace`. Best-effort: observability
+    // must never fail a job.
+    try {
+      std::error_code ec;
+      if (fs::exists(dir, ec))
+        save_checksummed(dir + "/spans.json", recorder_.serialize(id),
+                         "spans");
+    } catch (const std::exception&) {
+    }
     const std::size_t bytes = dir_bytes(dir);
     const std::lock_guard<std::mutex> lock(mutex_);
+    m_job_duration_->observe(age_ms / 1000.0);
     wheel_->disarm(id);
     Job& job = jobs_.at(id);
     job.status = status;
@@ -843,6 +1024,14 @@ void MappingService::run_job(std::uint64_t id) {
     options.pool_stream = id;
     options.cancel = cancel.get();
     options.checkpoint_path = dir + "/checkpoint";
+    // Checkpoint markers land as zero-length instants on the running
+    // span; the recorder has its own lock, so this is safe from the
+    // search thread.
+    options.on_checkpoint = [this, id](int rotation, int position) {
+      recorder_.instant(id, "checkpointed",
+                        {{"rotation", std::to_string(rotation)},
+                         {"position", std::to_string(position)}});
+    };
     // Warm restart: a checkpoint left by an interrupted run resumes the
     // search; byte-identity of the final result is the PR 4 contract. A
     // torn checkpoint (bad checksum trailer) is quarantined and the
@@ -1058,6 +1247,26 @@ void MappingService::recover_store_locked() {
         job.status = JobStatus::kQueued;
       }
     }
+    // Restore the persisted span timeline; its timestamps shift so the
+    // newest restored instant lands at now (a dead process's steady
+    // epoch means nothing here, but the durations do). A torn or
+    // hand-mangled spans file is quarantined and the job simply starts a
+    // fresh timeline — spans are observability, never job truth.
+    {
+      const std::string spans_path = (entry.path() / "spans.json").string();
+      DurableLoad spans = load_checksummed(spans_path);
+      if (spans.status == DurableLoad::Status::kOk) {
+        try {
+          recorder_.restore(id, spans.payload);
+        } catch (const std::exception&) {
+          quarantine_path(spans_path);
+        }
+      } else if (spans.status == DurableLoad::Status::kCorrupt) {
+        quarantine_path(spans_path);
+      }
+    }
+    if (job.status == JobStatus::kQueued)
+      recorder_.transition(id, "queued", -1, {{"recovered", "true"}});
     job.store_bytes = dir_bytes(entry.path().string());
     store_bytes_total_ += job.store_bytes;
     next_id_ = std::max(next_id_, id + 1);

@@ -49,6 +49,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/service/flight_recorder.hpp"
 #include "src/service/wire.hpp"
 #include "src/support/deadline_wheel.hpp"
 #include "src/support/metrics.hpp"
@@ -99,6 +101,11 @@ struct ServiceConfig {
   /// Admission control: maximum queued + running jobs. Same `overloaded`
   /// answer when exceeded. 0 = unbounded.
   std::size_t max_inflight = 0;
+  /// Clock for the flight recorder and the latency histograms,
+  /// milliseconds on an arbitrary steady epoch. Empty =
+  /// std::chrono::steady_clock; tests inject a fake for deterministic
+  /// span and quantile assertions.
+  std::function<double()> clock_ms;
 };
 
 class MappingService {
@@ -126,6 +133,15 @@ class MappingService {
   /// Service-level metrics (result-cache hits, jobs by outcome, aggregated
   /// simulator runs). Exposed over the `stats` op.
   [[nodiscard]] std::string expose_metrics();
+
+  /// Latency quantiles ({"name":{"p50":...},...}) for every non-empty
+  /// histogram — the `stats` response's "quantiles" member.
+  [[nodiscard]] std::string latency_quantiles();
+
+  /// Chrome tracing JSON of everything the flight recorder holds (job
+  /// lanes per worker, a queue lane, service-event instants). Written to
+  /// `--service-trace` when the daemon exits.
+  [[nodiscard]] std::string render_service_trace() const;
 
   // Transport-side incident counters, bumped by the socket server so
   // slow-client defenses show up in `stats`.
@@ -171,6 +187,13 @@ class MappingService {
   [[nodiscard]] static const char* status_name(JobStatus status);
   [[nodiscard]] std::string job_dir(std::uint64_t id) const;
 
+  /// handle() minus the timing wrapper: dispatches one request and
+  /// reports which op label it ran as (a member of the fixed label set,
+  /// "other" for anything unrecognized) for the per-op latency histogram
+  /// and error counter.
+  [[nodiscard]] std::string dispatch(const std::string& request_json,
+                                     std::string& op_label);
+
   // Request handlers (mutex_ held by caller where noted).
   [[nodiscard]] std::string handle_submit(const JsonValue& request,
                                           const std::string& request_json);
@@ -178,15 +201,17 @@ class MappingService {
   [[nodiscard]] std::string handle_result(const JsonValue& request);
   [[nodiscard]] std::string handle_journal(const JsonValue& request);
   [[nodiscard]] std::string handle_cancel(const JsonValue& request);
+  [[nodiscard]] std::string handle_trace(const JsonValue& request);
   [[nodiscard]] std::string handle_jobs();
 
   /// Runs one job to completion (no service mutex held during the search)
-  /// and stores + persists its outcome.
-  void run_job(std::uint64_t id);
+  /// and stores + persists its outcome. `worker` tags the job's running
+  /// span with its lane in the flight recorder.
+  void run_job(std::uint64_t id, int worker);
   /// Picks the highest-priority queued job (FIFO within a class) and
   /// marks it running; 0 when none. mutex_ held by caller.
   [[nodiscard]] std::uint64_t claim_next_locked();
-  void worker_loop();
+  void worker_loop(int worker);
 
   /// Rescans the store directory: completed jobs re-enter the result
   /// cache, interrupted ones re-enqueue (resuming from their checkpoint),
@@ -264,6 +289,24 @@ class MappingService {
   Counter* m_quarantined_ = nullptr;
   Counter* m_io_timeouts_ = nullptr;
   Counter* m_idle_reaped_ = nullptr;
+  Gauge* m_uptime_ = nullptr;
+  /// Queue-wait (submit → running) and end-to-end (submit → terminal)
+  /// job latencies, observed under mutex_ (Histogram is not thread-safe).
+  Histogram* m_queue_wait_ = nullptr;
+  Histogram* m_job_duration_ = nullptr;
+  /// Per-op handle latency histogram and error counter, one pair per
+  /// member of the fixed op label set (plus "other" for unknown ops —
+  /// labels never come from client-controlled strings).
+  std::map<std::string, std::pair<Histogram*, Counter*>> op_metrics_;
+
+  /// Per-job lifecycle span timelines + service-event ring. Has its own
+  /// mutex and never calls back into the service, so both locked and
+  /// unlocked paths record directly.
+  FlightRecorder recorder_;
+  /// Milliseconds clock shared with the recorder (config_.clock_ms or
+  /// steady_clock); start_ms_ anchors the uptime gauge.
+  std::function<double()> clock_ms_;
+  double start_ms_ = 0;
 
   /// Arms per-job deadline_ms; expiry calls on_deadline. Constructed
   /// before recover_store_locked (recovered queued jobs re-arm) and torn

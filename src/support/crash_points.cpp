@@ -25,7 +25,7 @@ namespace {
 // artifact kinds routed through it. crash_point_names() is the cross
 // product; a kind/step pair not listed here will never fire.
 constexpr const char* kKinds[] = {"request", "result", "checkpoint",
-                                  "bucket", "tombstone"};
+                                  "bucket", "tombstone", "spans"};
 constexpr const char* kSteps[] = {"begin", "tmp_written", "tmp_synced",
                                   "renamed", "dir_synced"};
 

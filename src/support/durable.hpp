@@ -38,7 +38,8 @@ namespace automap {
 /// Atomic + durable publish of `text` at `path`: write `path + ".tmp"`,
 /// fsync it, rename over `path`, fsync the parent directory. `kind` names
 /// the crash-point family fired at each step ("request", "result",
-/// "checkpoint", "bucket", "tombstone"). Throws Error on I/O failure.
+/// "checkpoint", "bucket", "tombstone", "spans"). Throws Error on I/O
+/// failure.
 void save_durable(const std::string& path, const std::string& text,
                   const char* kind);
 

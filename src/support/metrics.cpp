@@ -22,6 +22,15 @@ std::string sample_value(double v) {
   return s;
 }
 
+/// Splits `name{labels}` into (name, labels); labels is empty for a plain
+/// name. The split is syntactic — a '{' anywhere marks the label set.
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') return {name, ""};
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> upper_bounds)
@@ -45,6 +54,40 @@ std::uint64_t Histogram::cumulative(std::size_t i) const {
     total += buckets_[b];
   }
   return total;
+}
+
+double Histogram::quantile(double q) const {
+  AM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (count_ == 0) return std::nan("");
+  if (upper_bounds_.empty()) return sum_ / static_cast<double>(count_);
+  // Target rank within the cumulative distribution; the first bucket whose
+  // cumulative count reaches it holds the quantile.
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t before = 0;
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i];
+    const std::uint64_t through = before + in_bucket;
+    if (static_cast<double>(through) >= rank && in_bucket > 0) {
+      const double lo = i == 0 ? 0.0 : upper_bounds_[i - 1];
+      const double hi = upper_bounds_[i];
+      const double into =
+          (rank - static_cast<double>(before)) / static_cast<double>(in_bucket);
+      // rank <= before (q == 0 or empty leading buckets) clamps to the
+      // bucket's lower edge.
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+    }
+    before = through;
+  }
+  // Quantile falls in the +Inf overflow bucket: the honest answer is
+  // "beyond the highest finite bound" — clamp there.
+  return upper_bounds_.back();
+}
+
+std::string render_quantiles(const Histogram& histogram) {
+  if (histogram.count() == 0) return "p50=- p95=- p99=-";
+  return "p50=" + json_double(histogram.quantile(0.50)) +
+         " p95=" + json_double(histogram.quantile(0.95)) +
+         " p99=" + json_double(histogram.quantile(0.99));
 }
 
 MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name) {
@@ -113,29 +156,54 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
 
 std::string MetricsRegistry::expose() const {
   std::string out;
+  std::string prev_base;
   for (const auto& e : entries_) {
-    out += "# HELP " + e->name + " " + e->help + "\n";
+    const auto [base, labels] = split_labels(e->name);
+    // Consecutive entries sharing a base name (labeled series of one
+    // instrument family) share a single # HELP / # TYPE block.
+    if (base != prev_base) {
+      out += "# HELP " + base + " " + e->help + "\n";
+      switch (e->kind) {
+        case Kind::kCounter:
+          out += "# TYPE " + base + " counter\n";
+          break;
+        case Kind::kGauge:
+          out += "# TYPE " + base + " gauge\n";
+          break;
+        case Kind::kHistogram:
+          out += "# TYPE " + base + " histogram\n";
+          break;
+      }
+      prev_base = base;
+    }
+    const std::string plain =
+        labels.empty() ? base : base + "{" + labels + "}";
     switch (e->kind) {
       case Kind::kCounter:
-        out += "# TYPE " + e->name + " counter\n";
-        out += e->name + " " + std::to_string(e->counter->value()) + "\n";
+        out += plain + " " + std::to_string(e->counter->value()) + "\n";
         break;
       case Kind::kGauge:
-        out += "# TYPE " + e->name + " gauge\n";
-        out += e->name + " " + sample_value(e->gauge->value()) + "\n";
+        out += plain + " " + sample_value(e->gauge->value()) + "\n";
         break;
       case Kind::kHistogram: {
-        out += "# TYPE " + e->name + " histogram\n";
+        // Histogram suffixes splice before the label set so the `le`
+        // label lands inside the same braces as the instrument's own.
+        const std::string le_prefix =
+            labels.empty() ? "{le=\"" : "{" + labels + ",le=\"";
         const Histogram& h = *e->histogram;
         for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
-          out += e->name + "_bucket{le=\"" +
+          out += base + "_bucket" + le_prefix +
                  sample_value(h.upper_bounds()[i]) + "\"} " +
                  std::to_string(h.cumulative(i)) + "\n";
         }
-        out += e->name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) +
+        out += base + "_bucket" + le_prefix + "+Inf\"} " +
+               std::to_string(h.count()) + "\n";
+        const std::string suffix_labels =
+            labels.empty() ? "" : "{" + labels + "}";
+        out += base + "_sum" + suffix_labels + " " + sample_value(h.sum()) +
                "\n";
-        out += e->name + "_sum " + sample_value(h.sum()) + "\n";
-        out += e->name + "_count " + std::to_string(h.count()) + "\n";
+        out += base + "_count" + suffix_labels + " " +
+               std::to_string(h.count()) + "\n";
         break;
       }
     }
@@ -156,6 +224,24 @@ std::string MetricsRegistry::snapshot_json() const {
     } else {
       out += json_double(e->gauge->value());
     }
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::quantiles_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& e : entries_) {
+    if (e->kind != Kind::kHistogram || e->histogram->count() == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    const Histogram& h = *e->histogram;
+    out += "\"" + json_escape(e->name) + "\":{";
+    out += "\"p50\":" + json_double(h.quantile(0.50)) + ",";
+    out += "\"p95\":" + json_double(h.quantile(0.95)) + ",";
+    out += "\"p99\":" + json_double(h.quantile(0.99)) + ",";
+    out += "\"count\":" + std::to_string(h.count()) + "}";
   }
   out += "}";
   return out;

@@ -65,6 +65,13 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
 
+  /// Bucket-interpolated quantile estimate for q in [0, 1] — the same
+  /// linear-within-bucket model as Prometheus' histogram_quantile, with
+  /// the first bucket's lower edge taken as 0 (the instrument records
+  /// non-negative durations/sizes). Observations landing in the +Inf
+  /// overflow bucket clamp to the highest finite bound. NaN when empty.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   std::vector<double> upper_bounds_;
   std::vector<std::uint64_t> buckets_;  // per-bucket, non-cumulative
@@ -72,9 +79,21 @@ class Histogram {
   double sum_ = 0.0;
 };
 
+/// "p50=<v> p95=<v> p99=<v>" with deterministic json_double formatting —
+/// the human-readable quantile line `stats` and `top` print per latency
+/// histogram. Empty histograms render "p50=- p95=- p99=-".
+[[nodiscard]] std::string render_quantiles(const Histogram& histogram);
+
 /// Insertion-ordered registry. Registration is idempotent by name (the
 /// evaluator and CCD both run per search; re-registering returns the
 /// existing instrument), lookups during search go through cached pointers.
+///
+/// Labeled series: a name may carry an inline Prometheus label set, e.g.
+/// `automap_service_handle_seconds{op="submit"}`. Each labeled name is its
+/// own instrument; expose() renders the shared base name once per # HELP /
+/// # TYPE block and splices histogram suffixes before the label set
+/// (`base_bucket{op="submit",le="0.1"}`), so the text stays valid
+/// exposition format.
 class MetricsRegistry {
  public:
   Counter* counter(const std::string& name, const std::string& help,
@@ -94,6 +113,13 @@ class MetricsRegistry {
   /// which must stay byte-identical across thread counts. Histograms and
   /// nondeterministic instruments are excluded.
   [[nodiscard]] std::string snapshot_json() const;
+
+  /// JSON object of bucket-interpolated latency quantiles for every
+  /// non-empty histogram, insertion order:
+  /// {"name":{"p50":v,"p95":v,"p99":v,"count":n},...}. Served in the
+  /// mapping service's `stats` response and rendered by `automap_client
+  /// top`.
+  [[nodiscard]] std::string quantiles_json() const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

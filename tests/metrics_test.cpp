@@ -91,6 +91,115 @@ TEST(Metrics, SnapshotJsonSkipsNonDeterministicSeries) {
   EXPECT_FALSE(parsed.has("automap_h_seconds"));   // histograms excluded
 }
 
+std::size_t occurrences(const std::string& text, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(Metrics, QuantileInterpolatesWithinBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  // 4 observations in (0,1], 4 in (1,2], 2 in (2,4]: every rank below is
+  // hand-computable against the linear-within-bucket model.
+  for (int i = 0; i < 4; ++i) h.observe(0.5);
+  for (int i = 0; i < 4; ++i) h.observe(1.5);
+  for (int i = 0; i < 2; ++i) h.observe(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);   // first bucket's lower edge
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.25);  // rank 5: 1/4 into (1,2]
+  EXPECT_DOUBLE_EQ(h.quantile(0.8), 2.0);   // rank 8: exactly a bucket edge
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 3.5);  // rank 9.5: 3/4 into (2,4]
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);   // top of the last bucket
+  EXPECT_THROW({ (void)h.quantile(-0.1); }, Error);
+  EXPECT_THROW({ (void)h.quantile(1.5); }, Error);
+}
+
+TEST(Metrics, QuantileEdgeCases) {
+  Histogram empty({1.0});
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+
+  // Everything in the +Inf overflow bucket clamps to the highest finite
+  // bound — the honest "beyond what the buckets resolve" answer.
+  Histogram overflow({1.0, 2.0});
+  overflow.observe(5.0);
+  overflow.observe(6.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 2.0);
+
+  // A bound-less histogram has no shape to interpolate: the mean stands in.
+  Histogram boundless{std::vector<double>{}};
+  boundless.observe(2.0);
+  boundless.observe(4.0);
+  EXPECT_DOUBLE_EQ(boundless.quantile(0.5), 3.0);
+}
+
+TEST(Metrics, RenderQuantilesFormatsDeterministically) {
+  Histogram empty({1.0});
+  EXPECT_EQ(render_quantiles(empty), "p50=- p95=- p99=-");
+
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 4; ++i) h.observe(0.5);
+  for (int i = 0; i < 4; ++i) h.observe(1.5);
+  for (int i = 0; i < 2; ++i) h.observe(3.0);
+  const std::string line = render_quantiles(h);
+  EXPECT_EQ(line.rfind("p50=1.25 p95=3.5 p99=", 0), 0u) << line;
+  EXPECT_EQ(line, "p50=" + json_double(h.quantile(0.50)) +
+                      " p95=" + json_double(h.quantile(0.95)) +
+                      " p99=" + json_double(h.quantile(0.99)));
+}
+
+TEST(Metrics, ExposeRendersLabeledFamilies) {
+  MetricsRegistry registry;
+  registry.counter("automap_op_errors_total{op=\"submit\"}", "Errors")
+      ->inc(2);
+  registry.counter("automap_op_errors_total{op=\"cancel\"}", "Errors")
+      ->inc(1);
+  Histogram* h = registry.histogram("automap_handle_seconds{op=\"submit\"}",
+                                    "Handle latency", {0.5});
+  h->observe(0.1);
+  h->observe(0.7);
+  const std::string text = registry.expose();
+
+  // One # HELP / # TYPE block per family, shared by the labeled series.
+  EXPECT_EQ(occurrences(text, "# TYPE automap_op_errors_total counter"), 1u);
+  EXPECT_EQ(occurrences(text, "# HELP automap_op_errors_total"), 1u);
+  EXPECT_NE(text.find("automap_op_errors_total{op=\"submit\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("automap_op_errors_total{op=\"cancel\"} 1"),
+            std::string::npos);
+  // Histogram suffixes splice before the label set, `le` inside the same
+  // braces as the instrument's own labels.
+  EXPECT_NE(
+      text.find("automap_handle_seconds_bucket{op=\"submit\",le=\"0.5\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("automap_handle_seconds_bucket{op=\"submit\",le=\"+Inf\"} 2"),
+      std::string::npos);
+  EXPECT_NE(text.find("automap_handle_seconds_count{op=\"submit\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("automap_handle_seconds_sum{op=\"submit\"} "),
+            std::string::npos);
+}
+
+TEST(Metrics, QuantilesJsonListsNonEmptyHistograms) {
+  MetricsRegistry registry;
+  registry.histogram("automap_idle_seconds", "never observed", {1.0});
+  Histogram* h = registry.histogram("automap_busy_seconds", "observed",
+                                    {1.0, 2.0}, /*deterministic=*/false);
+  h->observe(0.5);
+  h->observe(0.5);
+  h->observe(1.5);
+  h->observe(1.5);
+  const JsonValue parsed = parse_json(registry.quantiles_json());
+  EXPECT_FALSE(parsed.has("automap_idle_seconds"));
+  const JsonValue* busy = parsed.find("automap_busy_seconds");
+  ASSERT_NE(busy, nullptr);
+  EXPECT_EQ(busy->num_or("count", -1), 4.0);
+  EXPECT_DOUBLE_EQ(busy->num_or("p50", -1), 1.0);
+  EXPECT_NEAR(busy->num_or("p95", -1), 1.9, 1e-9);
+  EXPECT_NEAR(busy->num_or("p99", -1), 1.98, 1e-9);
+}
+
 TEST(Json, ParseRoundTripsJournalShapes) {
   const JsonValue v = parse_json(
       R"({"n":3,"type":"move","ok":true,"mean":0.125,"tags":[1,2],"nested":{"x":null}})");

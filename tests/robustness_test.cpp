@@ -109,14 +109,14 @@ TEST(Durable, SaveDurableWritesExactBytes) {
 
 TEST(CrashPoints, RegistryIsTheFullMatrix) {
   const std::vector<std::string>& names = crash_point_names();
-  // 5 artifact kinds x 5 durable-save steps.
-  EXPECT_EQ(names.size(), 25u);
+  // 6 artifact kinds x 5 durable-save steps.
+  EXPECT_EQ(names.size(), 30u);
   const std::set<std::string> unique(names.begin(), names.end());
   EXPECT_EQ(unique.size(), names.size());
   for (const char* expected :
        {"save.request.begin", "save.result.renamed",
         "save.checkpoint.tmp_synced", "save.bucket.dir_synced",
-        "save.tombstone.tmp_written"})
+        "save.tombstone.tmp_written", "save.spans.dir_synced"})
     EXPECT_TRUE(unique.count(expected)) << expected;
 }
 

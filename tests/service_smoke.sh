@@ -2,9 +2,12 @@
 # End-to-end smoke test of the mapping service: daemon startup, client
 # round trips, byte-identity of daemon answers with the one-shot `search`
 # path, the cross-job result cache (a repeat submission runs zero new
-# simulator runs), journal streaming, warm restart from the persisted
+# simulator runs), journal streaming, the flight recorder (`trace`, `top`,
+# and the --service-trace Chrome export), warm restart from the persisted
 # store, and clean shutdown.
 # Usage: service_smoke.sh <path-to-automap_cli> <path-to-automap_client>
+# Set AUTOMAP_SMOKE_TRACE to keep the Chrome trace at a fixed path (CI
+# uploads it as an artifact); it defaults to the throwaway temp dir.
 set -euo pipefail
 
 CLI="$1"
@@ -12,6 +15,7 @@ CLIENT="$2"
 DIR="$(mktemp -d)"
 SOCK="$DIR/automap.sock"
 STORE="$DIR/store"
+TRACE_OUT="${AUTOMAP_SMOKE_TRACE:-$DIR/service_trace.json}"
 SERVER_PID=""
 cleanup() {
   [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null || true
@@ -38,7 +42,7 @@ sim_runs() {
 "$CLI" export-app stencil 2 1 "$DIR/g.graph" > /dev/null
 
 "$CLI" serve --socket "$SOCK" --store "$STORE" --eval-threads 2 \
-      --workers 2 > "$DIR/serve.log" 2>&1 &
+      --workers 2 --service-trace "$TRACE_OUT" > "$DIR/serve.log" 2>&1 &
 SERVER_PID=$!
 wait_for_daemon
 "$CLIENT" ping --socket "$SOCK" | grep -q "pong"
@@ -84,6 +88,27 @@ assert any(l["type"] == "finalize" for l in lines)
 EOF
 
 "$CLIENT" jobs --socket "$SOCK" | grep -q "job 1 done"
+
+# The flight recorder replays job 1's full lifecycle: the trace table
+# walks submitted -> queued -> admitted -> running -> finished in order.
+"$CLIENT" trace 1 --socket "$SOCK" > "$DIR/trace1.txt"
+grep -q "job 1 trace" "$DIR/trace1.txt"
+for span in submitted queued admitted running finished; do
+  grep -q "$span" "$DIR/trace1.txt"
+done
+# Asking for a job nobody submitted is a structured error, not a hang.
+if "$CLIENT" trace 9999 --socket "$SOCK" > /dev/null \
+      2> "$DIR/trace-missing.txt"; then
+  echo "expected trace of an unknown job to fail" >&2
+  exit 1
+fi
+grep -qi "not_found" "$DIR/trace-missing.txt"
+
+# One `top` frame renders the uptime header, counts, and quantiles.
+"$CLIENT" top --once --socket "$SOCK" > "$DIR/top.txt"
+grep -q "automap service" "$DIR/top.txt"
+grep -q "uptime" "$DIR/top.txt"
+grep -q "finished" "$DIR/top.txt"
 
 # A bad submission gets a structured one-line error, not a hang or a
 # dropped connection.
@@ -151,6 +176,24 @@ wait "$SERVER_PID"
 SERVER_PID=""
 grep -q "service stopped" "$DIR/serve.log"
 
+# The Chrome trace written at shutdown is valid JSON in the trace-event
+# format Perfetto loads: a traceEvents array with named worker lanes and
+# the job spans threaded onto them.
+test -s "$TRACE_OUT"
+python3 - "$TRACE_OUT" << 'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+lanes = {e["args"]["name"] for e in events if e.get("ph") == "M"}
+assert "service" in lanes and "queue" in lanes, lanes
+assert any(l.startswith("worker ") for l in lanes), lanes
+spans = [e for e in events if e.get("ph") == "X"]
+assert any("running" in e["name"] for e in spans), "no running span"
+assert all(e["dur"] >= 0 for e in spans)
+marks = [e for e in events if e.get("ph") == "i"]
+assert any("finished" in e["name"] for e in marks), "no finished marker"
+EOF
+
 # Warm restart on the same store: the finished job is served from disk —
 # still byte-identical — without a single new simulator run.
 "$CLI" serve --socket "$SOCK" --store "$STORE" --eval-threads 2 \
@@ -177,7 +220,7 @@ SERVER_PID=$!
 wait_for_daemon
 
 # The crash-point registry the chaos harness iterates is published.
-test "$("$CLI" crash-points | wc -l)" = "25"
+test "$("$CLI" crash-points | wc -l)" = "30"
 
 # Garbage length prefix, truncated frame, and a slow-loris stall: each
 # costs exactly that connection — answered or reaped — never the daemon.

@@ -18,6 +18,8 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -926,6 +928,276 @@ TEST(Service, CorruptCheckpointQuarantinedAndJobRunsFresh) {
   const OneShot ref = one_shot_reference(options);
   EXPECT_EQ(result.str_or("summary", ""), ref.summary);
   EXPECT_EQ(result.str_or("mapping", ""), ref.mapping);
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder: per-job lifecycle spans served by the `trace` op,
+// latency quantiles in `stats`, and the extra `jobs` columns.
+
+/// One span row of a `trace`/`status` response, reduced to the fields the
+/// timeline assertions need.
+struct SpanView {
+  std::string name;
+  double start = -1;
+  double end = -1;  // -1 encodes a still-open span (end_ms null)
+  bool instant = false;
+};
+
+std::vector<SpanView> spans_of(const JsonValue& response) {
+  std::vector<SpanView> out;
+  const JsonValue* spans = response.find("spans");
+  if (spans == nullptr) return out;
+  for (const JsonValue& s : spans->array) {
+    SpanView v;
+    v.name = s.str_or("name", "");
+    v.start = s.num_or("start_ms", -1);
+    const JsonValue* end = s.find("end_ms");
+    if (end != nullptr && end->kind == JsonValue::Kind::kNumber)
+      v.end = end->number;
+    v.instant = s.bool_or("instant", false);
+    out.push_back(v);
+  }
+  return out;
+}
+
+const std::set<std::string>& terminal_spans() {
+  static const std::set<std::string> kTerminal{"finished", "failed",
+                                               "cancelled", "expired"};
+  return kTerminal;
+}
+
+/// Asserts the non-instant spans form exactly `expected`, monotonically
+/// ordered and gap-free: each transition closes the previous span at the
+/// instant the next one opens. A gap is legal only right after a terminal
+/// span (a revival restarts the chain after real wall time passed).
+void expect_timeline(const std::vector<SpanView>& spans,
+                     const std::vector<std::string>& expected) {
+  std::vector<SpanView> chain;
+  for (const SpanView& s : spans)
+    if (!s.instant) chain.push_back(s);
+  std::vector<std::string> names;
+  names.reserve(chain.size());
+  for (const SpanView& s : chain) names.push_back(s.name);
+  ASSERT_EQ(names, expected);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_GE(chain[i].start, chain[i - 1].start) << names[i];
+    if (terminal_spans().count(names[i - 1]) == 0) {
+      EXPECT_EQ(chain[i].start, chain[i - 1].end)
+          << "gap in the timeline before '" << names[i] << "'";
+    } else {
+      EXPECT_GE(chain[i].start, chain[i - 1].end) << names[i];
+    }
+  }
+  // A terminal span is instantaneous: the timeline is sealed at one point.
+  if (!chain.empty() && terminal_spans().count(names.back()) != 0) {
+    EXPECT_EQ(chain.back().end, chain.back().start);
+  }
+}
+
+TEST(Service, TraceRecordsFinishedTimelineAndPersistsSpans) {
+  const std::string store = fresh_store("trace-finished");
+  MappingService service(
+      {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+  const std::string id =
+      job_id_of(handle_json(service, submit_request(small_options(42))));
+  service.drain();
+
+  const JsonValue trace =
+      handle_json(service, "{\"op\":\"trace\",\"job\":" + id + "}");
+  EXPECT_EQ(trace.str_or("type", ""), "trace");
+  EXPECT_TRUE(trace.bool_or("terminal", false));
+  expect_timeline(spans_of(trace), {"submitted", "queued", "admitted",
+                                    "running", "finished"});
+
+  // `status` carries the same timeline plus the current span name.
+  const JsonValue status =
+      handle_json(service, "{\"op\":\"status\",\"job\":" + id + "}");
+  EXPECT_EQ(status.str_or("span", ""), "finished");
+  ASSERT_NE(status.find("spans"), nullptr);
+  EXPECT_EQ(status.find("spans")->array.size(),
+            trace.find("spans")->array.size());
+
+  // The timeline was persisted through the durable-write path.
+  const DurableLoad persisted =
+      load_checksummed(store + "/jobs/" + id + "/spans.json");
+  ASSERT_EQ(persisted.status, DurableLoad::Status::kOk);
+  EXPECT_NE(persisted.payload.find("\"finished\""), std::string::npos);
+
+  // A job nobody submitted gets a structured error, not a hang.
+  const JsonValue missing =
+      handle_json(service, "{\"op\":\"trace\",\"job\":777}");
+  EXPECT_EQ(missing.str_or("type", ""), "error");
+  EXPECT_EQ(missing.str_or("code", ""), "not_found");
+}
+
+TEST(Service, TraceRecordsCancelledAndExpiredTimelines) {
+  MappingService service({.store_dir = fresh_store("trace-terminal"),
+                          .eval_threads = 1,
+                          .job_workers = 0});
+  // Client cancel of a queued job seals the chain as `cancelled`.
+  const std::string cancelled =
+      job_id_of(handle_json(service, submit_request(small_options(1))));
+  handle_json(service, "{\"op\":\"cancel\",\"job\":" + cancelled + "}");
+  const JsonValue cancel_trace =
+      handle_json(service, "{\"op\":\"trace\",\"job\":" + cancelled + "}");
+  EXPECT_TRUE(cancel_trace.bool_or("terminal", false));
+  expect_timeline(spans_of(cancel_trace),
+                  {"submitted", "queued", "cancelled"});
+
+  // Deadline expiry of a queued job (no workers) seals it as `expired`.
+  const std::string expired = job_id_of(handle_json(
+      service, submit_request(small_options(2), ",\"deadline_ms\":25")));
+  ASSERT_EQ(wait_for(service, expired), "cancelled");
+  const JsonValue expiry_trace =
+      handle_json(service, "{\"op\":\"trace\",\"job\":" + expired + "}");
+  EXPECT_TRUE(expiry_trace.bool_or("terminal", false));
+  expect_timeline(spans_of(expiry_trace),
+                  {"submitted", "queued", "expired"});
+}
+
+TEST(Service, TraceSurvivesJobEviction) {
+  // Mirrors ResultCacheEvictsLeastRecentlyServed: with a two-entry cache,
+  // serving job 1 makes job 2 the LRU victim of job 3's arrival. The
+  // recorder keeps answering for the evicted job and marks the eviction.
+  MappingService service({.store_dir = fresh_store("trace-evict"),
+                          .eval_threads = 2,
+                          .job_workers = 0,
+                          .max_result_cache = 2});
+  const std::string id_1 =
+      job_id_of(handle_json(service, submit_request(small_options(1))));
+  service.drain();
+  const std::string id_2 =
+      job_id_of(handle_json(service, submit_request(small_options(2))));
+  service.drain();
+  (void)service.handle("{\"op\":\"result\",\"job\":" + id_1 + "}");
+  job_id_of(handle_json(service, submit_request(small_options(3))));
+  service.drain();
+  ASSERT_EQ(handle_json(service, "{\"op\":\"status\",\"job\":" + id_2 + "}")
+                .str_or("code", ""),
+            "not_found");
+
+  const JsonValue trace =
+      handle_json(service, "{\"op\":\"trace\",\"job\":" + id_2 + "}");
+  EXPECT_EQ(trace.str_or("type", ""), "trace");
+  const std::vector<SpanView> spans = spans_of(trace);
+  expect_timeline(spans, {"submitted", "queued", "admitted", "running",
+                          "finished"});
+  bool evicted_marker = false;
+  for (const SpanView& s : spans)
+    evicted_marker |= s.instant && s.name == "evicted";
+  EXPECT_TRUE(evicted_marker);
+}
+
+TEST(Service, TraceSurvivesWarmRestartAndRecordsRevival) {
+  const std::string store = fresh_store("trace-restart");
+  const SearchOptions options = small_options(42);
+  std::string id;
+  {
+    MappingService service(
+        {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+    id = job_id_of(handle_json(
+        service, submit_request(options, ",\"deadline_ms\":25")));
+    ASSERT_EQ(wait_for(service, id), "cancelled");
+  }
+
+  // The restored timeline replays the dead daemon's spans.
+  MappingService revived(
+      {.store_dir = store, .eval_threads = 2, .job_workers = 0});
+  const JsonValue restored =
+      handle_json(revived, "{\"op\":\"trace\",\"job\":" + id + "}");
+  EXPECT_TRUE(restored.bool_or("terminal", false));
+  expect_timeline(spans_of(restored), {"submitted", "queued", "expired"});
+
+  // Resubmitting revives the expired job: the sealed timeline reopens and
+  // runs through to `finished` — one trace spanning both lifetimes.
+  ASSERT_EQ(job_id_of(handle_json(revived, submit_request(options))), id);
+  const JsonValue reopened =
+      handle_json(revived, "{\"op\":\"trace\",\"job\":" + id + "}");
+  EXPECT_FALSE(reopened.bool_or("terminal", false));
+  revived.drain();
+  const JsonValue full =
+      handle_json(revived, "{\"op\":\"trace\",\"job\":" + id + "}");
+  EXPECT_TRUE(full.bool_or("terminal", false));
+  expect_timeline(spans_of(full),
+                  {"submitted", "queued", "expired", "queued", "admitted",
+                   "running", "finished"});
+}
+
+TEST(Service, JobsReportAgeWaitSpanAndOpErrorsCountPerOp) {
+  MappingService service({.store_dir = fresh_store("jobs-fields"),
+                          .eval_threads = 1,
+                          .job_workers = 0});
+  const std::string id =
+      job_id_of(handle_json(service, submit_request(small_options(3))));
+  const JsonValue queued = handle_json(service, "{\"op\":\"jobs\"}");
+  const JsonValue* list = queued.find("jobs");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array.size(), 1u);
+  EXPECT_EQ(list->array[0].str_or("span", ""), "queued");
+  EXPECT_GE(list->array[0].num_or("age_ms", -1), 0.0);
+  EXPECT_GE(list->array[0].num_or("queue_wait_ms", -1), 0.0);
+  service.drain();
+  EXPECT_EQ(handle_json(service, "{\"op\":\"jobs\"}")
+                .find("jobs")
+                ->array[0]
+                .str_or("span", ""),
+            "finished");
+  (void)id;
+
+  // Errors are attributed to the op that failed; unknown ops pool under
+  // the fixed "other" label so clients can never mint new label values.
+  handle_json(service, "{\"op\":\"result\",\"job\":999}");
+  handle_json(service, "{\"op\":\"frobnicate\"}");
+  const std::string exposition = service.expose_metrics();
+  EXPECT_EQ(metric_value(
+                exposition,
+                "automap_service_op_errors_total{op=\"result\"}"),
+            1.0);
+  EXPECT_EQ(metric_value(exposition,
+                         "automap_service_op_errors_total{op=\"other\"}"),
+            1.0);
+  EXPECT_EQ(metric_value(exposition,
+                         "automap_service_op_errors_total{op=\"submit\"}"),
+            0.0);
+  EXPECT_GE(metric_value(exposition, "automap_service_uptime_seconds"),
+            0.0);
+}
+
+TEST(Service, StatsQuantilesMatchHistogramUnderFakeClock) {
+  // A fake clock advancing 100ms per reading makes every latency exact:
+  // handle() reads it twice per request (start, end) and `ping` never
+  // touches the clock in between, so each ping observes exactly 0.1s.
+  auto tick = std::make_shared<double>(0.0);
+  ServiceConfig config;
+  config.store_dir = fresh_store("fake-clock");
+  config.eval_threads = 1;
+  config.job_workers = 0;
+  config.clock_ms = [tick] {
+    *tick += 100.0;
+    return *tick;
+  };
+  MappingService service(config);
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(handle_json(service, "{\"op\":\"ping\"}").str_or("type", ""),
+              "pong");
+
+  const JsonValue stats = handle_json(service, "{\"op\":\"stats\"}");
+  const JsonValue* quantiles = stats.find("quantiles");
+  ASSERT_NE(quantiles, nullptr);
+  const JsonValue* ping =
+      quantiles->find("automap_service_handle_seconds{op=\"ping\"}");
+  ASSERT_NE(ping, nullptr);
+  EXPECT_EQ(ping->num_or("count", -1), 4.0);
+  // 0.1s lands in the (0.05, 0.25] handle bucket; with all four
+  // observations there the interpolated quantiles are hand-computable.
+  EXPECT_NEAR(ping->num_or("p50", -1), 0.15, 1e-12);
+  EXPECT_NEAR(ping->num_or("p95", -1), 0.24, 1e-12);
+  EXPECT_NEAR(ping->num_or("p99", -1), 0.248, 1e-12);
+
+  // The uptime gauge runs off the same injected clock.
+  EXPECT_GT(metric_value(service.expose_metrics(),
+                         "automap_service_uptime_seconds"),
+            0.0);
 }
 
 // ---------------------------------------------------------------------
